@@ -1,0 +1,269 @@
+//! The composite adaptive-filter application — the full system the paper
+//! motivates: "adaptive beamforming, where [the CORDIC dividers] are used
+//! to update the weight coefficients of the filters".
+//!
+//! One MB32 program on one soft processor with **two customized hardware
+//! peripherals**:
+//!
+//! 1. the CORDIC divider pipeline on FSL 0 performs the divisions of the
+//!    Levinson-Durbin weight update (serial, latency-bound);
+//! 2. the FIR filter on FSL 2 is loaded with the freshly computed
+//!    prediction-error coefficients `A(z)` and then streams the signal
+//!    through them (parallel, throughput-bound).
+//!
+//! The example exercises the co-simulation engine's multi-peripheral
+//! support end to end and is verified against the composed golden models.
+
+use crate::lpc::reference::{levinson_durbin, DivStrategy};
+use crate::lpc::software::{lpc_body, lpc_data, LpcDivision};
+use softsim_cosim::{CoSim, CoSimStop};
+use softsim_isa::asm::assemble;
+use softsim_isa::Image;
+use std::fmt::Write as _;
+
+/// FSL channel of the CORDIC divider pipeline.
+pub const CORDIC_CHANNEL: usize = 0;
+/// FSL channel of the FIR filter.
+pub const FIR_CHANNEL: usize = 2;
+
+fn words(vals: &[i32]) -> String {
+    vals.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ")
+}
+
+/// Right-shift applied to raw autocorrelation sums so Q4.12 lags fit
+/// 32-bit arithmetic for 12-bit signals up to 64 samples.
+pub const AUTOCORR_SHIFT: u32 = 15;
+
+/// Reference autocorrelation with the exact on-device arithmetic:
+/// `r[k] = (Σ_{n=k}^{N-1} x[n]·x[n-k]) >> AUTOCORR_SHIFT` (wrapping).
+pub fn autocorrelate(input: &[i32], order: usize) -> Vec<i32> {
+    (0..=order)
+        .map(|k| {
+            let mut acc = 0i32;
+            for n in k..input.len() {
+                acc = acc.wrapping_add(input[n].wrapping_mul(input[n - k]));
+            }
+            acc >> AUTOCORR_SHIFT
+        })
+        .collect()
+}
+
+/// Emits the on-device autocorrelation (phase 0 of the full program):
+/// fills `r_data[0..=order]` from `x_data[0..n]`.
+fn emit_autocorr(s: &mut String, order: usize, n: usize) {
+    let _ = write!(
+        s,
+        "# ---- autocorrelation of {n} samples, lags 0..={order}\n\
+         \taddk r20, r0, r0       # k = 0\n\
+         ack:\taddk r21, r0, r0   # acc\n\
+         \tli   r25, x_data\n\
+         \tbslli r5, r20, 2\n\
+         \taddk r26, r25, r5      # &x[k]\n\
+         \taddk r27, r25, r0      # &x[0]\n\
+         \tli   r22, {n}\n\
+         \trsubk r22, r20, r22    # count = N - k\n\
+         acn:\tlwi r5, r26, 0\n\
+         \tlwi  r6, r27, 0\n\
+         \tmul  r5, r5, r6\n\
+         \taddk r21, r21, r5\n\
+         \taddik r26, r26, 4\n\
+         \taddik r27, r27, 4\n\
+         \taddik r22, r22, -1\n\
+         \tbnei r22, acn\n\
+         \tbsrai r21, r21, {AUTOCORR_SHIFT}\n\
+         \tbslli r5, r20, 2\n\
+         \tswi  r21, r5, r_data\n\
+         \taddik r20, r20, 1\n\
+         \trsubik r5, r20, {lags}\n\
+         \tbnei r5, ack\n",
+        lags = order + 1,
+    );
+}
+
+/// Generates the fully self-contained program: autocorrelation of the
+/// signal, Levinson-Durbin weight update (divisions via the FSL 0
+/// pipeline), then FIR filtering of the same signal on FSL 2 with the
+/// computed `A(z)`. The `r_data` array is computed on-device.
+pub fn beamformer_program_full(input: &[i32], order: usize, p: usize) -> String {
+    let n = input.len();
+    let batch = 8usize;
+    let mut s = String::from("# autocorrelate + weight update + filter\nstart:\n");
+    emit_autocorr(&mut s, order, n);
+    s.push_str(&lpc_body(order, LpcDivision::CordicFsl(p)));
+    emit_fir_phases(&mut s, order, n, batch);
+    // r_data starts zeroed; phase 0 fills it.
+    s.push_str(&lpc_data(&vec![0; order + 1]));
+    let _ = write!(
+        s,
+        "x_data: .word {x}\ny_data: .space {ys}\n",
+        x = words(input),
+        ys = 4 * n,
+    );
+    s
+}
+
+/// Emits phases 2 and 3: tap loading and batched streaming (shared by
+/// both program variants).
+fn emit_fir_phases(s: &mut String, order: usize, n: usize, batch: usize) {
+    let _ = write!(
+        s,
+        "# ---- load taps into the FIR (channel {FIR_CHANNEL})\n\
+         \tli   r25, a_data\n\
+         \tli   r20, {taps}\n\
+         tload:\tlwi r5, r25, 0\n\
+         \tcput r5, rfsl{FIR_CHANNEL}\n\
+         \taddik r25, r25, 4\n\
+         \taddik r20, r20, -1\n\
+         \tbnei r20, tload\n",
+        taps = order + 1,
+    );
+    let _ = write!(
+        s,
+        "\tli   r26, x_data\n\
+         \tli   r27, y_data\n\
+         \tli   r24, {n}\n\
+         chunk:\n\
+         \taddk r23, r24, r0\n\
+         \trsubik r6, r24, {batch}\n\
+         \tbgei r6, sized\n\
+         \tli   r23, {batch}\n\
+         sized:\n\
+         \taddk r22, r23, r0\n\
+         fsend:\tlwi r5, r26, 0\n\
+         \tput  r5, rfsl{FIR_CHANNEL}\n\
+         \taddik r26, r26, 4\n\
+         \taddik r22, r22, -1\n\
+         \tbnei r22, fsend\n\
+         \taddk r22, r23, r0\n\
+         frecv:\tget r5, rfsl{FIR_CHANNEL}\n\
+         \tswi  r5, r27, 0\n\
+         \taddik r27, r27, 4\n\
+         \taddik r22, r22, -1\n\
+         \tbnei r22, frecv\n\
+         \trsubk r24, r23, r24\n\
+         \tbnei r24, chunk\n\
+         \thalt\n\n"
+    );
+}
+
+/// Generates the composite program: Levinson-Durbin (divisions via the
+/// FSL 0 pipeline with `p` PEs), then FIR filtering of `input` on FSL 2
+/// with the computed `a[0..=order]` as taps. Filtered output at `y_data`.
+pub fn beamformer_program(r: &[i32], p: usize, input: &[i32]) -> String {
+    let order = r.len() - 1;
+    let n = input.len();
+    let batch = 8usize;
+    let mut s = String::from("# adaptive weight update + filtering\nstart:\n");
+    // Phase 1: the recursion (CORDIC pipeline on channel 0).
+    s.push_str(&lpc_body(order, LpcDivision::CordicFsl(p)));
+    emit_fir_phases(&mut s, order, n, batch);
+    s.push_str(&lpc_data(r));
+    let _ = write!(
+        s,
+        "x_data: .word {x}\ny_data: .space {ys}\n",
+        x = words(input),
+        ys = 4 * n,
+    );
+    s
+}
+
+/// Builds the two-peripheral co-simulation for the composite application.
+pub fn beamformer_cosim(r: &[i32], p: usize, input: &[i32]) -> (CoSim, Image) {
+    let img = assemble(&beamformer_program(r, p, input)).expect("beamformer assembles");
+    let mut sim =
+        CoSim::with_peripheral(&img, crate::cordic::hardware::cordic_peripheral(p));
+    sim.add_peripheral(crate::fir::hardware::fir_peripheral_chan(
+        r.len(),
+        FIR_CHANNEL,
+    ));
+    (sim, img)
+}
+
+/// The composed golden model: weight update then filtering.
+pub fn expected_output(r: &[i32], p: usize, input: &[i32]) -> Vec<i32> {
+    let iters = (crate::lpc::reference::CORDIC_ITERS as usize).div_ceil(p) * p;
+    let weights = levinson_durbin(r, DivStrategy::Cordic(iters as u32));
+    crate::fir::reference::fir(&weights.a, input)
+}
+
+/// Runs the application and returns `(filtered_output, cycles)`.
+pub fn run_beamformer(r: &[i32], p: usize, input: &[i32]) -> (Vec<i32>, u64) {
+    let (mut sim, img) = beamformer_cosim(r, p, input);
+    assert_eq!(sim.run(100_000_000), CoSimStop::Halted);
+    assert_eq!(sim.hw_stats().output_overflows, 0);
+    let base = img.symbol("y_data").unwrap();
+    let y = (0..input.len())
+        .map(|i| sim.cpu().mem().read_u32(base + 4 * i as u32).unwrap() as i32)
+        .collect();
+    (y, sim.cpu_stats().cycles)
+}
+
+/// Runs the fully self-contained variant; returns `(output, cycles)`.
+pub fn run_beamformer_full(input: &[i32], order: usize, p: usize) -> (Vec<i32>, u64) {
+    let img =
+        assemble(&beamformer_program_full(input, order, p)).expect("full beamformer assembles");
+    let mut sim = CoSim::with_peripheral(&img, crate::cordic::hardware::cordic_peripheral(p));
+    sim.add_peripheral(crate::fir::hardware::fir_peripheral_chan(order + 1, FIR_CHANNEL));
+    assert_eq!(sim.run(100_000_000), CoSimStop::Halted);
+    let base = img.symbol("y_data").unwrap();
+    let y = (0..input.len())
+        .map(|i| sim.cpu().mem().read_u32(base + 4 * i as u32).unwrap() as i32)
+        .collect();
+    (y, sim.cpu_stats().cycles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fir::reference::test_signal;
+    use crate::lpc::reference::test_autocorrelation;
+
+    #[test]
+    fn composite_matches_composed_references() {
+        let r = test_autocorrelation(4);
+        let input = test_signal(24, 11);
+        for p in [2usize, 4] {
+            let (y, _) = run_beamformer(&r, p, &input);
+            assert_eq!(y, expected_output(&r, p, &input), "P={p}");
+        }
+    }
+
+    #[test]
+    fn full_chain_matches_composed_references() {
+        // Samples -> autocorrelation -> weight update -> filtering, all
+        // on-device, against the composed golden models.
+        let input = test_signal(32, 13);
+        let (order, p) = (4usize, 4usize);
+        let (y, _) = run_beamformer_full(&input, order, p);
+        let r = autocorrelate(&input, order);
+        assert!(r[0] > 0, "test signal has energy");
+        let iters = (crate::lpc::reference::CORDIC_ITERS as usize).div_ceil(p) * p;
+        let weights = levinson_durbin(&r, DivStrategy::Cordic(iters as u32));
+        let expect = crate::fir::reference::fir(&weights.a, &input);
+        assert_eq!(y, expect);
+    }
+
+    #[test]
+    fn autocorrelation_reference_properties() {
+        let input = test_signal(48, 14);
+        let r = autocorrelate(&input, 6);
+        assert!(r[0] > 0, "zero-lag energy positive");
+        for k in 1..=6 {
+            assert!(r[k].abs() <= r[0], "|r[{k}]| <= r[0]");
+        }
+    }
+
+    #[test]
+    fn both_peripherals_carry_traffic() {
+        let r = test_autocorrelation(4);
+        let input = test_signal(16, 12);
+        let (mut sim, _) = beamformer_cosim(&r, 4, &input);
+        assert_eq!(sim.run(100_000_000), CoSimStop::Halted);
+        let hw = sim.hw_stats();
+        // CORDIC: 4 divisions x 4 passes x 4 words + FIR: 5 taps + 16
+        // samples — all delivered, all results consumed.
+        assert_eq!(sim.cpu_stats().fsl_words_sent, hw.words_to_hw);
+        assert_eq!(sim.cpu_stats().fsl_words_received, hw.words_from_hw);
+        assert!(hw.words_to_hw > 60);
+    }
+}

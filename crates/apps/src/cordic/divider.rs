@@ -1,0 +1,151 @@
+//! Division on the optional hardware divider — the processor-
+//! configuration alternative to the CORDIC approaches.
+//!
+//! The paper's premise (a) is that soft processors have "many possible
+//! configurations"; MicroBlaze's optional divider is exactly such a
+//! configuration choice. This module computes the same Q8.24 quotients as
+//! the CORDIC designs using `idivu` long division in 6-bit chunks,
+//! giving the design space a third corner: pure-software CORDIC vs
+//! FSL-attached CORDIC pipeline vs divider-equipped processor.
+
+use crate::cordic::reference::FRAC_BITS;
+use crate::cordic::software::CordicBatch;
+
+/// Fractional bits produced per long-division refinement step (chosen so
+/// the shifted remainder cannot overflow 32 bits for inputs in the
+/// CORDIC convergence domain).
+pub const CHUNK_BITS: u32 = 6;
+
+fn words(vals: &[i32]) -> String {
+    vals.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ")
+}
+
+/// Generates the divider-based program: for every sample computes
+/// `b / a` in Q8.24 via one integer `idivu` plus
+/// `FRAC_BITS / CHUNK_BITS` refinement steps, leaving results at
+/// `z_data`. Requires a divider-equipped processor configuration.
+pub fn idiv_program(batch: &CordicBatch) -> String {
+    let n = batch.len();
+    assert!(n > 0, "empty batch");
+    assert_eq!(FRAC_BITS % CHUNK_BITS, 0);
+    format!(
+        ".equ NSAMPLES, {n}\n\
+         .equ CHUNKS, {chunks}\n\
+         start:\n\
+         \tli   r21, a_data\n\
+         \tli   r22, b_data\n\
+         \tli   r23, z_data\n\
+         \tli   r20, NSAMPLES\n\
+         sample:\n\
+         \tlwi  r5, r21, 0        # a > 0\n\
+         \tlwi  r6, r22, 0        # b (signed)\n\
+         \taddk r12, r0, r0       # sign flag\n\
+         \tbgei r6, positive\n\
+         \trsubk r6, r6, r0       # b = -b\n\
+         \taddik r12, r0, 1\n\
+         positive:\n\
+         \tidivu r7, r5, r6       # integer part (b/a < 2 in-domain)\n\
+         \tmul  r8, r7, r5\n\
+         \trsubk r6, r8, r6       # remainder\n\
+         \taddk r10, r7, r0       # quotient accumulator\n\
+         \tli   r9, CHUNKS\n\
+         refine:\n\
+         \tbslli r6, r6, {cb}\n\
+         \tidivu r7, r5, r6\n\
+         \tmul  r8, r7, r5\n\
+         \trsubk r6, r8, r6\n\
+         \tbslli r10, r10, {cb}\n\
+         \taddk r10, r10, r7\n\
+         \taddik r9, r9, -1\n\
+         \tbnei r9, refine\n\
+         \tbeqi r12, store\n\
+         \trsubk r10, r10, r0     # restore sign\n\
+         store:\n\
+         \tswi  r10, r23, 0\n\
+         \taddik r21, r21, 4\n\
+         \taddik r22, r22, 4\n\
+         \taddik r23, r23, 4\n\
+         \taddik r20, r20, -1\n\
+         \tbnei r20, sample\n\
+         \thalt\n\n\
+         .align 4\n\
+         a_data: .word {a}\n\
+         b_data: .word {b}\n\
+         z_data: .space {space}\n",
+        chunks = FRAC_BITS / CHUNK_BITS,
+        cb = CHUNK_BITS,
+        a = words(&batch.a),
+        b = words(&batch.b),
+        space = 4 * n,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cordic::reference;
+    use crate::cordic::software::{hw_program, sw_program, SwStyle};
+    use softsim_cosim::{CoSim, CoSimStop};
+    use softsim_isa::asm::assemble;
+    use softsim_isa::CpuConfig;
+
+    fn batch() -> CordicBatch {
+        CordicBatch::new(&[
+            (reference::to_fix(1.0), reference::to_fix(0.5)),
+            (reference::to_fix(1.5), reference::to_fix(1.2)),
+            (reference::to_fix(2.0), reference::to_fix(-1.0)),
+            (reference::to_fix(1.25), reference::to_fix(0.8)),
+        ])
+    }
+
+    #[test]
+    fn divider_quotients_are_exact_to_lsb() {
+        let b = batch();
+        let img = assemble(&idiv_program(&b)).expect("assembles");
+        let mut sim = CoSim::with_config(&img, CpuConfig::full(), None);
+        assert_eq!(sim.run(1_000_000), CoSimStop::Halted);
+        let base = img.symbol("z_data").unwrap();
+        for i in 0..b.len() {
+            let got = sim.cpu().mem().read_u32(base + 4 * i as u32).unwrap() as i32;
+            let exact = (b.b[i] as f64) / (b.a[i] as f64);
+            let err = (got as f64 / (1 << 24) as f64 - exact).abs();
+            assert!(err < 2.0 / (1 << 24) as f64, "sample {i}: err {err}");
+        }
+    }
+
+    #[test]
+    fn needs_the_divider_option() {
+        let b = batch();
+        let img = assemble(&idiv_program(&b)).unwrap();
+        let mut sim = CoSim::software_only(&img); // default config: no divider
+        assert!(matches!(sim.run(1_000_000), CoSimStop::Fault(_)));
+    }
+
+    #[test]
+    fn design_space_three_corners() {
+        // The configuration ablation: SW CORDIC vs FSL CORDIC pipeline vs
+        // divider-equipped processor, same task, same precision class.
+        let b = batch();
+        let sw_img = assemble(&sw_program(&b, 24, SwStyle::Compiled)).unwrap();
+        let mut sw = CoSim::software_only(&sw_img);
+        assert_eq!(sw.run(10_000_000), CoSimStop::Halted);
+
+        let hw_img = assemble(&hw_program(&b, 24, 4)).unwrap();
+        let mut hw = CoSim::with_peripheral(
+            &hw_img,
+            crate::cordic::hardware::cordic_peripheral(4),
+        );
+        assert_eq!(hw.run(10_000_000), CoSimStop::Halted);
+
+        let div_img = assemble(&idiv_program(&b)).unwrap();
+        let mut dv = CoSim::with_config(&div_img, CpuConfig::full(), None);
+        assert_eq!(dv.run(10_000_000), CoSimStop::Halted);
+
+        let (sw_c, hw_c, dv_c) =
+            (sw.cpu_stats().cycles, hw.cpu_stats().cycles, dv.cpu_stats().cycles);
+        assert!(dv_c < sw_c, "the divider option beats software CORDIC: {dv_c} vs {sw_c}");
+        // Both accelerated options are multiples faster than software.
+        assert!(sw_c as f64 / dv_c as f64 > 2.0);
+        assert!(sw_c as f64 / hw_c as f64 > 2.0);
+    }
+}

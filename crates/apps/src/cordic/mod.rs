@@ -1,0 +1,16 @@
+//! The adaptive CORDIC processor for division (§IV-A of the paper).
+//!
+//! * [`mod@reference`] — the golden Eq. 1 / Eq. 2 model;
+//! * [`hardware`] — the P-PE pipeline peripheral (block level);
+//! * [`software`] — the pure-software kernel and the HW-accelerated
+//!   driver program;
+//! * [`rtl`] — the same pipeline as a structural RTL netlist for the
+//!   low-level baseline.
+
+pub mod divider;
+pub mod hardware;
+pub mod opb;
+pub mod reference;
+pub mod rtl;
+
+pub mod software;

@@ -1,0 +1,164 @@
+//! OPB-attached variant of the CORDIC pipeline — the bus-protocol
+//! ablation.
+//!
+//! The paper's environment supports both Fast Simplex Links and the
+//! shared On-chip Peripheral Bus (§III-A). This module drives the *same*
+//! PE pipeline through a memory-mapped OPB register interface
+//! ([`softsim_cosim::OpbBlockAdapter`]): every transfer pays the OPB
+//! read/write latency and results must be *polled*, so the comparison
+//! against the FSL driver isolates the cost of the bus choice.
+
+use crate::cordic::hardware::cordic_graph;
+use crate::cordic::reference::ONE;
+use crate::cordic::software::CordicBatch;
+use softsim_cosim::opb::{REG_RDATA, REG_STATUS, REG_WCTRL, REG_WDATA};
+use softsim_cosim::{CoSim, OpbBlockAdapter};
+use softsim_bus::OpbBus;
+use softsim_isa::asm::assemble;
+use softsim_isa::Image;
+
+/// Base address of the CORDIC peripheral on the OPB.
+pub const CORDIC_OPB_BASE: u32 = 0x8000_0000;
+
+fn words(vals: &[i32]) -> String {
+    vals.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ")
+}
+
+/// Generates the OPB driver program: same algorithm and passes as the
+/// FSL driver, but transfers go through memory-mapped registers with
+/// status polling.
+pub fn opb_program(batch: &CordicBatch, iterations: u32, p: usize) -> String {
+    let n = batch.len();
+    assert!(n > 0, "empty batch");
+    let passes = (iterations as usize).div_ceil(p);
+    let mut s = String::new();
+    s.push_str(&format!(
+        ".equ NSAMPLES, {n}\n\
+         start:\n\
+         \tli   r30, {CORDIC_OPB_BASE}\n\
+         \tli   r25, a_data\n\
+         \tli   r26, y_data\n\
+         \tli   r27, z_data\n"
+    ));
+    for pass in 0..passes {
+        let shift = (pass * p) as u32;
+        let c0 = if shift >= 31 { 0 } else { ONE >> shift };
+        s.push_str(&format!(
+            "# ---- pass {pass}\n\
+             \tli   r8, {c0}\n\
+             \tswi  r8, r30, {REG_WCTRL}\n\
+             \tli   r20, NSAMPLES\n\
+             \taddk r21, r25, r0\n\
+             \taddk r22, r26, r0\n\
+             \taddk r23, r27, r0\n\
+             send{pass}:\n\
+             \tlwi  r5, r21, 0\n"
+        ));
+        if shift > 0 {
+            s.push_str(&format!("\tbsrai r5, r5, {}\n", shift.min(31)));
+        }
+        s.push_str(&format!(
+            "\tswi  r5, r30, {REG_WDATA}\n\
+             \tlwi  r6, r22, 0\n\
+             \tswi  r6, r30, {REG_WDATA}\n\
+             \tlwi  r7, r23, 0\n\
+             \tswi  r7, r30, {REG_WDATA}\n\
+             \taddik r21, r21, 4\n\
+             \taddik r22, r22, 4\n\
+             \taddik r23, r23, 4\n\
+             \taddik r20, r20, -1\n\
+             \tbnei r20, send{pass}\n\
+             \tli   r20, NSAMPLES\n\
+             \taddk r22, r26, r0\n\
+             \taddk r23, r27, r0\n\
+             recv{pass}:\n\
+             polly{pass}:\n\
+             \tlwi  r5, r30, {REG_STATUS}\n\
+             \tandi r5, r5, 1\n\
+             \tbeqi r5, polly{pass}\n\
+             \tlwi  r6, r30, {REG_RDATA}\n\
+             \tswi  r6, r22, 0\n\
+             pollz{pass}:\n\
+             \tlwi  r5, r30, {REG_STATUS}\n\
+             \tandi r5, r5, 1\n\
+             \tbeqi r5, pollz{pass}\n\
+             \tlwi  r7, r30, {REG_RDATA}\n\
+             \tswi  r7, r23, 0\n\
+             \taddik r22, r22, 4\n\
+             \taddik r23, r23, 4\n\
+             \taddik r20, r20, -1\n\
+             \tbnei r20, recv{pass}\n"
+        ));
+    }
+    s.push_str(&format!(
+        "\thalt\n\n.align 4\na_data: .word {a}\ny_data: .word {b}\nz_data: .space {space}\n",
+        a = words(&batch.a),
+        b = words(&batch.b),
+        space = 4 * n,
+    ));
+    s
+}
+
+/// Builds the full OPB-attached co-simulation: the driver program plus
+/// the pipeline behind the register adapter.
+pub fn opb_cosim(batch: &CordicBatch, iterations: u32, p: usize) -> (CoSim, Image) {
+    let img = assemble(&opb_program(batch, iterations, p)).expect("opb driver assembles");
+    let mut sim = CoSim::software_only(&img);
+    let mut bus = OpbBus::new();
+    bus.map(CORDIC_OPB_BASE, 0x100, Box::new(OpbBlockAdapter::new(cordic_graph(p))));
+    sim.cpu_mut().attach_opb(bus);
+    (sim, img)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cordic::reference;
+    use crate::cordic::software::{effective_iterations, hw_program};
+    use softsim_cosim::CoSimStop;
+
+    fn batch() -> CordicBatch {
+        CordicBatch::new(&[
+            (reference::to_fix(1.0), reference::to_fix(0.5)),
+            (reference::to_fix(1.5), reference::to_fix(1.2)),
+            (reference::to_fix(2.0), reference::to_fix(-1.0)),
+        ])
+    }
+
+    #[test]
+    fn opb_attachment_computes_correct_quotients() {
+        let b = batch();
+        for p in [2usize, 4] {
+            let (mut sim, img) = opb_cosim(&b, 24, p);
+            assert_eq!(sim.run(10_000_000), CoSimStop::Halted, "P={p}");
+            let base = img.symbol("z_data").unwrap();
+            let eff = effective_iterations(24, p);
+            for i in 0..b.len() {
+                let got = sim.cpu().mem().read_u32(base + 4 * i as u32).unwrap() as i32;
+                assert_eq!(got, reference::divide_fix(b.a[i], b.b[i], eff), "P={p} sample {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn fsl_attachment_beats_opb_attachment() {
+        // The ablation: identical pipeline, identical algorithm — the
+        // dedicated FSL interface is substantially faster than the shared
+        // polled bus.
+        let b = batch();
+        let p = 4;
+        let (mut opb, _) = opb_cosim(&b, 24, p);
+        assert_eq!(opb.run(10_000_000), CoSimStop::Halted);
+        let img = assemble(&hw_program(&b, 24, p)).unwrap();
+        let mut fsl = CoSim::with_peripheral(&img, crate::cordic::hardware::cordic_peripheral(p));
+        assert_eq!(fsl.run(10_000_000), CoSimStop::Halted);
+        let ratio = opb.cpu_stats().cycles as f64 / fsl.cpu_stats().cycles as f64;
+        assert!(
+            ratio > 1.3,
+            "OPB should cost noticeably more than FSL, got {ratio:.2}x \
+             ({} vs {} cycles)",
+            opb.cpu_stats().cycles,
+            fsl.cpu_stats().cycles
+        );
+    }
+}

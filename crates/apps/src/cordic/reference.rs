@@ -1,0 +1,127 @@
+//! Golden reference model of the adaptive CORDIC divider (§IV-A).
+//!
+//! Linear-mode vectoring CORDIC computes `b / a` iteratively (Eq. 1 of
+//! the paper, reformulated as Eq. 2 so data can make repeated passes
+//! through a fixed pipeline):
+//!
+//! ```text
+//! X_{i+1} = X_i
+//! Y_{i+1} = Y_i + d_i · X_i · C_i       d_i = +1 if Y_i < 0 else −1
+//! Z_{i+1} = Z_i − d_i · C_i             C_{i+1} = C_i / 2,  C_0 = 1
+//! ```
+//!
+//! After `n` iterations `Z_n ≈ b / a` (for `0 < b/a < 2` and positive
+//! operands; the standard linear-CORDIC convergence domain).
+
+/// Fractional bits of the Q8.24 fixed-point format used end to end
+/// (32-bit words over the FSL; 24 iterations need 24 fractional bits).
+pub const FRAC_BITS: u32 = 24;
+
+/// Fixed-point one (`C_0`).
+pub const ONE: i32 = 1 << FRAC_BITS;
+
+/// Converts a float to Q8.24.
+pub fn to_fix(v: f64) -> i32 {
+    (v * ONE as f64).round() as i32
+}
+
+/// Converts Q8.24 to a float.
+pub fn from_fix(v: i32) -> f64 {
+    v as f64 / ONE as f64
+}
+
+/// One CORDIC iteration of Eq. 2 on `(xs, y, z)` state, where `xs` is the
+/// pre-shifted `X·C_i` product and `c` is `C_i` itself.
+#[inline]
+pub fn iterate(xs: i32, y: i32, z: i32, c: i32) -> (i32, i32, i32) {
+    if y < 0 {
+        // d = +1: Y += X·C, Z -= C.
+        (xs >> 1, y.wrapping_add(xs), z.wrapping_sub(c))
+    } else {
+        // d = −1: Y -= X·C, Z += C.
+        (xs >> 1, y.wrapping_sub(xs), z.wrapping_add(c))
+    }
+}
+
+/// Divides `b / a` with `iterations` CORDIC steps, entirely in Q8.24.
+///
+/// Returns the quotient in Q8.24. Inputs must lie in the convergence
+/// domain (`a > 0`, `|b| < 2a`).
+pub fn divide_fix(a: i32, b: i32, iterations: u32) -> i32 {
+    let (mut xs, mut y, mut z) = (a, b, 0i32);
+    let mut c = ONE;
+    for _ in 0..iterations {
+        let (nxs, ny, nz) = iterate(xs, y, z, c);
+        xs = nxs;
+        y = ny;
+        z = nz;
+        c >>= 1;
+    }
+    z
+}
+
+/// Float-domain wrapper around [`divide_fix`].
+pub fn divide(a: f64, b: f64, iterations: u32) -> f64 {
+    from_fix(divide_fix(to_fix(a), to_fix(b), iterations))
+}
+
+/// Absolute error bound after `n` iterations: the residual step size,
+/// plus quantization slack.
+pub fn error_bound(iterations: u32) -> f64 {
+    2.0 / (1u64 << iterations.min(FRAC_BITS)) as f64 + 4.0 / ONE as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_to_quotient() {
+        for &(a, b) in
+            &[(1.0, 0.5), (1.5, 1.0), (2.0, 1.999), (3.0, 0.001), (1.0, -0.75), (2.5, -2.0)]
+        {
+            let q = divide(a, b, 24);
+            let err = (q - b / a).abs();
+            assert!(err <= error_bound(24), "{b}/{a}: got {q}, err {err}");
+        }
+    }
+
+    #[test]
+    fn precision_improves_with_iterations() {
+        let exact: f64 = 0.7 / 1.3;
+        let e8 = (divide(1.3, 0.7, 8) - exact).abs();
+        let e24 = (divide(1.3, 0.7, 24) - exact).abs();
+        assert!(e24 < e8, "24 iterations beat 8: {e24} vs {e8}");
+        assert!(e8 <= error_bound(8));
+    }
+
+    #[test]
+    fn adaptive_iteration_count_is_the_motivation() {
+        // The paper's motivation: dynamic range decides how many
+        // iterations are needed. A mid-range quotient is fine at 8
+        // iterations; a high-precision one needs more.
+        let coarse = (divide(1.0, 1.0, 8) - 1.0).abs();
+        assert!(coarse <= error_bound(8));
+        let fine = (divide(1.0, 1.0, 24) - 1.0).abs();
+        assert!(fine <= error_bound(24));
+    }
+
+    #[test]
+    fn fix_round_trip() {
+        for v in [-1.5, -0.0625, 0.0, 0.333, 1.9999] {
+            assert!((from_fix(to_fix(v)) - v).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn iterate_matches_equation_signs() {
+        // Y < 0: d = +1 → Y grows by XS, Z shrinks by C.
+        let (_, y, z) = iterate(ONE, -ONE / 2, 0, ONE);
+        assert_eq!(y, -ONE / 2 + ONE);
+        assert_eq!(z, -ONE);
+        // Y ≥ 0: d = −1 → Y shrinks, Z grows.
+        let (_, y, z) = iterate(ONE, ONE / 2, 0, ONE);
+        assert_eq!(y, ONE / 2 - ONE);
+        assert_eq!(z, ONE);
+    }
+}

@@ -1,0 +1,489 @@
+//! MB32 software for the CORDIC division application (§IV-A): the pure
+//! software implementation (the paper's `P = 0` baseline) and the
+//! HW-accelerated driver that streams data through the PE pipeline.
+//!
+//! Two code-generation styles are provided for the software kernel:
+//!
+//! * [`SwStyle::Compiled`] keeps the loop state in stack slots, like the
+//!   unoptimized `mb-gcc` output of the paper's era EDK flow — this is
+//!   the baseline style for reproducing Figure 5;
+//! * [`SwStyle::HandOptimized`] keeps everything in registers, a bound on
+//!   how fast the software can possibly get (used as an ablation).
+
+use crate::cordic::reference::ONE;
+
+/// Software kernel code-generation style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwStyle {
+    /// Stack-resident locals, reloaded/spilled each iteration (compiled
+    /// C, low optimization — the paper's software baseline).
+    Compiled,
+    /// Register-resident state (hand-tuned assembly upper bound).
+    HandOptimized,
+}
+
+/// Batch of division inputs: `(a, b)` pairs in Q8.24, `b / a` requested.
+#[derive(Debug, Clone)]
+pub struct CordicBatch {
+    /// Divisors (`a`, must be positive and within convergence).
+    pub a: Vec<i32>,
+    /// Dividends (`b`).
+    pub b: Vec<i32>,
+}
+
+impl CordicBatch {
+    /// A batch from `(a, b)` pairs.
+    pub fn new(pairs: &[(i32, i32)]) -> CordicBatch {
+        CordicBatch {
+            a: pairs.iter().map(|p| p.0).collect(),
+            b: pairs.iter().map(|p| p.1).collect(),
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.a.len()
+    }
+
+    /// True when the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.a.is_empty()
+    }
+}
+
+fn words(vals: &[i32]) -> String {
+    vals.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ")
+}
+
+/// Address of the results array (`Z` values, Q8.24) in the generated
+/// programs' data section.
+pub const RESULT_LABEL: &str = "z_data";
+
+/// Generates the pure-software CORDIC division program: divides every
+/// `b[i] / a[i]` with `iterations` steps, leaving quotients at
+/// [`RESULT_LABEL`].
+pub fn sw_program(batch: &CordicBatch, iterations: u32, style: SwStyle) -> String {
+    sw_program_repeated(batch, iterations, style, 1)
+}
+
+/// Like [`sw_program`] but processing the batch `reps` times, for
+/// simulation-speed measurements over longer runs (the paper times
+/// ~1.5 ms of simulated execution).
+pub fn sw_program_repeated(
+    batch: &CordicBatch,
+    iterations: u32,
+    style: SwStyle,
+    reps: u32,
+) -> String {
+    let n = batch.len();
+    assert!(n > 0, "empty batch");
+    assert!(reps >= 1);
+    let kernel = match style {
+        SwStyle::Compiled => COMPILED_KERNEL,
+        SwStyle::HandOptimized => OPTIMIZED_KERNEL,
+    };
+    format!(
+        ".equ NSAMPLES, {n}\n\
+         .equ ITERS, {iterations}\n\
+         start:\n\
+         \tli   r31, {reps}\n\
+         outer:\n\
+         \tli   r21, a_data\n\
+         \tli   r22, b_data\n\
+         \tli   r23, {RESULT_LABEL}\n\
+         \tli   r20, NSAMPLES\n\
+         {kernel}\
+         \taddik r31, r31, -1\n\
+         \tbnei r31, outer\n\
+         \thalt\n\
+         \n\
+         .align 4\n\
+         a_data: .word {a}\n\
+         b_data: .word {b}\n\
+         {RESULT_LABEL}: .space {space}\n",
+        a = words(&batch.a),
+        b = words(&batch.b),
+        space = 4 * n,
+    )
+}
+
+/// Stack-style kernel: XS, Y, Z, C and the loop counter live in memory
+/// (the `frame` scratch area), reloaded and spilled as compiled code
+/// would at low optimization.
+const COMPILED_KERNEL: &str = "\
+sample:\tlwi  r5, r21, 0        # XS = a\n\
+\tswi  r5, r0, frame+0\n\
+\tlwi  r6, r22, 0        # Y = b\n\
+\tswi  r6, r0, frame+4\n\
+\tswi  r0, r0, frame+8   # Z = 0\n\
+\tli   r8, 0x1000000     # C = 1.0 (Q8.24)\n\
+\tswi  r8, r0, frame+12\n\
+\tli   r9, ITERS\n\
+\tswi  r9, r0, frame+16\n\
+iter:\tlwi  r5, r0, frame+0\n\
+\tlwi  r6, r0, frame+4\n\
+\tlwi  r7, r0, frame+8\n\
+\tlwi  r8, r0, frame+12\n\
+\tbgei r6, ypos\n\
+\taddk r6, r6, r5        # Y += XS\n\
+\trsubk r7, r8, r7       # Z -= C\n\
+\tbri  join\n\
+ypos:\trsubk r6, r5, r6       # Y -= XS\n\
+\taddk r7, r7, r8        # Z += C\n\
+join:\tsra  r5, r5            # XS >>= 1\n\
+\tsrl  r8, r8            # C >>= 1\n\
+\tswi  r5, r0, frame+0\n\
+\tswi  r6, r0, frame+4\n\
+\tswi  r7, r0, frame+8\n\
+\tswi  r8, r0, frame+12\n\
+\tlwi  r9, r0, frame+16\n\
+\taddik r9, r9, -1\n\
+\tswi  r9, r0, frame+16\n\
+\tbnei r9, iter\n\
+\tlwi  r7, r0, frame+8\n\
+\tswi  r7, r23, 0        # store quotient\n\
+\taddik r21, r21, 4\n\
+\taddik r22, r22, 4\n\
+\taddik r23, r23, 4\n\
+\taddik r20, r20, -1\n\
+\tbnei r20, sample\n\
+\tbri  done\n\
+.align 4\n\
+frame:\t.space 20\n\
+done:\n";
+
+/// Register-resident kernel (hand-optimized bound).
+const OPTIMIZED_KERNEL: &str = "\
+sample:\tlwi  r5, r21, 0        # XS = a\n\
+\tlwi  r6, r22, 0        # Y = b\n\
+\taddk r7, r0, r0        # Z = 0\n\
+\tli   r8, 0x1000000     # C = 1.0\n\
+\tli   r9, ITERS\n\
+iter:\tbgei r6, ypos\n\
+\taddk r6, r6, r5\n\
+\trsubk r7, r8, r7\n\
+\tbri  join\n\
+ypos:\trsubk r6, r5, r6\n\
+\taddk r7, r7, r8\n\
+join:\tsra  r5, r5\n\
+\tsrl  r8, r8\n\
+\taddik r9, r9, -1\n\
+\tbnei r9, iter\n\
+\tswi  r7, r23, 0\n\
+\taddik r21, r21, 4\n\
+\taddik r22, r22, 4\n\
+\taddik r23, r23, 4\n\
+\taddik r20, r20, -1\n\
+\tbnei r20, sample\n";
+
+/// Generates the HW-accelerated program for a `p`-PE pipeline: data makes
+/// `ceil(iterations / p)` passes through the peripheral on FSL channel 0.
+/// Effective iterations are rounded up to a whole number of passes (the
+/// extra iterations only add precision).
+///
+/// Per pass the program sends the control word `C_0 = 2^{-kP}` (Q8.24),
+/// then for each sample the triple `XS = a·C_0, Y, Z` and reads back
+/// `Y, Z`. Y/Z state lives in memory arrays between passes; `XS` is
+/// recomputed from `a` with a constant barrel shift.
+pub fn hw_program(batch: &CordicBatch, iterations: u32, p: usize) -> String {
+    hw_program_repeated(batch, iterations, p, 1)
+}
+
+/// Like [`hw_program`] but processing the batch `reps` times (longer
+/// simulated runs for the timing comparisons). Repetitions restart from
+/// the previous results in `y_data`/`z_data`, which leaves the
+/// instruction stream identical per repetition.
+pub fn hw_program_repeated(
+    batch: &CordicBatch,
+    iterations: u32,
+    p: usize,
+    reps: u32,
+) -> String {
+    let n = batch.len();
+    assert!(n > 0, "empty batch");
+    assert!(reps >= 1);
+    assert!(
+        2 * n <= 16,
+        "batch of {n} samples would overflow the 16-deep output FSL FIFO \
+         (the paper: 'the size of each set of data is selected carefully')"
+    );
+    let passes = (iterations as usize).div_ceil(p);
+    let mut s = String::new();
+    s.push_str(&format!(
+        ".equ NSAMPLES, {n}\nstart:\n\tli   r31, {reps}\nouter:\n\tli   r25, a_data\n\tli   r26, y_data\n\tli   r27, {RESULT_LABEL}\n"
+    ));
+    for pass in 0..passes {
+        let shift = (pass * p) as u32;
+        let c0 = if shift >= 31 { 0 } else { ONE >> shift };
+        s.push_str(&format!(
+            "# ---- pass {pass}: C0 = 2^-{shift}\n\
+             \tli   r8, {c0}\n\
+             \tcput r8, rfsl0\n\
+             \tli   r20, NSAMPLES\n\
+             \taddk r21, r25, r0\n\
+             \taddk r22, r26, r0\n\
+             \taddk r23, r27, r0\n\
+             send{pass}:\n\
+             \tlwi  r5, r21, 0\n"
+        ));
+        if shift > 0 {
+            s.push_str(&format!("\tbsrai r5, r5, {}\n", shift.min(31)));
+        }
+        s.push_str(&format!(
+            "\tput  r5, rfsl0         # XS\n\
+             \tlwi  r6, r22, 0\n\
+             \tput  r6, rfsl0         # Y\n\
+             \tlwi  r7, r23, 0\n\
+             \tput  r7, rfsl0         # Z\n\
+             \taddik r21, r21, 4\n\
+             \taddik r22, r22, 4\n\
+             \taddik r23, r23, 4\n\
+             \taddik r20, r20, -1\n\
+             \tbnei r20, send{pass}\n\
+             \tli   r20, NSAMPLES\n\
+             \taddk r22, r26, r0\n\
+             \taddk r23, r27, r0\n\
+             recv{pass}:\n\
+             \tget  r6, rfsl0         # Y'\n\
+             \tswi  r6, r22, 0\n\
+             \tget  r7, rfsl0         # Z'\n\
+             \tswi  r7, r23, 0\n\
+             \taddik r22, r22, 4\n\
+             \taddik r23, r23, 4\n\
+             \taddik r20, r20, -1\n\
+             \tbnei r20, recv{pass}\n"
+        ));
+    }
+    s.push_str(&format!(
+        "\taddik r31, r31, -1\n\tbnei r31, outer\n\thalt\n\n.align 4\na_data: .word {a}\ny_data: .word {b}\n{RESULT_LABEL}: .space {space}\n",
+        a = words(&batch.a),
+        b = words(&batch.b),
+        space = 4 * n,
+    ));
+    s
+}
+
+/// Generates the driver for the dual-output pipeline
+/// ([`crate::cordic::hardware::cordic_peripheral_dual`]): Y results come
+/// back on FSL 0, Z results on FSL 1, permitting batches of up to 16
+/// samples per set.
+pub fn hw_program_dual(batch: &CordicBatch, iterations: u32, p: usize) -> String {
+    let n = batch.len();
+    assert!(n > 0, "empty batch");
+    assert!(
+        n <= 16,
+        "batch of {n} samples would overflow the per-channel output FIFOs"
+    );
+    let passes = (iterations as usize).div_ceil(p);
+    let mut s = String::new();
+    s.push_str(&format!(
+        ".equ NSAMPLES, {n}\nstart:\n\tli   r25, a_data\n\tli   r26, y_data\n\tli   r27, {RESULT_LABEL}\n"
+    ));
+    for pass in 0..passes {
+        let shift = (pass * p) as u32;
+        let c0 = if shift >= 31 { 0 } else { ONE >> shift };
+        s.push_str(&format!(
+            "# ---- pass {pass}: C0 = 2^-{shift}\n\
+             \tli   r8, {c0}\n\
+             \tcput r8, rfsl0\n\
+             \tli   r20, NSAMPLES\n\
+             \taddk r21, r25, r0\n\
+             \taddk r22, r26, r0\n\
+             \taddk r23, r27, r0\n\
+             send{pass}:\n\
+             \tlwi  r5, r21, 0\n"
+        ));
+        if shift > 0 {
+            s.push_str(&format!("\tbsrai r5, r5, {}\n", shift.min(31)));
+        }
+        s.push_str(&format!(
+            "\tput  r5, rfsl0         # XS\n\
+             \tlwi  r6, r22, 0\n\
+             \tput  r6, rfsl0         # Y\n\
+             \tlwi  r7, r23, 0\n\
+             \tput  r7, rfsl0         # Z\n\
+             \taddik r21, r21, 4\n\
+             \taddik r22, r22, 4\n\
+             \taddik r23, r23, 4\n\
+             \taddik r20, r20, -1\n\
+             \tbnei r20, send{pass}\n\
+             \tli   r20, NSAMPLES\n\
+             \taddk r22, r26, r0\n\
+             \taddk r23, r27, r0\n\
+             recv{pass}:\n\
+             \tget  r6, rfsl0         # Y' (channel 0)\n\
+             \tswi  r6, r22, 0\n\
+             \tget  r7, rfsl1         # Z' (channel 1)\n\
+             \tswi  r7, r23, 0\n\
+             \taddik r22, r22, 4\n\
+             \taddik r23, r23, 4\n\
+             \taddik r20, r20, -1\n\
+             \tbnei r20, recv{pass}\n"
+        ));
+    }
+    s.push_str(&format!(
+        "\thalt\n\n.align 4\na_data: .word {a}\ny_data: .word {b}\n{RESULT_LABEL}: .space {space}\n",
+        a = words(&batch.a),
+        b = words(&batch.b),
+        space = 4 * n,
+    ));
+    s
+}
+
+/// Number of passes the HW program makes for `iterations` on `p` PEs.
+pub fn passes(iterations: u32, p: usize) -> usize {
+    (iterations as usize).div_ceil(p)
+}
+
+/// Effective iterations performed (rounded up to whole passes).
+pub fn effective_iterations(iterations: u32, p: usize) -> u32 {
+    (passes(iterations, p) * p) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cordic::hardware::cordic_peripheral;
+    use crate::cordic::reference;
+    use softsim_cosim::{CoSim, CoSimStop};
+    use softsim_isa::asm::assemble;
+
+    fn batch() -> CordicBatch {
+        CordicBatch::new(&[
+            (reference::to_fix(1.0), reference::to_fix(0.5)),
+            (reference::to_fix(1.5), reference::to_fix(1.2)),
+            (reference::to_fix(2.0), reference::to_fix(-1.0)),
+            (reference::to_fix(1.25), reference::to_fix(0.8)),
+        ])
+    }
+
+    fn read_results(sim: &CoSim, img: &softsim_isa::Image, n: usize) -> Vec<i32> {
+        let base = img.symbol(RESULT_LABEL).expect("result label");
+        (0..n)
+            .map(|i| sim.cpu().mem().read_u32(base + 4 * i as u32).unwrap() as i32)
+            .collect()
+    }
+
+    #[test]
+    fn sw_both_styles_match_reference() {
+        for style in [SwStyle::Compiled, SwStyle::HandOptimized] {
+            let b = batch();
+            let img = assemble(&sw_program(&b, 24, style)).expect("assembles");
+            let mut sim = CoSim::software_only(&img);
+            assert_eq!(sim.run(10_000_000), CoSimStop::Halted, "{style:?}");
+            let results = read_results(&sim, &img, b.len());
+            for (i, got) in results.iter().enumerate() {
+                let expect = reference::divide_fix(b.a[i], b.b[i], 24);
+                assert_eq!(*got, expect, "{style:?} sample {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_style_is_slower_than_optimized() {
+        let b = batch();
+        let run = |style| {
+            let img = assemble(&sw_program(&b, 24, style)).unwrap();
+            let mut sim = CoSim::software_only(&img);
+            assert_eq!(sim.run(10_000_000), CoSimStop::Halted);
+            sim.cpu_stats().cycles
+        };
+        let compiled = run(SwStyle::Compiled);
+        let optimized = run(SwStyle::HandOptimized);
+        assert!(
+            compiled > optimized * 3 / 2,
+            "stack-resident code is much slower: {compiled} vs {optimized}"
+        );
+    }
+
+    #[test]
+    fn hw_program_matches_reference_for_all_p() {
+        let b = batch();
+        for p in [2usize, 4, 6, 8] {
+            let iters = 24u32;
+            let img = assemble(&hw_program(&b, iters, p)).expect("assembles");
+            let mut sim = CoSim::with_peripheral(&img, cordic_peripheral(p));
+            assert_eq!(sim.run(10_000_000), CoSimStop::Halted, "P={p}");
+            assert_eq!(sim.hw_stats().output_overflows, 0);
+            let results = read_results(&sim, &img, b.len());
+            let eff = effective_iterations(iters, p);
+            for (i, got) in results.iter().enumerate() {
+                let expect = reference::divide_fix(b.a[i], b.b[i], eff);
+                assert_eq!(*got, expect, "P={p} sample {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn hw_is_faster_than_sw_at_24_iterations() {
+        // The core claim of Figure 5: attaching the pipeline beats pure
+        // software at high iteration counts.
+        let b = batch();
+        let img = assemble(&sw_program(&b, 24, SwStyle::Compiled)).unwrap();
+        let mut sw = CoSim::software_only(&img);
+        assert_eq!(sw.run(10_000_000), CoSimStop::Halted);
+        let img = assemble(&hw_program(&b, 24, 4)).unwrap();
+        let mut hw = CoSim::with_peripheral(&img, cordic_peripheral(4));
+        assert_eq!(hw.run(10_000_000), CoSimStop::Halted);
+        let speedup = sw.cpu_stats().cycles as f64 / hw.cpu_stats().cycles as f64;
+        assert!(speedup > 2.0, "P=4 speedup should be substantial, got {speedup:.2}");
+    }
+
+    #[test]
+    fn dual_channel_variant_matches_reference() {
+        // The Fig. 4 fidelity variant: Y on FSL0, Z on FSL1, batches up
+        // to 16 samples.
+        use crate::cordic::hardware::cordic_peripheral_dual;
+        let pairs: Vec<(i32, i32)> = (0..16)
+            .map(|i| {
+                (
+                    reference::to_fix(1.0 + 0.1 * i as f64),
+                    reference::to_fix(0.5 + 0.05 * i as f64),
+                )
+            })
+            .collect();
+        let b = CordicBatch::new(&pairs);
+        for p in [2usize, 4] {
+            let img = assemble(&hw_program_dual(&b, 24, p)).expect("assembles");
+            let mut sim = CoSim::with_peripheral(&img, cordic_peripheral_dual(p));
+            assert_eq!(sim.run(10_000_000), CoSimStop::Halted, "P={p}");
+            assert_eq!(sim.hw_stats().output_overflows, 0);
+            let results = read_results(&sim, &img, b.len());
+            let eff = effective_iterations(24, p);
+            for (i, got) in results.iter().enumerate() {
+                assert_eq!(
+                    *got,
+                    reference::divide_fix(b.a[i], b.b[i], eff),
+                    "P={p} sample {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dual_channel_is_not_slower_than_single() {
+        use crate::cordic::hardware::{cordic_peripheral, cordic_peripheral_dual};
+        let b = batch();
+        let single = {
+            let img = assemble(&hw_program(&b, 24, 4)).unwrap();
+            let mut sim = CoSim::with_peripheral(&img, cordic_peripheral(4));
+            assert_eq!(sim.run(10_000_000), CoSimStop::Halted);
+            sim.cpu_stats().cycles
+        };
+        let dual = {
+            let img = assemble(&hw_program_dual(&b, 24, 4)).unwrap();
+            let mut sim = CoSim::with_peripheral(&img, cordic_peripheral_dual(4));
+            assert_eq!(sim.run(10_000_000), CoSimStop::Halted);
+            sim.cpu_stats().cycles
+        };
+        assert!(dual <= single, "dual-channel output: {dual} vs {single}");
+    }
+
+    #[test]
+    fn more_pes_fewer_passes() {
+        assert_eq!(passes(24, 4), 6);
+        assert_eq!(passes(24, 8), 3);
+        assert_eq!(passes(8, 6), 2);
+        assert_eq!(effective_iterations(8, 6), 12);
+    }
+}

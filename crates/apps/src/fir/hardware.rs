@@ -1,0 +1,185 @@
+//! The FIR peripheral, assembled from *library blocks only* (no custom
+//! MCode blocks): tap registers loaded by control words through an
+//! accumulator write-pointer, a register tap-delay line, a combinational
+//! multiplier bank and a balanced adder tree — the System Generator
+//! design style, built with the PyGen-style generators.
+
+use softsim_blocks::gen::{adder_tree, mult_bank};
+use softsim_blocks::library::{Accumulator, Constant, Delay, Logical, LogicalOp, RelOp, Relational, Register};
+use softsim_blocks::{FixFmt, Graph, Resources};
+use softsim_cosim::{FslFromHw, FslToHw, Peripheral};
+
+const W32: FixFmt = FixFmt::INT32;
+
+/// Builds a `t`-tap FIR peripheral with standard channel-0 gateways.
+///
+/// Protocol: `t` control words load the taps `h[0..t]` in order; each
+/// data word is one input sample, producing one output sample the next
+/// cycle (initiation interval 1 — every tap multiplies in parallel,
+/// the §I "suitable for hardware" case).
+pub fn fir_graph(t: usize) -> Graph {
+    fir_graph_chan(t, 0)
+}
+
+/// Builds the filter on an arbitrary FSL channel.
+pub fn fir_graph_chan(t: usize, ch: usize) -> Graph {
+    assert!((1..=32).contains(&t), "supported tap counts: 1..=32");
+    let mut g = Graph::new();
+    let data = g.gateway_in(format!("fsl{ch}_data"), W32);
+    let valid = g.gateway_in(format!("fsl{ch}_valid"), FixFmt::BOOL);
+    let ctrl = g.gateway_in(format!("fsl{ch}_ctrl"), FixFmt::BOOL);
+
+    // Sample strobe: valid && !ctrl; tap strobe: valid && ctrl.
+    let not_ctrl = g.add("not_ctrl", Logical::new(LogicalOp::Not, 1, FixFmt::BOOL));
+    g.wire(ctrl, not_ctrl, 0).unwrap();
+    let sample_en = g.add("sample_en", Logical::new(LogicalOp::And, 2, FixFmt::BOOL));
+    g.wire(valid, sample_en, 0).unwrap();
+    g.wire(not_ctrl, sample_en, 1).unwrap();
+    let tap_en = g.add("tap_en", Logical::new(LogicalOp::And, 2, FixFmt::BOOL));
+    g.wire(valid, tap_en, 0).unwrap();
+    g.wire(ctrl, tap_en, 1).unwrap();
+
+    // Tap write pointer: counts control words.
+    let one = g.add("one", Constant::int(1, FixFmt::unsigned(6, 0)));
+    let zero_bit = g.add("zero_bit", Constant::int(0, FixFmt::BOOL));
+    let ptr = g.add("tap_ptr", Accumulator::new(FixFmt::unsigned(6, 0)));
+    g.wire(one, ptr, 0).unwrap();
+    g.connect(tap_en, 0, ptr, 1).unwrap();
+    g.wire(zero_bit, ptr, 2).unwrap();
+
+    // Tap registers with decoded enables.
+    let mut taps = Vec::with_capacity(t);
+    for i in 0..t {
+        let idx = g.add(format!("idx{i}"), Constant::int(i as i64, FixFmt::unsigned(6, 0)));
+        let hit = g.add(format!("hit{i}"), Relational::new(RelOp::Eq, 6));
+        g.connect(ptr, 0, hit, 0).unwrap();
+        g.wire(idx, hit, 1).unwrap();
+        let en = g.add(format!("en{i}"), Logical::new(LogicalOp::And, 2, FixFmt::BOOL));
+        g.wire(hit, en, 0).unwrap();
+        g.connect(tap_en, 0, en, 1).unwrap();
+        let reg = g.add(format!("h{i}"), Register::zeroed(W32));
+        g.wire(data, reg, 0).unwrap();
+        g.wire(en, reg, 1).unwrap();
+        taps.push(reg);
+    }
+
+    // Tap-delay line: x[n], x[n-1], ..., shifted only on sample strobes.
+    let mut xs = vec![(data, 0usize)];
+    let mut prev = (data, 0usize);
+    for i in 1..t {
+        let d = g.add(format!("x{i}"), Register::zeroed(W32));
+        g.connect(prev.0, prev.1, d, 0).unwrap();
+        g.connect(sample_en, 0, d, 1).unwrap();
+        prev = (d, 0);
+        xs.push(prev);
+    }
+
+    // Multiplier bank and adder tree (PyGen-style generators). Each lane
+    // multiplies h[k] by x[n-k]; latency 0 keeps the math combinational
+    // so the output registers after one cycle.
+    let mut products = Vec::with_capacity(t);
+    for (k, (x, xp)) in xs.iter().enumerate() {
+        let lanes = mult_bank(&mut g, &format!("mac{k}_"), (*x, *xp), &[(taps[k], 0)], W32, 0)
+            .expect("mult bank wires");
+        products.push((lanes[0], 0usize));
+    }
+    let (sum, sum_port) = adder_tree(&mut g, "tree", &products, W32).expect("adder tree wires");
+
+    // Registered output, valid one cycle after the sample.
+    let out = g.add("y", Register::zeroed(W32));
+    g.connect(sum, sum_port, out, 0).unwrap();
+    g.connect(sample_en, 0, out, 1).unwrap();
+    let out_valid = g.add("y_valid", Delay::new(FixFmt::BOOL, 1));
+    g.connect(sample_en, 0, out_valid, 0).unwrap();
+    g.gateway_out(format!("fsl{ch}_out_data"), out, 0);
+    g.gateway_out(format!("fsl{ch}_out_valid"), out_valid, 0);
+    g.compile().expect("fir graph compiles");
+    g
+}
+
+/// Wraps [`fir_graph`] as an attachable peripheral.
+pub fn fir_peripheral(t: usize) -> Peripheral {
+    fir_peripheral_chan(t, 0)
+}
+
+/// Wraps [`fir_graph_chan`] as a peripheral on channel `ch`.
+pub fn fir_peripheral_chan(t: usize, ch: usize) -> Peripheral {
+    Peripheral::new(
+        fir_graph_chan(t, ch),
+        vec![FslToHw::standard(ch)],
+        vec![FslFromHw::standard(ch)],
+    )
+}
+
+/// Resource estimate of the filter alone.
+pub fn fir_resources(t: usize) -> Resources {
+    fir_graph(t).resources()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fir::reference;
+    use softsim_blocks::block::bit;
+    use softsim_blocks::Fix;
+
+    fn fix32(v: i32) -> Fix {
+        Fix::from_bits(v as u32 as u64, W32)
+    }
+
+    fn drive(t: usize, taps: &[i32], input: &[i32]) -> Vec<i32> {
+        let mut g = fir_graph(t);
+        let mut out = Vec::new();
+        let send = |g: &mut Graph, w: i32, c: bool, out: &mut Vec<i32>| {
+            g.set_input("fsl0_data", fix32(w)).unwrap();
+            g.set_input("fsl0_valid", bit(true)).unwrap();
+            g.set_input("fsl0_ctrl", bit(c)).unwrap();
+            g.step();
+            if !g.output("fsl0_out_valid").unwrap().is_zero() {
+                out.push(g.output("fsl0_out_data").unwrap().to_bits() as u32 as i32);
+            }
+        };
+        for &h in taps {
+            send(&mut g, h, true, &mut out);
+        }
+        for &x in input {
+            send(&mut g, x, false, &mut out);
+        }
+        g.set_input("fsl0_valid", bit(false)).unwrap();
+        while out.len() < input.len() {
+            g.step();
+            if !g.output("fsl0_out_valid").unwrap().is_zero() {
+                out.push(g.output("fsl0_out_data").unwrap().to_bits() as u32 as i32);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_reference_convolution() {
+        for t in [1usize, 3, 4, 8] {
+            let taps: Vec<i32> = (0..t as i32).map(|k| 3 - 2 * k).collect();
+            let input = reference::test_signal(24, 5);
+            let got = drive(t, &taps, &input);
+            assert_eq!(got, reference::fir(&taps, &input), "{t} taps");
+        }
+    }
+
+    #[test]
+    fn full_rate_streaming() {
+        // One output per input cycle: the filter sustains II = 1.
+        let taps = vec![1, 1];
+        let input = vec![5, 6, 7, 8];
+        let got = drive(2, &taps, &input);
+        assert_eq!(got, vec![5, 11, 13, 15]);
+    }
+
+    #[test]
+    fn resources_scale_with_taps() {
+        let r4 = fir_resources(4);
+        let r8 = fir_resources(8);
+        assert_eq!(r4.mult18s, 4 * 4, "32-bit multipliers tile 2x2 MULT18s");
+        assert!(r8.slices > r4.slices);
+        assert_eq!(r8.mult18s, 2 * r4.mult18s);
+    }
+}

@@ -1,0 +1,13 @@
+//! FIR filtering — the adaptive-beamforming data path whose weights the
+//! paper's CORDIC/Levinson-Durbin machinery updates. Unlike the recursive
+//! weight *update*, the filter itself is "inherently more suitable" for
+//! parallel hardware (§I): every tap multiplies concurrently.
+//!
+//! The peripheral is assembled entirely from the PyGen-style generators
+//! (`softsim_blocks::gen`): a tap-delay line, a multiplier bank and a
+//! balanced adder tree.
+
+pub mod hardware;
+pub mod reference;
+pub mod rtl;
+pub mod software;

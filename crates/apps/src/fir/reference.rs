@@ -1,0 +1,68 @@
+//! Golden reference for the FIR filter: integer convolution with the
+//! exact wrap-around arithmetic of the 32-bit hardware datapath.
+
+/// Direct-form FIR: `y[n] = Σ_k h[k] · x[n-k]` with `x[m] = 0` for
+/// `m < 0`, all arithmetic wrapping in 32 bits.
+pub fn fir(taps: &[i32], input: &[i32]) -> Vec<i32> {
+    input
+        .iter()
+        .enumerate()
+        .map(|(n, _)| {
+            let mut acc = 0i32;
+            for (k, &h) in taps.iter().enumerate() {
+                if n >= k {
+                    acc = acc.wrapping_add(h.wrapping_mul(input[n - k]));
+                }
+            }
+            acc
+        })
+        .collect()
+}
+
+/// A deterministic test signal with 12-bit amplitudes.
+pub fn test_signal(len: usize, seed: u32) -> Vec<i32> {
+    let mut state = seed.wrapping_mul(747796405).wrapping_add(2891336453);
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            ((state >> 20) as i32) - 2048
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn impulse_response_is_the_taps() {
+        let taps = vec![3, -2, 7, 1];
+        let mut input = vec![0i32; 8];
+        input[0] = 1;
+        let y = fir(&taps, &input);
+        assert_eq!(&y[..4], &taps[..]);
+        assert!(y[4..].iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn moving_average() {
+        let taps = vec![1, 1, 1];
+        let y = fir(&taps, &[1, 2, 3, 4, 5]);
+        assert_eq!(y, vec![1, 3, 6, 9, 12]);
+    }
+
+    #[test]
+    fn linearity() {
+        let taps = vec![2, -1, 4];
+        let x1 = test_signal(16, 1);
+        let x2 = test_signal(16, 2);
+        let sum: Vec<i32> =
+            x1.iter().zip(&x2).map(|(a, b)| a.wrapping_add(*b)).collect();
+        let y_sum = fir(&taps, &sum);
+        let y1 = fir(&taps, &x1);
+        let y2 = fir(&taps, &x2);
+        for i in 0..16 {
+            assert_eq!(y_sum[i], y1[i].wrapping_add(y2[i]));
+        }
+    }
+}

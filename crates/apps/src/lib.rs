@@ -1,0 +1,25 @@
+//! # softsim-apps — the evaluation applications
+//!
+//! The paper's two §IV applications plus the §I motivating examples, each
+//! with a golden reference, MB32 software, a block-level hardware
+//! peripheral and (where used in the comparisons) a structural RTL
+//! netlist:
+//!
+//! * [`cordic`] — the adaptive CORDIC processor for division (§IV-A),
+//!   including the OPB-attached variant and the divider-option ablation;
+//! * [`matmul`] — block matrix multiplication (§IV-B), with both an
+//!   MCode-style unit and a structural schematic realization;
+//! * [`lpc`] — the Levinson-Durbin recursion (§I's software-suited
+//!   recursive algorithm);
+//! * [`fir`] — FIR filtering (§I's hardware-suited data-parallel
+//!   computation), built from the PyGen-style generators;
+//! * [`beamformer`] — the composite system: autocorrelation + weight
+//!   update + filtering with two peripherals on one processor.
+
+#![warn(missing_docs)]
+
+pub mod beamformer;
+pub mod cordic;
+pub mod fir;
+pub mod lpc;
+pub mod matmul;

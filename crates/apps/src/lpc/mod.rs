@@ -1,0 +1,8 @@
+//! Linear-prediction (Levinson-Durbin) weight update — the third
+//! application: the paper's §I example of a *recursive* computation whose
+//! tight data dependencies favor software execution on the soft
+//! processor, with the division offload as the only HW/SW partitioning
+//! choice.
+
+pub mod reference;
+pub mod software;

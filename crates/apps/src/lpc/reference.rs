@@ -1,0 +1,240 @@
+//! Golden reference for the Levinson-Durbin recursion — the paper's own
+//! §I example of a computation that suits *software* on a soft processor:
+//! "some applications have tightly coupled data dependency among
+//! computation steps and do not benefit from parallel execution. Many
+//! recursive algorithms (e.g. Levinson Durbin recursion) ... fall into
+//! this category."
+//!
+//! Levinson-Durbin solves the Toeplitz normal equations of linear
+//! prediction: given autocorrelation lags `r[0..=m]`, it produces the LPC
+//! coefficients `a[1..=m]` and reflection coefficients `k[1..=m]` — the
+//! adaptive-beamforming weight update the paper's §IV motivates for its
+//! CORDIC divider.
+//!
+//! Arithmetic is Q4.12 fixed point (products truncated with an arithmetic
+//! shift, exactly as the MB32 code computes), parameterized over the
+//! division strategy so each hardware/software partition has a bit-exact
+//! model.
+
+/// Fractional bits of the Q4.12 format used by the recursion.
+pub const FRAC: u32 = 12;
+
+/// Fixed-point one.
+pub const ONE: i32 = 1 << FRAC;
+
+/// CORDIC iterations used by the CORDIC-based division strategies
+/// (enough for the Q12 result to be exact to ±2 LSB).
+pub const CORDIC_ITERS: u32 = 14;
+
+/// Converts a float to Q4.12.
+pub fn to_fix(v: f64) -> i32 {
+    (v * ONE as f64).round() as i32
+}
+
+/// Converts Q4.12 to a float.
+pub fn from_fix(v: i32) -> f64 {
+    v as f64 / ONE as f64
+}
+
+/// Q4.12 multiply with truncation (what `mul` + `bsrai 12` computes).
+#[inline]
+pub fn qmul(a: i32, b: i32) -> i32 {
+    (a.wrapping_mul(b)) >> FRAC
+}
+
+/// How the recursion's divisions are performed — the HW/SW partitioning
+/// axis of this application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DivStrategy {
+    /// The optional hardware divider: `(num << 12) / den`, truncating
+    /// toward zero (`idiv` semantics).
+    Idiv,
+    /// Linear CORDIC in software or through the FSL pipeline (both
+    /// compute the identical Eq. 2 iteration) with the given number of
+    /// steps — [`CORDIC_ITERS`] for the software loop, rounded up to
+    /// whole passes for the FSL pipeline.
+    Cordic(u32),
+}
+
+/// One Q12 division `num / den` under the chosen strategy.
+pub fn divide(num: i32, den: i32, strategy: DivStrategy) -> i32 {
+    match strategy {
+        DivStrategy::Idiv => {
+            let n = num << FRAC;
+            if den == 0 {
+                0
+            } else {
+                n.wrapping_div(den)
+            }
+        }
+        DivStrategy::Cordic(iters) => {
+            // Eq. 2 with C0 = 1.0 in Q12 (format-agnostic iteration).
+            let (mut xs, mut y, mut z) = (den, num, 0i32);
+            let mut c = ONE;
+            for _ in 0..iters {
+                if y < 0 {
+                    y = y.wrapping_add(xs);
+                    z = z.wrapping_sub(c);
+                } else {
+                    y = y.wrapping_sub(xs);
+                    z = z.wrapping_add(c);
+                }
+                xs >>= 1;
+                c >>= 1;
+            }
+            z
+        }
+    }
+}
+
+/// Result of the recursion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LpcResult {
+    /// LPC coefficients `a[0..=order]` (`a[0] = 1.0`), Q4.12.
+    pub a: Vec<i32>,
+    /// Reflection coefficients `k[1..=order]`, Q4.12.
+    pub k: Vec<i32>,
+    /// Final prediction-error energy, Q4.12.
+    pub error: i32,
+}
+
+/// Runs the Levinson-Durbin recursion on autocorrelation lags `r`
+/// (`r[0] > 0`), to order `r.len() - 1`, mirroring the MB32 program's
+/// fixed-point arithmetic exactly.
+pub fn levinson_durbin(r: &[i32], strategy: DivStrategy) -> LpcResult {
+    let order = r.len() - 1;
+    assert!(order >= 1, "order must be at least 1");
+    assert!(r[0] > 0, "r[0] must be positive");
+    let mut a = vec![0i32; order + 1];
+    a[0] = ONE;
+    let mut k = Vec::with_capacity(order);
+    let mut e = r[0];
+    for m in 1..=order {
+        // acc = r[m] + sum_{i=1}^{m-1} a[i] * r[m-i]
+        let mut acc = r[m];
+        for i in 1..m {
+            acc = acc.wrapping_add(qmul(a[i], r[m - i]));
+        }
+        // k_m = -acc / E
+        let km = divide(acc, e, strategy).wrapping_neg();
+        k.push(km);
+        // a[i] += k_m * a[m-i]  (in-place pairwise update)
+        for i in 1..=(m - 1) / 2 {
+            let (lo, hi) = (a[i], a[m - i]);
+            a[i] = lo.wrapping_add(qmul(km, hi));
+            a[m - i] = hi.wrapping_add(qmul(km, lo));
+        }
+        if m >= 2 && m % 2 == 0 {
+            let mid = m / 2;
+            a[mid] = a[mid].wrapping_add(qmul(km, a[mid]));
+        }
+        a[m] = km;
+        // E *= 1 - k_m^2
+        let k2 = qmul(km, km);
+        e = e.wrapping_sub(qmul(e, k2));
+    }
+    LpcResult { a, k, error: e }
+}
+
+/// Autocorrelation lags (Q4.12, `r[0] = 1.0`) of a synthetic AR(2)
+/// process — a stable test input with well-conditioned recursions.
+pub fn test_autocorrelation(order: usize) -> Vec<i32> {
+    // AR(2): x[n] = 0.75 x[n-1] - 0.5 x[n-2] + w[n]; analytic
+    // autocorrelation via the Yule-Walker difference equation.
+    let (p1, p2) = (0.75f64, -0.5f64);
+    let mut rho = vec![0.0f64; order + 1];
+    rho[0] = 1.0;
+    rho[1] = p1 / (1.0 - p2);
+    for m in 2..=order {
+        rho[m] = p1 * rho[m - 1] + p2 * rho[m - 2];
+    }
+    rho.iter().map(|&v| to_fix(v)).collect()
+}
+
+/// Float-domain Levinson-Durbin for accuracy checks.
+pub fn levinson_durbin_f64(r: &[f64]) -> (Vec<f64>, f64) {
+    let order = r.len() - 1;
+    let mut a = vec![0.0; order + 1];
+    a[0] = 1.0;
+    let mut e = r[0];
+    for m in 1..=order {
+        let mut acc = r[m];
+        for i in 1..m {
+            acc += a[i] * r[m - i];
+        }
+        let km = -acc / e;
+        let prev = a.clone();
+        for i in 1..m {
+            a[i] = prev[i] + km * prev[m - i];
+        }
+        a[m] = km;
+        e *= 1.0 - km * km;
+    }
+    (a, e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_ar2_coefficients() {
+        // For an AR(2) process the order-2 LPC coefficients are exactly
+        // the (negated) process coefficients.
+        let r = test_autocorrelation(2);
+        for strategy in [DivStrategy::Idiv, DivStrategy::Cordic(CORDIC_ITERS)] {
+            let res = levinson_durbin(&r, strategy);
+            let a1 = from_fix(res.a[1]);
+            let a2 = from_fix(res.a[2]);
+            assert!((a1 - -0.75).abs() < 0.01, "{strategy:?}: a1 = {a1}");
+            assert!((a2 - 0.5).abs() < 0.01, "{strategy:?}: a2 = {a2}");
+        }
+    }
+
+    #[test]
+    fn matches_float_reference_at_higher_order() {
+        let order = 6;
+        let r_fix = test_autocorrelation(order);
+        let r_f64: Vec<f64> = r_fix.iter().map(|&v| from_fix(v)).collect();
+        let (a_f64, e_f64) = levinson_durbin_f64(&r_f64);
+        for strategy in [DivStrategy::Idiv, DivStrategy::Cordic(CORDIC_ITERS)] {
+            let res = levinson_durbin(&r_fix, strategy);
+            for (i, af) in a_f64.iter().enumerate().skip(1) {
+                let err = (from_fix(res.a[i]) - af).abs();
+                assert!(err < 0.03, "{strategy:?}: a[{i}] off by {err}");
+            }
+            assert!((from_fix(res.error) - e_f64).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn prediction_error_decreases_and_stays_positive() {
+        let r = test_autocorrelation(6);
+        let res = levinson_durbin(&r, DivStrategy::Idiv);
+        assert!(res.error > 0, "stable process keeps E > 0");
+        assert!(res.error < r[0], "prediction reduces the error energy");
+    }
+
+    #[test]
+    fn reflection_coefficients_bounded() {
+        let r = test_autocorrelation(6);
+        for strategy in [DivStrategy::Idiv, DivStrategy::Cordic(CORDIC_ITERS)] {
+            let res = levinson_durbin(&r, strategy);
+            for (i, &km) in res.k.iter().enumerate() {
+                assert!(km.abs() <= ONE, "{strategy:?}: |k[{i}]| <= 1");
+            }
+        }
+    }
+
+    #[test]
+    fn division_strategies_agree_within_lsb_tolerance() {
+        for (num, den) in [(100, 4096), (-2048, 4096), (3000, 5000), (-4000, 4100)] {
+            let a = divide(num, den, DivStrategy::Idiv);
+            let b = divide(num, den, DivStrategy::Cordic(CORDIC_ITERS));
+            assert!(
+                (a - b).abs() <= 2,
+                "num={num} den={den}: idiv {a} vs cordic {b}"
+            );
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! MB32 programs for the Levinson-Durbin recursion, parameterized over
+//! how the per-order division `k_m = -acc / E` is performed:
+//!
+//! * [`LpcDivision::CordicSw`] — an inline software CORDIC loop (the
+//!   all-software partition);
+//! * [`LpcDivision::CordicFsl`] — each division round-trips through the
+//!   FSL-attached CORDIC pipeline (the offloaded partition). Because the
+//!   recursion is *serial*, only one sample is ever in flight: the
+//!   pipeline cannot fill, which is precisely the paper's §I argument
+//!   that recursive algorithms do not benefit from parallel hardware;
+//! * [`LpcDivision::Idiv`] — the optional hardware divider.
+//!
+//! The order loop is fully unrolled by the generator (orders are small in
+//! adaptive filtering), with all arrays in local memory.
+
+use crate::lpc::reference::{DivStrategy, CORDIC_ITERS, ONE};
+use softsim_cosim::{CoSim, Peripheral};
+use softsim_isa::asm::assemble;
+use softsim_isa::{CpuConfig, Image};
+use std::fmt::Write as _;
+
+/// Division implementation for the generated program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpcDivision {
+    /// Inline software CORDIC ([`CORDIC_ITERS`] iterations).
+    CordicSw,
+    /// The FSL-attached CORDIC pipeline with `P` PEs (one sample per
+    /// division — serial use).
+    CordicFsl(usize),
+    /// The optional hardware divider (`idiv`).
+    Idiv,
+}
+
+impl LpcDivision {
+    /// The bit-exact reference strategy this implementation computes.
+    pub fn reference_strategy(self) -> DivStrategy {
+        match self {
+            LpcDivision::Idiv => DivStrategy::Idiv,
+            LpcDivision::CordicSw => DivStrategy::Cordic(CORDIC_ITERS),
+            LpcDivision::CordicFsl(p) => {
+                DivStrategy::Cordic(((CORDIC_ITERS as usize).div_ceil(p) * p) as u32)
+            }
+        }
+    }
+
+    /// The processor configuration the program needs.
+    pub fn cpu_config(self) -> CpuConfig {
+        match self {
+            LpcDivision::Idiv => CpuConfig::full(),
+            _ => CpuConfig::default(),
+        }
+    }
+}
+
+/// Emits the division sequence: quotient `(r21 << 12) / r20` into `r22`.
+fn emit_division(s: &mut String, div: LpcDivision, m: usize) {
+    match div {
+        LpcDivision::Idiv => {
+            let _ = write!(
+                s,
+                "\tbslli r5, r21, 12\n\
+                 \tidiv r22, r20, r5\n"
+            );
+        }
+        LpcDivision::CordicSw => {
+            let _ = write!(
+                s,
+                "\taddk r5, r20, r0       # xs = E\n\
+                 \taddk r6, r21, r0       # y = acc\n\
+                 \taddk r7, r0, r0        # z = 0\n\
+                 \tli   r8, {ONE}\n\
+                 \tli   r9, {CORDIC_ITERS}\n\
+                 cdl{m}:\tbgei r6, cdp{m}\n\
+                 \taddk r6, r6, r5\n\
+                 \trsubk r7, r8, r7\n\
+                 \tbri  cdn{m}\n\
+                 cdp{m}:\trsubk r6, r5, r6\n\
+                 \taddk r7, r7, r8\n\
+                 cdn{m}:\tsra  r5, r5\n\
+                 \tsrl  r8, r8\n\
+                 \taddik r9, r9, -1\n\
+                 \tbnei r9, cdl{m}\n\
+                 \taddk r22, r7, r0\n"
+            );
+        }
+        LpcDivision::CordicFsl(p) => {
+            let passes = (CORDIC_ITERS as usize).div_ceil(p);
+            let _ = write!(
+                s,
+                "\taddk r6, r21, r0       # y = acc\n\
+                 \taddk r7, r0, r0        # z = 0\n"
+            );
+            for pass in 0..passes {
+                let shift = pass * p;
+                let c0 = if shift >= 31 { 0 } else { ONE >> shift };
+                let _ = write!(s, "\tli   r8, {c0}\n\tcput r8, rfsl0\n");
+                if shift == 0 {
+                    let _ = writeln!(s, "\taddk r5, r20, r0");
+                } else {
+                    let _ = writeln!(s, "\tbsrai r5, r20, {}", shift.min(31));
+                }
+                let _ = write!(
+                    s,
+                    "\tput  r5, rfsl0         # XS\n\
+                     \tput  r6, rfsl0         # Y\n\
+                     \tput  r7, rfsl0         # Z\n\
+                     \tget  r6, rfsl0         # Y'\n\
+                     \tget  r7, rfsl0         # Z'\n"
+                );
+            }
+            let _ = writeln!(s, "\taddk r22, r7, r0");
+        }
+    }
+}
+
+/// Generates the order-`r.len()-1` Levinson-Durbin program for
+/// autocorrelation lags `r` (Q4.12). Results: `a_data` (a[0..=order]),
+/// `k_data` (k[1..=order]) and `e_out` (final error).
+pub fn lpc_program(r: &[i32], div: LpcDivision) -> String {
+    let order = r.len() - 1;
+    let mut s = format!("# Levinson-Durbin, order {order}, division: {div:?}\nstart:\n");
+    s.push_str(&lpc_body(order, div));
+    s.push_str("\thalt\n\n");
+    s.push_str(&lpc_data(r));
+    s
+}
+
+/// Emits just the recursion's instructions (no `start:`/`halt`/data), for
+/// composition into larger programs. Expects the labels of [`lpc_data`]
+/// to be defined and clobbers r5–r9 and r20–r22.
+pub fn lpc_body(order: usize, div: LpcDivision) -> String {
+    assert!((1..=12).contains(&order), "supported orders: 1..=12");
+    let mut s = String::new();
+    let _ = writeln!(s, "\tlwi  r20, r0, r_data   # E = r[0]");
+    for m in 1..=order {
+        let _ = write!(s, "# ---- order {m}\n\tlwi  r21, r0, r_data+{}\n", 4 * m);
+        for i in 1..m {
+            let _ = write!(
+                s,
+                "\tlwi  r5, r0, a_data+{ai}\n\
+                 \tlwi  r6, r0, r_data+{ri}\n\
+                 \tmul  r5, r5, r6\n\
+                 \tbsrai r5, r5, 12\n\
+                 \taddk r21, r21, r5\n",
+                ai = 4 * i,
+                ri = 4 * (m - i),
+            );
+        }
+        emit_division(&mut s, div, m);
+        let _ = writeln!(s, "\trsubk r22, r22, r0     # k = -quotient");
+        // Pairwise in-place coefficient update.
+        for i in 1..=(m - 1) / 2 {
+            let j = m - i;
+            let _ = write!(
+                s,
+                "\tlwi  r5, r0, a_data+{ai}\n\
+                 \tlwi  r6, r0, a_data+{aj}\n\
+                 \tmul  r7, r22, r6\n\
+                 \tbsrai r7, r7, 12\n\
+                 \taddk r7, r5, r7\n\
+                 \tmul  r8, r22, r5\n\
+                 \tbsrai r8, r8, 12\n\
+                 \taddk r8, r6, r8\n\
+                 \tswi  r7, r0, a_data+{ai}\n\
+                 \tswi  r8, r0, a_data+{aj}\n",
+                ai = 4 * i,
+                aj = 4 * j,
+            );
+        }
+        if m >= 2 && m % 2 == 0 {
+            let mid = 4 * (m / 2);
+            let _ = write!(
+                s,
+                "\tlwi  r5, r0, a_data+{mid}\n\
+                 \tmul  r7, r22, r5\n\
+                 \tbsrai r7, r7, 12\n\
+                 \taddk r5, r5, r7\n\
+                 \tswi  r5, r0, a_data+{mid}\n"
+            );
+        }
+        let _ = write!(
+            s,
+            "\tswi  r22, r0, a_data+{am}\n\
+             \tswi  r22, r0, k_data+{km}\n\
+             \tmul  r5, r22, r22\n\
+             \tbsrai r5, r5, 12\n\
+             \tmul  r5, r20, r5\n\
+             \tbsrai r5, r5, 12\n\
+             \trsubk r20, r5, r20    # E -= E*k^2\n",
+            am = 4 * m,
+            km = 4 * (m - 1),
+        );
+    }
+    let _ = writeln!(s, "\tswi  r20, r0, e_out");
+    s
+}
+
+/// The data section the recursion operates on: `r_data` (inputs),
+/// `a_data` (coefficients, `a[0] = 1.0`), `k_data` and `e_out`.
+pub fn lpc_data(r: &[i32]) -> String {
+    let order = r.len() - 1;
+    format!(
+        ".align 4\nr_data: .word {r}\n\
+         a_data: .word {one}{zeros}\nk_data: .space {ks}\ne_out: .space 4\n",
+        r = r.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", "),
+        one = ONE,
+        zeros = ", 0".repeat(order),
+        ks = 4 * order,
+    )
+}
+
+/// Builds the co-simulation for an LPC configuration (attaching the FSL
+/// pipeline when the strategy needs it).
+pub fn lpc_cosim(r: &[i32], div: LpcDivision) -> (CoSim, Image) {
+    let img = assemble(&lpc_program(r, div)).expect("lpc program assembles");
+    let peripheral: Option<Peripheral> = match div {
+        LpcDivision::CordicFsl(p) => Some(crate::cordic::hardware::cordic_peripheral(p)),
+        _ => None,
+    };
+    (CoSim::with_config(&img, div.cpu_config(), peripheral), img)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lpc::reference::{self, levinson_durbin, test_autocorrelation};
+    use softsim_cosim::CoSimStop;
+
+    fn run(div: LpcDivision, order: usize) -> (Vec<i32>, Vec<i32>, i32, u64) {
+        let r = test_autocorrelation(order);
+        let (mut sim, img) = lpc_cosim(&r, div);
+        assert_eq!(sim.run(10_000_000), CoSimStop::Halted, "{div:?}");
+        let read = |label: &str, n: usize| -> Vec<i32> {
+            let base = img.symbol(label).unwrap();
+            (0..n)
+                .map(|i| sim.cpu().mem().read_u32(base + 4 * i as u32).unwrap() as i32)
+                .collect()
+        };
+        let a = read("a_data", order + 1);
+        let k = read("k_data", order);
+        let e = read("e_out", 1)[0];
+        (a, k, e, sim.cpu_stats().cycles)
+    }
+
+    #[test]
+    fn all_strategies_match_their_reference_bit_exactly() {
+        let order = 6;
+        let r = test_autocorrelation(order);
+        for div in [LpcDivision::CordicSw, LpcDivision::CordicFsl(4), LpcDivision::Idiv] {
+            let expect = levinson_durbin(&r, div.reference_strategy());
+            let (a, k, e, _) = run(div, order);
+            assert_eq!(a, expect.a, "{div:?}: coefficients");
+            assert_eq!(k, expect.k, "{div:?}: reflection coefficients");
+            assert_eq!(e, expect.error, "{div:?}: error energy");
+        }
+    }
+
+    #[test]
+    fn results_are_accurate_lpc_solutions() {
+        let order = 4;
+        let (a, _, _, _) = run(LpcDivision::Idiv, order);
+        let r_f64: Vec<f64> =
+            test_autocorrelation(order).iter().map(|&v| reference::from_fix(v)).collect();
+        let (a_f64, _) = reference::levinson_durbin_f64(&r_f64);
+        for (i, af) in a_f64.iter().enumerate().skip(1) {
+            let err = (reference::from_fix(a[i]) - af).abs();
+            assert!(err < 0.03, "a[{i}] off by {err}");
+        }
+    }
+
+    #[test]
+    fn serial_recursion_defeats_the_pipeline() {
+        // The paper's §I claim, demonstrated: with one division in flight
+        // at a time, offloading to the FSL pipeline cannot beat the
+        // inline software CORDIC by much — the round-trip latency eats
+        // the parallelism (contrast with the batched Figure 5 workload).
+        let order = 6;
+        let (_, _, _, sw) = run(LpcDivision::CordicSw, order);
+        let (_, _, _, fsl) = run(LpcDivision::CordicFsl(4), order);
+        let (_, _, _, idiv) = run(LpcDivision::Idiv, order);
+        let gain = sw as f64 / fsl as f64;
+        assert!(
+            gain < 2.0,
+            "serial FSL offload must gain far less than the batched 3.7x: {gain:.2}x \
+             (sw {sw}, fsl {fsl})"
+        );
+        assert!(idiv < sw, "the divider option wins on serial divisions");
+    }
+}

@@ -1,0 +1,12 @@
+//! Block matrix multiplication (§IV-B of the paper).
+//!
+//! * [`mod@reference`] — dense and block-decomposed golden models (Eq. 3);
+//! * [`hardware`] — the nb×nb block-product peripheral (Fig. 6);
+//! * [`software`] — the pure-software baseline and the HW driver;
+//! * [`rtl`] — the structural RTL netlist for the low-level baseline.
+
+pub mod hardware;
+pub mod reference;
+pub mod rtl;
+pub mod software;
+pub mod structural;

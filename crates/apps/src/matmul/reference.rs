@@ -1,0 +1,172 @@
+//! Golden reference for block matrix multiplication (§IV-B).
+//!
+//! The paper decomposes N×N matrices into `nb × nb` blocks (Eq. 3); the
+//! customized peripheral multiplies blocks, the software combines the
+//! partial products. Elements are 32-bit integers (values kept within
+//! 16-bit range in the experiments, so products cannot overflow).
+
+/// Row-major dense matrix of `i32`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Matrix {
+    /// Dimension (square, N×N).
+    pub n: usize,
+    /// Row-major elements.
+    pub data: Vec<i32>,
+}
+
+impl Matrix {
+    /// A zero matrix.
+    pub fn zeros(n: usize) -> Matrix {
+        Matrix { n, data: vec![0; n * n] }
+    }
+
+    /// Builds from row-major data.
+    ///
+    /// # Panics
+    /// Panics unless `data.len() == n * n`.
+    pub fn from_rows(n: usize, data: Vec<i32>) -> Matrix {
+        assert_eq!(data.len(), n * n, "dimension mismatch");
+        Matrix { n, data }
+    }
+
+    /// A deterministic pseudo-random test matrix with 16-bit entries.
+    pub fn test_pattern(n: usize, seed: u32) -> Matrix {
+        let mut state = seed.wrapping_mul(2654435761).wrapping_add(1);
+        let data = (0..n * n)
+            .map(|_| {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                ((state >> 16) as i16) as i32
+            })
+            .collect();
+        Matrix { n, data }
+    }
+
+    /// Element accessor.
+    pub fn get(&self, row: usize, col: usize) -> i32 {
+        self.data[row * self.n + col]
+    }
+
+    /// Element setter.
+    pub fn set(&mut self, row: usize, col: usize, v: i32) {
+        self.data[row * self.n + col] = v;
+    }
+}
+
+/// Dense reference product `A × B` (wrapping arithmetic, as the 32-bit
+/// hardware computes).
+pub fn multiply(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.n, b.n);
+    let n = a.n;
+    let mut c = Matrix::zeros(n);
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = 0i32;
+            for k in 0..n {
+                acc = acc.wrapping_add(a.get(i, k).wrapping_mul(b.get(k, j)));
+            }
+            c.set(i, j, acc);
+        }
+    }
+    c
+}
+
+/// Block-decomposed product with `nb × nb` blocks — the algorithm the
+/// HW/SW partition implements. Must equal [`multiply`] exactly.
+pub fn multiply_blocked(a: &Matrix, b: &Matrix, nb: usize) -> Matrix {
+    assert_eq!(a.n, b.n);
+    assert_eq!(a.n % nb, 0, "block size must divide N");
+    let n = a.n;
+    let mut c = Matrix::zeros(n);
+    for jb in (0..n).step_by(nb) {
+        for kb in (0..n).step_by(nb) {
+            // B block (kb, jb) is "loaded once" here (the paper's reuse).
+            for ib in (0..n).step_by(nb) {
+                // Block product A(ib,kb) × B(kb,jb) accumulated into C.
+                for i in 0..nb {
+                    for j in 0..nb {
+                        let mut acc = 0i32;
+                        for k in 0..nb {
+                            acc = acc.wrapping_add(
+                                a.get(ib + i, kb + k).wrapping_mul(b.get(kb + k, jb + j)),
+                            );
+                        }
+                        let prev = c.get(ib + i, jb + j);
+                        c.set(ib + i, jb + j, prev.wrapping_add(acc));
+                    }
+                }
+            }
+        }
+    }
+    c
+}
+
+/// One `nb × nb` block product (what the peripheral computes): column-
+/// major A-element stream against a resident B block.
+pub fn block_product(a_block: &[i32], b_block: &[i32], nb: usize) -> Vec<i32> {
+    assert_eq!(a_block.len(), nb * nb);
+    assert_eq!(b_block.len(), nb * nb);
+    let mut c = vec![0i32; nb * nb];
+    // a_block column-major: a[k*nb + i] = A(i,k); b row-major.
+    for k in 0..nb {
+        for i in 0..nb {
+            let a = a_block[k * nb + i];
+            for j in 0..nb {
+                c[i * nb + j] =
+                    c[i * nb + j].wrapping_add(a.wrapping_mul(b_block[k * nb + j]));
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_known_product() {
+        let a = Matrix::from_rows(2, vec![1, 2, 3, 4]);
+        let b = Matrix::from_rows(2, vec![5, 6, 7, 8]);
+        let c = multiply(&a, &b);
+        assert_eq!(c.data, vec![19, 22, 43, 50]);
+    }
+
+    #[test]
+    fn blocked_equals_dense_for_all_block_sizes() {
+        for n in [4usize, 8, 16] {
+            let a = Matrix::test_pattern(n, 1);
+            let b = Matrix::test_pattern(n, 2);
+            let dense = multiply(&a, &b);
+            for nb in [2usize, 4] {
+                assert_eq!(multiply_blocked(&a, &b, nb), dense, "n={n} nb={nb}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_product_matches_direct() {
+        let nb = 2;
+        // A = [[1,2],[3,4]] column-major: [1,3,2,4]; B row-major.
+        let a_cm = vec![1, 3, 2, 4];
+        let b_rm = vec![5, 6, 7, 8];
+        let c = block_product(&a_cm, &b_rm, nb);
+        assert_eq!(c, vec![19, 22, 43, 50]);
+    }
+
+    #[test]
+    fn test_pattern_is_deterministic_and_16_bit() {
+        let m1 = Matrix::test_pattern(8, 42);
+        let m2 = Matrix::test_pattern(8, 42);
+        assert_eq!(m1, m2);
+        assert!(m1.data.iter().all(|&v| (-32768..=32767).contains(&v)));
+        assert_ne!(m1, Matrix::test_pattern(8, 43));
+    }
+
+    #[test]
+    #[should_panic(expected = "block size must divide")]
+    fn indivisible_block_size_rejected() {
+        let a = Matrix::zeros(6);
+        let b = Matrix::zeros(6);
+        let _ = multiply_blocked(&a, &b, 4);
+    }
+}

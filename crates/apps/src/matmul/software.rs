@@ -1,0 +1,253 @@
+//! MB32 software for block matrix multiplication (§IV-B): the pure
+//! software baseline and the HW-accelerated driver.
+//!
+//! Code generation mimics the paper's compiled-C quality: the software
+//! baseline keeps the accumulator and the A-row pointer in registers but
+//! recomputes B indices (as a compiler does for a strided column walk),
+//! while the hardware driver performs full per-element index arithmetic
+//! and calls FSL transfer routines (`brlid`/`rtsd` wrappers, as the EDK
+//! driver functions compile to). The fixed per-block-product overhead of
+//! the driver is what makes the 2×2 configuration *slower* than pure
+//! software while 4×4 wins — the crossover of Figure 7 and Table I.
+
+use crate::matmul::reference::Matrix;
+
+/// Label of the result matrix C in the generated programs.
+pub const RESULT_LABEL: &str = "c_data";
+
+fn words(vals: &[i32]) -> String {
+    vals.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ")
+}
+
+fn data_section(a: &Matrix, b: &Matrix) -> String {
+    format!(
+        ".align 4\na_data: .word {}\nb_data: .word {}\n{RESULT_LABEL}: .space {}\n",
+        words(&a.data),
+        words(&b.data),
+        4 * a.n * a.n,
+    )
+}
+
+/// Generates the pure-software N×N product `C = A × B`
+/// (the "pure software" curve of Figure 7).
+pub fn sw_program(a: &Matrix, b: &Matrix) -> String {
+    assert_eq!(a.n, b.n);
+    let n = a.n;
+    format!(
+        ".equ N, {n}\n\
+         .equ ROWB, {rowb}\n\
+         start:\n\
+         \tli   r25, a_data        # A row pointer\n\
+         \tli   r27, {RESULT_LABEL}\n\
+         \taddk r20, r0, r0        # i = 0\n\
+         iloop:\taddk r21, r0, r0  # j = 0\n\
+         jloop:\taddk r5, r0, r0   # acc\n\
+         \taddk r28, r25, r0       # a ptr = &A[i][0]\n\
+         \taddk r22, r0, r0        # k = 0\n\
+         kloop:\tlwi  r6, r28, 0   # A[i][k]\n\
+         \tmuli r7, r22, ROWB      # B index: k*N*4 (strided walk)\n\
+         \tbslli r8, r21, 2\n\
+         \taddk r7, r7, r8\n\
+         \tlwi  r7, r7, b_data     # B[k][j]\n\
+         \tmul  r6, r6, r7\n\
+         \taddk r5, r5, r6\n\
+         \taddik r28, r28, 4\n\
+         \taddik r22, r22, 1\n\
+         \trsubik r6, r22, N\n\
+         \tbnei r6, kloop\n\
+         \tswi  r5, r27, 0\n\
+         \taddik r27, r27, 4\n\
+         \taddik r21, r21, 1\n\
+         \trsubik r6, r21, N\n\
+         \tbnei r6, jloop\n\
+         \taddik r25, r25, ROWB\n\
+         \taddik r20, r20, 1\n\
+         \trsubik r6, r20, N\n\
+         \tbnei r6, iloop\n\
+         \thalt\n\n{data}",
+        rowb = 4 * n,
+        data = data_section(a, b),
+    )
+}
+
+/// FSL transfer routines shared by the hardware driver (the compiled
+/// `microblaze_*_datafsl` wrappers of the paper's flow).
+const FSL_ROUTINES: &str = "\
+fsl_put:\tput  r5, rfsl0\n\
+\trtsd r15, 8\n\
+\tnop\n\
+fsl_cput:\tcput r5, rfsl0\n\
+\trtsd r15, 8\n\
+\tnop\n\
+fsl_get:\tget  r5, rfsl0\n\
+\trtsd r15, 8\n\
+\tnop\n";
+
+/// Generates the HW-accelerated program using an `nb × nb` block-product
+/// peripheral on FSL channel 0 (the "2×2 / 4×4 matrix blocks" curves).
+///
+/// Loop order follows the paper: for each B block (kb, jb) — loaded into
+/// the peripheral **once** as control words — all A blocks (ib, kb) are
+/// streamed column-by-column and the partial products accumulated into C
+/// by software.
+pub fn hw_program(a: &Matrix, b: &Matrix, nb: usize) -> String {
+    assert_eq!(a.n, b.n);
+    let n = a.n;
+    assert!(n.is_multiple_of(nb), "block size must divide N");
+    let blocks = n / nb;
+    let rowb = 4 * n;
+    let mut s = String::new();
+    s.push_str(&format!(
+        ".equ N, {n}\n.equ NB, {nb}\n.equ ROWB, {rowb}\n\
+         start:\n\
+         \taddk r10, r0, r0        # jb element index\n\
+         jbloop:\n\
+         \taddk r11, r0, r0        # kb element index\n\
+         kbloop:\n"
+    ));
+    // Send the B block (kb, jb) row-major as control words.
+    for bi in 0..nb {
+        for bj in 0..nb {
+            s.push_str(&format!(
+                "\taddik r6, r11, {bi}\n\
+                 \tmuli r6, r6, ROWB\n\
+                 \taddik r7, r10, {bj}\n\
+                 \tbslli r7, r7, 2\n\
+                 \taddk r6, r6, r7\n\
+                 \tlwi  r5, r6, b_data\n\
+                 \tbrlid r15, fsl_cput\n\
+                 \tnop\n"
+            ));
+        }
+    }
+    s.push_str(
+        "\taddk r12, r0, r0        # ib element index\n\
+         ibloop:\n",
+    );
+    // Stream the A block (ib, kb) column-major.
+    for bk in 0..nb {
+        for bi in 0..nb {
+            s.push_str(&format!(
+                "\taddik r6, r12, {bi}\n\
+                 \tmuli r6, r6, ROWB\n\
+                 \taddik r7, r11, {bk}\n\
+                 \tbslli r7, r7, 2\n\
+                 \taddk r6, r6, r7\n\
+                 \tlwi  r5, r6, a_data\n\
+                 \tbrlid r15, fsl_put\n\
+                 \tnop\n"
+            ));
+        }
+    }
+    // Receive the nb² partial results (row-major) and accumulate into C.
+    for bi in 0..nb {
+        for bj in 0..nb {
+            s.push_str(&format!(
+                "\tbrlid r15, fsl_get\n\
+                 \tnop\n\
+                 \taddik r6, r12, {bi}\n\
+                 \tmuli r6, r6, ROWB\n\
+                 \taddik r7, r10, {bj}\n\
+                 \tbslli r7, r7, 2\n\
+                 \taddk r6, r6, r7\n\
+                 \tlwi  r8, r6, {RESULT_LABEL}\n\
+                 \taddk r8, r8, r5\n\
+                 \tswi  r8, r6, {RESULT_LABEL}\n"
+            ));
+        }
+    }
+    s.push_str(&format!(
+        "\taddik r12, r12, NB\n\
+         \trsubik r6, r12, {n}\n\
+         \tbnei r6, ibloop\n\
+         \taddik r11, r11, NB\n\
+         \trsubik r6, r11, {n}\n\
+         \tbnei r6, kbloop\n\
+         \taddik r10, r10, NB\n\
+         \trsubik r6, r10, {n}\n\
+         \tbnei r6, jbloop\n\
+         \thalt\n\n{FSL_ROUTINES}\n{data}",
+        data = data_section(a, b),
+    ));
+    let _ = blocks;
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matmul::hardware::matmul_peripheral;
+    use crate::matmul::reference;
+    use softsim_cosim::{CoSim, CoSimStop};
+    use softsim_isa::asm::assemble;
+
+    fn read_matrix(sim: &CoSim, img: &softsim_isa::Image, n: usize) -> Matrix {
+        let base = img.symbol(RESULT_LABEL).unwrap();
+        let data = (0..n * n)
+            .map(|i| sim.cpu().mem().read_u32(base + 4 * i as u32).unwrap() as i32)
+            .collect();
+        Matrix::from_rows(n, data)
+    }
+
+    #[test]
+    fn sw_matches_reference() {
+        for n in [4usize, 8] {
+            let a = Matrix::test_pattern(n, 3);
+            let b = Matrix::test_pattern(n, 4);
+            let img = assemble(&sw_program(&a, &b)).expect("assembles");
+            let mut sim = CoSim::software_only(&img);
+            assert_eq!(sim.run(100_000_000), CoSimStop::Halted, "n={n}");
+            assert_eq!(read_matrix(&sim, &img, n), reference::multiply(&a, &b), "n={n}");
+        }
+    }
+
+    #[test]
+    fn hw_matches_reference_for_both_block_sizes() {
+        for (n, nb) in [(4usize, 2usize), (8, 2), (8, 4)] {
+            let a = Matrix::test_pattern(n, 5);
+            let b = Matrix::test_pattern(n, 6);
+            let img = assemble(&hw_program(&a, &b, nb)).expect("assembles");
+            let mut sim = CoSim::with_peripheral(&img, matmul_peripheral(nb));
+            assert_eq!(sim.run(100_000_000), CoSimStop::Halted, "n={n} nb={nb}");
+            assert_eq!(sim.hw_stats().output_overflows, 0);
+            assert_eq!(
+                read_matrix(&sim, &img, n),
+                reference::multiply(&a, &b),
+                "n={n} nb={nb}"
+            );
+        }
+    }
+
+    #[test]
+    fn figure7_crossover_shape() {
+        // The paper's §IV-B finding: 2×2 blocks are *slower* than pure
+        // software (communication overhead dominates); 4×4 blocks win.
+        let n = 16;
+        let a = Matrix::test_pattern(n, 7);
+        let b = Matrix::test_pattern(n, 8);
+        let cycles = |img: &softsim_isa::Image, per: Option<usize>| {
+            let mut sim = match per {
+                None => CoSim::software_only(img),
+                Some(nb) => CoSim::with_peripheral(img, matmul_peripheral(nb)),
+            };
+            assert_eq!(sim.run(500_000_000), CoSimStop::Halted);
+            sim.cpu_stats().cycles
+        };
+        let sw = cycles(&assemble(&sw_program(&a, &b)).unwrap(), None);
+        let hw2 = cycles(&assemble(&hw_program(&a, &b, 2)).unwrap(), Some(2));
+        let hw4 = cycles(&assemble(&hw_program(&a, &b, 4)).unwrap(), Some(4));
+        assert!(hw2 > sw, "2x2 blocks should lose to software: {hw2} vs {sw}");
+        assert!(hw4 < sw, "4x4 blocks should beat software: {hw4} vs {sw}");
+        let speedup = sw as f64 / hw4 as f64;
+        assert!(
+            (1.5..3.5).contains(&speedup),
+            "4x4 speedup near the paper's 2.2x, got {speedup:.2}"
+        );
+        let penalty = hw2 as f64 / sw as f64 - 1.0;
+        assert!(
+            (0.0..0.6).contains(&penalty),
+            "2x2 penalty in the paper's ballpark (8.8%), got {:.1}%",
+            penalty * 100.0
+        );
+    }
+}

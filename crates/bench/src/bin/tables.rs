@@ -1,0 +1,47 @@
+//! Prints the reproduced tables and figures of the paper.
+//!
+//! Usage: `tables [--fig5] [--fig7] [--table1] [--table2] [--claims]
+//! [--ablation] [--all] [--csv [DIR]]`
+//!
+//! Run in release mode — the Table I / Table II rows measure wall-clock
+//! simulation speed.
+
+use softsim_bench::tables;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = args.is_empty() || args.iter().any(|a| a == "--all");
+    let want = |flag: &str| all || args.iter().any(|a| a == flag);
+
+    if want("--fig5") {
+        println!("{}", tables::figure5_text());
+    }
+    if want("--fig7") {
+        println!("{}", tables::figure7_text());
+    }
+    if want("--table1") {
+        // Repeat each workload so wall times are well above timer noise.
+        println!("{}", tables::table1_text(5));
+    }
+    if want("--table2") {
+        println!("{}", tables::table2_text());
+    }
+    if want("--claims") {
+        println!("{}", tables::claims_text());
+    }
+    if want("--ablation") {
+        println!("{}", tables::ablation_fsl_vs_opb_text());
+        println!("{}", tables::ablation_configurations_text());
+        println!("{}", tables::lpc_text());
+    }
+    // `--csv [DIR]`: also write the figure data for external plotting.
+    if let Some(pos) = args.iter().position(|a| a == "--csv") {
+        let dir = args
+            .get(pos + 1)
+            .filter(|d| !d.starts_with("--"))
+            .map(String::as_str)
+            .unwrap_or("target/figures");
+        tables::write_csvs(std::path::Path::new(dir)).expect("write CSVs");
+        println!("wrote {dir}/fig5_cordic.csv and {dir}/fig7_matmul.csv");
+    }
+}

@@ -1,0 +1,16 @@
+//! # softsim-bench — the benchmark harness
+//!
+//! Regenerates **every table and figure** of the paper's evaluation
+//! (§IV): Figure 5 (CORDIC time vs P), Figure 7 (matmul time vs N),
+//! Table I (resources + simulation times) and Table II (raw simulator
+//! speeds), plus the quantitative §IV claims.
+//!
+//! * `cargo run --release -p softsim-bench --bin tables -- --all`
+//!   prints everything (see `EXPERIMENTS.md`);
+//! * `cargo bench` runs the criterion benchmarks, one per table/figure.
+
+#![warn(missing_docs)]
+
+pub mod measure;
+pub mod tables;
+pub mod workloads;

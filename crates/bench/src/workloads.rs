@@ -1,0 +1,167 @@
+//! Canonical workloads for the paper's experiments — the exact
+//! configurations behind Figure 5, Figure 7, Table I and Table II.
+
+use softsim_apps::cordic::reference as cordic_ref;
+use softsim_apps::cordic::software::{hw_program, sw_program, CordicBatch, SwStyle};
+use softsim_apps::matmul::reference::Matrix;
+use softsim_apps::matmul::software as mm_sw;
+use softsim_cosim::{CoSim, Peripheral};
+use softsim_isa::asm::assemble;
+use softsim_isa::Image;
+use softsim_rtl::SocRtl;
+
+/// The CORDIC data batch used throughout: eight `(a, b)` pairs spanning
+/// the convergence domain (2·8 = 16 result words exactly fill the output
+/// FSL FIFO — the paper's "size of each set of data is selected
+/// carefully").
+pub fn cordic_batch() -> CordicBatch {
+    let pairs: Vec<(i32, i32)> = [
+        (1.0, 0.5),
+        (1.5, 1.2),
+        (2.0, -1.0),
+        (1.25, 0.8),
+        (3.0, 2.5),
+        (1.1, -0.3),
+        (2.75, 1.9),
+        (1.9, 0.05),
+    ]
+    .iter()
+    .map(|&(a, b)| (cordic_ref::to_fix(a), cordic_ref::to_fix(b)))
+    .collect();
+    CordicBatch::new(&pairs)
+}
+
+/// The P values of Figure 5 / Table I.
+pub const CORDIC_PS: [usize; 4] = [2, 4, 6, 8];
+
+/// The iteration counts of Figure 5.
+pub const CORDIC_ITERS: [u32; 2] = [8, 24];
+
+/// Assembled pure-software CORDIC image (`P = 0`).
+pub fn cordic_sw_image(iterations: u32) -> Image {
+    assemble(&sw_program(&cordic_batch(), iterations, SwStyle::Compiled))
+        .expect("cordic sw assembles")
+}
+
+/// Assembled HW-accelerated CORDIC image for `p` PEs.
+pub fn cordic_hw_image(iterations: u32, p: usize) -> Image {
+    assemble(&hw_program(&cordic_batch(), iterations, p)).expect("cordic hw assembles")
+}
+
+/// Batch repetitions used by the timing rows so each run simulates tens
+/// of thousands of cycles (the paper times ~1.5 ms ≈ 75k cycles at
+/// 50 MHz).
+pub const TIMING_REPS: u32 = 40;
+
+/// Long-running co-simulator for the timing comparisons: the batch is
+/// processed [`TIMING_REPS`] times within one program.
+pub fn cordic_cosim_long(iterations: u32, p: Option<usize>) -> CoSim {
+    use softsim_apps::cordic::software::{hw_program_repeated, sw_program_repeated};
+    match p {
+        None => CoSim::software_only(
+            &assemble(&sw_program_repeated(
+                &cordic_batch(),
+                iterations,
+                SwStyle::Compiled,
+                TIMING_REPS,
+            ))
+            .expect("assembles"),
+        ),
+        Some(p) => CoSim::with_peripheral(
+            &assemble(&hw_program_repeated(&cordic_batch(), iterations, p, TIMING_REPS))
+                .expect("assembles"),
+            softsim_apps::cordic::hardware::cordic_peripheral(p),
+        ),
+    }
+}
+
+/// Long-running RTL system matching [`cordic_cosim_long`].
+pub fn cordic_rtl_long(iterations: u32, p: Option<usize>) -> SocRtl {
+    use softsim_apps::cordic::software::{hw_program_repeated, sw_program_repeated};
+    match p {
+        None => SocRtl::new(
+            &assemble(&sw_program_repeated(
+                &cordic_batch(),
+                iterations,
+                SwStyle::Compiled,
+                TIMING_REPS,
+            ))
+            .expect("assembles"),
+        ),
+        Some(p) => softsim_apps::cordic::rtl::build_cordic_rtl(
+            &assemble(&hw_program_repeated(&cordic_batch(), iterations, p, TIMING_REPS))
+                .expect("assembles"),
+            p,
+        ),
+    }
+}
+
+/// Co-simulator for a CORDIC configuration (`p = None` → pure software).
+pub fn cordic_cosim(iterations: u32, p: Option<usize>) -> CoSim {
+    match p {
+        None => CoSim::software_only(&cordic_sw_image(iterations)),
+        Some(p) => CoSim::with_peripheral(
+            &cordic_hw_image(iterations, p),
+            softsim_apps::cordic::hardware::cordic_peripheral(p),
+        ),
+    }
+}
+
+/// Low-level (RTL) system for a CORDIC configuration.
+pub fn cordic_rtl(iterations: u32, p: Option<usize>) -> SocRtl {
+    match p {
+        None => SocRtl::new(&cordic_sw_image(iterations)),
+        Some(p) => {
+            softsim_apps::cordic::rtl::build_cordic_rtl(&cordic_hw_image(iterations, p), p)
+        }
+    }
+}
+
+/// Matrix sizes swept in Figure 7.
+pub const MATMUL_NS: [usize; 4] = [4, 8, 16, 32];
+
+/// The paper's headline matrix size ("multiplication of two matrices"
+/// with 2×2 / 4×4 blocks, Table I).
+pub const MATMUL_TABLE_N: usize = 16;
+
+/// The deterministic matrices of size `n` used by every matmul run.
+pub fn matmul_inputs(n: usize) -> (Matrix, Matrix) {
+    (Matrix::test_pattern(n, 7), Matrix::test_pattern(n, 8))
+}
+
+/// Assembled matmul image (`nb = None` → pure software).
+pub fn matmul_image(n: usize, nb: Option<usize>) -> Image {
+    let (a, b) = matmul_inputs(n);
+    let src = match nb {
+        None => mm_sw::sw_program(&a, &b),
+        Some(nb) => mm_sw::hw_program(&a, &b, nb),
+    };
+    assemble(&src).expect("matmul assembles")
+}
+
+/// Co-simulator for a matmul configuration.
+pub fn matmul_cosim(n: usize, nb: Option<usize>) -> CoSim {
+    match nb {
+        None => CoSim::software_only(&matmul_image(n, None)),
+        Some(nb) => CoSim::with_peripheral(
+            &matmul_image(n, Some(nb)),
+            softsim_apps::matmul::hardware::matmul_peripheral(nb),
+        ),
+    }
+}
+
+/// Low-level (RTL) system for a matmul configuration.
+pub fn matmul_rtl_sys(n: usize, nb: Option<usize>) -> SocRtl {
+    match nb {
+        None => SocRtl::new(&matmul_image(n, None)),
+        Some(nb) => {
+            softsim_apps::matmul::rtl::build_matmul_rtl(&matmul_image(n, Some(nb)), nb)
+        }
+    }
+}
+
+/// The peripheral attached in a CORDIC co-simulation (needed for resource
+/// accounting alongside [`cordic_cosim`]).
+pub fn cordic_peripheral(p: usize) -> Peripheral {
+    softsim_apps::cordic::hardware::cordic_peripheral(p)
+}

@@ -1,0 +1,65 @@
+//! The block abstraction of the high-level hardware simulator.
+//!
+//! A [`Block`] is the analog of one System Generator block: a synchronous
+//! component with fixed-point input and output ports. Simulation is
+//! two-phase per clock cycle, exactly like a discrete fixed-step Simulink
+//! model of synchronous hardware:
+//!
+//! 1. **evaluate** — combinational propagation in topological order;
+//!    sequential blocks present their *current* state on their outputs;
+//! 2. **clock** — every sequential block latches its next state from the
+//!    input values that the evaluate phase settled.
+
+use crate::fix::{Fix, FixFmt};
+use crate::resource::Resources;
+
+/// One synchronous hardware block.
+pub trait Block {
+    /// Short type name for diagnostics ("AddSub", "Delay", ...).
+    fn kind(&self) -> &'static str;
+
+    /// Number of input ports.
+    fn inputs(&self) -> usize;
+
+    /// Number of output ports.
+    fn outputs(&self) -> usize;
+
+    /// The fixed-point format produced on each output port.
+    fn output_fmt(&self, port: usize) -> FixFmt;
+
+    /// Combinational evaluation: compute `outputs` from `inputs` and the
+    /// block's current state. Must be side-effect free with respect to
+    /// sequential state.
+    fn eval(&self, inputs: &[Fix], outputs: &mut [Fix]);
+
+    /// Rising clock edge: latch next state from the settled `inputs`.
+    /// Combinational blocks keep the default no-op.
+    fn clock(&mut self, inputs: &[Fix]) {
+        let _ = inputs;
+    }
+
+    /// True when some output depends combinationally on some input.
+    /// Registers/delays return `false`, which is what legalizes feedback
+    /// loops through them.
+    fn is_combinational(&self) -> bool {
+        true
+    }
+
+    /// Estimated FPGA resources of the block's low-level implementation.
+    fn resources(&self) -> Resources {
+        Resources::ZERO
+    }
+
+    /// Resets sequential state to power-on values.
+    fn reset(&mut self) {}
+}
+
+/// Interprets a signal as a boolean (nonzero = true).
+pub fn bool_of(x: &Fix) -> bool {
+    !x.is_zero()
+}
+
+/// A one-bit signal value.
+pub fn bit(v: bool) -> Fix {
+    Fix::from_int(v as i64, FixFmt::BOOL)
+}

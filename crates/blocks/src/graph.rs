@@ -1,0 +1,589 @@
+//! The block graph and its cycle-accurate scheduler.
+//!
+//! A [`Graph`] is the analog of a System Generator design sheet: blocks
+//! wired port-to-port, with `Gateway In` / `Gateway Out` markers forming
+//! the boundary to the rest of the system (in the paper, the MicroBlaze
+//! Simulink block drives these gateways from the FSL models).
+//!
+//! Scheduling is the standard synchronous-circuit two-phase step: a
+//! topological pass settles all combinational logic, then every
+//! sequential block latches. Feedback is legal exactly when it passes
+//! through a sequential block, and a purely combinational cycle is
+//! rejected at compile time.
+//!
+//! [`Graph::compile`] lowers the design into a flat execution plan (one
+//! contiguous value array plus resolved source indices) so the per-cycle
+//! cost is a linear scan — this is what makes the high-level simulation
+//! an order of magnitude faster per cycle than event-driven RTL.
+
+use crate::block::Block;
+use crate::fix::{Fix, FixFmt, Overflow, Rounding};
+use crate::resource::Resources;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Handle to a node in the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(usize);
+
+/// Resolved handle to a `Gateway In` (see [`Graph::input_handle`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InputHandle(usize);
+
+/// Resolved handle to a `Gateway Out` (see [`Graph::output_handle`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutputHandle(usize);
+
+/// Structural errors detected when compiling a graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An input port has no driver.
+    UnconnectedInput {
+        /// The node with the open port.
+        node: String,
+        /// The open port index.
+        port: usize,
+    },
+    /// A cycle exists through combinational blocks only.
+    CombinationalCycle {
+        /// Names of the nodes on the cycle.
+        nodes: Vec<String>,
+    },
+    /// A port index out of range was used in `connect`.
+    BadPort {
+        /// Description of the offending connection.
+        what: String,
+    },
+    /// Two drivers for one input port.
+    DoubleDrive {
+        /// The node with the conflicting port.
+        node: String,
+        /// The port index.
+        port: usize,
+    },
+    /// A named gateway was not found.
+    NoSuchGateway {
+        /// The requested name.
+        name: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnconnectedInput { node, port } => {
+                write!(f, "input port {port} of `{node}` is not connected")
+            }
+            GraphError::CombinationalCycle { nodes } => {
+                write!(f, "combinational cycle through: {}", nodes.join(" -> "))
+            }
+            GraphError::BadPort { what } => write!(f, "bad port: {what}"),
+            GraphError::DoubleDrive { node, port } => {
+                write!(f, "input port {port} of `{node}` has two drivers")
+            }
+            GraphError::NoSuchGateway { name } => write!(f, "no gateway named `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+enum Kind {
+    Block(Box<dyn Block>),
+    /// Gateway In: a value set from outside before each step.
+    Input { fmt: FixFmt, value: Fix },
+}
+
+struct Node {
+    kind: Kind,
+    name: String,
+    /// Driver of each input port.
+    sources: Vec<Option<(NodeId, usize)>>,
+    /// Offset of this node's outputs in the flat value array.
+    val_off: u32,
+    /// Number of outputs.
+    val_len: u32,
+}
+
+impl Node {
+    fn outputs(&self) -> usize {
+        self.val_len as usize
+    }
+
+    fn is_combinational(&self) -> bool {
+        match &self.kind {
+            Kind::Block(b) => b.is_combinational(),
+            Kind::Input { .. } => false,
+        }
+    }
+}
+
+/// A synchronous block design, stepped one clock cycle at a time.
+#[derive(Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+    /// All output-port values, flat (indexed via `Node::val_off`).
+    values: Vec<Fix>,
+    /// Gateway-out registry: name → flat value index.
+    outputs: BTreeMap<String, usize>,
+    /// Gateway-in registry: name → node.
+    inputs: BTreeMap<String, NodeId>,
+    /// Topological order of evaluation (all nodes).
+    schedule: Vec<u32>,
+    /// Sequential nodes to clock each cycle.
+    seq_nodes: Vec<u32>,
+    /// Resolved flat source indices, per node, contiguous.
+    plan_src: Vec<u32>,
+    /// Range of `plan_src` per node.
+    plan_range: Vec<(u32, u32)>,
+    compiled: bool,
+    cycle: u64,
+    /// Scratch buffer reused each step to avoid per-cycle allocation.
+    scratch: Vec<Fix>,
+    /// Scope probes: (name, flat value index, recorded samples).
+    probes: Vec<(String, usize, Vec<Fix>)>,
+}
+
+impl Graph {
+    /// An empty design.
+    pub fn new() -> Graph {
+        Graph::default()
+    }
+
+    /// Adds a block; returns its handle.
+    pub fn add(&mut self, name: impl Into<String>, block: impl Block + 'static) -> NodeId {
+        self.add_boxed(name.into(), Box::new(block))
+    }
+
+    /// Adds an already-boxed block.
+    pub fn add_boxed(&mut self, name: String, block: Box<dyn Block>) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        let (n_in, n_out) = (block.inputs(), block.outputs());
+        let val_off = self.values.len() as u32;
+        for p in 0..n_out {
+            self.values.push(Fix::zero(block.output_fmt(p)));
+        }
+        self.nodes.push(Node {
+            kind: Kind::Block(block),
+            name,
+            sources: vec![None; n_in],
+            val_off,
+            val_len: n_out as u32,
+        });
+        self.compiled = false;
+        id
+    }
+
+    /// Adds a `Gateway In`: an externally driven input of the design.
+    pub fn gateway_in(&mut self, name: impl Into<String>, fmt: FixFmt) -> NodeId {
+        let name = name.into();
+        let id = NodeId(self.nodes.len());
+        let val_off = self.values.len() as u32;
+        self.values.push(Fix::zero(fmt));
+        self.nodes.push(Node {
+            kind: Kind::Input { fmt, value: Fix::zero(fmt) },
+            name: name.clone(),
+            sources: Vec::new(),
+            val_off,
+            val_len: 1,
+        });
+        self.inputs.insert(name, id);
+        self.compiled = false;
+        id
+    }
+
+    /// Declares a `Gateway Out`: names an existing port as a design output.
+    ///
+    /// # Panics
+    /// Panics if the port does not exist.
+    pub fn gateway_out(&mut self, name: impl Into<String>, from: NodeId, port: usize) {
+        let node = &self.nodes[from.0];
+        assert!(port < node.outputs(), "`{}` has no output {port}", node.name);
+        self.outputs.insert(name.into(), node.val_off as usize + port);
+    }
+
+    /// Connects output `from_port` of `from` to input `to_port` of `to`.
+    pub fn connect(
+        &mut self,
+        from: NodeId,
+        from_port: usize,
+        to: NodeId,
+        to_port: usize,
+    ) -> Result<(), GraphError> {
+        if from_port >= self.nodes[from.0].outputs() {
+            return Err(GraphError::BadPort {
+                what: format!("`{}` has no output {from_port}", self.nodes[from.0].name),
+            });
+        }
+        let node = &mut self.nodes[to.0];
+        let Some(slot) = node.sources.get_mut(to_port) else {
+            return Err(GraphError::BadPort {
+                what: format!("`{}` has no input {to_port}", node.name),
+            });
+        };
+        if slot.is_some() {
+            return Err(GraphError::DoubleDrive { node: node.name.clone(), port: to_port });
+        }
+        *slot = Some((from, from_port));
+        self.compiled = false;
+        Ok(())
+    }
+
+    /// Convenience: connect port 0 → port `to_port`.
+    pub fn wire(&mut self, from: NodeId, to: NodeId, to_port: usize) -> Result<(), GraphError> {
+        self.connect(from, 0, to, to_port)
+    }
+
+    /// Checks structure and lowers the design into the flat execution
+    /// plan.
+    pub fn compile(&mut self) -> Result<(), GraphError> {
+        // Every input port must be driven.
+        for node in &self.nodes {
+            for (port, src) in node.sources.iter().enumerate() {
+                if src.is_none() {
+                    return Err(GraphError::UnconnectedInput {
+                        node: node.name.clone(),
+                        port,
+                    });
+                }
+            }
+        }
+        // Kahn topological sort where only edges into combinational nodes
+        // constrain the order.
+        let n = self.nodes.len();
+        let mut indegree = vec![0usize; n];
+        let mut out_edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, node) in self.nodes.iter().enumerate() {
+            if !node.is_combinational() {
+                continue;
+            }
+            for src in node.sources.iter().flatten() {
+                out_edges[src.0 .0].push(i);
+                indegree[i] += 1;
+            }
+        }
+        let mut ready: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(i) = ready.pop() {
+            order.push(i as u32);
+            for &j in &out_edges[i] {
+                indegree[j] -= 1;
+                if indegree[j] == 0 {
+                    ready.push(j);
+                }
+            }
+        }
+        if order.len() != n {
+            let cyclic = (0..n)
+                .filter(|&i| indegree[i] > 0)
+                .map(|i| self.nodes[i].name.clone())
+                .collect();
+            return Err(GraphError::CombinationalCycle { nodes: cyclic });
+        }
+        // Flatten the source plan.
+        self.plan_src.clear();
+        self.plan_range.clear();
+        for node in &self.nodes {
+            let start = self.plan_src.len() as u32;
+            for src in node.sources.iter().flatten() {
+                let flat = self.nodes[src.0 .0].val_off + src.1 as u32;
+                self.plan_src.push(flat);
+            }
+            self.plan_range.push((start, self.plan_src.len() as u32));
+        }
+        self.seq_nodes =
+            (0..n as u32).filter(|&i| !self.nodes[i as usize].is_combinational()).collect();
+        self.schedule = order;
+        self.compiled = true;
+        Ok(())
+    }
+
+    /// Resolves a `Gateway In` name to a handle for per-cycle use in hot
+    /// loops (the co-simulation engine resolves once at attach time).
+    pub fn input_handle(&self, name: &str) -> Result<InputHandle, GraphError> {
+        let id = *self
+            .inputs
+            .get(name)
+            .ok_or_else(|| GraphError::NoSuchGateway { name: name.into() })?;
+        Ok(InputHandle(id.0))
+    }
+
+    /// Resolves a `Gateway Out` name to a handle.
+    pub fn output_handle(&self, name: &str) -> Result<OutputHandle, GraphError> {
+        let flat = *self
+            .outputs
+            .get(name)
+            .ok_or_else(|| GraphError::NoSuchGateway { name: name.into() })?;
+        Ok(OutputHandle(flat))
+    }
+
+    /// Sets a `Gateway In` through a resolved handle (no name lookup).
+    #[inline]
+    pub fn set_input_fast(&mut self, handle: InputHandle, value: Fix) {
+        match &mut self.nodes[handle.0].kind {
+            Kind::Input { fmt, value: slot } => {
+                *slot = value.convert(*fmt, Overflow::Wrap, Rounding::Truncate);
+            }
+            Kind::Block(_) => unreachable!("gateway registry points at a block"),
+        }
+    }
+
+    /// Reads a `Gateway Out` through a resolved handle (no name lookup).
+    #[inline]
+    pub fn output_fast(&self, handle: OutputHandle) -> Fix {
+        self.values[handle.0]
+    }
+
+    /// Sets the value of a `Gateway In` for the upcoming cycle.
+    pub fn set_input(&mut self, name: &str, value: Fix) -> Result<(), GraphError> {
+        let handle = self.input_handle(name)?;
+        self.set_input_fast(handle, value);
+        Ok(())
+    }
+
+    /// Reads a `Gateway Out` value as settled by the last `step`.
+    pub fn output(&self, name: &str) -> Result<Fix, GraphError> {
+        Ok(self.output_fast(self.output_handle(name)?))
+    }
+
+    /// Reads any port's settled value (probing, for tests and tools).
+    pub fn value(&self, node: NodeId, port: usize) -> Fix {
+        self.values[self.nodes[node.0].val_off as usize + port]
+    }
+
+    /// Advances the design by one clock cycle.
+    ///
+    /// # Panics
+    /// Panics if the graph was modified since the last successful
+    /// [`Graph::compile`].
+    pub fn step(&mut self) {
+        assert!(self.compiled, "Graph::compile must succeed before step");
+        let Graph { nodes, values, schedule, seq_nodes, plan_src, plan_range, scratch, .. } =
+            self;
+        // Phase 1: settle combinational logic in topological order.
+        for &i in schedule.iter() {
+            let i = i as usize;
+            let node = &nodes[i];
+            let (s, e) = plan_range[i];
+            scratch.clear();
+            for &src in &plan_src[s as usize..e as usize] {
+                scratch.push(values[src as usize]);
+            }
+            let off = node.val_off as usize;
+            match &node.kind {
+                Kind::Block(b) => b.eval(scratch, &mut values[off..off + node.val_len as usize]),
+                Kind::Input { value, .. } => values[off] = *value,
+            }
+        }
+        // Phase 2: clock edge — every sequential block latches from the
+        // settled values.
+        for &i in seq_nodes.iter() {
+            let i = i as usize;
+            let (s, e) = plan_range[i];
+            scratch.clear();
+            for &src in &plan_src[s as usize..e as usize] {
+                scratch.push(values[src as usize]);
+            }
+            if let Kind::Block(b) = &mut nodes[i].kind {
+                b.clock(scratch);
+            }
+        }
+        for (_, idx, samples) in &mut self.probes {
+            samples.push(self.values[*idx]);
+        }
+        self.cycle += 1;
+    }
+
+    /// Runs `n` cycles.
+    pub fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Total cycles simulated.
+    pub fn cycles(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the design has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Total estimated resources of every block in the design.
+    pub fn resources(&self) -> Resources {
+        self.nodes
+            .iter()
+            .map(|n| match &n.kind {
+                Kind::Block(b) => b.resources(),
+                Kind::Input { .. } => Resources::ZERO,
+            })
+            .sum()
+    }
+
+    /// Resets all sequential state, port values and the cycle counter.
+    pub fn reset(&mut self) {
+        for node in &mut self.nodes {
+            match &mut node.kind {
+                Kind::Block(b) => b.reset(),
+                Kind::Input { fmt, value } => *value = Fix::zero(*fmt),
+            }
+        }
+        for v in &mut self.values {
+            *v = Fix::zero(v.fmt());
+        }
+        self.cycle = 0;
+    }
+
+    /// Attaches a scope probe (the Simulink scope analog): the settled
+    /// value of the port is recorded every cycle from now on.
+    pub fn add_probe(&mut self, name: impl Into<String>, node: NodeId, port: usize) {
+        let idx = self.nodes[node.0].val_off as usize + port;
+        self.probes.push((name.into(), idx, Vec::new()));
+    }
+
+    /// Samples recorded by a named probe, one per simulated cycle.
+    pub fn probe_samples(&self, name: &str) -> Option<&[Fix]> {
+        self.probes.iter().find(|(n, _, _)| n == name).map(|(_, _, s)| s.as_slice())
+    }
+
+    /// Renders every probe's samples as CSV (`cycle,probe1,probe2,...`),
+    /// for plotting with external tools.
+    pub fn probes_to_csv(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("cycle");
+        for (name, _, _) in &self.probes {
+            let _ = write!(out, ",{name}");
+        }
+        out.push('\n');
+        let rows = self.probes.iter().map(|(_, _, s)| s.len()).max().unwrap_or(0);
+        for row in 0..rows {
+            let _ = write!(out, "{row}");
+            for (_, _, samples) in &self.probes {
+                match samples.get(row) {
+                    Some(v) => {
+                        let _ = write!(out, ",{}", v.to_f64());
+                    }
+                    None => out.push(','),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Names of all gateway inputs.
+    pub fn input_names(&self) -> impl Iterator<Item = &str> {
+        self.inputs.keys().map(String::as_str)
+    }
+
+    /// Names of all gateway outputs.
+    pub fn output_names(&self) -> impl Iterator<Item = &str> {
+        self.outputs.keys().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::{AddSub, AddSubOp, Constant, Delay};
+
+    const I16: FixFmt = FixFmt::INT16;
+
+    #[test]
+    fn unconnected_input_rejected() {
+        let mut g = Graph::new();
+        let _ = g.add("add", AddSub::new(AddSubOp::Add, I16));
+        let err = g.compile().unwrap_err();
+        assert!(matches!(err, GraphError::UnconnectedInput { .. }));
+    }
+
+    #[test]
+    fn double_drive_rejected() {
+        let mut g = Graph::new();
+        let c = g.add("c", Constant::int(1, I16));
+        let d = g.add("d", Delay::new(I16, 1));
+        g.wire(c, d, 0).unwrap();
+        let err = g.wire(c, d, 0).unwrap_err();
+        assert!(matches!(err, GraphError::DoubleDrive { .. }));
+    }
+
+    #[test]
+    fn bad_ports_rejected() {
+        let mut g = Graph::new();
+        let c = g.add("c", Constant::int(1, I16));
+        let d = g.add("d", Delay::new(I16, 1));
+        assert!(matches!(g.connect(c, 5, d, 0), Err(GraphError::BadPort { .. })));
+        assert!(matches!(g.connect(c, 0, d, 9), Err(GraphError::BadPort { .. })));
+    }
+
+    #[test]
+    fn unknown_gateway_errors() {
+        let g = Graph::new();
+        assert!(matches!(g.output("nope"), Err(GraphError::NoSuchGateway { .. })));
+        assert!(g.input_handle("nope").is_err());
+    }
+
+    #[test]
+    fn reset_clears_state_and_cycle_count() {
+        let mut g = Graph::new();
+        let x = g.gateway_in("x", I16);
+        let d = g.add("d", Delay::new(I16, 1));
+        g.wire(x, d, 0).unwrap();
+        g.gateway_out("y", d, 0);
+        g.compile().unwrap();
+        g.set_input("x", Fix::from_int(9, I16)).unwrap();
+        g.run(3);
+        assert_eq!(g.cycles(), 3);
+        assert_eq!(g.output("y").unwrap().raw(), 9);
+        g.reset();
+        assert_eq!(g.cycles(), 0);
+        assert_eq!(g.output("y").unwrap().raw(), 0);
+        g.step();
+        assert_eq!(g.output("y").unwrap().raw(), 0, "input was reset too");
+    }
+
+    #[test]
+    fn probes_record_per_cycle_values() {
+        let mut g = Graph::new();
+        let x = g.gateway_in("x", I16);
+        let d = g.add("d", Delay::new(I16, 1));
+        g.wire(x, d, 0).unwrap();
+        g.add_probe("delayed", d, 0);
+        g.compile().unwrap();
+        for i in 1..=4 {
+            g.set_input("x", Fix::from_int(i, I16)).unwrap();
+            g.step();
+        }
+        let samples: Vec<i64> =
+            g.probe_samples("delayed").unwrap().iter().map(|v| v.raw()).collect();
+        assert_eq!(samples, vec![0, 1, 2, 3]);
+        let csv = g.probes_to_csv();
+        assert!(csv.starts_with("cycle,delayed\n"));
+        assert!(csv.contains("3,3"));
+        assert!(g.probe_samples("missing").is_none());
+    }
+
+    #[test]
+    fn handles_match_named_access() {
+        let mut g = Graph::new();
+        let x = g.gateway_in("x", I16);
+        let d = g.add("d", Delay::new(I16, 1));
+        g.wire(x, d, 0).unwrap();
+        g.gateway_out("y", d, 0);
+        g.compile().unwrap();
+        let hx = g.input_handle("x").unwrap();
+        let hy = g.output_handle("y").unwrap();
+        g.set_input_fast(hx, Fix::from_int(5, I16));
+        g.step();
+        g.step();
+        assert_eq!(g.output_fast(hy), g.output("y").unwrap());
+        assert_eq!(g.output_fast(hy).raw(), 5);
+    }
+}

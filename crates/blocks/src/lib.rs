@@ -1,0 +1,108 @@
+//! # softsim-blocks — high-level cycle-accurate hardware simulation
+//!
+//! The MATLAB/Simulink + Xilinx System Generator analog in the `softsim`
+//! reproduction: customized hardware peripherals are described as graphs
+//! of fixed-point blocks and simulated **cycle-accurately at the
+//! arithmetic level** — the paper's key abstraction. Low-level details
+//! (whether a multiplier is slice-based or embedded, how a FIFO is
+//! buffered) affect only the *resource estimates*, never the simulated
+//! values or cycle counts.
+//!
+//! * [`fix`] — the bit-accurate fixed-point value type;
+//! * [`block`] — the block trait (two-phase evaluate/clock);
+//! * [`graph`] — design graphs with gateway I/O and the synchronous
+//!   scheduler;
+//! * [`library`] — the standard blockset (add/sub, mult, delay, mux, ...);
+//! * [`resource`] — per-block FPGA resource estimates (§III-C).
+
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod fix;
+pub mod gen;
+pub mod graph;
+pub mod library;
+pub mod resource;
+
+pub use block::Block;
+pub use fix::{Fix, FixFmt, Overflow, Rounding};
+pub use graph::{Graph, GraphError, NodeId};
+pub use resource::Resources;
+
+#[cfg(test)]
+mod proptests {
+    use crate::fix::{Fix, FixFmt, Overflow, Rounding};
+    use proptest::prelude::*;
+
+    fn fmt_strategy() -> impl Strategy<Value = FixFmt> {
+        (1u8..=32, -8i8..=32, any::<bool>()).prop_map(|(word, frac, signed)| FixFmt {
+            word,
+            frac,
+            signed,
+        })
+    }
+
+    fn fix_strategy() -> impl Strategy<Value = Fix> {
+        fmt_strategy().prop_flat_map(|fmt| {
+            (fmt.min_raw()..=fmt.max_raw()).prop_map(move |raw| Fix::from_raw(raw, fmt))
+        })
+    }
+
+    proptest! {
+        /// Quantization always produces a representable value.
+        #[test]
+        fn quantize_in_range(v in any::<i64>(), frac in -8i8..=32, fmt in fmt_strategy(),
+                             sat in any::<bool>(), near in any::<bool>()) {
+            let ovf = if sat { Overflow::Saturate } else { Overflow::Wrap };
+            let rnd = if near { Rounding::Nearest } else { Rounding::Truncate };
+            let q = Fix::quantize(v as i128, frac, fmt, ovf, rnd);
+            prop_assert!(fmt.contains_raw(q.raw()));
+        }
+
+        /// Bit transport round-trips every value.
+        #[test]
+        fn bits_round_trip(x in fix_strategy()) {
+            prop_assert_eq!(Fix::from_bits(x.to_bits(), x.fmt()), x);
+        }
+
+        /// Full-precision add/sub agree with exact rational arithmetic
+        /// whenever the grown result format fits the 63-bit cap (f64 is
+        /// exact for these bit widths).
+        #[test]
+        fn full_precision_ops_exact(a in fix_strategy(), b in fix_strategy()) {
+            // The exact result needs max(int bits)+2 integer bits and the
+            // finer binary point; skip pairs that exceed the 63-bit cap.
+            let frac = a.fmt().frac.max(b.fmt().frac) as i32;
+            let int = (a.fmt().int_bits().max(b.fmt().int_bits()) as i32) + 2;
+            prop_assume!(int + frac <= 63 && a.fmt().word as i32 + frac - a.fmt().frac as i32 <= 52);
+            prop_assume!(b.fmt().word as i32 + frac - b.fmt().frac as i32 <= 52);
+            let s = a.add_full(&b);
+            prop_assert_eq!(s.to_f64(), a.to_f64() + b.to_f64());
+            let d = a.sub_full(&b);
+            prop_assert_eq!(d.to_f64(), a.to_f64() - b.to_f64());
+        }
+
+        /// Converting into a wider same-signedness format is lossless.
+        #[test]
+        fn widening_convert_lossless(x in fix_strategy()) {
+            let fmt = x.fmt();
+            if fmt.word <= 30 {
+                let wide = FixFmt { word: fmt.word + 2, frac: fmt.frac, signed: fmt.signed };
+                let y = x.convert(wide, Overflow::Wrap, Rounding::Truncate);
+                prop_assert_eq!(y.to_f64(), x.to_f64());
+            }
+        }
+
+        /// Saturating conversion is monotone: order never reverses.
+        #[test]
+        fn saturating_convert_monotone(a in fix_strategy(), b in fix_strategy(), target in fmt_strategy()) {
+            if a.fmt() == b.fmt() {
+                let ca = a.convert(target, Overflow::Saturate, Rounding::Truncate);
+                let cb = b.convert(target, Overflow::Saturate, Rounding::Truncate);
+                if a.raw() <= b.raw() {
+                    prop_assert!(ca.cmp_value(&cb) != std::cmp::Ordering::Greater);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! The standard block library — the analog of the System Generator
+//! blockset the paper's designs are assembled from.
+
+pub mod arith;
+pub mod logic;
+pub mod rate;
+pub mod seq;
+
+pub use arith::{AbsVal, AddSub, AddSubOp, Constant, Convert, Mult, Negate, Shift, ShiftDir};
+pub use logic::{Concat, Logical, LogicalOp, Mux, RelOp, Relational, Slice};
+pub use rate::{CMult, DownSample, DualPortRam, Threshold, UpSample};
+pub use seq::{Accumulator, Counter, Delay, Register, Rom, SinglePortRam, SyncFifo};

@@ -1,0 +1,99 @@
+//! FPGA resource estimates for hardware blocks.
+//!
+//! Each block reports the Virtex-II-Pro-era resources its low-level
+//! implementation would occupy — the System Generator "resource estimator"
+//! of §III-C. Counts are in slices (two 4-input LUTs + two flip-flops
+//! each), 18 Kbit block RAMs, and embedded 18×18 multipliers.
+
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul};
+
+/// A resource bill: slices, block RAMs and embedded multipliers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Resources {
+    /// Logic slices.
+    pub slices: u32,
+    /// 18 Kbit block RAMs.
+    pub brams: u32,
+    /// Embedded 18×18 multipliers.
+    pub mult18s: u32,
+}
+
+impl Resources {
+    /// No resources.
+    pub const ZERO: Resources = Resources { slices: 0, brams: 0, mult18s: 0 };
+
+    /// Only slices.
+    pub const fn slices(n: u32) -> Resources {
+        Resources { slices: n, brams: 0, mult18s: 0 }
+    }
+
+    /// Slices consumed by `bits` flip-flops (two per slice).
+    ///
+    /// Registers that follow arithmetic usually pack into the same slices,
+    /// so callers may choose to report zero instead; this helper is for
+    /// standalone registers.
+    pub const fn ff_slices(bits: u32) -> u32 {
+        bits.div_ceil(2)
+    }
+
+    /// Slices consumed by a `bits`-wide adder/subtractor (one bit of
+    /// carry-chain per LUT, two LUTs per slice).
+    pub const fn adder_slices(bits: u32) -> u32 {
+        bits.div_ceil(2)
+    }
+}
+
+impl Add for Resources {
+    type Output = Resources;
+    fn add(self, rhs: Resources) -> Resources {
+        Resources {
+            slices: self.slices + rhs.slices,
+            brams: self.brams + rhs.brams,
+            mult18s: self.mult18s + rhs.mult18s,
+        }
+    }
+}
+
+impl AddAssign for Resources {
+    fn add_assign(&mut self, rhs: Resources) {
+        *self = *self + rhs;
+    }
+}
+
+impl Mul<u32> for Resources {
+    type Output = Resources;
+    fn mul(self, n: u32) -> Resources {
+        Resources { slices: self.slices * n, brams: self.brams * n, mult18s: self.mult18s * n }
+    }
+}
+
+impl Sum for Resources {
+    fn sum<I: Iterator<Item = Resources>>(iter: I) -> Resources {
+        iter.fold(Resources::ZERO, Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Resources { slices: 10, brams: 1, mult18s: 2 };
+        let b = Resources::slices(5);
+        assert_eq!((a + b).slices, 15);
+        assert_eq!((a * 3).mult18s, 6);
+        let total: Resources = [a, b, Resources::ZERO].into_iter().sum();
+        assert_eq!(total.slices, 15);
+        assert_eq!(total.brams, 1);
+    }
+
+    #[test]
+    fn sizing_helpers() {
+        assert_eq!(Resources::ff_slices(16), 8);
+        assert_eq!(Resources::ff_slices(17), 9);
+        assert_eq!(Resources::adder_slices(32), 16);
+        assert_eq!(Resources::adder_slices(1), 1);
+    }
+}

@@ -1,0 +1,281 @@
+//! Cycle-accurate arithmetic-level model of the Xilinx Fast Simplex Link.
+//!
+//! FSLs are the unidirectional FIFO channels through which MicroBlaze talks
+//! to customized hardware peripherals (§III-B of the paper). Each channel
+//! carries 32-bit words tagged with a *control* bit; the processor sees a
+//! `full` flag on its write side and an `exists` flag on its read side. The
+//! paper's co-simulator models exactly these flags plus the FIFO contents —
+//! "the high-level simulation of the communication interface only captures
+//! the arithmetic aspects of the communication protocols regardless
+//! of whether the data buffering ... is realized using registers, slices
+//! or embedded memory blocks."
+
+use std::collections::VecDeque;
+
+/// Default FSL FIFO depth (the Xilinx FSL macro default).
+pub const DEFAULT_DEPTH: usize = 16;
+
+/// One word traveling over an FSL: 32 data bits plus the control bit.
+///
+/// The applications in the paper use the control bit to mark configuration
+/// words (the CORDIC `C0` constant, the matrix-B block elements).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FslWord {
+    /// The 32-bit payload.
+    pub data: u32,
+    /// The control flag (`Out#_control` on the reader side).
+    pub control: bool,
+}
+
+impl FslWord {
+    /// A data word (control bit clear).
+    pub const fn data(data: u32) -> FslWord {
+        FslWord { data, control: false }
+    }
+
+    /// A control word (control bit set).
+    pub const fn control(data: u32) -> FslWord {
+        FslWord { data, control: true }
+    }
+}
+
+/// Occupancy and traffic statistics for one FSL channel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FslStats {
+    /// Total words pushed.
+    pub pushes: u64,
+    /// Total words popped.
+    pub pops: u64,
+    /// Push attempts rejected because the FIFO was full.
+    pub full_rejections: u64,
+    /// Pop attempts rejected because the FIFO was empty.
+    pub empty_rejections: u64,
+    /// High-water mark of FIFO occupancy.
+    pub max_occupancy: usize,
+}
+
+/// A single unidirectional FSL FIFO channel.
+#[derive(Debug, Clone)]
+pub struct FslFifo {
+    queue: VecDeque<FslWord>,
+    depth: usize,
+    stats: FslStats,
+}
+
+impl Default for FslFifo {
+    fn default() -> Self {
+        FslFifo::new(DEFAULT_DEPTH)
+    }
+}
+
+impl FslFifo {
+    /// Creates a channel with the given FIFO depth.
+    ///
+    /// # Panics
+    /// Panics if `depth == 0`.
+    pub fn new(depth: usize) -> FslFifo {
+        assert!(depth > 0, "FSL FIFO depth must be positive");
+        FslFifo { queue: VecDeque::with_capacity(depth), depth, stats: FslStats::default() }
+    }
+
+    /// FIFO capacity in words.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when no word is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// The `FSL#_full` flag the writer observes.
+    pub fn full(&self) -> bool {
+        self.queue.len() >= self.depth
+    }
+
+    /// The `FSL#_exists` flag the reader observes.
+    pub fn exists(&self) -> bool {
+        !self.queue.is_empty()
+    }
+
+    /// Attempts to push one word; returns `false` (and leaves the FIFO
+    /// unchanged) when full. Matches the blocking-write stall condition.
+    pub fn try_push(&mut self, word: FslWord) -> bool {
+        if self.full() {
+            self.stats.full_rejections += 1;
+            return false;
+        }
+        self.queue.push_back(word);
+        self.stats.pushes += 1;
+        self.stats.max_occupancy = self.stats.max_occupancy.max(self.queue.len());
+        true
+    }
+
+    /// Attempts to pop one word; `None` when empty.
+    pub fn try_pop(&mut self) -> Option<FslWord> {
+        match self.queue.pop_front() {
+            Some(w) => {
+                self.stats.pops += 1;
+                Some(w)
+            }
+            None => {
+                self.stats.empty_rejections += 1;
+                None
+            }
+        }
+    }
+
+    /// The word at the head without consuming it.
+    pub fn peek(&self) -> Option<FslWord> {
+        self.queue.front().copied()
+    }
+
+    /// Traffic statistics.
+    pub fn stats(&self) -> FslStats {
+        self.stats
+    }
+
+    /// Empties the FIFO (reset).
+    pub fn clear(&mut self) {
+        self.queue.clear();
+    }
+}
+
+/// Number of FSL channels per direction on MicroBlaze.
+pub const CHANNELS: usize = 8;
+
+/// The full set of FSL channels attached to a soft processor:
+/// eight *master* (processor → hardware) and eight *slave*
+/// (hardware → processor) channels, as on MicroBlaze.
+#[derive(Debug, Clone)]
+pub struct FslBank {
+    /// Processor → peripheral channels (CPU `put` side).
+    to_hw: [FslFifo; CHANNELS],
+    /// Peripheral → processor channels (CPU `get` side).
+    from_hw: [FslFifo; CHANNELS],
+}
+
+impl Default for FslBank {
+    fn default() -> Self {
+        FslBank::new(DEFAULT_DEPTH)
+    }
+}
+
+impl FslBank {
+    /// Creates a bank with uniform FIFO depth.
+    pub fn new(depth: usize) -> FslBank {
+        FslBank {
+            to_hw: std::array::from_fn(|_| FslFifo::new(depth)),
+            from_hw: std::array::from_fn(|_| FslFifo::new(depth)),
+        }
+    }
+
+    /// Processor-to-hardware channel `ch` (the CPU writes here).
+    pub fn to_hw(&mut self, ch: usize) -> &mut FslFifo {
+        &mut self.to_hw[ch]
+    }
+
+    /// Hardware-to-processor channel `ch` (the CPU reads here).
+    pub fn from_hw(&mut self, ch: usize) -> &mut FslFifo {
+        &mut self.from_hw[ch]
+    }
+
+    /// Immutable view of a processor-to-hardware channel.
+    pub fn to_hw_ref(&self, ch: usize) -> &FslFifo {
+        &self.to_hw[ch]
+    }
+
+    /// Immutable view of a hardware-to-processor channel.
+    pub fn from_hw_ref(&self, ch: usize) -> &FslFifo {
+        &self.from_hw[ch]
+    }
+
+    /// Resets every FIFO.
+    pub fn clear(&mut self) {
+        for f in self.to_hw.iter_mut().chain(self.from_hw.iter_mut()) {
+            f.clear();
+        }
+    }
+
+    /// Total words currently buffered in both directions.
+    pub fn words_in_flight(&self) -> usize {
+        self.to_hw.iter().chain(self.from_hw.iter()).map(FslFifo::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_is_first_in_first_out() {
+        let mut f = FslFifo::new(4);
+        assert!(f.try_push(FslWord::data(1)));
+        assert!(f.try_push(FslWord::control(2)));
+        assert_eq!(f.try_pop(), Some(FslWord::data(1)));
+        assert_eq!(f.try_pop(), Some(FslWord::control(2)));
+        assert_eq!(f.try_pop(), None);
+    }
+
+    #[test]
+    fn full_and_exists_flags() {
+        let mut f = FslFifo::new(2);
+        assert!(!f.exists());
+        assert!(!f.full());
+        f.try_push(FslWord::data(1));
+        assert!(f.exists());
+        f.try_push(FslWord::data(2));
+        assert!(f.full());
+        assert!(!f.try_push(FslWord::data(3)), "push into full FIFO must fail");
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn stats_track_traffic_and_high_water() {
+        let mut f = FslFifo::new(2);
+        f.try_push(FslWord::data(1));
+        f.try_push(FslWord::data(2));
+        f.try_push(FslWord::data(3)); // rejected
+        f.try_pop();
+        f.try_pop();
+        f.try_pop(); // rejected
+        let s = f.stats();
+        assert_eq!(s.pushes, 2);
+        assert_eq!(s.pops, 2);
+        assert_eq!(s.full_rejections, 1);
+        assert_eq!(s.empty_rejections, 1);
+        assert_eq!(s.max_occupancy, 2);
+    }
+
+    #[test]
+    fn control_bit_survives_transit() {
+        let mut bank = FslBank::default();
+        bank.to_hw(0).try_push(FslWord::control(0xC0));
+        bank.to_hw(0).try_push(FslWord::data(0xD0));
+        let w0 = bank.to_hw(0).try_pop().unwrap();
+        let w1 = bank.to_hw(0).try_pop().unwrap();
+        assert!(w0.control && w0.data == 0xC0);
+        assert!(!w1.control && w1.data == 0xD0);
+    }
+
+    #[test]
+    fn bank_directions_are_independent() {
+        let mut bank = FslBank::new(4);
+        bank.to_hw(3).try_push(FslWord::data(7));
+        assert!(bank.from_hw(3).is_empty());
+        assert_eq!(bank.words_in_flight(), 1);
+        bank.clear();
+        assert_eq!(bank.words_in_flight(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "depth must be positive")]
+    fn zero_depth_rejected() {
+        let _ = FslFifo::new(0);
+    }
+}

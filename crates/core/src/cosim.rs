@@ -1,0 +1,292 @@
+//! The hardware/software co-simulation engine.
+//!
+//! [`CoSim`] is the Rust realization of the paper's contribution (Fig. 1 /
+//! Fig. 2): it advances, in lock-step and one clock cycle at a time,
+//!
+//! 1. the **software execution platform** — the cycle-accurate MB32
+//!    instruction-set simulator;
+//! 2. the **communication interface** — the FSL FIFO models with their
+//!    blocking/non-blocking semantics; and
+//! 3. the **customized hardware peripherals** — the high-level
+//!    arithmetic block graph.
+//!
+//! Because every component is cycle-accurate, the functional behavior per
+//! simulated clock matches the low-level implementation (validated against
+//! the event-driven RTL model in the integration tests), while the
+//! simulation itself runs one to two orders of magnitude faster — the
+//! paper's headline result.
+
+use crate::binding::{FslFromHw, FslToHw};
+use softsim_blocks::graph::{InputHandle, OutputHandle};
+use softsim_blocks::{Fix, FixFmt, Graph};
+use softsim_bus::{FslBank, FslWord};
+use softsim_iss::{Cpu, CpuStats, Event, Fault};
+use softsim_isa::{CpuConfig, Image};
+
+/// The clock frequency of the paper's experiments (§IV): 50 MHz on the
+/// ML300 Virtex-II Pro board.
+pub const PAPER_CLOCK_HZ: f64 = 50e6;
+
+/// Why a co-simulation run stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoSimStop {
+    /// The software executed `halt`.
+    Halted,
+    /// The cycle budget was exhausted.
+    CycleLimit,
+    /// The processor faulted.
+    Fault(Fault),
+}
+
+/// Counters describing the hardware side of a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HwStats {
+    /// Words delivered from the CPU-side FIFOs into gateway inputs.
+    pub words_to_hw: u64,
+    /// Words pushed from gateway outputs into the CPU-side FIFOs.
+    pub words_from_hw: u64,
+    /// Result words dropped because the return FIFO was full — a design
+    /// error the paper avoids by sizing data sets to FIFO capacity; tests
+    /// assert this stays zero.
+    pub output_overflows: u64,
+}
+
+/// Resolved processor → hardware wiring (handles, no name lookups in the
+/// per-cycle path).
+struct ResolvedIn {
+    channel: usize,
+    data: InputHandle,
+    valid: InputHandle,
+    control: Option<InputHandle>,
+    ready: Option<OutputHandle>,
+}
+
+/// Resolved hardware → processor wiring.
+struct ResolvedOut {
+    channel: usize,
+    data: OutputHandle,
+    valid: OutputHandle,
+    control: Option<OutputHandle>,
+}
+
+/// A customized hardware peripheral attached over FSLs.
+pub struct Peripheral {
+    graph: Graph,
+    inputs: Vec<ResolvedIn>,
+    outputs: Vec<ResolvedOut>,
+}
+
+impl Peripheral {
+    /// Wraps a compiled block graph with its FSL wiring.
+    ///
+    /// # Panics
+    /// Panics if a binding names a gateway the graph does not declare
+    /// (checked eagerly so misconfigurations fail at attach time).
+    pub fn new(graph: Graph, inputs: Vec<FslToHw>, outputs: Vec<FslFromHw>) -> Peripheral {
+        let resolve_in = |name: &str| {
+            graph
+                .input_handle(name)
+                .unwrap_or_else(|_| panic!("missing gateway-in `{name}`"))
+        };
+        let resolve_out = |name: &str| {
+            graph
+                .output_handle(name)
+                .unwrap_or_else(|_| panic!("missing gateway-out `{name}`"))
+        };
+        let inputs = inputs
+            .iter()
+            .map(|b| ResolvedIn {
+                channel: b.channel,
+                data: resolve_in(&b.data),
+                valid: resolve_in(&b.valid),
+                control: b.control.as_deref().map(resolve_in),
+                ready: b.ready.as_deref().map(resolve_out),
+            })
+            .collect();
+        let outputs = outputs
+            .iter()
+            .map(|b| ResolvedOut {
+                channel: b.channel,
+                data: resolve_out(&b.data),
+                valid: resolve_out(&b.valid),
+                control: b.control.as_deref().map(resolve_out),
+            })
+            .collect();
+        Peripheral { graph, inputs, outputs }
+    }
+
+    /// The underlying block graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+}
+
+/// The co-simulator: one soft processor, its FSL channels, and an
+/// optional customized hardware peripheral.
+pub struct CoSim {
+    cpu: Cpu,
+    fsl: FslBank,
+    peripherals: Vec<Peripheral>,
+    hw_stats: HwStats,
+    clock_hz: f64,
+}
+
+impl CoSim {
+    /// A co-simulator running `image` with no hardware peripheral
+    /// ("pure software" configurations in the paper's figures).
+    pub fn software_only(image: &Image) -> CoSim {
+        CoSim {
+            cpu: Cpu::with_default_memory(image),
+            fsl: FslBank::default(),
+            peripherals: Vec::new(),
+            hw_stats: HwStats::default(),
+            clock_hz: PAPER_CLOCK_HZ,
+        }
+    }
+
+    /// A co-simulator with a customized hardware peripheral attached.
+    pub fn with_peripheral(image: &Image, peripheral: Peripheral) -> CoSim {
+        let mut sim = CoSim::software_only(image);
+        sim.add_peripheral(peripheral);
+        sim
+    }
+
+    /// A co-simulator with an explicit processor configuration (optional
+    /// barrel shifter / multiplier / divider — the soft-processor
+    /// configuration dimension of the design space).
+    pub fn with_config(image: &Image, config: CpuConfig, peripheral: Option<Peripheral>) -> CoSim {
+        let mut sim = CoSim {
+            cpu: Cpu::with_config(image, config),
+            fsl: FslBank::default(),
+            peripherals: Vec::new(),
+            hw_stats: HwStats::default(),
+            clock_hz: PAPER_CLOCK_HZ,
+        };
+        if let Some(p) = peripheral {
+            sim.add_peripheral(p);
+        }
+        sim
+    }
+
+    /// Attaches a further customized hardware peripheral. Each FSL
+    /// channel may be claimed by at most one peripheral per direction.
+    ///
+    /// # Panics
+    /// Panics on a channel conflict with an already-attached peripheral.
+    pub fn add_peripheral(&mut self, peripheral: Peripheral) {
+        for existing in &self.peripherals {
+            for b in &peripheral.inputs {
+                assert!(
+                    existing.inputs.iter().all(|e| e.channel != b.channel),
+                    "input FSL channel {} already claimed",
+                    b.channel
+                );
+            }
+            for b in &peripheral.outputs {
+                assert!(
+                    existing.outputs.iter().all(|e| e.channel != b.channel),
+                    "output FSL channel {} already claimed",
+                    b.channel
+                );
+            }
+        }
+        self.peripherals.push(peripheral);
+    }
+
+    /// Overrides the modeled clock frequency (default 50 MHz).
+    pub fn set_clock_hz(&mut self, hz: f64) {
+        self.clock_hz = hz;
+    }
+
+    /// The processor model.
+    pub fn cpu(&self) -> &Cpu {
+        &self.cpu
+    }
+
+    /// Mutable access to the processor (for debugger-style interaction).
+    pub fn cpu_mut(&mut self) -> &mut Cpu {
+        &mut self.cpu
+    }
+
+    /// The FSL channels.
+    pub fn fsl(&self) -> &FslBank {
+        &self.fsl
+    }
+
+    /// Hardware-side statistics.
+    pub fn hw_stats(&self) -> HwStats {
+        self.hw_stats
+    }
+
+    /// Software-side statistics.
+    pub fn cpu_stats(&self) -> CpuStats {
+        self.cpu.stats()
+    }
+
+    /// Simulated time so far, in microseconds at the modeled clock.
+    pub fn time_us(&self) -> f64 {
+        self.cpu.stats().time_us(self.clock_hz)
+    }
+
+    /// Advances the whole system by one clock cycle.
+    pub fn step(&mut self) -> Event {
+        let event = self.cpu.tick(&mut self.fsl);
+        for p in &mut self.peripherals {
+            // Feed gateway inputs from the processor-side FIFOs. The
+            // peripheral's `ready` output (settled last cycle) gates
+            // consumption.
+            for b in &p.inputs {
+                let ready = match b.ready {
+                    Some(h) => !p.graph.output_fast(h).is_zero(),
+                    None => true,
+                };
+                let word = if ready { self.fsl.to_hw(b.channel).try_pop() } else { None };
+                let (data, valid, ctrl) = match word {
+                    Some(w) => {
+                        self.hw_stats.words_to_hw += 1;
+                        (w.data, true, w.control)
+                    }
+                    None => (0, false, false),
+                };
+                p.graph.set_input_fast(b.data, Fix::from_bits(data as u64, FixFmt::INT32));
+                p.graph.set_input_fast(b.valid, Fix::from_int(valid as i64, FixFmt::BOOL));
+                if let Some(c) = b.control {
+                    p.graph.set_input_fast(c, Fix::from_int(ctrl as i64, FixFmt::BOOL));
+                }
+            }
+            p.graph.step();
+            // Drain gateway outputs into the return FIFOs.
+            for b in &p.outputs {
+                if p.graph.output_fast(b.valid).is_zero() {
+                    continue;
+                }
+                let data = p.graph.output_fast(b.data).to_bits() as u32;
+                let control = match b.control {
+                    Some(c) => !p.graph.output_fast(c).is_zero(),
+                    None => false,
+                };
+                if self.fsl.from_hw(b.channel).try_push(FslWord { data, control }) {
+                    self.hw_stats.words_from_hw += 1;
+                } else {
+                    self.hw_stats.output_overflows += 1;
+                }
+            }
+        }
+        event
+    }
+
+    /// Runs until the software halts, faults, or `max_cycles` elapse.
+    pub fn run(&mut self, max_cycles: u64) -> CoSimStop {
+        for _ in 0..max_cycles {
+            match self.step() {
+                Event::Halted => return CoSimStop::Halted,
+                Event::Retired { inst: softsim_isa::Inst::Halt, .. } => {
+                    return CoSimStop::Halted
+                }
+                Event::Fault(f) => return CoSimStop::Fault(f),
+                _ => {}
+            }
+        }
+        CoSimStop::CycleLimit
+    }
+}

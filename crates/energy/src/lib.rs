@@ -1,0 +1,284 @@
+//! # softsim-energy — rapid energy estimation for soft-processor systems
+//!
+//! The extension the paper names as future work in §V: "One important
+//! extension of our work is to provide rapid energy estimation for
+//! application development using soft processors", combining
+//!
+//! 1. an **instruction-level energy model** for software running on the
+//!    soft processor (the technique of Ou & Prasanna, SoCC 2004): each
+//!    instruction class carries a characterized per-execution energy, and
+//!    stall/idle cycles a base cost; and
+//! 2. a **domain-specific energy model for the hardware peripherals**
+//!    (the PyGen technique, FCCM 2004): per-cycle dynamic power derived
+//!    from the resources a design occupies, scaled by an activity factor.
+//!
+//! Both plug directly into the co-simulation engine: the statistics the
+//! cycle-accurate run already collects are exactly the inputs the models
+//! need, so energy comes "for free" with every co-simulated run.
+//!
+//! Energy constants are representative of a Virtex-II-Pro-era device at
+//! 50 MHz and 1.5 V; like the paper's performance numbers, *relative*
+//! comparisons between design points are the meaningful output.
+
+#![warn(missing_docs)]
+
+use softsim_blocks::Resources;
+use softsim_cosim::{CoSim, PAPER_CLOCK_HZ};
+use softsim_iss::CpuStats;
+
+/// Instruction-level energy model: nanojoules per instruction class
+/// (SoCC 2004 style characterization).
+#[derive(Debug, Clone, Copy)]
+pub struct InstructionEnergyModel {
+    /// Base energy of any retired instruction (fetch + decode + ALU).
+    pub base_nj: f64,
+    /// Extra energy of a multiply (three active array cycles).
+    pub multiply_extra_nj: f64,
+    /// Extra energy of a load (LMB + BRAM read).
+    pub load_extra_nj: f64,
+    /// Extra energy of a store.
+    pub store_extra_nj: f64,
+    /// Extra energy of a taken branch (pipeline flush).
+    pub branch_taken_extra_nj: f64,
+    /// Extra energy of an FSL transfer.
+    pub fsl_extra_nj: f64,
+    /// Energy of one stalled/idle processor cycle (clock tree + leakage
+    /// charged per cycle).
+    pub stall_cycle_nj: f64,
+}
+
+impl Default for InstructionEnergyModel {
+    fn default() -> Self {
+        InstructionEnergyModel {
+            base_nj: 0.90,
+            multiply_extra_nj: 0.65,
+            load_extra_nj: 0.60,
+            store_extra_nj: 0.55,
+            branch_taken_extra_nj: 0.35,
+            fsl_extra_nj: 0.40,
+            stall_cycle_nj: 0.25,
+        }
+    }
+}
+
+/// Hardware-side energy model: per-cycle dynamic power from resources
+/// (FCCM 2004 / PyGen style domain-specific characterization).
+#[derive(Debug, Clone, Copy)]
+pub struct HardwareEnergyModel {
+    /// Dynamic energy per active slice per cycle (pJ).
+    pub slice_pj_per_cycle: f64,
+    /// Dynamic energy per embedded multiplier per cycle (pJ).
+    pub mult18_pj_per_cycle: f64,
+    /// Dynamic energy per block RAM per cycle (pJ).
+    pub bram_pj_per_cycle: f64,
+    /// Fraction of the design toggling in a typical cycle.
+    pub activity: f64,
+}
+
+impl Default for HardwareEnergyModel {
+    fn default() -> Self {
+        HardwareEnergyModel {
+            slice_pj_per_cycle: 6.0,
+            mult18_pj_per_cycle: 45.0,
+            bram_pj_per_cycle: 60.0,
+            activity: 0.25,
+        }
+    }
+}
+
+/// Static (quiescent) power model — the motivation the paper cites from
+/// Tuan & Lai for preferring compact designs.
+#[derive(Debug, Clone, Copy)]
+pub struct StaticPowerModel {
+    /// Quiescent power per occupied slice (µW).
+    pub uw_per_slice: f64,
+}
+
+impl Default for StaticPowerModel {
+    fn default() -> Self {
+        StaticPowerModel { uw_per_slice: 4.0 }
+    }
+}
+
+/// An energy report for one co-simulated run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyReport {
+    /// Software (processor) dynamic energy, nJ.
+    pub software_nj: f64,
+    /// Hardware-peripheral dynamic energy, nJ.
+    pub hardware_nj: f64,
+    /// Static (quiescent) energy over the run, nJ.
+    pub static_nj: f64,
+    /// Execution time in µs.
+    pub time_us: f64,
+}
+
+impl EnergyReport {
+    /// Total energy in nJ.
+    pub fn total_nj(&self) -> f64 {
+        self.software_nj + self.hardware_nj + self.static_nj
+    }
+
+    /// Average power in mW over the run.
+    pub fn average_mw(&self) -> f64 {
+        if self.time_us <= 0.0 {
+            return 0.0;
+        }
+        self.total_nj() / 1000.0 / (self.time_us / 1000.0)
+    }
+}
+
+/// Instruction-level software energy from co-simulation statistics.
+pub fn software_energy_nj(stats: &CpuStats, model: &InstructionEnergyModel) -> f64 {
+    let fsl_ops = stats.fsl_words_sent + stats.fsl_words_received + stats.fsl_nonblocking_misses;
+    stats.instructions as f64 * model.base_nj
+        + stats.multiplies as f64 * model.multiply_extra_nj
+        + stats.mem_reads as f64 * model.load_extra_nj
+        + stats.mem_writes as f64 * model.store_extra_nj
+        + stats.taken_branches as f64 * model.branch_taken_extra_nj
+        + fsl_ops as f64 * model.fsl_extra_nj
+        + stats.fsl_stalls() as f64 * model.stall_cycle_nj
+}
+
+/// Domain-specific hardware energy for a peripheral occupying
+/// `resources`, clocked for `cycles`.
+pub fn hardware_energy_nj(resources: Resources, cycles: u64, model: &HardwareEnergyModel) -> f64 {
+    let per_cycle_pj = model.activity
+        * (resources.slices as f64 * model.slice_pj_per_cycle
+            + resources.mult18s as f64 * model.mult18_pj_per_cycle
+            + resources.brams as f64 * model.bram_pj_per_cycle);
+    per_cycle_pj * cycles as f64 / 1000.0
+}
+
+/// Static energy for a whole system occupying `system_resources` for the
+/// duration of the run.
+pub fn static_energy_nj(system_resources: Resources, time_us: f64, model: &StaticPowerModel) -> f64 {
+    // µW × µs = pJ.
+    system_resources.slices as f64 * model.uw_per_slice * time_us / 1000.0
+}
+
+/// Full system energy for a completed co-simulation run.
+///
+/// `peripheral_resources` is the customized hardware attached (zero for
+/// pure-software configurations); `system_resources` the whole design's
+/// footprint (from `softsim_resource::estimate_system`).
+pub fn cosim_energy(
+    sim: &CoSim,
+    peripheral_resources: Resources,
+    system_resources: Resources,
+) -> EnergyReport {
+    let stats = sim.cpu_stats();
+    let time_us = stats.cycles as f64 / PAPER_CLOCK_HZ * 1e6;
+    EnergyReport {
+        software_nj: software_energy_nj(&stats, &InstructionEnergyModel::default()),
+        hardware_nj: hardware_energy_nj(
+            peripheral_resources,
+            stats.cycles,
+            &HardwareEnergyModel::default(),
+        ),
+        static_nj: static_energy_nj(system_resources, time_us, &StaticPowerModel::default()),
+        time_us,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softsim_apps::cordic::hardware::{cordic_peripheral, pipeline_resources};
+    use softsim_apps::cordic::reference;
+    use softsim_apps::cordic::software::{hw_program, sw_program, CordicBatch, SwStyle};
+    use softsim_cosim::CoSimStop;
+    use softsim_isa::asm::assemble;
+
+    fn batch() -> CordicBatch {
+        CordicBatch::new(&[
+            (reference::to_fix(1.0), reference::to_fix(0.5)),
+            (reference::to_fix(1.5), reference::to_fix(1.2)),
+            (reference::to_fix(2.0), reference::to_fix(-1.0)),
+            (reference::to_fix(1.25), reference::to_fix(0.8)),
+        ])
+    }
+
+    #[test]
+    fn software_energy_counts_every_class() {
+        let stats = CpuStats {
+            cycles: 100,
+            instructions: 50,
+            multiplies: 5,
+            mem_reads: 10,
+            mem_writes: 8,
+            taken_branches: 6,
+            fsl_words_sent: 3,
+            fsl_words_received: 2,
+            fsl_read_stalls: 4,
+            ..Default::default()
+        };
+        let m = InstructionEnergyModel::default();
+        let e = software_energy_nj(&stats, &m);
+        let expect = 50.0 * m.base_nj
+            + 5.0 * m.multiply_extra_nj
+            + 10.0 * m.load_extra_nj
+            + 8.0 * m.store_extra_nj
+            + 6.0 * m.branch_taken_extra_nj
+            + 5.0 * m.fsl_extra_nj
+            + 4.0 * m.stall_cycle_nj;
+        assert!((e - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hardware_energy_scales_with_resources_and_cycles() {
+        let m = HardwareEnergyModel::default();
+        let small = hardware_energy_nj(Resources::slices(100), 1000, &m);
+        let big = hardware_energy_nj(Resources::slices(200), 1000, &m);
+        let long = hardware_energy_nj(Resources::slices(100), 2000, &m);
+        assert!((big / small - 2.0).abs() < 1e-9);
+        assert!((long / small - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hw_accelerated_cordic_saves_energy_despite_more_area() {
+        // The paper-era argument for offload: the accelerated run finishes
+        // so much earlier that total energy drops even though the design
+        // is larger and burns peripheral power.
+        let b = batch();
+        let sw_img = assemble(&sw_program(&b, 24, SwStyle::Compiled)).unwrap();
+        let mut sw = CoSim::software_only(&sw_img);
+        assert_eq!(sw.run(10_000_000), CoSimStop::Halted);
+        let sw_energy = cosim_energy(&sw, Resources::ZERO, Resources::slices(548));
+
+        let hw_img = assemble(&hw_program(&b, 24, 4)).unwrap();
+        let mut hw = CoSim::with_peripheral(&hw_img, cordic_peripheral(4));
+        assert_eq!(hw.run(10_000_000), CoSimStop::Halted);
+        let hw_energy = cosim_energy(&hw, pipeline_resources(4), Resources::slices(819));
+
+        assert!(
+            hw_energy.total_nj() < sw_energy.total_nj(),
+            "P=4 run should use less energy: {:.1} vs {:.1} nJ",
+            hw_energy.total_nj(),
+            sw_energy.total_nj()
+        );
+        assert!(hw_energy.time_us < sw_energy.time_us);
+        assert!(hw_energy.hardware_nj > 0.0 && sw_energy.hardware_nj == 0.0);
+    }
+
+    #[test]
+    fn average_power_is_plausible_for_the_device_class() {
+        // Soft-processor systems of this era draw tens to a few hundred mW.
+        let b = batch();
+        let img = assemble(&hw_program(&b, 24, 4)).unwrap();
+        let mut sim = CoSim::with_peripheral(&img, cordic_peripheral(4));
+        assert_eq!(sim.run(10_000_000), CoSimStop::Halted);
+        let e = cosim_energy(&sim, pipeline_resources(4), Resources::slices(819));
+        let mw = e.average_mw();
+        assert!((5.0..500.0).contains(&mw), "average power {mw:.1} mW");
+    }
+
+    #[test]
+    fn report_arithmetic() {
+        let r = EnergyReport { software_nj: 10.0, hardware_nj: 5.0, static_nj: 1.0, time_us: 2.0 };
+        assert!((r.total_nj() - 16.0).abs() < 1e-12);
+        assert!((r.average_mw() - 8.0).abs() < 1e-9);
+        let z = EnergyReport { software_nj: 0.0, hardware_nj: 0.0, static_nj: 0.0, time_us: 0.0 };
+        assert_eq!(z.average_mw(), 0.0);
+    }
+}

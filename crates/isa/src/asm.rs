@@ -1,0 +1,1148 @@
+//! The MB32 two-pass assembler.
+//!
+//! This plays the role of `mb-gcc`/`mb-as` in the paper's tool flow: it
+//! turns textual programs into [`Image`]s that the instruction-set
+//! simulator (and the RTL processor model) execute.
+//!
+//! # Syntax
+//!
+//! * One statement per line; `#`, `;` and `//` start comments.
+//! * `label:` (one or more) may prefix a statement.
+//! * Directives: `.org ADDR`, `.word E[, E]*`, `.half E[, E]*`,
+//!   `.byte E[, E]*`, `.space N`, `.align N`, `.equ NAME, E`.
+//! * Operands are registers (`r0`..`r31`, `sp`, `lr`), FSL channels
+//!   (`rfsl0`..`rfsl7`), or constant expressions over integers, labels and
+//!   `.equ` symbols with `+`, `-`, `*` and parentheses.
+//! * Branch targets written as expressions are labels: relative branches
+//!   (`bri`, `beqi`, ...) assemble the displacement `target - pc`
+//!   automatically; absolute branches (`brai`, `bralid`, ...) use the
+//!   address itself.
+//! * Pseudo-instructions: `nop`; `li rd, expr32` and `la rd, label`
+//!   (each exactly two words: `imm` + `addik`); `halt`.
+//!
+//! # Example
+//!
+//! ```
+//! use softsim_isa::asm::assemble;
+//! let img = assemble(r"
+//!     .equ N, 10
+//!         addik r3, r0, N      # counter
+//!         addk  r4, r0, r0     # sum = 0
+//! loop:   addk  r4, r4, r3
+//!         addik r3, r3, -1
+//!         bneid r3, loop
+//!         or    r0, r0, r0     # delay slot
+//!         halt
+//! ").unwrap();
+//! assert_eq!(img.symbol("loop"), Some(8));
+//! ```
+
+use crate::encode::encode;
+use crate::inst::{
+    ArithFlags, BarrelOp, Cond, FslChan, FslMode, Inst, LogicOp, MemSize, ShiftOp,
+};
+use crate::image::Image;
+use crate::reg::Reg;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One assembler diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// 1-based source line.
+    pub line: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+/// Assembly failed; all collected diagnostics are reported.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// Every error found (the assembler does not stop at the first).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "assembly failed with {} error(s):", self.diagnostics.len())?;
+        for d in &self.diagnostics {
+            writeln!(f, "  {d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// A constant expression over numbers and symbols.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Expr {
+    Num(i64),
+    Sym(String),
+    Add(Box<Expr>, Box<Expr>),
+    Sub(Box<Expr>, Box<Expr>),
+    Mul(Box<Expr>, Box<Expr>),
+    Neg(Box<Expr>),
+}
+
+impl Expr {
+    /// True when the expression contains no symbols (a pure constant).
+    fn is_constant(&self) -> bool {
+        match self {
+            Expr::Num(_) => true,
+            Expr::Sym(_) => false,
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) => {
+                a.is_constant() && b.is_constant()
+            }
+            Expr::Neg(a) => a.is_constant(),
+        }
+    }
+
+    fn eval(&self, syms: &BTreeMap<String, i64>) -> Result<i64, String> {
+        Ok(match self {
+            Expr::Num(n) => *n,
+            Expr::Sym(s) => {
+                *syms.get(s).ok_or_else(|| format!("undefined symbol `{s}`"))?
+            }
+            Expr::Add(a, b) => a.eval(syms)?.wrapping_add(b.eval(syms)?),
+            Expr::Sub(a, b) => a.eval(syms)?.wrapping_sub(b.eval(syms)?),
+            Expr::Mul(a, b) => a.eval(syms)?.wrapping_mul(b.eval(syms)?),
+            Expr::Neg(a) => a.eval(syms)?.wrapping_neg(),
+        })
+    }
+}
+
+/// How the immediate expression of a pending instruction is interpreted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ImmKind {
+    /// Signed 16-bit constant.
+    Plain,
+    /// Unsigned 16-bit constant (the `imm` prefix).
+    Unsigned16,
+    /// PC-relative branch displacement (`target - pc`).
+    Relative,
+    /// Absolute branch target address.
+    Absolute,
+    /// 5-bit barrel-shift amount.
+    Shift5,
+}
+
+/// A parsed statement waiting for pass 2.
+#[derive(Debug, Clone)]
+enum Item {
+    /// One machine instruction; `imm` (if any) patches the prototype.
+    Inst { proto: Inst, imm: Option<(Expr, ImmKind)> },
+    /// `li`/`la` pseudo: always two words (`imm` + `addik`).
+    LoadImm32 { rd: Reg, expr: Expr },
+    Word(Vec<Expr>),
+    Half(Vec<Expr>),
+    Byte(Vec<Expr>),
+    Space(u32),
+    Align(u32),
+}
+
+impl Item {
+    fn size(&self) -> u32 {
+        match self {
+            Item::Inst { .. } => 4,
+            Item::LoadImm32 { .. } => 8,
+            Item::Word(es) => 4 * es.len() as u32,
+            Item::Half(es) => 2 * es.len() as u32,
+            Item::Byte(es) => es.len() as u32,
+            Item::Space(n) => *n,
+            Item::Align(_) => 0, // handled specially during layout
+        }
+    }
+}
+
+struct Assembler {
+    items: Vec<(usize, u32, Item)>, // (line, addr, item)
+    symbols: BTreeMap<String, i64>,
+    diagnostics: Vec<Diagnostic>,
+    pc: u32,
+    org_set: bool,
+    base: u32,
+}
+
+/// Assembles MB32 source text into an [`Image`].
+pub fn assemble(source: &str) -> Result<Image, AsmError> {
+    let mut asm = Assembler {
+        items: Vec::new(),
+        symbols: BTreeMap::new(),
+        diagnostics: Vec::new(),
+        pc: 0,
+        org_set: false,
+        base: 0,
+    };
+    asm.pass1(source);
+    asm.pass2()
+}
+
+impl Assembler {
+    fn error(&mut self, line: usize, message: impl Into<String>) {
+        self.diagnostics.push(Diagnostic { line, message: message.into() });
+    }
+
+    fn pass1(&mut self, source: &str) {
+        for (idx, raw_line) in source.lines().enumerate() {
+            let line_no = idx + 1;
+            let mut text = strip_comment(raw_line).trim();
+            // Labels (possibly several per line).
+            while let Some(colon) = find_label_colon(text) {
+                let label = text[..colon].trim();
+                if !is_ident(label) {
+                    self.error(line_no, format!("invalid label name `{label}`"));
+                } else if self.symbols.contains_key(label) {
+                    self.error(line_no, format!("duplicate label `{label}`"));
+                } else {
+                    self.symbols.insert(label.to_string(), self.pc as i64);
+                }
+                text = text[colon + 1..].trim();
+            }
+            if text.is_empty() {
+                continue;
+            }
+            match self.parse_statement(line_no, text) {
+                Ok(Some(item)) => {
+                    if let Item::Align(n) = item {
+                        if n.is_power_of_two() {
+                            self.pc = self.pc.next_multiple_of(n);
+                        } else {
+                            self.error(line_no, ".align argument must be a power of two");
+                        }
+                        continue;
+                    }
+                    let size = item.size();
+                    self.items.push((line_no, self.pc, item));
+                    self.pc += size;
+                }
+                Ok(None) => {}
+                Err(msg) => self.error(line_no, msg),
+            }
+        }
+    }
+
+    fn parse_statement(&mut self, line: usize, text: &str) -> Result<Option<Item>, String> {
+        let (head, rest) = split_mnemonic(text);
+        let operands = split_operands(rest);
+        if let Some(directive) = head.strip_prefix('.') {
+            return self.parse_directive(line, directive, &operands);
+        }
+        parse_instruction(head, &operands).map(Some)
+    }
+
+    fn parse_directive(
+        &mut self,
+        line: usize,
+        directive: &str,
+        ops: &[&str],
+    ) -> Result<Option<Item>, String> {
+        match directive {
+            "org" => {
+                let [op] = ops else { return Err(".org takes one operand".into()) };
+                let expr = parse_expr(op)?;
+                let addr = expr
+                    .eval(&self.symbols)
+                    .map_err(|e| format!(".org operand must be constant: {e}"))?;
+                let addr = u32::try_from(addr).map_err(|_| ".org address out of range")?;
+                if !self.org_set && self.items.is_empty() {
+                    self.base = addr;
+                    self.org_set = true;
+                } else if addr < self.pc {
+                    return Err(".org may not move backwards".into());
+                }
+                self.pc = addr;
+                Ok(None)
+            }
+            "equ" => {
+                let [name, value] = ops else { return Err(".equ takes `name, value`".into()) };
+                if !is_ident(name) {
+                    return Err(format!("invalid symbol name `{name}`"));
+                }
+                let v = parse_expr(value)?
+                    .eval(&self.symbols)
+                    .map_err(|e| format!(".equ value must be constant: {e}"))?;
+                if self.symbols.insert(name.to_string(), v).is_some() {
+                    self.error(line, format!("duplicate symbol `{name}`"));
+                }
+                Ok(None)
+            }
+            "word" | "half" | "byte" => {
+                if ops.is_empty() {
+                    return Err(format!(".{directive} needs at least one value"));
+                }
+                let exprs = ops.iter().map(|o| parse_expr(o)).collect::<Result<Vec<_>, _>>()?;
+                Ok(Some(match directive {
+                    "word" => Item::Word(exprs),
+                    "half" => Item::Half(exprs),
+                    _ => Item::Byte(exprs),
+                }))
+            }
+            "space" => {
+                let [op] = ops else { return Err(".space takes one operand".into()) };
+                let n = parse_expr(op)?
+                    .eval(&self.symbols)
+                    .map_err(|e| format!(".space size must be constant: {e}"))?;
+                let n = u32::try_from(n).map_err(|_| ".space size out of range")?;
+                Ok(Some(Item::Space(n)))
+            }
+            "align" => {
+                let [op] = ops else { return Err(".align takes one operand".into()) };
+                let n = parse_expr(op)?
+                    .eval(&self.symbols)
+                    .map_err(|e| format!(".align operand must be constant: {e}"))?;
+                let n = u32::try_from(n).map_err(|_| ".align out of range")?;
+                Ok(Some(Item::Align(n)))
+            }
+            _ => Err(format!("unknown directive `.{directive}`")),
+        }
+    }
+
+    fn pass2(mut self) -> Result<Image, AsmError> {
+        let mut image = Image::new(self.base);
+        let items = std::mem::take(&mut self.items);
+        for (line, addr, item) in &items {
+            if let Err(msg) = self.emit(&mut image, *addr, item) {
+                self.error(*line, msg);
+            }
+        }
+        for (name, value) in &self.symbols {
+            if let Ok(addr) = u32::try_from(*value) {
+                image.define_symbol(name.clone(), addr);
+            }
+        }
+        if !self.diagnostics.is_empty() {
+            return Err(AsmError { diagnostics: self.diagnostics });
+        }
+        image.set_entry(self.base);
+        Ok(image)
+    }
+
+    fn emit(&self, image: &mut Image, addr: u32, item: &Item) -> Result<(), String> {
+        match item {
+            Item::Inst { proto, imm } => {
+                let inst = match imm {
+                    None => *proto,
+                    Some((expr, kind)) => {
+                        let value = expr.eval(&self.symbols)?;
+                        let value = match kind {
+                            ImmKind::Relative => value - addr as i64,
+                            _ => value,
+                        };
+                        patch_imm(*proto, value, *kind)?
+                    }
+                };
+                image.write_u32(addr, encode(&inst));
+            }
+            Item::LoadImm32 { rd, expr } => {
+                let value = expr.eval(&self.symbols)?;
+                let value = i64_to_u32(value)
+                    .ok_or_else(|| format!("li value {value} does not fit in 32 bits"))?;
+                let hi = (value >> 16) as u16;
+                let lo = (value & 0xFFFF) as i16;
+                image.write_u32(addr, encode(&Inst::Imm { imm: hi }));
+                image.write_u32(
+                    addr + 4,
+                    encode(&Inst::AddI { rd: *rd, ra: Reg::R0, imm: lo, flags: ArithFlags::KEEP }),
+                );
+            }
+            Item::Word(exprs) => {
+                for (i, e) in exprs.iter().enumerate() {
+                    let v = e.eval(&self.symbols)?;
+                    let v = i64_to_u32(v)
+                        .ok_or_else(|| format!(".word value {v} does not fit in 32 bits"))?;
+                    image.write_u32(addr + 4 * i as u32, v);
+                }
+            }
+            Item::Half(exprs) => {
+                for (i, e) in exprs.iter().enumerate() {
+                    let v = e.eval(&self.symbols)?;
+                    if !(-0x8000..=0xFFFF).contains(&v) {
+                        return Err(format!(".half value {v} does not fit in 16 bits"));
+                    }
+                    image.write_u16(addr + 2 * i as u32, v as u16);
+                }
+            }
+            Item::Byte(exprs) => {
+                for (i, e) in exprs.iter().enumerate() {
+                    let v = e.eval(&self.symbols)?;
+                    if !(-0x80..=0xFF).contains(&v) {
+                        return Err(format!(".byte value {v} does not fit in 8 bits"));
+                    }
+                    image.write_u8(addr + i as u32, v as u8);
+                }
+            }
+            Item::Space(n) => {
+                if *n > 0 {
+                    image.write_u8(addr + n - 1, 0);
+                }
+            }
+            Item::Align(_) => unreachable!("alignment handled in pass 1"),
+        }
+        Ok(())
+    }
+}
+
+fn i64_to_u32(v: i64) -> Option<u32> {
+    if (0..=u32::MAX as i64).contains(&v) {
+        Some(v as u32)
+    } else if (i32::MIN as i64..0).contains(&v) {
+        Some(v as i32 as u32)
+    } else {
+        None
+    }
+}
+
+fn patch_imm(proto: Inst, value: i64, kind: ImmKind) -> Result<Inst, String> {
+    match kind {
+        ImmKind::Unsigned16 => {
+            if !(-0x8000..=0xFFFF).contains(&value) {
+                return Err(format!("imm value {value} does not fit in 16 bits"));
+            }
+            return Ok(Inst::Imm { imm: value as u16 });
+        }
+        ImmKind::Shift5 => {
+            if !(0..=31).contains(&value) {
+                return Err(format!("shift amount {value} out of range 0..=31"));
+            }
+            if let Inst::BarrelI { op, rd, ra, .. } = proto {
+                return Ok(Inst::BarrelI { op, rd, ra, amount: value as u8 });
+            }
+            unreachable!("Shift5 only used with BarrelI");
+        }
+        _ => {}
+    }
+    if !(-0x8000..=0x7FFF).contains(&value) {
+        return Err(match kind {
+            ImmKind::Relative => format!(
+                "branch displacement {value} does not fit in 16 bits; move the target closer"
+            ),
+            _ => format!("immediate {value} does not fit in 16 bits; use `li`"),
+        });
+    }
+    let imm = value as i16;
+    Ok(match proto {
+        Inst::AddI { rd, ra, flags, .. } => Inst::AddI { rd, ra, imm, flags },
+        Inst::RsubI { rd, ra, flags, .. } => Inst::RsubI { rd, ra, imm, flags },
+        Inst::MulI { rd, ra, .. } => Inst::MulI { rd, ra, imm },
+        Inst::LogicI { op, rd, ra, .. } => Inst::LogicI { op, rd, ra, imm },
+        Inst::LoadI { size, rd, ra, .. } => Inst::LoadI { size, rd, ra, imm },
+        Inst::StoreI { size, rd, ra, .. } => Inst::StoreI { size, rd, ra, imm },
+        Inst::BrI { link, absolute, delay, .. } => Inst::BrI { imm, link, absolute, delay },
+        Inst::BccI { cond, ra, delay, .. } => Inst::BccI { cond, ra, imm, delay },
+        Inst::Rtsd { ra, .. } => Inst::Rtsd { ra, imm },
+        other => unreachable!("no immediate slot in {other:?}"),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Line-level lexing helpers
+// ---------------------------------------------------------------------------
+
+fn strip_comment(line: &str) -> &str {
+    let mut end = line.len();
+    for (i, c) in line.char_indices() {
+        if c == '#' || c == ';' {
+            end = i;
+            break;
+        }
+        if c == '/' && line[i..].starts_with("//") {
+            end = i;
+            break;
+        }
+    }
+    &line[..end]
+}
+
+/// Finds the colon ending a leading label, if the line starts with one.
+fn find_label_colon(text: &str) -> Option<usize> {
+    let colon = text.find(':')?;
+    let candidate = text[..colon].trim();
+    if is_ident(candidate) {
+        Some(colon)
+    } else {
+        None
+    }
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+        && !s.starts_with('.')
+}
+
+fn split_mnemonic(text: &str) -> (&str, &str) {
+    match text.find(char::is_whitespace) {
+        Some(i) => (&text[..i], text[i..].trim()),
+        None => (text, ""),
+    }
+}
+
+fn split_operands(rest: &str) -> Vec<&str> {
+    if rest.trim().is_empty() {
+        return Vec::new();
+    }
+    rest.split(',').map(str::trim).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Expression parsing (precedence: unary -, then *, then + -)
+// ---------------------------------------------------------------------------
+
+fn parse_expr(text: &str) -> Result<Expr, String> {
+    let tokens = tokenize_expr(text)?;
+    let mut pos = 0;
+    let expr = parse_additive(&tokens, &mut pos)?;
+    if pos != tokens.len() {
+        return Err(format!("unexpected `{}` in expression `{text}`", tokens[pos]));
+    }
+    Ok(expr)
+}
+
+fn tokenize_expr(text: &str) -> Result<Vec<String>, String> {
+    let mut tokens = Vec::new();
+    let mut chars = text.char_indices().peekable();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            c if c.is_whitespace() => {}
+            '+' | '-' | '*' | '(' | ')' => tokens.push(c.to_string()),
+            c if c.is_ascii_alphanumeric() || c == '_' => {
+                let mut end = i + c.len_utf8();
+                while let Some(&(j, d)) = chars.peek() {
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        end = j + d.len_utf8();
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(text[i..end].to_string());
+            }
+            other => return Err(format!("unexpected character `{other}` in expression")),
+        }
+    }
+    if tokens.is_empty() {
+        return Err("empty expression".into());
+    }
+    Ok(tokens)
+}
+
+fn parse_additive(tokens: &[String], pos: &mut usize) -> Result<Expr, String> {
+    let mut lhs = parse_multiplicative(tokens, pos)?;
+    while *pos < tokens.len() {
+        match tokens[*pos].as_str() {
+            "+" => {
+                *pos += 1;
+                lhs = Expr::Add(Box::new(lhs), Box::new(parse_multiplicative(tokens, pos)?));
+            }
+            "-" => {
+                *pos += 1;
+                lhs = Expr::Sub(Box::new(lhs), Box::new(parse_multiplicative(tokens, pos)?));
+            }
+            _ => break,
+        }
+    }
+    Ok(lhs)
+}
+
+fn parse_multiplicative(tokens: &[String], pos: &mut usize) -> Result<Expr, String> {
+    let mut lhs = parse_unary(tokens, pos)?;
+    while *pos < tokens.len() && tokens[*pos] == "*" {
+        *pos += 1;
+        lhs = Expr::Mul(Box::new(lhs), Box::new(parse_unary(tokens, pos)?));
+    }
+    Ok(lhs)
+}
+
+fn parse_unary(tokens: &[String], pos: &mut usize) -> Result<Expr, String> {
+    if *pos >= tokens.len() {
+        return Err("expression ends unexpectedly".into());
+    }
+    match tokens[*pos].as_str() {
+        "-" => {
+            *pos += 1;
+            Ok(Expr::Neg(Box::new(parse_unary(tokens, pos)?)))
+        }
+        "+" => {
+            *pos += 1;
+            parse_unary(tokens, pos)
+        }
+        "(" => {
+            *pos += 1;
+            let inner = parse_additive(tokens, pos)?;
+            if *pos >= tokens.len() || tokens[*pos] != ")" {
+                return Err("missing `)`".into());
+            }
+            *pos += 1;
+            Ok(inner)
+        }
+        tok => {
+            *pos += 1;
+            if let Some(num) = parse_number(tok) {
+                Ok(Expr::Num(num))
+            } else if is_ident(tok) {
+                Ok(Expr::Sym(tok.to_string()))
+            } else {
+                Err(format!("cannot parse `{tok}`"))
+            }
+        }
+    }
+}
+
+fn parse_number(tok: &str) -> Option<i64> {
+    if let Some(hex) = tok.strip_prefix("0x").or_else(|| tok.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).ok()
+    } else if let Some(bin) = tok.strip_prefix("0b").or_else(|| tok.strip_prefix("0B")) {
+        i64::from_str_radix(bin, 2).ok()
+    } else if tok.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        tok.parse().ok()
+    } else {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Instruction parsing
+// ---------------------------------------------------------------------------
+
+fn reg_operand(op: &str) -> Result<Reg, String> {
+    Reg::parse(op).ok_or_else(|| format!("expected register, found `{op}`"))
+}
+
+fn fsl_operand(op: &str) -> Result<FslChan, String> {
+    let lower = op.to_ascii_lowercase();
+    let digits = lower.strip_prefix("rfsl").unwrap_or(&lower);
+    let n: u8 = digits.parse().map_err(|_| format!("expected FSL channel, found `{op}`"))?;
+    FslChan::try_new(n).ok_or_else(|| format!("FSL channel `{op}` out of range 0..=7"))
+}
+
+/// rd, ra, rb
+fn three_regs(ops: &[&str]) -> Result<(Reg, Reg, Reg), String> {
+    let [a, b, c] = ops else { return Err("expected `rd, ra, rb`".into()) };
+    Ok((reg_operand(a)?, reg_operand(b)?, reg_operand(c)?))
+}
+
+/// rd, ra, imm-expr
+fn two_regs_imm(ops: &[&str]) -> Result<(Reg, Reg, Expr), String> {
+    let [a, b, e] = ops else { return Err("expected `rd, ra, imm`".into()) };
+    Ok((reg_operand(a)?, reg_operand(b)?, parse_expr(e)?))
+}
+
+fn two_regs(ops: &[&str]) -> Result<(Reg, Reg), String> {
+    let [a, b] = ops else { return Err("expected `rd, ra`".into()) };
+    Ok((reg_operand(a)?, reg_operand(b)?))
+}
+
+fn inst_item(proto: Inst) -> Item {
+    Item::Inst { proto, imm: None }
+}
+
+fn imm_item(proto: Inst, expr: Expr, kind: ImmKind) -> Item {
+    Item::Inst { proto, imm: Some((expr, kind)) }
+}
+
+fn parse_instruction(mnemonic: &str, ops: &[&str]) -> Result<Item, String> {
+    let m = mnemonic.to_ascii_lowercase();
+    // add/rsub families (with c/k/kc suffixes and optional `i`).
+    if let Some(item) = parse_arith(&m, ops)? {
+        return Ok(item);
+    }
+    if let Some(item) = parse_branch(&m, ops)? {
+        return Ok(item);
+    }
+    if let Some(item) = parse_fsl(&m, ops)? {
+        return Ok(item);
+    }
+    let placeholder = 0i16;
+    Ok(match m.as_str() {
+        "cmp" | "cmpu" => {
+            let (rd, ra, rb) = three_regs(ops)?;
+            inst_item(Inst::Cmp { rd, ra, rb, unsigned: m == "cmpu" })
+        }
+        "mul" => {
+            let (rd, ra, rb) = three_regs(ops)?;
+            inst_item(Inst::Mul { rd, ra, rb })
+        }
+        "idiv" | "idivu" => {
+            let (rd, ra, rb) = three_regs(ops)?;
+            inst_item(Inst::Div { rd, ra, rb, unsigned: m == "idivu" })
+        }
+        "muli" => {
+            let (rd, ra, e) = two_regs_imm(ops)?;
+            imm_item(Inst::MulI { rd, ra, imm: placeholder }, e, ImmKind::Plain)
+        }
+        "or" | "and" | "xor" | "andn" => {
+            let op = logic_op(&m);
+            let (rd, ra, rb) = three_regs(ops)?;
+            inst_item(Inst::Logic { op, rd, ra, rb })
+        }
+        "ori" | "andi" | "xori" | "andni" => {
+            let op = logic_op(&m[..m.len() - 1]);
+            let (rd, ra, e) = two_regs_imm(ops)?;
+            imm_item(Inst::LogicI { op, rd, ra, imm: placeholder }, e, ImmKind::Plain)
+        }
+        "sra" | "src" | "srl" => {
+            let op = match m.as_str() {
+                "sra" => ShiftOp::Sra,
+                "src" => ShiftOp::Src,
+                _ => ShiftOp::Srl,
+            };
+            let (rd, ra) = two_regs(ops)?;
+            inst_item(Inst::Shift { op, rd, ra })
+        }
+        "sext8" | "sext16" => {
+            let (rd, ra) = two_regs(ops)?;
+            inst_item(Inst::Sext { rd, ra, half: m == "sext16" })
+        }
+        "bsll" | "bsrl" | "bsra" => {
+            let op = barrel_op(&m);
+            let (rd, ra, rb) = three_regs(ops)?;
+            inst_item(Inst::Barrel { op, rd, ra, rb })
+        }
+        "bslli" | "bsrli" | "bsrai" => {
+            let op = barrel_op(&m[..m.len() - 1]);
+            let (rd, ra, e) = two_regs_imm(ops)?;
+            imm_item(Inst::BarrelI { op, rd, ra, amount: 0 }, e, ImmKind::Shift5)
+        }
+        "lbu" | "lhu" | "lw" | "sb" | "sh" | "sw" => {
+            let (size, store) = mem_op(&m);
+            let (rd, ra, rb) = three_regs(ops)?;
+            if store {
+                inst_item(Inst::Store { size, rd, ra, rb })
+            } else {
+                inst_item(Inst::Load { size, rd, ra, rb })
+            }
+        }
+        "lbui" | "lhui" | "lwi" | "sbi" | "shi" | "swi" => {
+            let (size, store) = mem_op(&m[..m.len() - 1]);
+            let (rd, ra, e) = two_regs_imm(ops)?;
+            let proto = if store {
+                Inst::StoreI { size, rd, ra, imm: placeholder }
+            } else {
+                Inst::LoadI { size, rd, ra, imm: placeholder }
+            };
+            imm_item(proto, e, ImmKind::Plain)
+        }
+        "rtsd" => {
+            let [a, e] = ops else { return Err("expected `rtsd ra, imm`".into()) };
+            imm_item(
+                Inst::Rtsd { ra: reg_operand(a)?, imm: placeholder },
+                parse_expr(e)?,
+                ImmKind::Plain,
+            )
+        }
+        "imm" => {
+            let [e] = ops else { return Err("expected `imm value`".into()) };
+            imm_item(Inst::Imm { imm: 0 }, parse_expr(e)?, ImmKind::Unsigned16)
+        }
+        "li" | "la" => {
+            let [a, e] = ops else { return Err(format!("expected `{m} rd, value`")) };
+            Item::LoadImm32 { rd: reg_operand(a)?, expr: parse_expr(e)? }
+        }
+        "nop" => {
+            if !ops.is_empty() {
+                return Err("nop takes no operands".into());
+            }
+            inst_item(Inst::NOP)
+        }
+        "halt" => {
+            if !ops.is_empty() {
+                return Err("halt takes no operands".into());
+            }
+            inst_item(Inst::Halt)
+        }
+        _ => return Err(format!("unknown mnemonic `{mnemonic}`")),
+    })
+}
+
+fn logic_op(base: &str) -> LogicOp {
+    match base {
+        "or" => LogicOp::Or,
+        "and" => LogicOp::And,
+        "xor" => LogicOp::Xor,
+        _ => LogicOp::Andn,
+    }
+}
+
+fn barrel_op(base: &str) -> BarrelOp {
+    match base {
+        "bsll" => BarrelOp::Bsll,
+        "bsrl" => BarrelOp::Bsrl,
+        _ => BarrelOp::Bsra,
+    }
+}
+
+fn mem_op(base: &str) -> (MemSize, bool) {
+    match base {
+        "lbu" => (MemSize::Byte, false),
+        "lhu" => (MemSize::Half, false),
+        "lw" => (MemSize::Word, false),
+        "sb" => (MemSize::Byte, true),
+        "sh" => (MemSize::Half, true),
+        _ => (MemSize::Word, true),
+    }
+}
+
+fn parse_arith(m: &str, ops: &[&str]) -> Result<Option<Item>, String> {
+    let (base, rest) = if let Some(r) = m.strip_prefix("addi") {
+        ("addi", r)
+    } else if let Some(r) = m.strip_prefix("add") {
+        ("add", r)
+    } else if let Some(r) = m.strip_prefix("rsubi") {
+        ("rsubi", r)
+    } else if let Some(r) = m.strip_prefix("rsub") {
+        ("rsub", r)
+    } else {
+        return Ok(None);
+    };
+    let flags = match rest {
+        "" => ArithFlags::PLAIN,
+        "c" => ArithFlags { carry_in: true, keep: false },
+        "k" => ArithFlags::KEEP,
+        "kc" | "ck" => ArithFlags { carry_in: true, keep: true },
+        _ => return Ok(None),
+    };
+    let rsub = base.starts_with("rsub");
+    let item = if base.ends_with('i') {
+        let (rd, ra, e) = two_regs_imm(ops)?;
+        let proto = if rsub {
+            Inst::RsubI { rd, ra, imm: 0, flags }
+        } else {
+            Inst::AddI { rd, ra, imm: 0, flags }
+        };
+        imm_item(proto, e, ImmKind::Plain)
+    } else {
+        let (rd, ra, rb) = three_regs(ops)?;
+        if rsub {
+            inst_item(Inst::Rsub { rd, ra, rb, flags })
+        } else {
+            inst_item(Inst::Add { rd, ra, rb, flags })
+        }
+    };
+    Ok(Some(item))
+}
+
+fn parse_branch(m: &str, ops: &[&str]) -> Result<Option<Item>, String> {
+    // Conditional branches: beq[i][d] etc.
+    for (name, cond) in [
+        ("beq", Cond::Eq),
+        ("bne", Cond::Ne),
+        ("blt", Cond::Lt),
+        ("ble", Cond::Le),
+        ("bgt", Cond::Gt),
+        ("bge", Cond::Ge),
+    ] {
+        let Some(rest) = m.strip_prefix(name) else { continue };
+        let (has_imm, delay) = match rest {
+            "" => (false, false),
+            "d" => (false, true),
+            "i" => (true, false),
+            "id" => (true, true),
+            _ => continue,
+        };
+        let [a, t] = ops else { return Err(format!("expected `{m} ra, target`")) };
+        let ra = reg_operand(a)?;
+        return if has_imm {
+            let expr = parse_expr(t)?;
+            // A constant expression is a raw displacement, a symbolic one
+            // a label target.
+            let kind = if expr.is_constant() { ImmKind::Plain } else { ImmKind::Relative };
+            Ok(Some(imm_item(Inst::BccI { cond, ra, imm: 0, delay }, expr, kind)))
+        } else {
+            Ok(Some(inst_item(Inst::Bcc { cond, ra, rb: reg_operand(t)?, delay })))
+        };
+    }
+    // Unconditional branches: br[a][l][i][d] in MicroBlaze spelling order:
+    // br, brd, brld, bra, brad, brald, bri, brid, brlid, brai, braid, bralid
+    // (plus the no-delay link forms brl/brli/bral/brali for completeness).
+    let Some(rest) = m.strip_prefix("br") else { return Ok(None) };
+    let mut link = false;
+    let mut absolute = false;
+    let mut has_imm = false;
+    let mut delay = false;
+    let mut chars = rest.chars().peekable();
+    if chars.peek() == Some(&'a') {
+        absolute = true;
+        chars.next();
+    }
+    if chars.peek() == Some(&'l') {
+        link = true;
+        chars.next();
+    }
+    if chars.peek() == Some(&'i') {
+        has_imm = true;
+        chars.next();
+    }
+    if chars.peek() == Some(&'d') {
+        delay = true;
+        chars.next();
+    }
+    if chars.next().is_some() {
+        return Ok(None);
+    }
+    let (link_reg, target) = if link {
+        let [l, t] = ops else { return Err(format!("expected `{m} rd, target`")) };
+        (Some(reg_operand(l)?), *t)
+    } else {
+        let [t] = ops else { return Err(format!("expected `{m} target`")) };
+        (None, *t)
+    };
+    let item = if has_imm {
+        let expr = parse_expr(target)?;
+        // A constant expression in a relative branch is a raw displacement
+        // (matches hand-written MicroBlaze idiom `bri 0`); absolute
+        // branches always take the value as the target address.
+        let kind = if absolute {
+            ImmKind::Absolute
+        } else if expr.is_constant() {
+            ImmKind::Plain
+        } else {
+            ImmKind::Relative
+        };
+        imm_item(Inst::BrI { imm: 0, link: link_reg, absolute, delay }, expr, kind)
+    } else {
+        inst_item(Inst::Br { rb: reg_operand(target)?, link: link_reg, absolute, delay })
+    };
+    Ok(Some(item))
+}
+
+fn parse_fsl(m: &str, ops: &[&str]) -> Result<Option<Item>, String> {
+    let (rest, mode) = if let Some(r) = m.strip_prefix("nc") {
+        (r, FslMode::NONBLOCKING_CONTROL)
+    } else if let Some(r) = m.strip_prefix('n') {
+        (r, FslMode::NONBLOCKING_DATA)
+    } else if let Some(r) = m.strip_prefix('c') {
+        (r, FslMode::BLOCKING_CONTROL)
+    } else {
+        (m, FslMode::BLOCKING_DATA)
+    };
+    let get = match rest {
+        "get" => true,
+        "put" => false,
+        _ => return Ok(None),
+    };
+    let [r, ch] = ops else { return Err(format!("expected `{m} reg, rfslN`")) };
+    let reg = reg_operand(r)?;
+    let chan = fsl_operand(ch)?;
+    Ok(Some(inst_item(if get {
+        Inst::Get { rd: reg, chan, mode }
+    } else {
+        Inst::Put { ra: reg, chan, mode }
+    })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode;
+    use crate::reg::r;
+
+    fn one(src: &str) -> Inst {
+        let img = assemble(src).expect(src);
+        decode(img.read_u32(0)).unwrap()
+    }
+
+    #[test]
+    fn assembles_basic_instructions() {
+        assert_eq!(
+            one("addk r3, r4, r5"),
+            Inst::Add { rd: r(3), ra: r(4), rb: r(5), flags: ArithFlags::KEEP }
+        );
+        assert_eq!(
+            one("addik r1, r1, -28"),
+            Inst::AddI { rd: r(1), ra: r(1), imm: -28, flags: ArithFlags::KEEP }
+        );
+        assert_eq!(one("mul r5, r6, r7"), Inst::Mul { rd: r(5), ra: r(6), rb: r(7) });
+        assert_eq!(
+            one("lwi r3, r1, 8"),
+            Inst::LoadI { size: MemSize::Word, rd: r(3), ra: r(1), imm: 8 }
+        );
+        assert_eq!(
+            one("bsrai r4, r4, 14"),
+            Inst::BarrelI { op: BarrelOp::Bsra, rd: r(4), ra: r(4), amount: 14 }
+        );
+        assert_eq!(one("halt"), Inst::Halt);
+        assert_eq!(one("nop"), Inst::NOP);
+    }
+
+    #[test]
+    fn assembles_fsl_instructions() {
+        assert_eq!(
+            one("put r3, rfsl0"),
+            Inst::Put { ra: r(3), chan: FslChan::new(0), mode: FslMode::BLOCKING_DATA }
+        );
+        assert_eq!(
+            one("ncget r9, rfsl5"),
+            Inst::Get { rd: r(9), chan: FslChan::new(5), mode: FslMode::NONBLOCKING_CONTROL }
+        );
+        assert_eq!(
+            one("cput r2, rfsl1"),
+            Inst::Put { ra: r(2), chan: FslChan::new(1), mode: FslMode::BLOCKING_CONTROL }
+        );
+    }
+
+    #[test]
+    fn label_branches_are_relative() {
+        let img = assemble(
+            "start: addk r3, r0, r0\n\
+             loop:  addik r3, r3, 1\n\
+                    bneid r3, loop\n\
+                    nop\n\
+                    halt\n",
+        )
+        .unwrap();
+        // bneid is the third instruction, at address 8; loop is at 4.
+        let inst = decode(img.read_u32(8)).unwrap();
+        assert_eq!(inst, Inst::BccI { cond: Cond::Ne, ra: r(3), imm: -4, delay: true });
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        let img = assemble(
+            "bri done\n\
+             nop\n\
+             done: halt\n",
+        )
+        .unwrap();
+        let inst = decode(img.read_u32(0)).unwrap();
+        assert_eq!(inst, Inst::BrI { imm: 8, link: None, absolute: false, delay: false });
+    }
+
+    #[test]
+    fn numeric_relative_branch_is_raw_displacement() {
+        // Hand-written MicroBlaze idiom: `bri 0` spins in place.
+        let inst = one("bri 0");
+        assert_eq!(inst, Inst::BrI { imm: 0, link: None, absolute: false, delay: false });
+    }
+
+    #[test]
+    fn call_and_return() {
+        let img = assemble(
+            "      brlid r15, func\n\
+                   nop\n\
+                   halt\n\
+             func: rtsd r15, 8\n\
+                   nop\n",
+        )
+        .unwrap();
+        assert_eq!(
+            decode(img.read_u32(0)).unwrap(),
+            Inst::BrI { imm: 12, link: Some(r(15)), absolute: false, delay: true }
+        );
+        assert_eq!(decode(img.read_u32(12)).unwrap(), Inst::Rtsd { ra: r(15), imm: 8 });
+    }
+
+    #[test]
+    fn li_expands_to_imm_addik() {
+        let img = assemble("li r5, 0x12345678").unwrap();
+        assert_eq!(decode(img.read_u32(0)).unwrap(), Inst::Imm { imm: 0x1234 });
+        assert_eq!(
+            decode(img.read_u32(4)).unwrap(),
+            Inst::AddI { rd: r(5), ra: r(0), imm: 0x5678, flags: ArithFlags::KEEP }
+        );
+        // Negative low half must still reconstruct correctly through the
+        // imm-prefix mechanism: 0x0001_8000 = imm 0x0001 ; addik 0x8000.
+        let img = assemble("li r5, 0x18000").unwrap();
+        assert_eq!(decode(img.read_u32(0)).unwrap(), Inst::Imm { imm: 0x0001 });
+        assert_eq!(
+            decode(img.read_u32(4)).unwrap(),
+            Inst::AddI { rd: r(5), ra: r(0), imm: -0x8000, flags: ArithFlags::KEEP }
+        );
+    }
+
+    #[test]
+    fn data_directives() {
+        let img = assemble(
+            ".equ SIZE, 4\n\
+             table: .word 1, 2, 3, SIZE\n\
+             bytes: .byte 0xFF, -1\n\
+             halfs: .half 0x1234, -2\n\
+             gap:   .space 6\n\
+                    .align 4\n\
+             end:   .word end\n",
+        )
+        .unwrap();
+        assert_eq!(img.read_u32(0), 1);
+        assert_eq!(img.read_u32(12), 4);
+        assert_eq!(img.read_u8(16), 0xFF);
+        assert_eq!(img.read_u8(17), 0xFF);
+        assert_eq!(img.read_u32(18) >> 16, 0x1234);
+        let end = img.symbol("end").unwrap();
+        assert_eq!(end % 4, 0);
+        assert_eq!(img.read_u32(end), end);
+    }
+
+    #[test]
+    fn equ_and_expressions() {
+        let img = assemble(
+            ".equ BASE, 0x100\n\
+             .equ COUNT, 8\n\
+             addik r3, r0, BASE + COUNT * 4 - 1\n",
+        )
+        .unwrap();
+        let inst = decode(img.read_u32(0)).unwrap();
+        assert_eq!(
+            inst,
+            Inst::AddI { rd: r(3), ra: r(0), imm: 0x11F, flags: ArithFlags::KEEP }
+        );
+    }
+
+    #[test]
+    fn errors_are_collected_with_line_numbers() {
+        let err = assemble(
+            "addk r3, r4\n\
+             bogus r1, r2\n\
+             addik r1, r0, 99999\n",
+        )
+        .unwrap_err();
+        assert_eq!(err.diagnostics.len(), 3);
+        assert_eq!(err.diagnostics[0].line, 1);
+        assert!(err.diagnostics[1].message.contains("unknown mnemonic"));
+        assert!(err.diagnostics[2].message.contains("does not fit"));
+    }
+
+    #[test]
+    fn duplicate_labels_rejected() {
+        let err = assemble("a: nop\na: nop\n").unwrap_err();
+        assert!(err.diagnostics[0].message.contains("duplicate"));
+    }
+
+    #[test]
+    fn undefined_symbol_rejected() {
+        let err = assemble("bri nowhere\n").unwrap_err();
+        assert!(err.diagnostics[0].message.contains("undefined symbol"));
+    }
+
+    #[test]
+    fn branch_out_of_range_rejected() {
+        let src = format!("bri far\n.space {}\nfar: halt\n", 0x10000);
+        let err = assemble(&src).unwrap_err();
+        assert!(err.diagnostics[0].message.contains("displacement"));
+    }
+
+    #[test]
+    fn org_sets_base() {
+        let img = assemble(".org 0x200\nentry: halt\n").unwrap();
+        assert_eq!(img.base(), 0x200);
+        assert_eq!(img.symbol("entry"), Some(0x200));
+        assert_eq!(img.entry(), 0x200);
+    }
+
+    #[test]
+    fn comments_all_styles() {
+        let img = assemble(
+            "nop # hash\n\
+             nop ; semi\n\
+             nop // slashes\n",
+        )
+        .unwrap();
+        assert_eq!(img.len_bytes(), 12);
+    }
+}

@@ -1,0 +1,68 @@
+//! Soft-processor configuration options.
+//!
+//! The paper's motivation (a): "there are many possible configurations of
+//! soft processors". Like MicroBlaze, MB32 makes the barrel shifter, the
+//! multiplier and the divider optional units: instructions that need an
+//! absent unit do not exist on that configuration (the simulators fault),
+//! and each option costs FPGA resources.
+
+/// Default local-memory size (64 KiB).
+pub const DEFAULT_MEM_BYTES: u32 = 64 * 1024;
+
+/// Configuration of the MB32 soft processor's optional units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuConfig {
+    /// Local memory size in bytes.
+    pub mem_bytes: u32,
+    /// Barrel shifter present (`bsll`/`bsrl`/`bsra` and immediates).
+    pub barrel_shifter: bool,
+    /// Hardware multiplier present (`mul`/`muli`, 3 cycles).
+    pub multiplier: bool,
+    /// Hardware divider present (`idiv`/`idivu`, 32 cycles).
+    pub divider: bool,
+}
+
+impl Default for CpuConfig {
+    fn default() -> CpuConfig {
+        // The MicroBlaze default of the paper's era: barrel shifter and
+        // multiplier on, divider off.
+        CpuConfig {
+            mem_bytes: DEFAULT_MEM_BYTES,
+            barrel_shifter: true,
+            multiplier: true,
+            divider: false,
+        }
+    }
+}
+
+impl CpuConfig {
+    /// A configuration with every optional unit, including the divider.
+    pub fn full() -> CpuConfig {
+        CpuConfig { divider: true, ..CpuConfig::default() }
+    }
+
+    /// A minimal configuration: no optional units at all.
+    pub fn minimal() -> CpuConfig {
+        CpuConfig {
+            barrel_shifter: false,
+            multiplier: false,
+            divider: false,
+            ..CpuConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        let d = CpuConfig::default();
+        assert!(d.barrel_shifter && d.multiplier && !d.divider);
+        assert!(CpuConfig::full().divider);
+        let m = CpuConfig::minimal();
+        assert!(!m.barrel_shifter && !m.multiplier && !m.divider);
+        assert_eq!(m.mem_bytes, DEFAULT_MEM_BYTES);
+    }
+}

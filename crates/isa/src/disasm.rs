@@ -1,0 +1,103 @@
+//! Disassembly of program images — the MB32 analog of `mb-objdump`, which
+//! the paper uses to size software programs for BRAM allocation (§III-C).
+
+use crate::encode::decode;
+use crate::image::Image;
+use std::fmt::Write as _;
+
+/// One disassembled line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DisasmLine {
+    /// Word address.
+    pub addr: u32,
+    /// Raw instruction word.
+    pub word: u32,
+    /// Canonical assembly text, or `.word`-style raw data when the word
+    /// does not decode.
+    pub text: String,
+    /// Labels defined at this address.
+    pub labels: Vec<String>,
+}
+
+/// Disassembles every word of an image.
+///
+/// Words that fail to decode (data sections) are rendered as `.word`.
+pub fn disassemble(image: &Image) -> Vec<DisasmLine> {
+    let mut lines = Vec::with_capacity(image.len_bytes() as usize / 4);
+    let end = image.base() + image.len_bytes();
+    let mut addr = image.base();
+    while addr < end {
+        let word = image.read_u32(addr);
+        let text = match decode(word) {
+            Ok(inst) => inst.to_string(),
+            Err(_) => format!(".word {word:#010x}"),
+        };
+        let labels = image
+            .symbols()
+            .filter(|(_, a)| *a == addr)
+            .map(|(n, _)| n.to_string())
+            .collect();
+        lines.push(DisasmLine { addr, word, text, labels });
+        addr += 4;
+    }
+    lines
+}
+
+/// Renders a full listing, objdump-style.
+pub fn listing(image: &Image) -> String {
+    let mut out = String::new();
+    for line in disassemble(image) {
+        for label in &line.labels {
+            let _ = writeln!(out, "{label}:");
+        }
+        let _ = writeln!(out, "  {:#010x}:  {:08x}    {}", line.addr, line.word, line.text);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    #[test]
+    fn listing_shows_labels_and_text() {
+        let img = assemble(
+            "main: addik r3, r0, 5\n\
+             loop: addik r3, r3, -1\n\
+                   bneid r3, loop\n\
+                   nop\n\
+                   halt\n",
+        )
+        .unwrap();
+        let text = listing(&img);
+        assert!(text.contains("main:"));
+        assert!(text.contains("loop:"));
+        assert!(text.contains("addik r3, r0, 5"));
+        assert!(text.contains("bneid r3, -4"));
+        assert!(text.contains("halt"));
+    }
+
+    #[test]
+    fn data_words_render_as_word_directives() {
+        let img = assemble(".word 0xffffffff\n").unwrap();
+        let lines = disassemble(&img);
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].text.starts_with(".word"));
+    }
+
+    #[test]
+    fn round_trip_disassemble_reassemble() {
+        let src = "start: addk r3, r4, r5\n\
+                   muli r6, r3, 100\n\
+                   put r6, rfsl0\n\
+                   get r7, rfsl0\n\
+                   halt\n";
+        let img = assemble(src).unwrap();
+        // Re-assemble the disassembly and compare words.
+        let relisted: String =
+            disassemble(&img).iter().map(|l| format!("{}\n", l.text)).collect();
+        let img2 = assemble(&relisted).unwrap();
+        assert_eq!(img.bytes(), img2.bytes());
+    }
+}

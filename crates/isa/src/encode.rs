@@ -1,0 +1,605 @@
+//! Binary encoding and decoding of MB32 instructions.
+//!
+//! The word layout follows MicroBlaze:
+//!
+//! ```text
+//!  31    26 25  21 20  16 15              0
+//! +--------+------+------+-----------------+
+//! | opcode |  rd  |  ra  |  imm16          |   immediate ("type B") form
+//! +--------+------+------+------+----------+
+//! | opcode |  rd  |  ra  |  rb  | minor11  |   register ("type A") form
+//! +--------+------+------+------+----------+
+//! ```
+//!
+//! Major opcode assignments mirror the MicroBlaze ISA where the instruction
+//! exists there (`add` = 0x00, `addik` = 0x0C, `lw` = 0x32, ...). MB32-only
+//! conventions (the `halt` opcode and the FSL flag layout) are documented on
+//! the corresponding arms.
+
+use crate::inst::{ArithFlags, BarrelOp, Cond, FslChan, FslMode, Inst, LogicOp, MemSize, ShiftOp};
+use crate::reg::Reg;
+use std::fmt;
+
+/// Error produced when decoding an instruction word fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The major opcode is not assigned.
+    UnknownOpcode {
+        /// The 6-bit major opcode.
+        opcode: u8,
+        /// The full instruction word.
+        word: u32,
+    },
+    /// The major opcode is valid but a minor field is not.
+    BadMinor {
+        /// The 6-bit major opcode.
+        opcode: u8,
+        /// The full instruction word.
+        word: u32,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnknownOpcode { opcode, word } => {
+                write!(f, "unknown opcode {opcode:#04x} in word {word:#010x}")
+            }
+            DecodeError::BadMinor { opcode, word } => {
+                write!(f, "invalid minor field for opcode {opcode:#04x} in word {word:#010x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// Major opcodes (MicroBlaze-compatible where applicable).
+const OP_ADD_BASE: u32 = 0x00; // 0x00..=0x07: add/rsub × {plain,c,k,kc}
+const OP_ADDI_BASE: u32 = 0x08; // 0x08..=0x0F: immediate forms
+const OP_MUL: u32 = 0x10;
+const OP_DIV: u32 = 0x12; // MicroBlaze idiv
+const OP_BARREL: u32 = 0x11;
+const OP_MULI: u32 = 0x18;
+const OP_BARRELI: u32 = 0x19;
+const OP_FSL: u32 = 0x1B;
+const OP_OR: u32 = 0x20;
+const OP_AND: u32 = 0x21;
+const OP_XOR: u32 = 0x22;
+const OP_ANDN: u32 = 0x23;
+const OP_SHIFT: u32 = 0x24;
+const OP_BR: u32 = 0x26;
+const OP_BCC: u32 = 0x27;
+const OP_ORI: u32 = 0x28;
+const OP_ANDI: u32 = 0x29;
+const OP_XORI: u32 = 0x2A;
+const OP_ANDNI: u32 = 0x2B;
+const OP_IMM: u32 = 0x2C;
+const OP_RTSD: u32 = 0x2D;
+const OP_BRI: u32 = 0x2E;
+const OP_BCCI: u32 = 0x2F;
+const OP_LBU: u32 = 0x30;
+const OP_LHU: u32 = 0x31;
+const OP_LW: u32 = 0x32;
+const OP_SB: u32 = 0x34;
+const OP_SH: u32 = 0x35;
+const OP_SW: u32 = 0x36;
+const OP_HALT: u32 = 0x3B; // MB32 extension: explicit simulation halt.
+const OP_LBUI: u32 = 0x38;
+const OP_LHUI: u32 = 0x39;
+const OP_LWI: u32 = 0x3A;
+const OP_SBI: u32 = 0x3C;
+const OP_SHI: u32 = 0x3D;
+const OP_SWI: u32 = 0x3E;
+
+// Minor codes for opcode 0x24 (shift/sign-extend), MicroBlaze values.
+const MINOR_SRA: u32 = 0x0001;
+const MINOR_SRC: u32 = 0x0021;
+const MINOR_SRL: u32 = 0x0041;
+const MINOR_SEXT8: u32 = 0x0060;
+const MINOR_SEXT16: u32 = 0x0061;
+
+// cmp/cmpu are rsubk (0x05) with these minor codes, as on MicroBlaze.
+const MINOR_CMP: u32 = 0x0001;
+const MINOR_CMPU: u32 = 0x0003;
+
+// Branch flag bits stored in the ra field of br/bri.
+const BR_FLAG_LINK: u32 = 0x04;
+const BR_FLAG_ABS: u32 = 0x08;
+const BR_FLAG_DELAY: u32 = 0x10;
+
+// Conditional-branch delay flag stored in the rd field alongside the
+// 3-bit condition code.
+const BCC_FLAG_DELAY: u32 = 0x10;
+
+// FSL flag bits stored in the imm16 field (MB32 layout).
+const FSL_FLAG_PUT: u32 = 0x8000;
+const FSL_FLAG_NONBLOCKING: u32 = 0x4000;
+const FSL_FLAG_CONTROL: u32 = 0x2000;
+
+#[inline]
+fn type_a(op: u32, rd: u32, ra: u32, rb: u32, minor: u32) -> u32 {
+    debug_assert!(op < 64 && rd < 32 && ra < 32 && rb < 32 && minor < 2048);
+    (op << 26) | (rd << 21) | (ra << 16) | (rb << 11) | minor
+}
+
+#[inline]
+fn type_b(op: u32, rd: u32, ra: u32, imm: u16) -> u32 {
+    debug_assert!(op < 64 && rd < 32 && ra < 32);
+    (op << 26) | (rd << 21) | (ra << 16) | imm as u32
+}
+
+/// Encodes an instruction to its 32-bit word.
+pub fn encode(inst: &Inst) -> u32 {
+    match *inst {
+        Inst::Add { rd, ra, rb, flags } => {
+            type_a(OP_ADD_BASE + (flags.bits() << 1), rd.field(), ra.field(), rb.field(), 0)
+        }
+        Inst::Rsub { rd, ra, rb, flags } => {
+            type_a(OP_ADD_BASE + (flags.bits() << 1) + 1, rd.field(), ra.field(), rb.field(), 0)
+        }
+        Inst::AddI { rd, ra, imm, flags } => {
+            type_b(OP_ADDI_BASE + (flags.bits() << 1), rd.field(), ra.field(), imm as u16)
+        }
+        Inst::RsubI { rd, ra, imm, flags } => {
+            type_b(OP_ADDI_BASE + (flags.bits() << 1) + 1, rd.field(), ra.field(), imm as u16)
+        }
+        Inst::Cmp { rd, ra, rb, unsigned } => {
+            let minor = if unsigned { MINOR_CMPU } else { MINOR_CMP };
+            type_a(0x05, rd.field(), ra.field(), rb.field(), minor)
+        }
+        Inst::Mul { rd, ra, rb } => type_a(OP_MUL, rd.field(), ra.field(), rb.field(), 0),
+        Inst::Div { rd, ra, rb, unsigned } => {
+            type_a(OP_DIV, rd.field(), ra.field(), rb.field(), (unsigned as u32) << 1)
+        }
+        Inst::MulI { rd, ra, imm } => type_b(OP_MULI, rd.field(), ra.field(), imm as u16),
+        Inst::Logic { op, rd, ra, rb } => {
+            let opc = match op {
+                LogicOp::Or => OP_OR,
+                LogicOp::And => OP_AND,
+                LogicOp::Xor => OP_XOR,
+                LogicOp::Andn => OP_ANDN,
+            };
+            type_a(opc, rd.field(), ra.field(), rb.field(), 0)
+        }
+        Inst::LogicI { op, rd, ra, imm } => {
+            let opc = match op {
+                LogicOp::Or => OP_ORI,
+                LogicOp::And => OP_ANDI,
+                LogicOp::Xor => OP_XORI,
+                LogicOp::Andn => OP_ANDNI,
+            };
+            type_b(opc, rd.field(), ra.field(), imm as u16)
+        }
+        Inst::Shift { op, rd, ra } => {
+            let minor = match op {
+                ShiftOp::Sra => MINOR_SRA,
+                ShiftOp::Src => MINOR_SRC,
+                ShiftOp::Srl => MINOR_SRL,
+            };
+            type_b(OP_SHIFT, rd.field(), ra.field(), minor as u16)
+        }
+        Inst::Sext { rd, ra, half } => {
+            let minor = if half { MINOR_SEXT16 } else { MINOR_SEXT8 };
+            type_b(OP_SHIFT, rd.field(), ra.field(), minor as u16)
+        }
+        Inst::Barrel { op, rd, ra, rb } => {
+            type_a(OP_BARREL, rd.field(), ra.field(), rb.field(), barrel_minor(op))
+        }
+        Inst::BarrelI { op, rd, ra, amount } => {
+            debug_assert!(amount < 32);
+            let imm = barrel_minor(op) as u16 | (amount as u16 & 0x1F);
+            type_b(OP_BARRELI, rd.field(), ra.field(), imm)
+        }
+        Inst::Load { size, rd, ra, rb } => {
+            let opc = match size {
+                MemSize::Byte => OP_LBU,
+                MemSize::Half => OP_LHU,
+                MemSize::Word => OP_LW,
+            };
+            type_a(opc, rd.field(), ra.field(), rb.field(), 0)
+        }
+        Inst::LoadI { size, rd, ra, imm } => {
+            let opc = match size {
+                MemSize::Byte => OP_LBUI,
+                MemSize::Half => OP_LHUI,
+                MemSize::Word => OP_LWI,
+            };
+            type_b(opc, rd.field(), ra.field(), imm as u16)
+        }
+        Inst::Store { size, rd, ra, rb } => {
+            let opc = match size {
+                MemSize::Byte => OP_SB,
+                MemSize::Half => OP_SH,
+                MemSize::Word => OP_SW,
+            };
+            type_a(opc, rd.field(), ra.field(), rb.field(), 0)
+        }
+        Inst::StoreI { size, rd, ra, imm } => {
+            let opc = match size {
+                MemSize::Byte => OP_SBI,
+                MemSize::Half => OP_SHI,
+                MemSize::Word => OP_SWI,
+            };
+            type_b(opc, rd.field(), ra.field(), imm as u16)
+        }
+        Inst::Br { rb, link, absolute, delay } => {
+            let flags = br_flags(link.is_some(), absolute, delay);
+            let rd = link.map(Reg::field).unwrap_or(0);
+            type_a(OP_BR, rd, flags, rb.field(), 0)
+        }
+        Inst::BrI { imm, link, absolute, delay } => {
+            let flags = br_flags(link.is_some(), absolute, delay);
+            let rd = link.map(Reg::field).unwrap_or(0);
+            type_b(OP_BRI, rd, flags, imm as u16)
+        }
+        Inst::Bcc { cond, ra, rb, delay } => {
+            let rd = cond.bits() | if delay { BCC_FLAG_DELAY } else { 0 };
+            type_a(OP_BCC, rd, ra.field(), rb.field(), 0)
+        }
+        Inst::BccI { cond, ra, imm, delay } => {
+            let rd = cond.bits() | if delay { BCC_FLAG_DELAY } else { 0 };
+            type_b(OP_BCCI, rd, ra.field(), imm as u16)
+        }
+        Inst::Rtsd { ra, imm } => type_b(OP_RTSD, 0x10, ra.field(), imm as u16),
+        Inst::Imm { imm } => type_b(OP_IMM, 0, 0, imm),
+        Inst::Get { rd, chan, mode } => {
+            let imm = fsl_imm(false, chan, mode);
+            type_b(OP_FSL, rd.field(), 0, imm)
+        }
+        Inst::Put { ra, chan, mode } => {
+            let imm = fsl_imm(true, chan, mode);
+            type_b(OP_FSL, 0, ra.field(), imm)
+        }
+        Inst::Halt => type_b(OP_HALT, 0, 0, 0),
+    }
+}
+
+fn barrel_minor(op: BarrelOp) -> u32 {
+    // Bits [10:9]: S (left) and T (arithmetic), MicroBlaze-style.
+    match op {
+        BarrelOp::Bsrl => 0,
+        BarrelOp::Bsra => 1 << 9,
+        BarrelOp::Bsll => 1 << 10,
+    }
+}
+
+fn barrel_from_minor(minor: u32) -> Option<BarrelOp> {
+    match (minor >> 9) & 0x3 {
+        0 => Some(BarrelOp::Bsrl),
+        1 => Some(BarrelOp::Bsra),
+        2 => Some(BarrelOp::Bsll),
+        _ => None,
+    }
+}
+
+fn br_flags(link: bool, absolute: bool, delay: bool) -> u32 {
+    (if link { BR_FLAG_LINK } else { 0 })
+        | (if absolute { BR_FLAG_ABS } else { 0 })
+        | (if delay { BR_FLAG_DELAY } else { 0 })
+}
+
+fn fsl_imm(put: bool, chan: FslChan, mode: FslMode) -> u16 {
+    let mut imm = chan.index() as u32;
+    if put {
+        imm |= FSL_FLAG_PUT;
+    }
+    if mode.non_blocking {
+        imm |= FSL_FLAG_NONBLOCKING;
+    }
+    if mode.control {
+        imm |= FSL_FLAG_CONTROL;
+    }
+    imm as u16
+}
+
+#[inline]
+fn field_rd(word: u32) -> Reg {
+    Reg::new(((word >> 21) & 0x1F) as u8)
+}
+
+#[inline]
+fn field_ra(word: u32) -> Reg {
+    Reg::new(((word >> 16) & 0x1F) as u8)
+}
+
+#[inline]
+fn field_rb(word: u32) -> Reg {
+    Reg::new(((word >> 11) & 0x1F) as u8)
+}
+
+#[inline]
+fn field_imm(word: u32) -> i16 {
+    (word & 0xFFFF) as u16 as i16
+}
+
+#[inline]
+fn field_minor(word: u32) -> u32 {
+    word & 0x7FF
+}
+
+/// Decodes a 32-bit word into an instruction.
+pub fn decode(word: u32) -> Result<Inst, DecodeError> {
+    let opcode = (word >> 26) & 0x3F;
+    let err_minor = DecodeError::BadMinor { opcode: opcode as u8, word };
+    let inst = match opcode {
+        0x00..=0x07 => {
+            let rsub = opcode & 1 != 0;
+            let flags = ArithFlags::from_bits((opcode >> 1) & 0x3);
+            let (rd, ra, rb) = (field_rd(word), field_ra(word), field_rb(word));
+            let minor = field_minor(word);
+            if opcode == 0x05 && minor != 0 {
+                // rsubk with a comparison minor code: cmp/cmpu.
+                let unsigned = match minor {
+                    MINOR_CMP => false,
+                    MINOR_CMPU => true,
+                    _ => return Err(err_minor),
+                };
+                Inst::Cmp { rd, ra, rb, unsigned }
+            } else if minor != 0 {
+                return Err(err_minor);
+            } else if rsub {
+                Inst::Rsub { rd, ra, rb, flags }
+            } else {
+                Inst::Add { rd, ra, rb, flags }
+            }
+        }
+        0x08..=0x0F => {
+            let rsub = opcode & 1 != 0;
+            let flags = ArithFlags::from_bits((opcode >> 1) & 0x3);
+            let (rd, ra, imm) = (field_rd(word), field_ra(word), field_imm(word));
+            if rsub {
+                Inst::RsubI { rd, ra, imm, flags }
+            } else {
+                Inst::AddI { rd, ra, imm, flags }
+            }
+        }
+        OP_MUL => Inst::Mul { rd: field_rd(word), ra: field_ra(word), rb: field_rb(word) },
+        OP_DIV => {
+            let minor = field_minor(word);
+            if minor & !0x2 != 0 {
+                return Err(err_minor);
+            }
+            Inst::Div {
+                rd: field_rd(word),
+                ra: field_ra(word),
+                rb: field_rb(word),
+                unsigned: minor & 0x2 != 0,
+            }
+        }
+        OP_MULI => Inst::MulI { rd: field_rd(word), ra: field_ra(word), imm: field_imm(word) },
+        OP_BARREL => {
+            let op = barrel_from_minor(field_minor(word)).ok_or(err_minor)?;
+            Inst::Barrel { op, rd: field_rd(word), ra: field_ra(word), rb: field_rb(word) }
+        }
+        OP_BARRELI => {
+            let imm = word & 0xFFFF;
+            let op = barrel_from_minor(imm & 0x7FF).ok_or(err_minor)?;
+            Inst::BarrelI {
+                op,
+                rd: field_rd(word),
+                ra: field_ra(word),
+                amount: (imm & 0x1F) as u8,
+            }
+        }
+        OP_FSL => {
+            let imm = word & 0xFFFF;
+            let chan = FslChan::new((imm & 0x7) as u8);
+            let mode = FslMode {
+                non_blocking: imm & FSL_FLAG_NONBLOCKING != 0,
+                control: imm & FSL_FLAG_CONTROL != 0,
+            };
+            if imm & FSL_FLAG_PUT != 0 {
+                Inst::Put { ra: field_ra(word), chan, mode }
+            } else {
+                Inst::Get { rd: field_rd(word), chan, mode }
+            }
+        }
+        OP_OR | OP_AND | OP_XOR | OP_ANDN => {
+            let op = match opcode {
+                OP_OR => LogicOp::Or,
+                OP_AND => LogicOp::And,
+                OP_XOR => LogicOp::Xor,
+                _ => LogicOp::Andn,
+            };
+            Inst::Logic { op, rd: field_rd(word), ra: field_ra(word), rb: field_rb(word) }
+        }
+        OP_ORI | OP_ANDI | OP_XORI | OP_ANDNI => {
+            let op = match opcode {
+                OP_ORI => LogicOp::Or,
+                OP_ANDI => LogicOp::And,
+                OP_XORI => LogicOp::Xor,
+                _ => LogicOp::Andn,
+            };
+            Inst::LogicI { op, rd: field_rd(word), ra: field_ra(word), imm: field_imm(word) }
+        }
+        OP_SHIFT => {
+            let (rd, ra) = (field_rd(word), field_ra(word));
+            match word & 0xFFFF {
+                MINOR_SRA => Inst::Shift { op: ShiftOp::Sra, rd, ra },
+                MINOR_SRC => Inst::Shift { op: ShiftOp::Src, rd, ra },
+                MINOR_SRL => Inst::Shift { op: ShiftOp::Srl, rd, ra },
+                MINOR_SEXT8 => Inst::Sext { rd, ra, half: false },
+                MINOR_SEXT16 => Inst::Sext { rd, ra, half: true },
+                _ => return Err(err_minor),
+            }
+        }
+        OP_BR | OP_BRI => {
+            let flags = field_ra(word).field();
+            let link = if flags & BR_FLAG_LINK != 0 { Some(field_rd(word)) } else { None };
+            let absolute = flags & BR_FLAG_ABS != 0;
+            let delay = flags & BR_FLAG_DELAY != 0;
+            if flags & !(BR_FLAG_LINK | BR_FLAG_ABS | BR_FLAG_DELAY) != 0 {
+                return Err(err_minor);
+            }
+            if opcode == OP_BR {
+                Inst::Br { rb: field_rb(word), link, absolute, delay }
+            } else {
+                Inst::BrI { imm: field_imm(word), link, absolute, delay }
+            }
+        }
+        OP_BCC | OP_BCCI => {
+            let rd = field_rd(word).field();
+            let cond = Cond::from_bits(rd & 0x7).ok_or(err_minor)?;
+            let delay = rd & BCC_FLAG_DELAY != 0;
+            if rd & !(0x7 | BCC_FLAG_DELAY) != 0 {
+                return Err(err_minor);
+            }
+            if opcode == OP_BCC {
+                Inst::Bcc { cond, ra: field_ra(word), rb: field_rb(word), delay }
+            } else {
+                Inst::BccI { cond, ra: field_ra(word), imm: field_imm(word), delay }
+            }
+        }
+        OP_RTSD => Inst::Rtsd { ra: field_ra(word), imm: field_imm(word) },
+        OP_IMM => Inst::Imm { imm: (word & 0xFFFF) as u16 },
+        OP_LBU => Inst::Load { size: MemSize::Byte, rd: field_rd(word), ra: field_ra(word), rb: field_rb(word) },
+        OP_LHU => Inst::Load { size: MemSize::Half, rd: field_rd(word), ra: field_ra(word), rb: field_rb(word) },
+        OP_LW => Inst::Load { size: MemSize::Word, rd: field_rd(word), ra: field_ra(word), rb: field_rb(word) },
+        OP_SB => Inst::Store { size: MemSize::Byte, rd: field_rd(word), ra: field_ra(word), rb: field_rb(word) },
+        OP_SH => Inst::Store { size: MemSize::Half, rd: field_rd(word), ra: field_ra(word), rb: field_rb(word) },
+        OP_SW => Inst::Store { size: MemSize::Word, rd: field_rd(word), ra: field_ra(word), rb: field_rb(word) },
+        OP_LBUI => Inst::LoadI { size: MemSize::Byte, rd: field_rd(word), ra: field_ra(word), imm: field_imm(word) },
+        OP_LHUI => Inst::LoadI { size: MemSize::Half, rd: field_rd(word), ra: field_ra(word), imm: field_imm(word) },
+        OP_LWI => Inst::LoadI { size: MemSize::Word, rd: field_rd(word), ra: field_ra(word), imm: field_imm(word) },
+        OP_SBI => Inst::StoreI { size: MemSize::Byte, rd: field_rd(word), ra: field_ra(word), imm: field_imm(word) },
+        OP_SHI => Inst::StoreI { size: MemSize::Half, rd: field_rd(word), ra: field_ra(word), imm: field_imm(word) },
+        OP_SWI => Inst::StoreI { size: MemSize::Word, rd: field_rd(word), ra: field_ra(word), imm: field_imm(word) },
+        OP_HALT => Inst::Halt,
+        _ => return Err(DecodeError::UnknownOpcode { opcode: opcode as u8, word }),
+    };
+    Ok(inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::r;
+
+    /// A representative instruction of every variant/flag combination.
+    pub(crate) fn sample_instructions() -> Vec<Inst> {
+        let mut v = Vec::new();
+        for bits in 0..4 {
+            let flags = ArithFlags::from_bits(bits);
+            v.push(Inst::Add { rd: r(1), ra: r(2), rb: r(3), flags });
+            v.push(Inst::Rsub { rd: r(4), ra: r(5), rb: r(6), flags });
+            v.push(Inst::AddI { rd: r(7), ra: r(8), imm: -123, flags });
+            v.push(Inst::RsubI { rd: r(9), ra: r(10), imm: 456, flags });
+        }
+        v.push(Inst::Cmp { rd: r(1), ra: r(2), rb: r(3), unsigned: false });
+        v.push(Inst::Cmp { rd: r(1), ra: r(2), rb: r(3), unsigned: true });
+        v.push(Inst::Mul { rd: r(11), ra: r(12), rb: r(13) });
+        v.push(Inst::Div { rd: r(11), ra: r(12), rb: r(13), unsigned: false });
+        v.push(Inst::Div { rd: r(11), ra: r(12), rb: r(13), unsigned: true });
+        v.push(Inst::MulI { rd: r(14), ra: r(15), imm: -7 });
+        for op in LogicOp::ALL {
+            v.push(Inst::Logic { op, rd: r(16), ra: r(17), rb: r(18) });
+            v.push(Inst::LogicI { op, rd: r(19), ra: r(20), imm: 0x7F });
+        }
+        for op in ShiftOp::ALL {
+            v.push(Inst::Shift { op, rd: r(21), ra: r(22) });
+        }
+        v.push(Inst::Sext { rd: r(1), ra: r(2), half: false });
+        v.push(Inst::Sext { rd: r(1), ra: r(2), half: true });
+        for op in BarrelOp::ALL {
+            v.push(Inst::Barrel { op, rd: r(3), ra: r(4), rb: r(5) });
+            v.push(Inst::BarrelI { op, rd: r(6), ra: r(7), amount: 17 });
+        }
+        for size in [MemSize::Byte, MemSize::Half, MemSize::Word] {
+            v.push(Inst::Load { size, rd: r(23), ra: r(24), rb: r(25) });
+            v.push(Inst::LoadI { size, rd: r(26), ra: r(27), imm: 0x100 });
+            v.push(Inst::Store { size, rd: r(28), ra: r(29), rb: r(30) });
+            v.push(Inst::StoreI { size, rd: r(31), ra: r(1), imm: -4 });
+        }
+        for absolute in [false, true] {
+            for delay in [false, true] {
+                v.push(Inst::Br { rb: r(5), link: None, absolute, delay });
+                v.push(Inst::Br { rb: r(5), link: Some(r(15)), absolute, delay });
+                v.push(Inst::BrI { imm: -64, link: None, absolute, delay });
+                v.push(Inst::BrI { imm: 64, link: Some(r(15)), absolute, delay });
+            }
+        }
+        for cond in Cond::ALL {
+            for delay in [false, true] {
+                v.push(Inst::Bcc { cond, ra: r(6), rb: r(7), delay });
+                v.push(Inst::BccI { cond, ra: r(8), imm: -32, delay });
+            }
+        }
+        v.push(Inst::Rtsd { ra: r(15), imm: 8 });
+        v.push(Inst::Imm { imm: 0xDEAD });
+        for mode in FslMode::ALL {
+            for chan in [0u8, 3, 7] {
+                v.push(Inst::Get { rd: r(9), chan: FslChan::new(chan), mode });
+                v.push(Inst::Put { ra: r(10), chan: FslChan::new(chan), mode });
+            }
+        }
+        v.push(Inst::Halt);
+        v.push(Inst::NOP);
+        v
+    }
+
+    #[test]
+    fn encode_decode_round_trips_every_variant() {
+        for inst in sample_instructions() {
+            let word = encode(&inst);
+            let back = decode(word).unwrap_or_else(|e| panic!("{inst}: {e}"));
+            assert_eq!(back, inst, "word {word:#010x}");
+        }
+    }
+
+    #[test]
+    fn encoding_is_injective_over_samples() {
+        let insts = sample_instructions();
+        let mut seen = std::collections::HashMap::new();
+        for inst in insts {
+            let word = encode(&inst);
+            if let Some(prev) = seen.insert(word, inst) {
+                panic!("collision: {prev:?} and {inst:?} both encode to {word:#010x}");
+            }
+        }
+    }
+
+    #[test]
+    fn microblaze_compatible_opcodes() {
+        // Spot-check that major opcodes match the real MicroBlaze ISA.
+        let addk = Inst::Add { rd: r(1), ra: r(2), rb: r(3), flags: ArithFlags::KEEP };
+        assert_eq!(encode(&addk) >> 26, 0x04);
+        let addik = Inst::AddI { rd: r(1), ra: r(2), imm: 0, flags: ArithFlags::KEEP };
+        assert_eq!(encode(&addik) >> 26, 0x0C);
+        let lw = Inst::Load { size: MemSize::Word, rd: r(1), ra: r(2), rb: r(3) };
+        assert_eq!(encode(&lw) >> 26, 0x32);
+        let swi = Inst::StoreI { size: MemSize::Word, rd: r(1), ra: r(2), imm: 0 };
+        assert_eq!(encode(&swi) >> 26, 0x3E);
+        let imm = Inst::Imm { imm: 0 };
+        assert_eq!(encode(&imm) >> 26, 0x2C);
+    }
+
+    #[test]
+    fn decode_rejects_unknown_opcodes() {
+        for opcode in [0x13u32, 0x17, 0x1F, 0x25, 0x33, 0x37, 0x3F] {
+            let word = opcode << 26;
+            assert!(
+                matches!(decode(word), Err(DecodeError::UnknownOpcode { .. })),
+                "opcode {opcode:#x} should be unknown"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_rejects_bad_minors() {
+        // Shift with an unassigned minor code.
+        let word = (OP_SHIFT << 26) | 0x0002;
+        assert!(matches!(decode(word), Err(DecodeError::BadMinor { .. })));
+        // rsubk with a non-comparison minor.
+        let word = (0x05 << 26) | 0x0005;
+        assert!(matches!(decode(word), Err(DecodeError::BadMinor { .. })));
+        // Conditional branch with condition code 7.
+        let word = (OP_BCCI << 26) | (7 << 21);
+        assert!(matches!(decode(word), Err(DecodeError::BadMinor { .. })));
+    }
+
+    #[test]
+    fn nop_encodes_to_or_zero() {
+        assert_eq!(encode(&Inst::NOP), OP_OR << 26);
+    }
+}

@@ -1,0 +1,195 @@
+//! Program images: the output of the assembler and the input of the
+//! simulators.
+//!
+//! An [`Image`] is the MB32 analog of the `.elf` file produced by `mb-gcc`
+//! in the paper's flow: a byte image loaded into the block-RAM local memory
+//! of the soft processor, plus a symbol table. Like MicroBlaze, MB32 is
+//! big-endian.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Bytes of local data memory provided by one Virtex-II Pro block RAM when
+/// used for processor local memory (18 Kbit ≈ 2 KiB of data).
+pub const BRAM_BYTES: u32 = 2048;
+
+/// An assembled program image.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Image {
+    /// Load address of the first byte (MB32 programs start at 0).
+    base: u32,
+    /// Raw big-endian memory contents.
+    bytes: Vec<u8>,
+    /// Label → address map.
+    symbols: BTreeMap<String, u32>,
+    /// Entry point (address of the first instruction).
+    entry: u32,
+}
+
+impl Image {
+    /// Creates an empty image based at `base`.
+    pub fn new(base: u32) -> Image {
+        Image { base, bytes: Vec::new(), symbols: BTreeMap::new(), entry: base }
+    }
+
+    /// The load address of the image.
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// The entry point.
+    pub fn entry(&self) -> u32 {
+        self.entry
+    }
+
+    /// Sets the entry point.
+    pub fn set_entry(&mut self, entry: u32) {
+        self.entry = entry;
+    }
+
+    /// Image size in bytes (from `base` to the last initialized byte).
+    pub fn len_bytes(&self) -> u32 {
+        self.bytes.len() as u32
+    }
+
+    /// True when the image contains no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// The raw big-endian byte contents.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Number of block RAMs needed to hold this image — the paper's
+    /// `mb-objdump`-based program sizing (§III-C).
+    pub fn bram_count(&self) -> u32 {
+        self.len_bytes().div_ceil(BRAM_BYTES).max(1)
+    }
+
+    /// Returns the address of a symbol, if defined.
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.get(name).copied()
+    }
+
+    /// All symbols in address order.
+    pub fn symbols(&self) -> impl Iterator<Item = (&str, u32)> {
+        self.symbols.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Defines a symbol.
+    pub fn define_symbol(&mut self, name: impl Into<String>, addr: u32) {
+        self.symbols.insert(name.into(), addr);
+    }
+
+    /// Writes one byte at an absolute address, growing the image as needed.
+    ///
+    /// # Panics
+    /// Panics if `addr < base`.
+    pub fn write_u8(&mut self, addr: u32, value: u8) {
+        assert!(addr >= self.base, "write below image base");
+        let off = (addr - self.base) as usize;
+        if off >= self.bytes.len() {
+            self.bytes.resize(off + 1, 0);
+        }
+        self.bytes[off] = value;
+    }
+
+    /// Writes a big-endian 16-bit value.
+    pub fn write_u16(&mut self, addr: u32, value: u16) {
+        for (i, b) in value.to_be_bytes().iter().enumerate() {
+            self.write_u8(addr + i as u32, *b);
+        }
+    }
+
+    /// Writes a big-endian 32-bit value.
+    pub fn write_u32(&mut self, addr: u32, value: u32) {
+        for (i, b) in value.to_be_bytes().iter().enumerate() {
+            self.write_u8(addr + i as u32, *b);
+        }
+    }
+
+    /// Reads one byte (0 beyond the initialized region).
+    pub fn read_u8(&self, addr: u32) -> u8 {
+        if addr < self.base {
+            return 0;
+        }
+        self.bytes.get((addr - self.base) as usize).copied().unwrap_or(0)
+    }
+
+    /// Reads a big-endian 32-bit word.
+    pub fn read_u32(&self, addr: u32) -> u32 {
+        u32::from_be_bytes([
+            self.read_u8(addr),
+            self.read_u8(addr + 1),
+            self.read_u8(addr + 2),
+            self.read_u8(addr + 3),
+        ])
+    }
+}
+
+impl fmt::Display for Image {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "image: base={:#x} size={} bytes entry={:#x} ({} BRAM)",
+            self.base,
+            self.len_bytes(),
+            self.entry,
+            self.bram_count()
+        )?;
+        for (name, addr) in &self.symbols {
+            writeln!(f, "  {addr:#010x} {name}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_round_trip_big_endian() {
+        let mut img = Image::new(0);
+        img.write_u32(0, 0x1234_5678);
+        assert_eq!(img.read_u8(0), 0x12, "MB32 is big-endian like MicroBlaze");
+        assert_eq!(img.read_u8(3), 0x78);
+        assert_eq!(img.read_u32(0), 0x1234_5678);
+    }
+
+    #[test]
+    fn reads_beyond_image_are_zero() {
+        let img = Image::new(0);
+        assert_eq!(img.read_u32(0x1000), 0);
+    }
+
+    #[test]
+    fn bram_count_rounds_up() {
+        let mut img = Image::new(0);
+        assert_eq!(img.bram_count(), 1, "empty program still occupies one BRAM");
+        img.write_u8(BRAM_BYTES - 1, 1);
+        assert_eq!(img.bram_count(), 1);
+        img.write_u8(BRAM_BYTES, 1);
+        assert_eq!(img.bram_count(), 2);
+        img.write_u8(4 * BRAM_BYTES - 1, 1);
+        assert_eq!(img.bram_count(), 4);
+    }
+
+    #[test]
+    fn symbols() {
+        let mut img = Image::new(0);
+        img.define_symbol("main", 0x40);
+        assert_eq!(img.symbol("main"), Some(0x40));
+        assert_eq!(img.symbol("missing"), None);
+        assert_eq!(img.symbols().count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "below image base")]
+    fn write_below_base_panics() {
+        let mut img = Image::new(0x100);
+        img.write_u8(0xFF, 1);
+    }
+}

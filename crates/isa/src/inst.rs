@@ -1,0 +1,649 @@
+//! The MB32 instruction set.
+//!
+//! MB32 is a 32-bit RISC instruction set modeled closely on Xilinx
+//! MicroBlaze (the soft processor used in the paper): 32 general-purpose
+//! registers, a machine-status register with a carry flag, an `imm` prefix
+//! instruction for 32-bit immediates, delay-slot branches, and the eight
+//! input / eight output Fast Simplex Link (FSL) channels with blocking /
+//! non-blocking and data / control-word transfer variants.
+//!
+//! The enum in this module is the single source of truth: the encoder,
+//! decoder, assembler, disassembler, instruction-set simulator and the RTL
+//! processor model all consume [`Inst`].
+
+use crate::reg::Reg;
+use std::fmt;
+
+/// Arithmetic flavor shared by `add*`/`rsub*` families.
+///
+/// MicroBlaze spells these as suffixes: `c` = use carry-in, `k` = keep
+/// (do not update) the carry flag. `addk rd, ra, rb` is the plain
+/// non-flag-writing addition; `add` writes carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArithFlags {
+    /// Add the MSR carry bit into the sum.
+    pub carry_in: bool,
+    /// Keep MSR carry unchanged (do not write carry-out).
+    pub keep: bool,
+}
+
+impl ArithFlags {
+    /// Plain flag-writing arithmetic (`add` / `rsub`).
+    pub const PLAIN: ArithFlags = ArithFlags { carry_in: false, keep: false };
+    /// Carry-keeping arithmetic (`addk` / `rsubk`).
+    pub const KEEP: ArithFlags = ArithFlags { carry_in: false, keep: true };
+
+    /// The two-bit `{carry_in, keep}` encoding used in opcodes.
+    pub const fn bits(self) -> u32 {
+        (self.carry_in as u32) | ((self.keep as u32) << 1)
+    }
+
+    /// Inverse of [`ArithFlags::bits`].
+    pub const fn from_bits(bits: u32) -> ArithFlags {
+        ArithFlags { carry_in: bits & 1 != 0, keep: bits & 2 != 0 }
+    }
+
+    fn suffix(self) -> &'static str {
+        match (self.carry_in, self.keep) {
+            (false, false) => "",
+            (true, false) => "c",
+            (false, true) => "k",
+            (true, true) => "kc",
+        }
+    }
+}
+
+/// Bitwise logic operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LogicOp {
+    /// Bitwise OR.
+    Or,
+    /// Bitwise AND.
+    And,
+    /// Bitwise XOR.
+    Xor,
+    /// AND with complement of the second operand (`ra & !rb`).
+    Andn,
+}
+
+impl LogicOp {
+    /// All logic operations, for exhaustive tests.
+    pub const ALL: [LogicOp; 4] = [LogicOp::Or, LogicOp::And, LogicOp::Xor, LogicOp::Andn];
+
+    fn mnemonic(self) -> &'static str {
+        match self {
+            LogicOp::Or => "or",
+            LogicOp::And => "and",
+            LogicOp::Xor => "xor",
+            LogicOp::Andn => "andn",
+        }
+    }
+}
+
+/// Single-bit right-shift variants (`sra`, `src`, `srl`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShiftOp {
+    /// Arithmetic shift right: bit 31 replicated, bit 0 → carry.
+    Sra,
+    /// Shift right through carry: carry → bit 31, bit 0 → carry.
+    Src,
+    /// Logical shift right: 0 → bit 31, bit 0 → carry.
+    Srl,
+}
+
+impl ShiftOp {
+    /// All one-bit shifts, for exhaustive tests.
+    pub const ALL: [ShiftOp; 3] = [ShiftOp::Sra, ShiftOp::Src, ShiftOp::Srl];
+
+    fn mnemonic(self) -> &'static str {
+        match self {
+            ShiftOp::Sra => "sra",
+            ShiftOp::Src => "src",
+            ShiftOp::Srl => "srl",
+        }
+    }
+}
+
+/// Barrel-shift variants (`bsll`, `bsrl`, `bsra`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BarrelOp {
+    /// Barrel shift left logical.
+    Bsll,
+    /// Barrel shift right logical.
+    Bsrl,
+    /// Barrel shift right arithmetic.
+    Bsra,
+}
+
+impl BarrelOp {
+    /// All barrel shifts, for exhaustive tests.
+    pub const ALL: [BarrelOp; 3] = [BarrelOp::Bsll, BarrelOp::Bsrl, BarrelOp::Bsra];
+
+    fn mnemonic(self) -> &'static str {
+        match self {
+            BarrelOp::Bsll => "bsll",
+            BarrelOp::Bsrl => "bsrl",
+            BarrelOp::Bsra => "bsra",
+        }
+    }
+}
+
+/// Memory access width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemSize {
+    /// Byte (loads zero-extend).
+    Byte,
+    /// Half-word, 16 bits (loads zero-extend; address must be 2-aligned).
+    Half,
+    /// Word, 32 bits (address must be 4-aligned).
+    Word,
+}
+
+impl MemSize {
+    /// Access width in bytes.
+    pub const fn bytes(self) -> u32 {
+        match self {
+            MemSize::Byte => 1,
+            MemSize::Half => 2,
+            MemSize::Word => 4,
+        }
+    }
+
+    fn load_mnemonic(self) -> &'static str {
+        match self {
+            MemSize::Byte => "lbu",
+            MemSize::Half => "lhu",
+            MemSize::Word => "lw",
+        }
+    }
+
+    fn store_mnemonic(self) -> &'static str {
+        match self {
+            MemSize::Byte => "sb",
+            MemSize::Half => "sh",
+            MemSize::Word => "sw",
+        }
+    }
+}
+
+/// Conditions for conditional branches.
+///
+/// As on MicroBlaze, conditional branches test a single register `ra`
+/// against zero (there is no condition-code comparison in the branch
+/// itself; `cmp`/`cmpu` produce a sign bit that the branch then tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Branch if `ra == 0`.
+    Eq,
+    /// Branch if `ra != 0`.
+    Ne,
+    /// Branch if `ra < 0` (signed).
+    Lt,
+    /// Branch if `ra <= 0` (signed).
+    Le,
+    /// Branch if `ra > 0` (signed).
+    Gt,
+    /// Branch if `ra >= 0` (signed).
+    Ge,
+}
+
+impl Cond {
+    /// All branch conditions, for exhaustive tests.
+    pub const ALL: [Cond; 6] = [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Le, Cond::Gt, Cond::Ge];
+
+    /// 3-bit encoding used in the `rd` field of branch instructions.
+    pub const fn bits(self) -> u32 {
+        match self {
+            Cond::Eq => 0,
+            Cond::Ne => 1,
+            Cond::Lt => 2,
+            Cond::Le => 3,
+            Cond::Gt => 4,
+            Cond::Ge => 5,
+        }
+    }
+
+    /// Inverse of [`Cond::bits`].
+    pub const fn from_bits(bits: u32) -> Option<Cond> {
+        Some(match bits {
+            0 => Cond::Eq,
+            1 => Cond::Ne,
+            2 => Cond::Lt,
+            3 => Cond::Le,
+            4 => Cond::Gt,
+            5 => Cond::Ge,
+            _ => return None,
+        })
+    }
+
+    /// Evaluates the condition against a register value.
+    pub fn holds(self, value: u32) -> bool {
+        let v = value as i32;
+        match self {
+            Cond::Eq => v == 0,
+            Cond::Ne => v != 0,
+            Cond::Lt => v < 0,
+            Cond::Le => v <= 0,
+            Cond::Gt => v > 0,
+            Cond::Ge => v >= 0,
+        }
+    }
+
+    fn mnemonic(self) -> &'static str {
+        match self {
+            Cond::Eq => "beq",
+            Cond::Ne => "bne",
+            Cond::Lt => "blt",
+            Cond::Le => "ble",
+            Cond::Gt => "bgt",
+            Cond::Ge => "bge",
+        }
+    }
+}
+
+/// FSL channel index (0..=7). MicroBlaze supports eight input and eight
+/// output Fast Simplex Links.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FslChan(u8);
+
+impl FslChan {
+    /// Number of FSL channels in each direction.
+    pub const COUNT: usize = 8;
+
+    /// Creates a channel index; panics if `n >= 8`.
+    pub const fn new(n: u8) -> FslChan {
+        assert!(n < 8, "FSL channel out of range");
+        FslChan(n)
+    }
+
+    /// Creates a channel index, returning `None` when out of range.
+    pub const fn try_new(n: u8) -> Option<FslChan> {
+        if n < 8 {
+            Some(FslChan(n))
+        } else {
+            None
+        }
+    }
+
+    /// Channel index in `0..8`.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FslChan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rfsl{}", self.0)
+    }
+}
+
+/// FSL transfer mode flags shared by `get`/`put` variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FslMode {
+    /// Non-blocking (`n` prefix): never stalls; sets carry to 1 when the
+    /// transfer could not complete.
+    pub non_blocking: bool,
+    /// Control word (`c` prefix): transfers with the control bit set, used
+    /// by the applications in the paper to mark configuration words.
+    pub control: bool,
+}
+
+impl FslMode {
+    /// Blocking data transfer.
+    pub const BLOCKING_DATA: FslMode = FslMode { non_blocking: false, control: false };
+    /// Blocking control-word transfer.
+    pub const BLOCKING_CONTROL: FslMode = FslMode { non_blocking: false, control: true };
+    /// Non-blocking data transfer.
+    pub const NONBLOCKING_DATA: FslMode = FslMode { non_blocking: true, control: false };
+    /// Non-blocking control-word transfer.
+    pub const NONBLOCKING_CONTROL: FslMode = FslMode { non_blocking: true, control: true };
+
+    /// All four transfer modes, for exhaustive tests.
+    pub const ALL: [FslMode; 4] = [
+        FslMode::BLOCKING_DATA,
+        FslMode::BLOCKING_CONTROL,
+        FslMode::NONBLOCKING_DATA,
+        FslMode::NONBLOCKING_CONTROL,
+    ];
+
+    fn prefix(self) -> &'static str {
+        match (self.non_blocking, self.control) {
+            (false, false) => "",
+            (false, true) => "c",
+            (true, false) => "n",
+            (true, true) => "nc",
+        }
+    }
+}
+
+/// A decoded MB32 instruction.
+///
+/// Field naming follows MicroBlaze uniformly across all variants: `rd` is
+/// the destination register, `ra`/`rb` are sources, and `imm` is a 16-bit
+/// immediate extended to 32 bits (sign-extended unless an [`Inst::Imm`]
+/// prefix supplied the upper half) — so the per-variant doc comments
+/// describe semantics and the fields are not re-documented individually.
+#[allow(missing_docs)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Inst {
+    /// `add/addc/addk/addkc rd, ra, rb` — rd = ra + rb (+ carry).
+    Add { rd: Reg, ra: Reg, rb: Reg, flags: ArithFlags },
+    /// `addi/... rd, ra, imm` — rd = ra + imm.
+    AddI { rd: Reg, ra: Reg, imm: i16, flags: ArithFlags },
+    /// `rsub/... rd, ra, rb` — rd = rb - ra (MicroBlaze reverse subtract).
+    Rsub { rd: Reg, ra: Reg, rb: Reg, flags: ArithFlags },
+    /// `rsubi/... rd, ra, imm` — rd = imm - ra.
+    RsubI { rd: Reg, ra: Reg, imm: i16, flags: ArithFlags },
+    /// `cmp/cmpu rd, ra, rb` — rd = rb - ra with bit 31 forced to the
+    /// result of the (signed/unsigned) comparison `ra > rb`.
+    Cmp { rd: Reg, ra: Reg, rb: Reg, unsigned: bool },
+    /// `mul rd, ra, rb` — 32×32→32 multiply; 3 cycles on MicroBlaze.
+    Mul { rd: Reg, ra: Reg, rb: Reg },
+    /// `idiv/idivu rd, ra, rb` — rd = rb ÷ ra (MicroBlaze reverse operand
+    /// order, like `rsub`); requires the optional hardware divider and
+    /// takes 32 cycles. Division by zero yields 0.
+    Div { rd: Reg, ra: Reg, rb: Reg, unsigned: bool },
+    /// `muli rd, ra, imm`.
+    MulI { rd: Reg, ra: Reg, imm: i16 },
+    /// `or/and/xor/andn rd, ra, rb`.
+    Logic { op: LogicOp, rd: Reg, ra: Reg, rb: Reg },
+    /// `ori/andi/xori/andni rd, ra, imm`.
+    LogicI { op: LogicOp, rd: Reg, ra: Reg, imm: i16 },
+    /// `sra/src/srl rd, ra` — one-bit right shifts through carry.
+    Shift { op: ShiftOp, rd: Reg, ra: Reg },
+    /// `sext8/sext16 rd, ra` — sign extension.
+    Sext { rd: Reg, ra: Reg, half: bool },
+    /// `bsll/bsrl/bsra rd, ra, rb` — barrel shift by `rb[4:0]`.
+    Barrel { op: BarrelOp, rd: Reg, ra: Reg, rb: Reg },
+    /// `bslli/bsrli/bsrai rd, ra, amount` — barrel shift by constant.
+    BarrelI { op: BarrelOp, rd: Reg, ra: Reg, amount: u8 },
+    /// `lbu/lhu/lw rd, ra, rb` — load from `ra + rb`.
+    Load { size: MemSize, rd: Reg, ra: Reg, rb: Reg },
+    /// `lbui/lhui/lwi rd, ra, imm` — load from `ra + imm`.
+    LoadI { size: MemSize, rd: Reg, ra: Reg, imm: i16 },
+    /// `sb/sh/sw rd, ra, rb` — store rd to `ra + rb`.
+    Store { size: MemSize, rd: Reg, ra: Reg, rb: Reg },
+    /// `sbi/shi/swi rd, ra, imm` — store rd to `ra + imm`.
+    StoreI { size: MemSize, rd: Reg, ra: Reg, imm: i16 },
+    /// `br/brd/brld/bra/brad/brald [rd,] rb` — unconditional branch to
+    /// `pc + rb` (relative) or `rb` (absolute), optionally linking the
+    /// current PC into `rd`, optionally with a delay slot.
+    Br { rb: Reg, link: Option<Reg>, absolute: bool, delay: bool },
+    /// `bri/brid/brlid/brai/braid/bralid [rd,] imm` — immediate form.
+    BrI { imm: i16, link: Option<Reg>, absolute: bool, delay: bool },
+    /// `beq/bne/blt/ble/bgt/bge[d] ra, rb` — branch to `pc + rb` when the
+    /// condition holds for `ra`.
+    Bcc { cond: Cond, ra: Reg, rb: Reg, delay: bool },
+    /// `beqi/.../bgei[d] ra, imm` — immediate conditional branch.
+    BccI { cond: Cond, ra: Reg, imm: i16, delay: bool },
+    /// `rtsd ra, imm` — return: `pc = ra + imm`, always with a delay slot.
+    Rtsd { ra: Reg, imm: i16 },
+    /// `imm imm16` — prefix latching the upper 16 bits for the immediate of
+    /// the next instruction (the pair is indivisible).
+    Imm { imm: u16 },
+    /// `get/nget/cget/ncget rd, rfslN` — read a word from FSL input
+    /// channel N into rd.
+    Get { rd: Reg, chan: FslChan, mode: FslMode },
+    /// `put/nput/cput/ncput ra, rfslN` — write ra to FSL output channel N.
+    Put { ra: Reg, chan: FslChan, mode: FslMode },
+    /// `halt` — simulator convention for end-of-program (MicroBlaze
+    /// programs spin on `bri 0`; an explicit halt keeps simulation finite).
+    Halt,
+}
+
+impl Inst {
+    /// Canonical no-op (`or r0, r0, r0`).
+    pub const NOP: Inst = Inst::Logic { op: LogicOp::Or, rd: Reg::R0, ra: Reg::R0, rb: Reg::R0 };
+
+    /// True for instructions that redirect control flow.
+    pub fn is_branch(&self) -> bool {
+        matches!(
+            self,
+            Inst::Br { .. }
+                | Inst::BrI { .. }
+                | Inst::Bcc { .. }
+                | Inst::BccI { .. }
+                | Inst::Rtsd { .. }
+        )
+    }
+
+    /// True for branches that execute the following instruction in a delay
+    /// slot before the branch takes effect.
+    pub fn has_delay_slot(&self) -> bool {
+        match self {
+            Inst::Br { delay, .. } | Inst::BrI { delay, .. } => *delay,
+            Inst::Bcc { delay, .. } | Inst::BccI { delay, .. } => *delay,
+            Inst::Rtsd { .. } => true,
+            _ => false,
+        }
+    }
+
+    /// True for the `imm` prefix instruction.
+    pub fn is_imm_prefix(&self) -> bool {
+        matches!(self, Inst::Imm { .. })
+    }
+
+    /// Base cycle cost on the MB32 timing model (MicroBlaze three-stage
+    /// pipeline as characterized in the paper and the MicroBlaze reference
+    /// guide). Branch costs here assume *not taken*; taken branches add a
+    /// pipeline-flush penalty accounted by the simulator. FSL costs assume
+    /// the transfer completes immediately; blocking stalls are added by the
+    /// simulator.
+    pub fn base_cycles(&self) -> u32 {
+        match self {
+            // The paper: "the multiplication instruction requires three
+            // clock cycles to complete".
+            Inst::Mul { .. } | Inst::MulI { .. } => 3,
+            // The optional serial divider iterates one bit per cycle.
+            Inst::Div { .. } => 32,
+            // Loads and stores over LMB complete with one wait state.
+            Inst::Load { .. } | Inst::LoadI { .. } => 2,
+            Inst::Store { .. } | Inst::StoreI { .. } => 2,
+            // FSL accesses take two cycles when the channel is ready.
+            Inst::Get { .. } | Inst::Put { .. } => 2,
+            _ => 1,
+        }
+    }
+
+    /// Extra cycles paid when a branch is taken (pipeline flush). Delay-slot
+    /// branches hide one of the flushed slots.
+    pub fn taken_penalty(&self) -> u32 {
+        match self {
+            Inst::Br { delay, .. } | Inst::BrI { delay, .. } => {
+                if *delay {
+                    1
+                } else {
+                    2
+                }
+            }
+            Inst::Bcc { delay, .. } | Inst::BccI { delay, .. } => {
+                if *delay {
+                    1
+                } else {
+                    2
+                }
+            }
+            Inst::Rtsd { .. } => 1,
+            _ => 0,
+        }
+    }
+}
+
+impl fmt::Display for Inst {
+    /// Renders canonical assembly syntax (accepted back by the assembler).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn link_of(link: &Option<Reg>) -> String {
+            link.map(|r| format!("{r}, ")).unwrap_or_default()
+        }
+        match self {
+            Inst::Add { rd, ra, rb, flags } => {
+                write!(f, "add{} {rd}, {ra}, {rb}", flags.suffix())
+            }
+            Inst::AddI { rd, ra, imm, flags } => {
+                let s = flags.suffix();
+                // MicroBlaze spells the immediate forms addi/addic/addik/addikc.
+                write!(f, "addi{s} {rd}, {ra}, {imm}")
+            }
+            Inst::Rsub { rd, ra, rb, flags } => {
+                write!(f, "rsub{} {rd}, {ra}, {rb}", flags.suffix())
+            }
+            Inst::RsubI { rd, ra, imm, flags } => {
+                write!(f, "rsubi{} {rd}, {ra}, {imm}", flags.suffix())
+            }
+            Inst::Cmp { rd, ra, rb, unsigned } => {
+                write!(f, "cmp{} {rd}, {ra}, {rb}", if *unsigned { "u" } else { "" })
+            }
+            Inst::Mul { rd, ra, rb } => write!(f, "mul {rd}, {ra}, {rb}"),
+            Inst::Div { rd, ra, rb, unsigned } => {
+                write!(f, "idiv{} {rd}, {ra}, {rb}", if *unsigned { "u" } else { "" })
+            }
+            Inst::MulI { rd, ra, imm } => write!(f, "muli {rd}, {ra}, {imm}"),
+            Inst::Logic { op, rd, ra, rb } => write!(f, "{} {rd}, {ra}, {rb}", op.mnemonic()),
+            Inst::LogicI { op, rd, ra, imm } => {
+                write!(f, "{}i {rd}, {ra}, {imm}", op.mnemonic())
+            }
+            Inst::Shift { op, rd, ra } => write!(f, "{} {rd}, {ra}", op.mnemonic()),
+            Inst::Sext { rd, ra, half } => {
+                write!(f, "sext{} {rd}, {ra}", if *half { "16" } else { "8" })
+            }
+            Inst::Barrel { op, rd, ra, rb } => write!(f, "{} {rd}, {ra}, {rb}", op.mnemonic()),
+            Inst::BarrelI { op, rd, ra, amount } => {
+                write!(f, "{}i {rd}, {ra}, {amount}", op.mnemonic())
+            }
+            Inst::Load { size, rd, ra, rb } => {
+                write!(f, "{} {rd}, {ra}, {rb}", size.load_mnemonic())
+            }
+            Inst::LoadI { size, rd, ra, imm } => {
+                write!(f, "{}i {rd}, {ra}, {imm}", size.load_mnemonic())
+            }
+            Inst::Store { size, rd, ra, rb } => {
+                write!(f, "{} {rd}, {ra}, {rb}", size.store_mnemonic())
+            }
+            Inst::StoreI { size, rd, ra, imm } => {
+                write!(f, "{}i {rd}, {ra}, {imm}", size.store_mnemonic())
+            }
+            Inst::Br { rb, link, absolute, delay } => {
+                let mn = match (link.is_some(), *absolute, *delay) {
+                    (false, false, false) => "br",
+                    (false, false, true) => "brd",
+                    (false, true, false) => "bra",
+                    (false, true, true) => "brad",
+                    (true, false, true) => "brld",
+                    (true, true, true) => "brald",
+                    (true, false, false) => "brl",
+                    (true, true, false) => "bral",
+                };
+                write!(f, "{mn} {}{rb}", link_of(link))
+            }
+            Inst::BrI { imm, link, absolute, delay } => {
+                let mn = match (link.is_some(), *absolute, *delay) {
+                    (false, false, false) => "bri",
+                    (false, false, true) => "brid",
+                    (false, true, false) => "brai",
+                    (false, true, true) => "braid",
+                    (true, false, true) => "brlid",
+                    (true, true, true) => "bralid",
+                    (true, false, false) => "brli",
+                    (true, true, false) => "brali",
+                };
+                write!(f, "{mn} {}{imm}", link_of(link))
+            }
+            Inst::Bcc { cond, ra, rb, delay } => {
+                write!(f, "{}{} {ra}, {rb}", cond.mnemonic(), if *delay { "d" } else { "" })
+            }
+            Inst::BccI { cond, ra, imm, delay } => {
+                write!(f, "{}i{} {ra}, {imm}", cond.mnemonic(), if *delay { "d" } else { "" })
+            }
+            Inst::Rtsd { ra, imm } => write!(f, "rtsd {ra}, {imm}"),
+            Inst::Imm { imm } => write!(f, "imm {}", *imm as i32),
+            Inst::Get { rd, chan, mode } => write!(f, "{}get {rd}, {chan}", mode.prefix()),
+            Inst::Put { ra, chan, mode } => write!(f, "{}put {ra}, {chan}", mode.prefix()),
+            Inst::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::r;
+
+    #[test]
+    fn cond_bits_round_trip() {
+        for cond in Cond::ALL {
+            assert_eq!(Cond::from_bits(cond.bits()), Some(cond));
+        }
+        assert_eq!(Cond::from_bits(6), None);
+        assert_eq!(Cond::from_bits(7), None);
+    }
+
+    #[test]
+    fn cond_semantics() {
+        assert!(Cond::Eq.holds(0));
+        assert!(!Cond::Eq.holds(1));
+        assert!(Cond::Ne.holds(u32::MAX));
+        assert!(Cond::Lt.holds(0x8000_0000));
+        assert!(!Cond::Lt.holds(0));
+        assert!(Cond::Le.holds(0));
+        assert!(Cond::Gt.holds(1));
+        assert!(!Cond::Gt.holds(0x8000_0000));
+        assert!(Cond::Ge.holds(0));
+        assert!(Cond::Ge.holds(0x7fff_ffff));
+    }
+
+    #[test]
+    fn arith_flags_round_trip() {
+        for bits in 0..4 {
+            assert_eq!(ArithFlags::from_bits(bits).bits(), bits);
+        }
+    }
+
+    #[test]
+    fn timing_model_matches_paper() {
+        let mul = Inst::Mul { rd: r(1), ra: r(2), rb: r(3) };
+        assert_eq!(mul.base_cycles(), 3, "paper: multiplication takes 3 cycles");
+        let add = Inst::Add { rd: r(1), ra: r(2), rb: r(3), flags: ArithFlags::KEEP };
+        assert_eq!(add.base_cycles(), 1);
+        let lw = Inst::LoadI { size: MemSize::Word, rd: r(1), ra: r(2), imm: 0 };
+        assert_eq!(lw.base_cycles(), 2);
+    }
+
+    #[test]
+    fn delay_slot_classification() {
+        let b = Inst::BccI { cond: Cond::Ne, ra: r(3), imm: -8, delay: true };
+        assert!(b.is_branch());
+        assert!(b.has_delay_slot());
+        assert_eq!(b.taken_penalty(), 1);
+        let b = Inst::BrI { imm: 16, link: None, absolute: false, delay: false };
+        assert!(!b.has_delay_slot());
+        assert_eq!(b.taken_penalty(), 2);
+        let r = Inst::Rtsd { ra: Reg::LR, imm: 8 };
+        assert!(r.has_delay_slot());
+    }
+
+    #[test]
+    fn display_formats_canonically() {
+        let cases: Vec<(Inst, &str)> = vec![
+            (Inst::Add { rd: r(3), ra: r(4), rb: r(5), flags: ArithFlags::PLAIN }, "add r3, r4, r5"),
+            (Inst::AddI { rd: r(3), ra: r(4), imm: -2, flags: ArithFlags::KEEP }, "addik r3, r4, -2"),
+            (Inst::Cmp { rd: r(1), ra: r(2), rb: r(3), unsigned: true }, "cmpu r1, r2, r3"),
+            (
+                Inst::Get { rd: r(7), chan: FslChan::new(0), mode: FslMode::NONBLOCKING_DATA },
+                "nget r7, rfsl0",
+            ),
+            (
+                Inst::Put { ra: r(7), chan: FslChan::new(2), mode: FslMode::BLOCKING_CONTROL },
+                "cput r7, rfsl2",
+            ),
+            (
+                Inst::BrI { imm: -4, link: Some(Reg::LR), absolute: false, delay: true },
+                "brlid r15, -4",
+            ),
+            (Inst::NOP, "or r0, r0, r0"),
+            (Inst::Halt, "halt"),
+        ];
+        for (inst, text) in cases {
+            assert_eq!(inst.to_string(), text);
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! General-purpose register names for the MB32 ISA.
+//!
+//! MB32 follows the MicroBlaze register convention: 32 general-purpose
+//! registers `r0`..`r31`, with `r0` hard-wired to zero. A handful of
+//! registers have ABI roles (stack pointer, return address, ...) which the
+//! assembler accepts as aliases.
+
+use std::fmt;
+
+/// A general-purpose register index (`r0`..`r31`).
+///
+/// `r0` always reads as zero and ignores writes, exactly like MicroBlaze.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The hard-wired zero register.
+    pub const R0: Reg = Reg(0);
+    /// ABI stack pointer (`r1`).
+    pub const SP: Reg = Reg(1);
+    /// ABI return-address register for `brlid`/`bralid` calls (`r15`).
+    pub const LR: Reg = Reg(15);
+
+    /// Creates a register from an index.
+    ///
+    /// # Panics
+    /// Panics if `n >= 32`.
+    #[inline]
+    pub const fn new(n: u8) -> Reg {
+        assert!(n < 32, "register index out of range");
+        Reg(n)
+    }
+
+    /// Creates a register from an index, returning `None` when out of range.
+    #[inline]
+    pub const fn try_new(n: u8) -> Option<Reg> {
+        if n < 32 {
+            Some(Reg(n))
+        } else {
+            None
+        }
+    }
+
+    /// The register index, in `0..32`.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The register index as the 5-bit field used in instruction encodings.
+    #[inline]
+    pub const fn field(self) -> u32 {
+        self.0 as u32
+    }
+
+    /// True for the hard-wired zero register `r0`.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Parses a register name: `r0`..`r31` or an ABI alias (`sp`, `lr`).
+    pub fn parse(name: &str) -> Option<Reg> {
+        let lower = name.to_ascii_lowercase();
+        match lower.as_str() {
+            "sp" => return Some(Reg::SP),
+            "lr" => return Some(Reg::LR),
+            _ => {}
+        }
+        let rest = lower.strip_prefix('r')?;
+        // Reject forms like "r01" so each register has one canonical name.
+        if rest.len() > 1 && rest.starts_with('0') {
+            return None;
+        }
+        let n: u8 = rest.parse().ok()?;
+        Reg::try_new(n)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Convenience constructor used throughout tests and program builders.
+#[inline]
+pub const fn r(n: u8) -> Reg {
+    Reg::new(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_all_registers() {
+        for n in 0..32u8 {
+            let reg = Reg::new(n);
+            assert_eq!(Reg::parse(&reg.to_string()), Some(reg));
+        }
+    }
+
+    #[test]
+    fn parse_accepts_aliases_case_insensitively() {
+        assert_eq!(Reg::parse("SP"), Some(Reg::SP));
+        assert_eq!(Reg::parse("lr"), Some(Reg::LR));
+        assert_eq!(Reg::parse("R17"), Some(r(17)));
+    }
+
+    #[test]
+    fn parse_rejects_bad_names() {
+        for bad in ["r32", "r-1", "x0", "r", "", "r01", "r001", "r1x"] {
+            assert_eq!(Reg::parse(bad), None, "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_panics_out_of_range() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    fn zero_register() {
+        assert!(Reg::R0.is_zero());
+        assert!(!r(1).is_zero());
+    }
+}

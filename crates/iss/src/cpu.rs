@@ -1,0 +1,443 @@
+//! The cycle-accurate MB32 processor model.
+//!
+//! This is the "cycle-accurate instruction simulator" component of the
+//! paper's environment (Fig. 2): it simulates software execution on the
+//! soft processor with per-cycle resolution so it can be composed, clock by
+//! clock, with the hardware-peripheral simulation and the FSL bus models.
+//!
+//! # Timing model
+//!
+//! MicroBlaze's three-stage pipeline retires most instructions in one
+//! cycle. The model charges, per instruction:
+//!
+//! * 1 cycle for ALU/logic/shift/`imm` instructions;
+//! * 3 cycles for `mul`/`muli` (the paper calls this out explicitly);
+//! * 2 cycles for loads/stores (LMB with its fixed one-cycle wait state);
+//! * 1 cycle for a not-taken branch; a taken branch pays a 2-cycle
+//!   pipeline flush, reduced to 1 cycle by a delay slot;
+//! * 2 cycles for a completing FSL `get`/`put`, plus one stall cycle per
+//!   clock the blocking variant waits on the `full`/`exists` flags.
+//!
+//! Architectural effects are applied on the first cycle of an instruction;
+//! the instruction then occupies the pipeline for the remaining cycles.
+//!
+//! Delay-slot bookkeeping is only engaged when a delayed branch is
+//! *taken*; a not-taken delayed branch simply falls through (the programs
+//! this simulator runs never place control flow in a delay slot, which the
+//! model rejects as a fault exactly when it would matter).
+
+use crate::fault::Fault;
+use crate::stats::CpuStats;
+use softsim_bus::{FslBank, LmbMemory};
+use softsim_isa::{decode, CpuConfig, Image, Inst, Reg};
+use std::collections::HashSet;
+
+/// Default local-memory size (64 KiB, a typical MicroBlaze LMB setup).
+pub const DEFAULT_MEM_BYTES: u32 = 64 * 1024;
+
+/// Base address of the On-chip Peripheral Bus window: loads and stores
+/// at or above this address are routed to the attached [`softsim_bus::OpbBus`].
+pub const OPB_BASE: u32 = 0x8000_0000;
+
+/// What happened during one clock cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// The processor is mid-instruction (multi-cycle op or FSL stall).
+    Busy,
+    /// An instruction retired this cycle.
+    Retired {
+        /// Address of the retired instruction.
+        pc: u32,
+        /// The retired instruction.
+        inst: Inst,
+    },
+    /// The processor is halted (`halt` retired earlier, or a fault).
+    Halted,
+    /// Execution reached a breakpoint; the instruction at `pc` has not
+    /// executed yet and will execute on the next `tick`.
+    Breakpoint {
+        /// The breakpoint address.
+        pc: u32,
+    },
+    /// A simulation fault; the processor halts.
+    Fault(Fault),
+}
+
+/// Why a multi-cycle [`Cpu::run`] stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StopReason {
+    /// The program executed `halt`.
+    Halted,
+    /// The cycle budget was exhausted.
+    CycleLimit,
+    /// A breakpoint was hit.
+    Breakpoint(u32),
+    /// A fault occurred.
+    Fault(Fault),
+}
+
+/// Micro-architectural state of the in-flight instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Pipe {
+    /// Ready to fetch a new instruction on the next cycle.
+    Ready,
+    /// Instruction already executed; occupies the pipeline `remaining`
+    /// more cycles before retiring.
+    Busy { remaining: u32, pc: u32, inst: Inst },
+    /// Blocked on a blocking FSL transfer; retried every cycle.
+    FslStall { pc: u32, inst: Inst },
+}
+
+/// One architectural trace record, used for ISS ↔ RTL cross-validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Cycle at which the instruction retired.
+    pub cycle: u64,
+    /// Instruction address.
+    pub pc: u32,
+    /// Raw instruction word.
+    pub word: u32,
+}
+
+/// The MB32 processor.
+pub struct Cpu {
+    pub(crate) regs: [u32; 32],
+    pub(crate) pc: u32,
+    pub(crate) carry: bool,
+    /// Upper half latched by an `imm` prefix for the next instruction.
+    pub(crate) imm_latch: Option<u16>,
+    /// Branch target awaiting the end of a delay slot.
+    pub(crate) delay_target: Option<u32>,
+    /// True while the delay-slot instruction of a taken branch executes.
+    pub(crate) in_delay_slot: bool,
+    /// Taken-branch target for branches without a delay slot.
+    pub(crate) redirect: Option<u32>,
+    pub(crate) mem: LmbMemory,
+    /// Optional On-chip Peripheral Bus with memory-mapped peripherals
+    /// (addresses at/above [`OPB_BASE`] route here).
+    pub(crate) opb: Option<softsim_bus::OpbBus>,
+    /// Extra bus-latency cycles charged to the current instruction.
+    pub(crate) extra_cycles: u32,
+    /// Optional-unit configuration.
+    pub(crate) config: CpuConfig,
+    pipe: Pipe,
+    halted: bool,
+    pub(crate) stats: CpuStats,
+    breakpoints: HashSet<u32>,
+    /// Breakpoint address being resumed from (suppresses re-reporting).
+    bp_skip: Option<u32>,
+    trace: Option<Vec<TraceEntry>>,
+}
+
+impl Cpu {
+    /// Creates a processor with an explicit configuration.
+    pub fn with_config(image: &Image, config: CpuConfig) -> Cpu {
+        let mut cpu = Cpu::new(image, config.mem_bytes);
+        cpu.config = config;
+        cpu
+    }
+
+    /// The processor's optional-unit configuration.
+    pub fn config(&self) -> CpuConfig {
+        self.config
+    }
+
+    /// Creates a processor with `mem_bytes` of local memory and loads the
+    /// program image.
+    pub fn new(image: &Image, mem_bytes: u32) -> Cpu {
+        Cpu {
+            regs: [0; 32],
+            pc: image.entry(),
+            carry: false,
+            imm_latch: None,
+            delay_target: None,
+            in_delay_slot: false,
+            redirect: None,
+            mem: LmbMemory::with_image(mem_bytes, image),
+            opb: None,
+            extra_cycles: 0,
+            config: CpuConfig { mem_bytes, ..CpuConfig::default() },
+            pipe: Pipe::Ready,
+            halted: false,
+            stats: CpuStats::default(),
+            breakpoints: HashSet::new(),
+            bp_skip: None,
+            trace: None,
+        }
+    }
+
+    /// Creates a processor with the default 64 KiB local memory.
+    pub fn with_default_memory(image: &Image) -> Cpu {
+        Cpu::new(image, DEFAULT_MEM_BYTES)
+    }
+
+    /// Resets architectural state and reloads the image, keeping
+    /// breakpoints and the tracing setting.
+    pub fn reset(&mut self, image: &Image) {
+        let size = self.mem.size();
+        let breakpoints = std::mem::take(&mut self.breakpoints);
+        let trace = self.trace.as_ref().map(|_| Vec::new());
+        *self = Cpu::new(image, size);
+        self.breakpoints = breakpoints;
+        self.trace = trace;
+    }
+
+    /// Reads a register (r0 always reads zero).
+    pub fn reg(&self, r: Reg) -> u32 {
+        if r.is_zero() {
+            0
+        } else {
+            self.regs[r.index()]
+        }
+    }
+
+    /// Writes a register (writes to r0 are discarded).
+    pub fn set_reg(&mut self, r: Reg, value: u32) {
+        if !r.is_zero() {
+            self.regs[r.index()] = value;
+        }
+    }
+
+    /// The program counter.
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Sets the program counter (used by the debugger interface).
+    pub fn set_pc(&mut self, pc: u32) {
+        self.pc = pc;
+    }
+
+    /// The MSR carry flag.
+    pub fn carry(&self) -> bool {
+        self.carry
+    }
+
+    /// True once the processor has halted.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CpuStats {
+        self.stats
+    }
+
+    /// Local memory, for inspection.
+    pub fn mem(&self) -> &LmbMemory {
+        &self.mem
+    }
+
+    /// Mutable local memory (debugger writes).
+    pub fn mem_mut(&mut self) -> &mut LmbMemory {
+        &mut self.mem
+    }
+
+    /// Attaches an On-chip Peripheral Bus. Loads/stores at or above
+    /// [`OPB_BASE`] become OPB transfers, paying the bus latency on top
+    /// of the instruction's base cost; attached peripherals are ticked
+    /// once per clock cycle.
+    pub fn attach_opb(&mut self, bus: softsim_bus::OpbBus) {
+        self.opb = Some(bus);
+    }
+
+    /// The attached OPB, if any.
+    pub fn opb(&self) -> Option<&softsim_bus::OpbBus> {
+        self.opb.as_ref()
+    }
+
+    /// Mutable access to the attached OPB.
+    pub fn opb_mut(&mut self) -> Option<&mut softsim_bus::OpbBus> {
+        self.opb.as_mut()
+    }
+
+    /// Adds a breakpoint at an instruction address.
+    pub fn add_breakpoint(&mut self, addr: u32) {
+        self.breakpoints.insert(addr);
+    }
+
+    /// Removes a breakpoint; returns whether it existed.
+    pub fn remove_breakpoint(&mut self, addr: u32) -> bool {
+        self.breakpoints.remove(&addr)
+    }
+
+    /// Enables architectural tracing (one entry per retired instruction).
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// The collected trace, if tracing is enabled.
+    pub fn trace(&self) -> Option<&[TraceEntry]> {
+        self.trace.as_deref()
+    }
+
+    /// True when the processor is between instructions (nothing in flight).
+    pub fn at_instruction_boundary(&self) -> bool {
+        matches!(self.pipe, Pipe::Ready)
+    }
+
+    /// Advances the processor by exactly one clock cycle.
+    ///
+    /// `fsl` carries the Fast Simplex Link channels shared with the
+    /// hardware side of the co-simulation. The cycle is counted even when
+    /// the processor only stalls.
+    pub fn tick(&mut self, fsl: &mut FslBank) -> Event {
+        if self.halted {
+            return Event::Halted;
+        }
+        if let Some(opb) = &mut self.opb {
+            opb.tick();
+        }
+        match std::mem::replace(&mut self.pipe, Pipe::Ready) {
+            Pipe::Busy { remaining, pc, inst } => {
+                self.stats.cycles += 1;
+                if remaining > 1 {
+                    self.pipe = Pipe::Busy { remaining: remaining - 1, pc, inst };
+                    Event::Busy
+                } else {
+                    self.retire(pc, inst)
+                }
+            }
+            Pipe::FslStall { pc, inst } => {
+                self.stats.cycles += 1;
+                match self.exec_fsl(&inst, fsl) {
+                    Ok(()) => {
+                        // One more cycle of pipeline occupancy after the
+                        // transfer completes (total base cost of 2 cycles).
+                        self.pipe = Pipe::Busy { remaining: 1, pc, inst };
+                        Event::Busy
+                    }
+                    Err(()) => {
+                        match inst {
+                            Inst::Get { .. } => self.stats.fsl_read_stalls += 1,
+                            _ => self.stats.fsl_write_stalls += 1,
+                        }
+                        self.pipe = Pipe::FslStall { pc, inst };
+                        Event::Busy
+                    }
+                }
+            }
+            Pipe::Ready => self.issue(fsl),
+        }
+    }
+
+    /// Fetches, decodes and begins the instruction at the current PC.
+    fn issue(&mut self, fsl: &mut FslBank) -> Event {
+        let pc = self.pc;
+        if self.breakpoints.contains(&pc) && self.bp_skip != Some(pc) && !self.in_delay_slot {
+            // Report without consuming a cycle; the next tick at this PC
+            // proceeds past the breakpoint.
+            self.bp_skip = Some(pc);
+            return Event::Breakpoint { pc };
+        }
+        self.bp_skip = None;
+        self.stats.cycles += 1;
+        let word = match self.mem.read_u32(pc) {
+            Ok(w) => w,
+            Err(err) => return self.fault(Fault::Memory { pc, err }),
+        };
+        let inst = match decode(word) {
+            Ok(i) => i,
+            Err(err) => return self.fault(Fault::Decode { pc, err }),
+        };
+        if self.in_delay_slot && (inst.is_branch() || inst.is_imm_prefix() || inst == Inst::Halt) {
+            return self.fault(Fault::IllegalDelaySlot { pc });
+        }
+        // Execute architecturally now; occupy the pipeline for the rest.
+        self.extra_cycles = 0;
+        let cycles = match self.execute(pc, &inst, fsl) {
+            Ok(ExecOutcome::Normal) => inst.base_cycles() + self.extra_cycles,
+            Ok(ExecOutcome::Taken) => {
+                self.stats.taken_branches += 1;
+                inst.base_cycles() + inst.taken_penalty()
+            }
+            Ok(ExecOutcome::FslBlocked) => {
+                match inst {
+                    Inst::Get { .. } => self.stats.fsl_read_stalls += 1,
+                    _ => self.stats.fsl_write_stalls += 1,
+                }
+                self.pipe = Pipe::FslStall { pc, inst };
+                return Event::Busy;
+            }
+            Err(f) => return self.fault(f),
+        };
+        if cycles > 1 {
+            self.pipe = Pipe::Busy { remaining: cycles - 1, pc, inst };
+            Event::Busy
+        } else {
+            self.retire(pc, inst)
+        }
+    }
+
+    /// Completes an instruction: records the trace entry and determines
+    /// the next PC (fall-through, redirect, or delay-slot sequencing).
+    fn retire(&mut self, pc: u32, inst: Inst) -> Event {
+        self.stats.instructions += 1;
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEntry {
+                cycle: self.stats.cycles,
+                pc,
+                word: softsim_isa::encode(&inst),
+            });
+        }
+        if self.in_delay_slot {
+            // This was the delay-slot instruction: the branch completes.
+            self.in_delay_slot = false;
+            self.pc = self.delay_target.take().expect("delay slot without target");
+        } else if self.delay_target.is_some() && inst.has_delay_slot() {
+            // Taken delayed branch: fall into the delay slot first.
+            self.in_delay_slot = true;
+            self.pc = pc.wrapping_add(4);
+        } else if let Some(target) = self.redirect.take() {
+            self.pc = target;
+        } else {
+            self.pc = pc.wrapping_add(4);
+        }
+        if inst == Inst::Halt {
+            self.halted = true;
+        }
+        Event::Retired { pc, inst }
+    }
+
+    fn fault(&mut self, fault: Fault) -> Event {
+        self.halted = true;
+        Event::Fault(fault)
+    }
+
+    /// Runs until halt, fault, breakpoint or `max_cycles` further cycles.
+    pub fn run(&mut self, fsl: &mut FslBank, max_cycles: u64) -> StopReason {
+        let limit = self.stats.cycles + max_cycles;
+        while self.stats.cycles < limit {
+            match self.tick(fsl) {
+                Event::Halted => return StopReason::Halted,
+                Event::Fault(f) => return StopReason::Fault(f),
+                Event::Breakpoint { pc } => return StopReason::Breakpoint(pc),
+                Event::Retired { inst: Inst::Halt, .. } => return StopReason::Halted,
+                _ => {}
+            }
+        }
+        StopReason::CycleLimit
+    }
+}
+
+/// Result of architecturally executing an instruction.
+pub(crate) enum ExecOutcome {
+    /// Straight-line instruction.
+    Normal,
+    /// A branch that was taken (pays the flush penalty).
+    Taken,
+    /// A blocking FSL access that could not complete this cycle.
+    FslBlocked,
+}
+
+impl std::fmt::Debug for Cpu {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cpu")
+            .field("pc", &format_args!("{:#010x}", self.pc))
+            .field("halted", &self.halted)
+            .field("cycles", &self.stats.cycles)
+            .field("instructions", &self.stats.instructions)
+            .field("opb", &self.opb.is_some())
+            .finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,298 @@
+//! Debugger interface — the `mb-gdb` analog.
+//!
+//! In the paper, the MicroBlaze Simulink block drives software execution
+//! through `mb-gdb`, which runs "within a bidirectional software pipe" and
+//! "accepts commands ... and interactively runs the software programs. It
+//! also changes the status of the registers of the MicroBlaze processor
+//! based on the results from the customized hardware designs" (§III-A).
+//!
+//! [`DebugSession`] reproduces that control interface: a command/reply
+//! protocol over the cycle-accurate CPU model, with both a typed API
+//! ([`Command`]/[`Reply`]) and a textual encoding ([`parse_command`],
+//! [`Reply::to_line`]) mirroring the pipe.
+
+use crate::cpu::{Cpu, StopReason};
+use crate::stats::CpuStats;
+use softsim_bus::FslBank;
+use softsim_isa::Reg;
+
+/// A debugger command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// Read a general-purpose register.
+    ReadReg(Reg),
+    /// Write a general-purpose register (how the paper's Simulink block
+    /// feeds hardware results back into the processor).
+    WriteReg(Reg, u32),
+    /// Read the program counter.
+    ReadPc,
+    /// Set the program counter.
+    SetPc(u32),
+    /// Read a word of local memory.
+    ReadWord(u32),
+    /// Write a word of local memory.
+    WriteWord(u32, u32),
+    /// Execute one instruction (however many cycles it takes).
+    Step,
+    /// Run until halt, fault, breakpoint or the cycle budget expires.
+    Continue {
+        /// Maximum number of cycles to simulate.
+        max_cycles: u64,
+    },
+    /// Set a breakpoint.
+    Break(u32),
+    /// Delete a breakpoint.
+    Delete(u32),
+    /// Read execution statistics.
+    Stats,
+}
+
+/// A debugger reply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// A register or memory value.
+    Value(u32),
+    /// Execution stopped.
+    Stopped(StopReason),
+    /// Statistics snapshot.
+    Stats(CpuStats),
+    /// Command acknowledged.
+    Ok,
+    /// Command failed.
+    Error(String),
+}
+
+impl Reply {
+    /// Serializes the reply as one line of the textual protocol.
+    pub fn to_line(&self) -> String {
+        match self {
+            Reply::Value(v) => format!("value {v:#010x}"),
+            Reply::Stopped(StopReason::Halted) => "stopped halted".into(),
+            Reply::Stopped(StopReason::CycleLimit) => "stopped cycle-limit".into(),
+            Reply::Stopped(StopReason::Breakpoint(pc)) => format!("stopped breakpoint {pc:#010x}"),
+            Reply::Stopped(StopReason::Fault(f)) => format!("stopped fault: {f}"),
+            Reply::Stats(s) => format!(
+                "stats cycles={} instructions={} fsl-stalls={}",
+                s.cycles,
+                s.instructions,
+                s.fsl_stalls()
+            ),
+            Reply::Ok => "ok".into(),
+            Reply::Error(e) => format!("error {e}"),
+        }
+    }
+}
+
+/// Parses one line of the textual command protocol.
+///
+/// Grammar (whitespace-separated):
+/// `rr REG` · `wr REG VALUE` · `rpc` · `wpc ADDR` · `rm ADDR` ·
+/// `wm ADDR VALUE` · `step` · `cont CYCLES` · `break ADDR` ·
+/// `delete ADDR` · `stats`
+pub fn parse_command(line: &str) -> Result<Command, String> {
+    let mut parts = line.split_whitespace();
+    let head = parts.next().ok_or("empty command")?;
+    let mut next_reg = || -> Result<Reg, String> {
+        let tok = parts.next().ok_or("missing register")?;
+        Reg::parse(tok).ok_or_else(|| format!("bad register `{tok}`"))
+    };
+    let cmd = match head {
+        "rr" => Command::ReadReg(next_reg()?),
+        "wr" => {
+            let r = next_reg()?;
+            Command::WriteReg(r, parse_u32(parts.next().ok_or("missing value")?)?)
+        }
+        "rpc" => Command::ReadPc,
+        "wpc" => Command::SetPc(parse_u32(parts.next().ok_or("missing address")?)?),
+        "rm" => Command::ReadWord(parse_u32(parts.next().ok_or("missing address")?)?),
+        "wm" => {
+            let a = parse_u32(parts.next().ok_or("missing address")?)?;
+            Command::WriteWord(a, parse_u32(parts.next().ok_or("missing value")?)?)
+        }
+        "step" => Command::Step,
+        "cont" => Command::Continue {
+            max_cycles: parts.next().map(|t| t.parse().map_err(|_| "bad cycle count".to_string())).transpose()?.unwrap_or(u64::MAX / 2),
+        },
+        "break" => Command::Break(parse_u32(parts.next().ok_or("missing address")?)?),
+        "delete" => Command::Delete(parse_u32(parts.next().ok_or("missing address")?)?),
+        "stats" => Command::Stats,
+        other => return Err(format!("unknown command `{other}`")),
+    };
+    if parts.next().is_some() {
+        return Err("trailing operands".into());
+    }
+    Ok(cmd)
+}
+
+fn parse_u32(tok: &str) -> Result<u32, String> {
+    let v = if let Some(hex) = tok.strip_prefix("0x") {
+        u32::from_str_radix(hex, 16)
+    } else {
+        tok.parse()
+    };
+    v.map_err(|_| format!("bad number `{tok}`"))
+}
+
+/// A debugging session over a CPU and its FSL channels.
+pub struct DebugSession<'a> {
+    cpu: &'a mut Cpu,
+    fsl: &'a mut FslBank,
+}
+
+impl<'a> DebugSession<'a> {
+    /// Attaches to a processor.
+    pub fn new(cpu: &'a mut Cpu, fsl: &'a mut FslBank) -> DebugSession<'a> {
+        DebugSession { cpu, fsl }
+    }
+
+    /// Executes one command.
+    pub fn handle(&mut self, cmd: Command) -> Reply {
+        match cmd {
+            Command::ReadReg(r) => Reply::Value(self.cpu.reg(r)),
+            Command::WriteReg(r, v) => {
+                self.cpu.set_reg(r, v);
+                Reply::Ok
+            }
+            Command::ReadPc => Reply::Value(self.cpu.pc()),
+            Command::SetPc(a) => {
+                self.cpu.set_pc(a);
+                Reply::Ok
+            }
+            Command::ReadWord(a) => match self.cpu.mem().read_u32(a) {
+                Ok(v) => Reply::Value(v),
+                Err(e) => Reply::Error(e.to_string()),
+            },
+            Command::WriteWord(a, v) => match self.cpu.mem_mut().write_u32(a, v) {
+                Ok(()) => Reply::Ok,
+                Err(e) => Reply::Error(e.to_string()),
+            },
+            Command::Step => Reply::Stopped(self.step()),
+            Command::Continue { max_cycles } => Reply::Stopped(self.cpu.run(self.fsl, max_cycles)),
+            Command::Break(a) => {
+                self.cpu.add_breakpoint(a);
+                Reply::Ok
+            }
+            Command::Delete(a) => {
+                if self.cpu.remove_breakpoint(a) {
+                    Reply::Ok
+                } else {
+                    Reply::Error(format!("no breakpoint at {a:#010x}"))
+                }
+            }
+            Command::Stats => Reply::Stats(self.cpu.stats()),
+        }
+    }
+
+    /// Executes a textual command line.
+    pub fn handle_line(&mut self, line: &str) -> String {
+        match parse_command(line) {
+            Ok(cmd) => self.handle(cmd).to_line(),
+            Err(e) => Reply::Error(e).to_line(),
+        }
+    }
+
+    /// Runs until the next instruction retires (or execution stops).
+    fn step(&mut self) -> StopReason {
+        use crate::cpu::Event;
+        loop {
+            match self.cpu.tick(self.fsl) {
+                Event::Busy => continue,
+                Event::Retired { .. } => {
+                    return if self.cpu.halted() {
+                        StopReason::Halted
+                    } else {
+                        StopReason::CycleLimit // "stepped"
+                    };
+                }
+                Event::Halted => return StopReason::Halted,
+                Event::Breakpoint { pc } => return StopReason::Breakpoint(pc),
+                Event::Fault(f) => return StopReason::Fault(f),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softsim_isa::asm::assemble;
+    use softsim_isa::reg::r;
+
+    fn session_program() -> softsim_isa::Image {
+        assemble(
+            "      addik r3, r0, 10\n\
+             loop: addik r3, r3, -1\n\
+                   bneid r3, loop\n\
+                   nop\n\
+                   halt\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn read_write_registers_and_memory() {
+        let img = session_program();
+        let mut cpu = Cpu::with_default_memory(&img);
+        let mut fsl = FslBank::default();
+        let mut dbg = DebugSession::new(&mut cpu, &mut fsl);
+        assert_eq!(dbg.handle(Command::WriteReg(r(5), 99)), Reply::Ok);
+        assert_eq!(dbg.handle(Command::ReadReg(r(5))), Reply::Value(99));
+        assert_eq!(dbg.handle(Command::WriteWord(0x100, 0xABCD)), Reply::Ok);
+        assert_eq!(dbg.handle(Command::ReadWord(0x100)), Reply::Value(0xABCD));
+        assert!(matches!(dbg.handle(Command::ReadWord(3)), Reply::Error(_)));
+    }
+
+    #[test]
+    fn step_and_continue() {
+        let img = session_program();
+        let mut cpu = Cpu::with_default_memory(&img);
+        let mut fsl = FslBank::default();
+        let mut dbg = DebugSession::new(&mut cpu, &mut fsl);
+        dbg.handle(Command::Step);
+        assert_eq!(dbg.handle(Command::ReadReg(r(3))), Reply::Value(10));
+        let reply = dbg.handle(Command::Continue { max_cycles: 10_000 });
+        assert_eq!(reply, Reply::Stopped(StopReason::Halted));
+        assert_eq!(dbg.handle(Command::ReadReg(r(3))), Reply::Value(0));
+    }
+
+    #[test]
+    fn breakpoints_stop_continue() {
+        let img = session_program();
+        let mut cpu = Cpu::with_default_memory(&img);
+        let mut fsl = FslBank::default();
+        let mut dbg = DebugSession::new(&mut cpu, &mut fsl);
+        dbg.handle(Command::Break(4));
+        let reply = dbg.handle(Command::Continue { max_cycles: 10_000 });
+        assert_eq!(reply, Reply::Stopped(StopReason::Breakpoint(4)));
+        // Resuming proceeds past the breakpoint and hits it again on the
+        // next loop iteration.
+        let reply = dbg.handle(Command::Continue { max_cycles: 10_000 });
+        assert_eq!(reply, Reply::Stopped(StopReason::Breakpoint(4)));
+        dbg.handle(Command::Delete(4));
+        let reply = dbg.handle(Command::Continue { max_cycles: 10_000 });
+        assert_eq!(reply, Reply::Stopped(StopReason::Halted));
+    }
+
+    #[test]
+    fn textual_protocol_round_trip() {
+        let img = session_program();
+        let mut cpu = Cpu::with_default_memory(&img);
+        let mut fsl = FslBank::default();
+        let mut dbg = DebugSession::new(&mut cpu, &mut fsl);
+        assert_eq!(dbg.handle_line("wr r4 0x2A"), "ok");
+        assert_eq!(dbg.handle_line("rr r4"), "value 0x0000002a");
+        assert_eq!(dbg.handle_line("rpc"), "value 0x00000000");
+        assert_eq!(dbg.handle_line("cont"), "stopped halted");
+        assert!(dbg.handle_line("stats").starts_with("stats cycles="));
+        assert!(dbg.handle_line("bogus").starts_with("error"));
+        assert!(dbg.handle_line("rr r99").starts_with("error"));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_command("").is_err());
+        assert!(parse_command("wr r1").is_err());
+        assert!(parse_command("rm xyz").is_err());
+        assert!(parse_command("step extra").is_err());
+    }
+}

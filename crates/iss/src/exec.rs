@@ -1,0 +1,347 @@
+//! Architectural execution semantics for MB32 instructions.
+//!
+//! `execute` applies the architectural effect of one instruction to the
+//! [`Cpu`] state. The cycle accounting lives in `cpu.rs`; this module is
+//! purely about *what* each instruction does, mirroring the MicroBlaze
+//! reference semantics for the implemented subset.
+
+use crate::cpu::{Cpu, ExecOutcome};
+use crate::fault::Fault;
+use softsim_bus::{FslBank, FslWord};
+use softsim_isa::{ArithFlags, BarrelOp, Inst, LogicOp, MemSize, Reg, ShiftOp};
+
+impl Cpu {
+    /// Extends a 16-bit immediate to 32 bits, honoring (and consuming) a
+    /// preceding `imm` prefix.
+    fn imm_ext(&self, latch: Option<u16>, imm: i16) -> u32 {
+        match latch {
+            Some(hi) => ((hi as u32) << 16) | (imm as u16 as u32),
+            None => imm as i32 as u32,
+        }
+    }
+
+    /// Adds with carry handling shared by the `add`/`rsub` families.
+    fn add_with_flags(&mut self, rd: Reg, a: u32, b: u32, flags: ArithFlags) {
+        let cin = if flags.carry_in { self.carry as u64 } else { 0 };
+        let wide = a as u64 + b as u64 + cin;
+        if !flags.keep {
+            self.carry = wide > u32::MAX as u64;
+        }
+        self.set_reg(rd, wide as u32);
+    }
+
+    /// Executes one instruction. Returns how control flow proceeds.
+    pub(crate) fn execute(
+        &mut self,
+        pc: u32,
+        inst: &Inst,
+        fsl: &mut FslBank,
+    ) -> Result<ExecOutcome, Fault> {
+        // The `imm` prefix applies exactly to the next instruction.
+        let latch = self.imm_latch.take();
+        // Optional-unit gating (MicroBlaze configurations without the
+        // unit have no such instruction).
+        match inst {
+            Inst::Mul { .. } | Inst::MulI { .. } if !self.config.multiplier => {
+                return Err(Fault::DisabledInstruction { pc, unit: "multiplier" });
+            }
+            Inst::Div { .. } if !self.config.divider => {
+                return Err(Fault::DisabledInstruction { pc, unit: "divider" });
+            }
+            Inst::Barrel { .. } | Inst::BarrelI { .. } if !self.config.barrel_shifter => {
+                return Err(Fault::DisabledInstruction { pc, unit: "barrel shifter" });
+            }
+            _ => {}
+        }
+        match *inst {
+            Inst::Add { rd, ra, rb, flags } => {
+                self.add_with_flags(rd, self.reg(ra), self.reg(rb), flags);
+            }
+            Inst::AddI { rd, ra, imm, flags } => {
+                let b = self.imm_ext(latch, imm);
+                self.add_with_flags(rd, self.reg(ra), b, flags);
+            }
+            // MicroBlaze reverse subtract: rd = rb + ~ra + 1 (or + carry).
+            Inst::Rsub { rd, ra, rb, flags } => {
+                let cin = if flags.carry_in { self.carry as u64 } else { 1 };
+                let wide = self.reg(rb) as u64 + (!self.reg(ra)) as u64 + cin;
+                if !flags.keep {
+                    self.carry = wide > u32::MAX as u64;
+                }
+                self.set_reg(rd, wide as u32);
+            }
+            Inst::RsubI { rd, ra, imm, flags } => {
+                let b = self.imm_ext(latch, imm);
+                let cin = if flags.carry_in { self.carry as u64 } else { 1 };
+                let wide = b as u64 + (!self.reg(ra)) as u64 + cin;
+                if !flags.keep {
+                    self.carry = wide > u32::MAX as u64;
+                }
+                self.set_reg(rd, wide as u32);
+            }
+            Inst::Cmp { rd, ra, rb, unsigned } => {
+                let (a, b) = (self.reg(ra), self.reg(rb));
+                let diff = b.wrapping_sub(a);
+                let a_gt_b = if unsigned { a > b } else { (a as i32) > (b as i32) };
+                self.set_reg(rd, (diff & 0x7FFF_FFFF) | ((a_gt_b as u32) << 31));
+            }
+            Inst::Mul { rd, ra, rb } => {
+                self.stats.multiplies += 1;
+                self.set_reg(rd, self.reg(ra).wrapping_mul(self.reg(rb)));
+            }
+            Inst::MulI { rd, ra, imm } => {
+                self.stats.multiplies += 1;
+                let b = self.imm_ext(latch, imm);
+                self.set_reg(rd, self.reg(ra).wrapping_mul(b));
+            }
+            // MicroBlaze reverse divide: rd = rb / ra; division by zero
+            // yields zero (the DZO case), INT_MIN / -1 wraps.
+            Inst::Div { rd, ra, rb, unsigned } => {
+                let (den, num) = (self.reg(ra), self.reg(rb));
+                let q = if den == 0 {
+                    0
+                } else if unsigned {
+                    num / den
+                } else {
+                    (num as i32).wrapping_div(den as i32) as u32
+                };
+                self.set_reg(rd, q);
+            }
+            Inst::Logic { op, rd, ra, rb } => {
+                self.set_reg(rd, logic(op, self.reg(ra), self.reg(rb)));
+            }
+            Inst::LogicI { op, rd, ra, imm } => {
+                let b = self.imm_ext(latch, imm);
+                self.set_reg(rd, logic(op, self.reg(ra), b));
+            }
+            Inst::Shift { op, rd, ra } => {
+                let a = self.reg(ra);
+                let carry_out = a & 1 != 0;
+                let out = match op {
+                    ShiftOp::Sra => ((a as i32) >> 1) as u32,
+                    ShiftOp::Src => (a >> 1) | ((self.carry as u32) << 31),
+                    ShiftOp::Srl => a >> 1,
+                };
+                self.carry = carry_out;
+                self.set_reg(rd, out);
+            }
+            Inst::Sext { rd, ra, half } => {
+                let a = self.reg(ra);
+                let out = if half { a as u16 as i16 as i32 as u32 } else { a as u8 as i8 as i32 as u32 };
+                self.set_reg(rd, out);
+            }
+            Inst::Barrel { op, rd, ra, rb } => {
+                let amount = self.reg(rb) & 0x1F;
+                self.set_reg(rd, barrel(op, self.reg(ra), amount));
+            }
+            Inst::BarrelI { op, rd, ra, amount } => {
+                self.set_reg(rd, barrel(op, self.reg(ra), amount as u32 & 0x1F));
+            }
+            Inst::Load { size, rd, ra, rb } => {
+                let ea = self.reg(ra).wrapping_add(self.reg(rb));
+                let v = self.load(pc, size, ea)?;
+                self.set_reg(rd, v);
+            }
+            Inst::LoadI { size, rd, ra, imm } => {
+                let ea = self.reg(ra).wrapping_add(self.imm_ext(latch, imm));
+                let v = self.load(pc, size, ea)?;
+                self.set_reg(rd, v);
+            }
+            Inst::Store { size, rd, ra, rb } => {
+                let ea = self.reg(ra).wrapping_add(self.reg(rb));
+                self.store(pc, size, ea, self.reg(rd))?;
+            }
+            Inst::StoreI { size, rd, ra, imm } => {
+                let ea = self.reg(ra).wrapping_add(self.imm_ext(latch, imm));
+                self.store(pc, size, ea, self.reg(rd))?;
+            }
+            Inst::Br { rb, link, absolute, delay } => {
+                let target = if absolute {
+                    self.reg(rb)
+                } else {
+                    pc.wrapping_add(self.reg(rb))
+                };
+                return Ok(self.take_branch(pc, target, link, delay));
+            }
+            Inst::BrI { imm, link, absolute, delay } => {
+                let off = self.imm_ext(latch, imm);
+                let target = if absolute { off } else { pc.wrapping_add(off) };
+                return Ok(self.take_branch(pc, target, link, delay));
+            }
+            Inst::Bcc { cond, ra, rb, delay } => {
+                if cond.holds(self.reg(ra)) {
+                    let target = pc.wrapping_add(self.reg(rb));
+                    return Ok(self.take_branch(pc, target, None, delay));
+                }
+            }
+            Inst::BccI { cond, ra, imm, delay } => {
+                if cond.holds(self.reg(ra)) {
+                    let target = pc.wrapping_add(self.imm_ext(latch, imm));
+                    return Ok(self.take_branch(pc, target, None, delay));
+                }
+            }
+            Inst::Rtsd { ra, imm } => {
+                let target = self.reg(ra).wrapping_add(self.imm_ext(latch, imm));
+                return Ok(self.take_branch(pc, target, None, true));
+            }
+            Inst::Imm { imm } => {
+                self.imm_latch = Some(imm);
+            }
+            Inst::Get { .. } | Inst::Put { .. } => {
+                return Ok(match self.exec_fsl(inst, fsl) {
+                    Ok(()) => ExecOutcome::Normal,
+                    Err(()) => ExecOutcome::FslBlocked,
+                });
+            }
+            Inst::Halt => {}
+        }
+        Ok(ExecOutcome::Normal)
+    }
+
+    fn take_branch(&mut self, pc: u32, target: u32, link: Option<Reg>, delay: bool) -> ExecOutcome {
+        if let Some(rd) = link {
+            // MicroBlaze stores the address of the branch itself; returns
+            // use `rtsd rd, 8` to skip the branch and its delay slot.
+            self.set_reg(rd, pc);
+        }
+        if delay {
+            self.delay_target = Some(target);
+        } else {
+            self.redirect = Some(target);
+        }
+        ExecOutcome::Taken
+    }
+
+    fn load(&mut self, pc: u32, size: MemSize, ea: u32) -> Result<u32, Fault> {
+        self.stats.mem_reads += 1;
+        if ea >= crate::cpu::OPB_BASE {
+            return self.opb_load(pc, size, ea);
+        }
+        let r = match size {
+            MemSize::Byte => self.mem.read_u8(ea).map(u32::from),
+            MemSize::Half => self.mem.read_u16(ea).map(u32::from),
+            MemSize::Word => self.mem.read_u32(ea),
+        };
+        r.map_err(|err| Fault::Memory { pc, err })
+    }
+
+    fn store(&mut self, pc: u32, size: MemSize, ea: u32, value: u32) -> Result<(), Fault> {
+        self.stats.mem_writes += 1;
+        if ea >= crate::cpu::OPB_BASE {
+            return self.opb_store(pc, size, ea, value);
+        }
+        let r = match size {
+            MemSize::Byte => self.mem.write_u8(ea, value as u8),
+            MemSize::Half => self.mem.write_u16(ea, value as u16),
+            MemSize::Word => self.mem.write_u32(ea, value),
+        };
+        r.map_err(|err| Fault::Memory { pc, err })
+    }
+
+    /// OPB word read: routed over the peripheral bus, paying its transfer
+    /// latency on top of the load's base cycles.
+    fn opb_load(&mut self, pc: u32, size: MemSize, ea: u32) -> Result<u32, Fault> {
+        let fault = |err| Fault::Memory { pc, err };
+        if size != MemSize::Word {
+            return Err(fault(softsim_bus::MemError::Misaligned { addr: ea, align: 4 }));
+        }
+        let bus = self
+            .opb
+            .as_mut()
+            .ok_or(fault(softsim_bus::MemError::OutOfRange { addr: ea, size: 0 }))?;
+        match bus.read(ea) {
+            Ok((v, cycles)) => {
+                self.extra_cycles += cycles;
+                Ok(v)
+            }
+            Err(_) => Err(fault(softsim_bus::MemError::OutOfRange { addr: ea, size: 0 })),
+        }
+    }
+
+    /// OPB word write.
+    fn opb_store(&mut self, pc: u32, size: MemSize, ea: u32, value: u32) -> Result<(), Fault> {
+        let fault = |err| Fault::Memory { pc, err };
+        if size != MemSize::Word {
+            return Err(fault(softsim_bus::MemError::Misaligned { addr: ea, align: 4 }));
+        }
+        let bus = self
+            .opb
+            .as_mut()
+            .ok_or(fault(softsim_bus::MemError::OutOfRange { addr: ea, size: 0 }))?;
+        match bus.write(ea, value) {
+            Ok(cycles) => {
+                self.extra_cycles += cycles;
+                Ok(())
+            }
+            Err(_) => Err(fault(softsim_bus::MemError::OutOfRange { addr: ea, size: 0 })),
+        }
+    }
+
+    /// Attempts the FSL transfer of a `get`/`put` instruction.
+    ///
+    /// * Blocking variants return `Err(())` when the channel is not ready,
+    ///   which stalls the processor — exactly the paper's §III-B semantics
+    ///   ("Blocking read or write will stall the MicroBlaze processor until
+    ///   the read or write can occur").
+    /// * Non-blocking variants always complete; the MSR carry flag records
+    ///   failure (1) or success (0), matching `microblaze_nbread_datafsl`.
+    pub(crate) fn exec_fsl(&mut self, inst: &Inst, fsl: &mut FslBank) -> Result<(), ()> {
+        match *inst {
+            Inst::Get { rd, chan, mode } => {
+                match fsl.from_hw(chan.index()).try_pop() {
+                    Some(word) => {
+                        if word.control != mode.control {
+                            self.stats.fsl_control_mismatches += 1;
+                        }
+                        self.set_reg(rd, word.data);
+                        self.stats.fsl_words_received += 1;
+                        if mode.non_blocking {
+                            self.carry = false;
+                        }
+                        Ok(())
+                    }
+                    None if mode.non_blocking => {
+                        self.carry = true;
+                        self.stats.fsl_nonblocking_misses += 1;
+                        Ok(())
+                    }
+                    None => Err(()),
+                }
+            }
+            Inst::Put { ra, chan, mode } => {
+                let word = FslWord { data: self.reg(ra), control: mode.control };
+                if fsl.to_hw(chan.index()).try_push(word) {
+                    self.stats.fsl_words_sent += 1;
+                    if mode.non_blocking {
+                        self.carry = false;
+                    }
+                    Ok(())
+                } else if mode.non_blocking {
+                    self.carry = true;
+                    self.stats.fsl_nonblocking_misses += 1;
+                    Ok(())
+                } else {
+                    Err(())
+                }
+            }
+            _ => unreachable!("exec_fsl called on non-FSL instruction"),
+        }
+    }
+}
+
+fn logic(op: LogicOp, a: u32, b: u32) -> u32 {
+    match op {
+        LogicOp::Or => a | b,
+        LogicOp::And => a & b,
+        LogicOp::Xor => a ^ b,
+        LogicOp::Andn => a & !b,
+    }
+}
+
+fn barrel(op: BarrelOp, a: u32, amount: u32) -> u32 {
+    match op {
+        BarrelOp::Bsll => a.wrapping_shl(amount),
+        BarrelOp::Bsrl => a.wrapping_shr(amount),
+        BarrelOp::Bsra => ((a as i32).wrapping_shr(amount)) as u32,
+    }
+}

@@ -1,0 +1,67 @@
+//! Simulation faults raised by the instruction-set simulator.
+
+use softsim_bus::MemError;
+use softsim_isa::DecodeError;
+use std::fmt;
+
+/// A condition that stops simulation with an error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// The fetched word does not decode to an instruction.
+    Decode {
+        /// PC of the undecodable word.
+        pc: u32,
+        /// The decode failure.
+        err: DecodeError,
+    },
+    /// A data or instruction access failed.
+    Memory {
+        /// PC of the faulting instruction.
+        pc: u32,
+        /// The memory failure.
+        err: MemError,
+    },
+    /// A branch, `imm` prefix or `halt` appeared in a delay slot
+    /// (architecturally illegal on MicroBlaze).
+    IllegalDelaySlot {
+        /// PC of the offending delay-slot instruction.
+        pc: u32,
+    },
+    /// An instruction requiring an optional processor unit (barrel
+    /// shifter, multiplier, divider) executed on a configuration without
+    /// that unit.
+    DisabledInstruction {
+        /// PC of the offending instruction.
+        pc: u32,
+        /// The missing unit.
+        unit: &'static str,
+    },
+}
+
+impl Fault {
+    /// PC at which the fault occurred.
+    pub fn pc(&self) -> u32 {
+        match self {
+            Fault::Decode { pc, .. } | Fault::Memory { pc, .. } => *pc,
+            Fault::IllegalDelaySlot { pc } => *pc,
+            Fault::DisabledInstruction { pc, .. } => *pc,
+        }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::Decode { pc, err } => write!(f, "decode fault at {pc:#010x}: {err}"),
+            Fault::Memory { pc, err } => write!(f, "memory fault at {pc:#010x}: {err}"),
+            Fault::IllegalDelaySlot { pc } => {
+                write!(f, "illegal instruction in delay slot at {pc:#010x}")
+            }
+            Fault::DisabledInstruction { pc, unit } => {
+                write!(f, "instruction at {pc:#010x} needs the optional {unit}, which this processor configuration omits")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Fault {}

@@ -1,0 +1,77 @@
+//! Execution statistics collected by the instruction-set simulator.
+
+/// Counters describing one simulation run.
+///
+/// The co-simulation reports (§IV of the paper) are derived from these:
+/// execution time in µs is `cycles / f_clk`, and the communication-overhead
+/// analysis uses the FSL traffic and stall counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CpuStats {
+    /// Clock cycles elapsed.
+    pub cycles: u64,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Cycles spent stalled on blocking FSL reads.
+    pub fsl_read_stalls: u64,
+    /// Cycles spent stalled on blocking FSL writes.
+    pub fsl_write_stalls: u64,
+    /// Words sent to hardware over FSLs (`put` family).
+    pub fsl_words_sent: u64,
+    /// Words received from hardware over FSLs (`get` family).
+    pub fsl_words_received: u64,
+    /// Non-blocking FSL operations that could not complete.
+    pub fsl_nonblocking_misses: u64,
+    /// `get`/`cget` transfers whose control bit did not match the variant.
+    pub fsl_control_mismatches: u64,
+    /// Taken branches (including `rtsd`).
+    pub taken_branches: u64,
+    /// Data-side memory reads.
+    pub mem_reads: u64,
+    /// Data-side memory writes.
+    pub mem_writes: u64,
+    /// Multiply instructions executed (each costs three cycles).
+    pub multiplies: u64,
+}
+
+impl CpuStats {
+    /// Total FSL stall cycles in both directions.
+    pub fn fsl_stalls(&self) -> u64 {
+        self.fsl_read_stalls + self.fsl_write_stalls
+    }
+
+    /// Average cycles per instruction.
+    pub fn cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.instructions as f64
+        }
+    }
+
+    /// Execution time in microseconds at clock frequency `f_hz`.
+    ///
+    /// The paper reports application performance at 50 MHz on the ML300
+    /// Virtex-II Pro board.
+    pub fn time_us(&self, f_hz: f64) -> f64 {
+        self.cycles as f64 / f_hz * 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_at_50mhz() {
+        let stats = CpuStats { cycles: 50, ..Default::default() };
+        let us = stats.time_us(50e6);
+        assert!((us - 1.0).abs() < 1e-12, "50 cycles at 50 MHz is 1 µs");
+    }
+
+    #[test]
+    fn cpi_handles_empty_run() {
+        assert_eq!(CpuStats::default().cpi(), 0.0);
+        let s = CpuStats { cycles: 30, instructions: 10, ..Default::default() };
+        assert!((s.cpi() - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,207 @@
+//! # softsim-resource — rapid resource estimation (§III-C of the paper)
+//!
+//! "Being able to rapidly obtain the hardware resource occupied by the
+//! soft processor under different configurations is important for
+//! identifying the most efficient partitioning of the applications." The
+//! paper sums four contributions, which this crate reproduces:
+//!
+//! 1. the **processor and the two LMB interface controllers** — constants
+//!    from the vendor data sheet ([`DataSheet`]);
+//! 2. the **customized hardware peripherals** — per-block estimates from
+//!    the block simulator (`softsim_blocks::Graph::resources`);
+//! 3. the **communication interface** — per-FSL-channel constants;
+//! 4. the **storage of the software program** — image size via the
+//!    `mb-objdump` analog, rounded up to BRAMs.
+//!
+//! The "actual" numbers of Table I come instead from elaborating the RTL
+//! model and counting primitives (`softsim_rtl::Primitives`); the tests
+//! check estimate and actual stay within a few percent, mirroring the
+//! estimated/actual columns of the paper.
+
+#![warn(missing_docs)]
+
+use softsim_blocks::Resources;
+use softsim_isa::Image;
+
+/// Data-sheet constants for the MB32 soft processor on Virtex-II Pro,
+/// chosen to sit in the MicroBlaze v4 range the paper's Table I implies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DataSheet {
+    /// Slices of the processor core.
+    pub cpu_slices: u32,
+    /// Embedded multipliers used by the core (`mul` support).
+    pub cpu_mult18s: u32,
+    /// Slices of one LMB interface controller.
+    pub lmb_ctrl_slices: u32,
+    /// Slices of one FSL channel (FIFO + handshake).
+    pub fsl_channel_slices: u32,
+}
+
+impl Default for DataSheet {
+    fn default() -> DataSheet {
+        DataSheet::for_config(&softsim_isa::CpuConfig::default())
+    }
+}
+
+/// Per-option slice costs (datasheet style): the base core plus each
+/// optional unit.
+const CPU_BASE_SLICES: u32 = 380;
+const BARREL_SLICES: u32 = 80;
+const MULTIPLIER_SLICES: u32 = 66;
+const DIVIDER_SLICES: u32 = 120;
+
+impl DataSheet {
+    /// Datasheet numbers for a processor configuration: each optional
+    /// unit (barrel shifter, multiplier, divider) adds its published
+    /// cost, mirroring the MicroBlaze feature table.
+    pub fn for_config(config: &softsim_isa::CpuConfig) -> DataSheet {
+        let mut cpu_slices = CPU_BASE_SLICES;
+        if config.barrel_shifter {
+            cpu_slices += BARREL_SLICES;
+        }
+        if config.multiplier {
+            cpu_slices += MULTIPLIER_SLICES;
+        }
+        if config.divider {
+            cpu_slices += DIVIDER_SLICES;
+        }
+        DataSheet {
+            cpu_slices,
+            cpu_mult18s: if config.multiplier { 3 } else { 0 },
+            lmb_ctrl_slices: 11,
+            fsl_channel_slices: 37,
+        }
+    }
+}
+
+/// A complete system configuration to estimate.
+#[derive(Debug, Clone)]
+pub struct SystemConfig<'a> {
+    /// The compiled software program (sized for BRAM storage).
+    pub program: &'a Image,
+    /// Resources of the customized hardware peripheral, from the block
+    /// simulator's estimator (zero for pure-software configurations).
+    pub peripheral: Resources,
+    /// Number of FSL channel *pairs* connecting processor and peripheral.
+    pub fsl_channels: u32,
+}
+
+/// Estimates the resources of a full system configuration.
+pub fn estimate_system(cfg: &SystemConfig, sheet: &DataSheet) -> Resources {
+    let mut total = Resources {
+        slices: sheet.cpu_slices + 2 * sheet.lmb_ctrl_slices,
+        brams: cfg.program.bram_count(),
+        mult18s: sheet.cpu_mult18s,
+    };
+    total.slices += cfg.fsl_channels * sheet.fsl_channel_slices;
+    total += cfg.peripheral;
+    total
+}
+
+/// Converts elaborated RTL primitives into the same [`Resources`] shape,
+/// for estimated-vs-actual comparisons (Table I).
+pub fn actual_from_primitives(p: softsim_rtl::Primitives) -> Resources {
+    Resources { slices: p.slices(), brams: p.brams, mult18s: p.mult18s }
+}
+
+/// Relative slice-count error of an estimate against an actual.
+pub fn slice_error(estimated: Resources, actual: Resources) -> f64 {
+    if actual.slices == 0 {
+        return 0.0;
+    }
+    (estimated.slices as f64 - actual.slices as f64) / actual.slices as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softsim_isa::asm::assemble;
+
+    #[test]
+    fn pure_software_system() {
+        let img = assemble("halt\n").unwrap();
+        let cfg = SystemConfig { program: &img, peripheral: Resources::ZERO, fsl_channels: 0 };
+        let r = estimate_system(&cfg, &DataSheet::default());
+        assert_eq!(r.slices, 526 + 22);
+        assert_eq!(r.brams, 1);
+        assert_eq!(r.mult18s, 3);
+    }
+
+    #[test]
+    fn peripheral_and_channels_add_up() {
+        let img = assemble("halt\n").unwrap();
+        let per = Resources { slices: 200, brams: 0, mult18s: 4 };
+        let cfg = SystemConfig { program: &img, peripheral: per, fsl_channels: 2 };
+        let r = estimate_system(&cfg, &DataSheet::default());
+        assert_eq!(r.slices, 526 + 22 + 2 * 37 + 200);
+        assert_eq!(r.mult18s, 7);
+    }
+
+    #[test]
+    fn big_program_needs_more_brams() {
+        let src = format!(".space {}\nend: halt\n", 3 * 2048);
+        let img = assemble(&src).unwrap();
+        let cfg = SystemConfig { program: &img, peripheral: Resources::ZERO, fsl_channels: 0 };
+        let r = estimate_system(&cfg, &DataSheet::default());
+        assert_eq!(r.brams, 4);
+    }
+
+    #[test]
+    fn per_option_costs_accumulate() {
+        use softsim_isa::CpuConfig;
+        let minimal = DataSheet::for_config(&CpuConfig::minimal());
+        let default = DataSheet::for_config(&CpuConfig::default());
+        let full = DataSheet::for_config(&CpuConfig::full());
+        assert!(minimal.cpu_slices < default.cpu_slices);
+        assert!(default.cpu_slices < full.cpu_slices);
+        assert_eq!(default.cpu_slices, 526, "era-default MicroBlaze footprint");
+        assert_eq!(minimal.cpu_mult18s, 0);
+        assert_eq!(full.cpu_mult18s, 3);
+    }
+
+    #[test]
+    fn estimate_tracks_rtl_actual_for_every_configuration() {
+        // Estimated vs RTL-elaborated actuals stay within 10% for each
+        // processor option set — the configuration dimension of the
+        // design space.
+        use softsim_isa::CpuConfig;
+        let img = assemble("halt\n").unwrap();
+        for config in [CpuConfig::minimal(), CpuConfig::default(), CpuConfig::full()] {
+            let soc = softsim_rtl::SocRtl::with_config(&img, config);
+            let actual = actual_from_primitives(soc.kernel.primitives());
+            let cfg = SystemConfig { program: &img, peripheral: Resources::ZERO, fsl_channels: 0 };
+            let estimated = estimate_system(&cfg, &DataSheet::for_config(&config));
+            let err = slice_error(estimated, actual).abs();
+            assert!(
+                err < 0.10,
+                "{config:?}: estimate {} vs actual {} ({:.1}% off)",
+                estimated.slices,
+                actual.slices,
+                err * 100.0
+            );
+            assert_eq!(estimated.mult18s, actual.mult18s, "{config:?}");
+        }
+    }
+
+    #[test]
+    fn estimate_tracks_rtl_actual_for_bare_cpu() {
+        // The estimator and the RTL elaboration must agree within ~10%
+        // on the bare processor, as the estimated/actual columns of
+        // Table I do.
+        let img = assemble("halt\n").unwrap();
+        let soc = softsim_rtl::SocRtl::new(&img);
+        let actual = actual_from_primitives(soc.kernel.primitives());
+        let cfg = SystemConfig { program: &img, peripheral: Resources::ZERO, fsl_channels: 0 };
+        let estimated = estimate_system(&cfg, &DataSheet::default());
+        let err = slice_error(estimated, actual).abs();
+        assert!(
+            err < 0.10,
+            "estimate {} vs actual {} ({:.1}% off)",
+            estimated.slices,
+            actual.slices,
+            err * 100.0
+        );
+        assert_eq!(estimated.mult18s, actual.mult18s);
+        assert_eq!(estimated.brams, actual.brams);
+    }
+}

@@ -1,0 +1,55 @@
+//! Driving the soft processor through the `mb-gdb`-style debug protocol —
+//! the control path of the paper's Fig. 2, where the MicroBlaze Simulink
+//! block steers software execution through a bidirectional command pipe.
+//!
+//! Run with: `cargo run --example debugger`
+
+use softsim::bus::FslBank;
+use softsim::isa::asm::assemble;
+use softsim::isa::disasm;
+use softsim::iss::debug::DebugSession;
+use softsim::iss::Cpu;
+
+fn main() {
+    let image = assemble(
+        "main:  addik r3, r0, 1     # fib(1)
+                addik r4, r0, 1     # fib(2)
+                addik r5, r0, 10    # count
+        loop:   addk  r6, r3, r4
+                addk  r3, r4, r0
+                addk  r4, r6, r0
+                addik r5, r5, -1
+                bnei  r5, loop
+                swi   r4, r0, 0x200
+                halt
+        ",
+    )
+    .unwrap();
+
+    println!("disassembly (mb-objdump analog):\n{}", disasm::listing(&image));
+
+    let mut cpu = Cpu::with_default_memory(&image);
+    let mut fsl = FslBank::default();
+    let mut dbg = DebugSession::new(&mut cpu, &mut fsl);
+
+    // The textual protocol — exactly what would flow over the pipe.
+    for line in [
+        "break 0x0c", // the loop head
+        "cont",       // run to the breakpoint
+        "rr r3",
+        "rr r4",
+        "cont", // one more trip around the loop
+        "rr r4",
+        "delete 0x0c",
+        "cont", // run to completion
+        "rm 0x200",
+        "stats",
+    ] {
+        let reply = dbg.handle_line(line);
+        println!("> {line:<14} => {reply}");
+    }
+
+    let fib12 = cpu.mem().read_u32(0x200).unwrap();
+    println!("fib(12) computed on MB32: {fib12}");
+    assert_eq!(fib12, 144);
+}

@@ -1,0 +1,96 @@
+//! Design-space exploration — the use case the paper's introduction
+//! motivates: rapidly evaluate many hardware/software partitions and soft-
+//! processor configurations (time *and* resources) without ever running
+//! low-level simulation, then pick the design point.
+//!
+//! Run with: `cargo run --release --example design_space_exploration`
+
+use softsim::apps::cordic::hardware::pipeline_resources;
+use softsim::apps::cordic::software::{hw_program, sw_program, CordicBatch, SwStyle};
+use softsim::apps::cordic::reference;
+use softsim::blocks::Resources;
+use softsim::cosim::{CoSim, CoSimStop};
+use softsim::isa::asm::assemble;
+use softsim::resource::{estimate_system, DataSheet, SystemConfig};
+
+struct DesignPoint {
+    name: String,
+    cycles: u64,
+    resources: Resources,
+}
+
+fn main() {
+    let batch = CordicBatch::new(
+        &[(1.0, 0.5), (1.5, 1.2), (2.0, -1.0), (1.25, 0.8)]
+            .map(|(a, b)| (reference::to_fix(a), reference::to_fix(b))),
+    );
+    let iterations = 24;
+    let sheet = DataSheet::default();
+    let mut points = Vec::new();
+
+    // P = 0: pure software.
+    let img = assemble(&sw_program(&batch, iterations, SwStyle::Compiled)).unwrap();
+    let mut sim = CoSim::software_only(&img);
+    assert_eq!(sim.run(10_000_000), CoSimStop::Halted);
+    points.push(DesignPoint {
+        name: "pure software".into(),
+        cycles: sim.cpu_stats().cycles,
+        resources: estimate_system(
+            &SystemConfig { program: &img, peripheral: Resources::ZERO, fsl_channels: 0 },
+            &sheet,
+        ),
+    });
+
+    // P = 1..=8: every pipeline depth.
+    for p in 1..=8usize {
+        let img = assemble(&hw_program(&batch, iterations, p)).unwrap();
+        let mut sim = CoSim::with_peripheral(
+            &img,
+            softsim::apps::cordic::hardware::cordic_peripheral(p),
+        );
+        assert_eq!(sim.run(10_000_000), CoSimStop::Halted);
+        points.push(DesignPoint {
+            name: format!("{p}-PE pipeline"),
+            cycles: sim.cpu_stats().cycles,
+            resources: estimate_system(
+                &SystemConfig {
+                    program: &img,
+                    peripheral: pipeline_resources(p),
+                    fsl_channels: 1,
+                },
+                &sheet,
+            ),
+        });
+    }
+
+    println!("CORDIC division, 24 iterations — the design space in one co-simulated sweep:");
+    println!("{:<16} {:>8} {:>9} {:>8} {:>7}", "design", "cycles", "time(us)", "slices", "mult18");
+    let base = points[0].cycles;
+    for p in &points {
+        println!(
+            "{:<16} {:>8} {:>9.2} {:>8} {:>7}   {}",
+            p.name,
+            p.cycles,
+            p.cycles as f64 / 50.0,
+            p.resources.slices,
+            p.resources.mult18s,
+            if p.cycles < base {
+                format!("{:.2}x faster, +{} slices", base as f64 / p.cycles as f64,
+                        p.resources.slices - points[0].resources.slices)
+            } else {
+                "baseline".into()
+            }
+        );
+    }
+
+    // Pick the knee: best cycles-per-slice improvement.
+    let best = points
+        .iter()
+        .skip(1)
+        .min_by(|x, y| {
+            let cost = |q: &DesignPoint| q.cycles as f64 * q.resources.slices as f64;
+            cost(x).total_cmp(&cost(y))
+        })
+        .unwrap();
+    println!("\nbest time×area product: {}", best.name);
+}

@@ -1,0 +1,50 @@
+//! # softsim — high-level cycle-accurate HW/SW co-simulation for FPGA
+//! soft processors
+//!
+//! A Rust reproduction of Ou & Prasanna, *"MATLAB/Simulink Based
+//! Hardware/Software Co-Simulation for Designing Using FPGA Configured
+//! Soft Processors"* (IPDPS 2005).
+//!
+//! The facade re-exports every subsystem:
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`isa`] | `softsim-isa` | MB32 instruction set, assembler, images |
+//! | [`iss`] | `softsim-iss` | cycle-accurate instruction-set simulator |
+//! | [`blocks`] | `softsim-blocks` | System-Generator-style block simulator |
+//! | [`bus`] | `softsim-bus` | FSL / LMB / OPB bus models |
+//! | [`cosim`] | `softsim-cosim` | **the co-simulation engine (the paper's contribution)** |
+//! | [`rtl`] | `softsim-rtl` | event-driven RTL baseline ("ModelSim") |
+//! | [`resource`] | `softsim-resource` | rapid resource estimation |
+//! | [`energy`] | `softsim-energy` | rapid energy estimation (the paper's §V extension) |
+//! | [`apps`] | `softsim-apps` | CORDIC divider + block matmul evaluation apps |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use softsim::cosim::{CoSim, CoSimStop};
+//! use softsim::isa::asm::assemble;
+//!
+//! let program = assemble("
+//!     addik r3, r0, 6
+//!     muli  r3, r3, 7
+//!     halt
+//! ").unwrap();
+//! let mut sim = CoSim::software_only(&program);
+//! assert_eq!(sim.run(1_000), CoSimStop::Halted);
+//! assert_eq!(sim.cpu().reg(softsim::isa::Reg::new(3)), 42);
+//! println!("took {} cycles = {:.2} µs at 50 MHz",
+//!          sim.cpu_stats().cycles, sim.time_us());
+//! ```
+
+#![warn(missing_docs)]
+
+pub use softsim_apps as apps;
+pub use softsim_blocks as blocks;
+pub use softsim_bus as bus;
+pub use softsim_cosim as cosim;
+pub use softsim_energy as energy;
+pub use softsim_isa as isa;
+pub use softsim_iss as iss;
+pub use softsim_resource as resource;
+pub use softsim_rtl as rtl;

@@ -1,0 +1,245 @@
+//! End-to-end integration tests across the whole workspace: the paper's
+//! applications through the public facade, resource accounting, and the
+//! qualitative performance claims of §IV.
+
+use softsim::apps::{cordic, matmul};
+use softsim::cosim::{CoSim, CoSimStop};
+use softsim::isa::asm::assemble;
+
+#[test]
+fn cordic_full_design_space_is_correct() {
+    // Every (iterations, P) configuration of Figure 5 produces quotients
+    // that match the golden model bit-exactly.
+    let pairs =
+        [(1.0, 0.5), (1.75, 1.6), (2.5, -2.0), (1.0, 0.001)].map(|(a, b): (f64, f64)| {
+            (cordic::reference::to_fix(a), cordic::reference::to_fix(b))
+        });
+    let batch = cordic::software::CordicBatch::new(&pairs);
+    for iters in [8u32, 24] {
+        for p in [1usize, 2, 3, 4, 5, 6, 7, 8] {
+            let img = assemble(&cordic::software::hw_program(&batch, iters, p)).unwrap();
+            let mut sim =
+                CoSim::with_peripheral(&img, cordic::hardware::cordic_peripheral(p));
+            assert_eq!(sim.run(10_000_000), CoSimStop::Halted, "iters={iters} P={p}");
+            assert_eq!(sim.hw_stats().output_overflows, 0);
+            let base = img.symbol(cordic::software::RESULT_LABEL).unwrap();
+            let eff = cordic::software::effective_iterations(iters, p);
+            for (i, &(a, b)) in pairs.iter().enumerate() {
+                let got = sim.cpu().mem().read_u32(base + 4 * i as u32).unwrap() as i32;
+                assert_eq!(
+                    got,
+                    cordic::reference::divide_fix(a, b, eff),
+                    "iters={iters} P={p} sample={i}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn matmul_all_sizes_and_blocks_correct() {
+    for n in [4usize, 8, 12, 16] {
+        let a = matmul::reference::Matrix::test_pattern(n, 31);
+        let b = matmul::reference::Matrix::test_pattern(n, 32);
+        let golden = matmul::reference::multiply(&a, &b);
+        for nb in [2usize, 4] {
+            if n % nb != 0 {
+                continue;
+            }
+            let img = assemble(&matmul::software::hw_program(&a, &b, nb)).unwrap();
+            let mut sim =
+                CoSim::with_peripheral(&img, matmul::hardware::matmul_peripheral(nb));
+            assert_eq!(sim.run(500_000_000), CoSimStop::Halted, "n={n} nb={nb}");
+            let base = img.symbol(matmul::software::RESULT_LABEL).unwrap();
+            for i in 0..n * n {
+                assert_eq!(
+                    sim.cpu().mem().read_u32(base + 4 * i as u32).unwrap() as i32,
+                    golden.data[i],
+                    "n={n} nb={nb} element={i}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn figure5_performance_claims() {
+    // HW acceleration wins at 24 iterations and improves monotonically
+    // with P; the P=4 speedup is a multiple (paper: 5.6x, ours ~3.7x).
+    let pairs = [(1.0, 0.5), (1.5, 1.2), (2.0, -1.0), (1.25, 0.8)]
+        .map(|(a, b): (f64, f64)| (cordic::reference::to_fix(a), cordic::reference::to_fix(b)));
+    let batch = cordic::software::CordicBatch::new(&pairs);
+    let cycles = |p: Option<usize>| {
+        let (img, per) = match p {
+            None => (
+                assemble(&cordic::software::sw_program(
+                    &batch,
+                    24,
+                    cordic::software::SwStyle::Compiled,
+                ))
+                .unwrap(),
+                None,
+            ),
+            Some(p) => (
+                assemble(&cordic::software::hw_program(&batch, 24, p)).unwrap(),
+                Some(cordic::hardware::cordic_peripheral(p)),
+            ),
+        };
+        let mut sim = match per {
+            None => CoSim::software_only(&img),
+            Some(per) => CoSim::with_peripheral(&img, per),
+        };
+        assert_eq!(sim.run(10_000_000), CoSimStop::Halted);
+        sim.cpu_stats().cycles
+    };
+    let sw = cycles(None);
+    let p2 = cycles(Some(2));
+    let p4 = cycles(Some(4));
+    let p8 = cycles(Some(8));
+    assert!(p2 < sw && p4 < p2 && p8 < p4, "monotone improvement: {sw} {p2} {p4} {p8}");
+    let speedup = sw as f64 / p4 as f64;
+    assert!(speedup > 3.0, "P=4 speedup {speedup:.2} should be a multiple");
+}
+
+#[test]
+fn fsl_stall_accounting_is_consistent() {
+    // A blocking `get` issued right after the last `put` must stall for
+    // the pipeline latency of a deep (P = 8) pipeline, and every counter
+    // must balance.
+    let a = cordic::reference::to_fix(1.5);
+    let b = cordic::reference::to_fix(0.7);
+    let src = format!(
+        "li r8, {one}\n cput r8, rfsl0\n\
+         li r5, {a}\n put r5, rfsl0\n\
+         li r6, {b}\n put r6, rfsl0\n\
+         put r0, rfsl0\n\
+         get r9, rfsl0\n get r10, rfsl0\n halt\n",
+        one = cordic::reference::ONE,
+    );
+    let img = assemble(&src).unwrap();
+    let mut sim = CoSim::with_peripheral(&img, cordic::hardware::cordic_peripheral(8));
+    assert_eq!(sim.run(100_000), CoSimStop::Halted);
+    let s = sim.cpu_stats();
+    let hw = sim.hw_stats();
+    assert_eq!(s.fsl_words_sent, hw.words_to_hw, "every sent word reached hardware");
+    assert_eq!(s.fsl_words_received, hw.words_from_hw, "every produced word was consumed");
+    assert_eq!(s.fsl_words_sent, 4);
+    assert_eq!(s.fsl_words_received, 2);
+    assert!(s.fsl_read_stalls > 0, "the first get must wait for the pipeline to drain");
+    assert!(s.cycles > s.instructions, "multi-cycle instructions and stalls");
+    // The result is one 8-iteration pass of the reference.
+    assert_eq!(
+        sim.cpu().reg(softsim::isa::Reg::new(10)) as i32,
+        cordic::reference::divide_fix(a, b, 8)
+    );
+}
+
+#[test]
+fn resource_report_for_whole_design_space() {
+    use softsim::resource::{estimate_system, DataSheet, SystemConfig};
+    let sheet = DataSheet::default();
+    let pairs = [(1.0, 0.5)]
+        .map(|(a, b): (f64, f64)| (cordic::reference::to_fix(a), cordic::reference::to_fix(b)));
+    let batch = cordic::software::CordicBatch::new(&pairs);
+    let mut last = 0;
+    for p in [2usize, 4, 6, 8] {
+        let img = assemble(&cordic::software::hw_program(&batch, 24, p)).unwrap();
+        let est = estimate_system(
+            &SystemConfig {
+                program: &img,
+                peripheral: cordic::hardware::pipeline_resources(p),
+                fsl_channels: 1,
+            },
+            &sheet,
+        );
+        assert!(est.slices > last, "slices grow with P");
+        assert_eq!(est.mult18s, 3, "no multipliers in the PEs (Table I)");
+        assert_eq!(est.brams, 1, "small program fits one BRAM");
+        last = est.slices;
+    }
+}
+
+#[test]
+fn opb_attachment_is_slower_than_fsl() {
+    // The paper supports both FSL and OPB attachments; the dedicated FSL
+    // interface is the faster choice. Model the same exchange over the
+    // OPB register bus and compare per-transfer cycle costs.
+    use softsim::bus::{OPB_READ_LATENCY, OPB_WRITE_LATENCY};
+    use softsim::isa::Inst;
+    // An FSL put+get pair costs the two instructions' base cycles when
+    // ready; an OPB write+read pair adds the bus transfer latencies.
+    let get = Inst::Get {
+        rd: softsim::isa::Reg::new(3),
+        chan: softsim::isa::FslChan::new(0),
+        mode: softsim::isa::FslMode::BLOCKING_DATA,
+    };
+    let put = Inst::Put {
+        ra: softsim::isa::Reg::new(3),
+        chan: softsim::isa::FslChan::new(0),
+        mode: softsim::isa::FslMode::BLOCKING_DATA,
+    };
+    let fsl_pair = get.base_cycles() + put.base_cycles();
+    assert!(OPB_WRITE_LATENCY + OPB_READ_LATENCY > fsl_pair);
+}
+
+#[test]
+fn two_peripherals_share_one_processor() {
+    // The paper's environment simulates "customized hardware peripherals"
+    // (plural): attach the CORDIC pipeline on FSL 0 and a 2x2 block-matmul
+    // unit on FSL 2, and interleave work on both from one program.
+    let a_fix = cordic::reference::to_fix(1.5);
+    let b_fix = cordic::reference::to_fix(0.9);
+    let src = format!(
+        "# one CORDIC pass (P PEs) on channel 0
+         li r8, {one}
+         cput r8, rfsl0
+         li r5, {a_fix}
+         put r5, rfsl0
+         li r6, {b_fix}
+         put r6, rfsl0
+         put r0, rfsl0
+         # meanwhile: a 2x2 block product on channel 2
+         addik r3, r0, 1
+         cput r3, rfsl2       # B = identity
+         cput r0, rfsl2
+         cput r0, rfsl2
+         addik r3, r0, 1
+         cput r3, rfsl2
+         addik r3, r0, 5      # A column-major: [[5,7],[6,8]]... a(0,0)=5
+         put r3, rfsl2
+         addik r3, r0, 6
+         put r3, rfsl2
+         addik r3, r0, 7
+         put r3, rfsl2
+         addik r3, r0, 8
+         put r3, rfsl2
+         # collect CORDIC results (Y then Z)
+         get r9, rfsl0
+         get r10, rfsl0
+         # collect the matrix product (row-major; B = I so it's A)
+         get r11, rfsl2
+         get r12, rfsl2
+         get r13, rfsl2
+         get r14, rfsl2
+         halt
+        ",
+        one = cordic::reference::ONE,
+    );
+    let img = assemble(&src).unwrap();
+    let mut sim = CoSim::with_peripheral(&img, cordic::hardware::cordic_peripheral(8));
+    sim.add_peripheral(matmul::hardware::matmul_peripheral_chan(2, 2));
+    assert_eq!(sim.run(100_000), CoSimStop::Halted);
+    let reg = |n| sim.cpu().reg(softsim::isa::Reg::new(n));
+    // CORDIC: one 8-iteration pass.
+    assert_eq!(reg(10) as i32, cordic::reference::divide_fix(a_fix, b_fix, 8));
+    // Matmul with B = I (Q0 identity = 1s on the diagonal): C = A row-major.
+    assert_eq!([reg(11), reg(12), reg(13), reg(14)], [5, 7, 6, 8]);
+}
+
+#[test]
+#[should_panic(expected = "already claimed")]
+fn conflicting_fsl_channels_rejected() {
+    let img = assemble("halt\n").unwrap();
+    let mut sim = CoSim::with_peripheral(&img, cordic::hardware::cordic_peripheral(2));
+    sim.add_peripheral(matmul::hardware::matmul_peripheral_chan(2, 0));
+}
