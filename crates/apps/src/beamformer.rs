@@ -93,12 +93,7 @@ pub fn beamformer_program_full(input: &[i32], order: usize, p: usize) -> String 
     emit_fir_phases(&mut s, order, n, batch);
     // r_data starts zeroed; phase 0 fills it.
     s.push_str(&lpc_data(&vec![0; order + 1]));
-    let _ = write!(
-        s,
-        "x_data: .word {x}\ny_data: .space {ys}\n",
-        x = words(input),
-        ys = 4 * n,
-    );
+    let _ = write!(s, "x_data: .word {x}\ny_data: .space {ys}\n", x = words(input), ys = 4 * n,);
     s
 }
 
@@ -158,24 +153,15 @@ pub fn beamformer_program(r: &[i32], p: usize, input: &[i32]) -> String {
     s.push_str(&lpc_body(order, LpcDivision::CordicFsl(p)));
     emit_fir_phases(&mut s, order, n, batch);
     s.push_str(&lpc_data(r));
-    let _ = write!(
-        s,
-        "x_data: .word {x}\ny_data: .space {ys}\n",
-        x = words(input),
-        ys = 4 * n,
-    );
+    let _ = write!(s, "x_data: .word {x}\ny_data: .space {ys}\n", x = words(input), ys = 4 * n,);
     s
 }
 
 /// Builds the two-peripheral co-simulation for the composite application.
 pub fn beamformer_cosim(r: &[i32], p: usize, input: &[i32]) -> (CoSim, Image) {
     let img = assemble(&beamformer_program(r, p, input)).expect("beamformer assembles");
-    let mut sim =
-        CoSim::with_peripheral(&img, crate::cordic::hardware::cordic_peripheral(p));
-    sim.add_peripheral(crate::fir::hardware::fir_peripheral_chan(
-        r.len(),
-        FIR_CHANNEL,
-    ));
+    let mut sim = CoSim::with_peripheral(&img, crate::cordic::hardware::cordic_peripheral(p));
+    sim.add_peripheral(crate::fir::hardware::fir_peripheral_chan(r.len(), FIR_CHANNEL));
     (sim, img)
 }
 

@@ -131,10 +131,7 @@ mod tests {
         assert_eq!(sw.run(10_000_000), CoSimStop::Halted);
 
         let hw_img = assemble(&hw_program(&b, 24, 4)).unwrap();
-        let mut hw = CoSim::with_peripheral(
-            &hw_img,
-            crate::cordic::hardware::cordic_peripheral(4),
-        );
+        let mut hw = CoSim::with_peripheral(&hw_img, crate::cordic::hardware::cordic_peripheral(4));
         assert_eq!(hw.run(10_000_000), CoSimStop::Halted);
 
         let div_img = assemble(&idiv_program(&b)).unwrap();

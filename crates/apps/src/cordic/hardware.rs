@@ -288,11 +288,7 @@ pub fn cordic_graph(p: usize) -> Graph {
 
 /// Wraps [`cordic_graph`] as an attachable peripheral.
 pub fn cordic_peripheral(p: usize) -> Peripheral {
-    Peripheral::new(
-        cordic_graph(p),
-        vec![FslToHw::standard(0)],
-        vec![FslFromHw::standard(0)],
-    )
+    Peripheral::new(cordic_graph(p), vec![FslToHw::standard(0)], vec![FslFromHw::standard(0)])
 }
 
 /// Builds the dual-output variant of the pipeline: Y results leave on

@@ -11,9 +11,9 @@
 use crate::cordic::hardware::cordic_graph;
 use crate::cordic::reference::ONE;
 use crate::cordic::software::CordicBatch;
+use softsim_bus::OpbBus;
 use softsim_cosim::opb::{REG_RDATA, REG_STATUS, REG_WCTRL, REG_WDATA};
 use softsim_cosim::{CoSim, OpbBlockAdapter};
-use softsim_bus::OpbBus;
 use softsim_isa::asm::assemble;
 use softsim_isa::Image;
 

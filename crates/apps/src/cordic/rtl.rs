@@ -20,7 +20,8 @@ use std::collections::VecDeque;
 /// pack into the adder slices, leaving the XS/C registers.
 const PE_PRIMITIVES: Primitives = Primitives { ff_bits: 62, lut_bits: 0, mult18s: 0, brams: 0 };
 /// Deserializer: three 32-bit holding registers plus phase control.
-const DESER_PRIMITIVES: Primitives = Primitives { ff_bits: 100, lut_bits: 24, mult18s: 0, brams: 0 };
+const DESER_PRIMITIVES: Primitives =
+    Primitives { ff_bits: 100, lut_bits: 24, mult18s: 0, brams: 0 };
 /// Serializer: SRL16 buffering plus output register and control.
 const SER_PRIMITIVES: Primitives = Primitives { ff_bits: 40, lut_bits: 40, mult18s: 0, brams: 0 };
 

@@ -193,12 +193,7 @@ pub fn hw_program(batch: &CordicBatch, iterations: u32, p: usize) -> String {
 /// simulated runs for the timing comparisons). Repetitions restart from
 /// the previous results in `y_data`/`z_data`, which leaves the
 /// instruction stream identical per repetition.
-pub fn hw_program_repeated(
-    batch: &CordicBatch,
-    iterations: u32,
-    p: usize,
-    reps: u32,
-) -> String {
+pub fn hw_program_repeated(batch: &CordicBatch, iterations: u32, p: usize, reps: u32) -> String {
     let n = batch.len();
     assert!(n > 0, "empty batch");
     assert!(reps >= 1);
@@ -270,10 +265,7 @@ pub fn hw_program_repeated(
 pub fn hw_program_dual(batch: &CordicBatch, iterations: u32, p: usize) -> String {
     let n = batch.len();
     assert!(n > 0, "empty batch");
-    assert!(
-        n <= 16,
-        "batch of {n} samples would overflow the per-channel output FIFOs"
-    );
+    assert!(n <= 16, "batch of {n} samples would overflow the per-channel output FIFOs");
     let passes = (iterations as usize).div_ceil(p);
     let mut s = String::new();
     s.push_str(&format!(
@@ -359,9 +351,7 @@ mod tests {
 
     fn read_results(sim: &CoSim, img: &softsim_isa::Image, n: usize) -> Vec<i32> {
         let base = img.symbol(RESULT_LABEL).expect("result label");
-        (0..n)
-            .map(|i| sim.cpu().mem().read_u32(base + 4 * i as u32).unwrap() as i32)
-            .collect()
+        (0..n).map(|i| sim.cpu().mem().read_u32(base + 4 * i as u32).unwrap() as i32).collect()
     }
 
     #[test]
@@ -436,10 +426,7 @@ mod tests {
         use crate::cordic::hardware::cordic_peripheral_dual;
         let pairs: Vec<(i32, i32)> = (0..16)
             .map(|i| {
-                (
-                    reference::to_fix(1.0 + 0.1 * i as f64),
-                    reference::to_fix(0.5 + 0.05 * i as f64),
-                )
+                (reference::to_fix(1.0 + 0.1 * i as f64), reference::to_fix(0.5 + 0.05 * i as f64))
             })
             .collect();
         let b = CordicBatch::new(&pairs);
@@ -451,11 +438,7 @@ mod tests {
             let results = read_results(&sim, &img, b.len());
             let eff = effective_iterations(24, p);
             for (i, got) in results.iter().enumerate() {
-                assert_eq!(
-                    *got,
-                    reference::divide_fix(b.a[i], b.b[i], eff),
-                    "P={p} sample {i}"
-                );
+                assert_eq!(*got, reference::divide_fix(b.a[i], b.b[i], eff), "P={p} sample {i}");
             }
         }
     }

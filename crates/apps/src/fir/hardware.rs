@@ -5,7 +5,9 @@
 //! design style, built with the PyGen-style generators.
 
 use softsim_blocks::gen::{adder_tree, mult_bank};
-use softsim_blocks::library::{Accumulator, Constant, Delay, Logical, LogicalOp, RelOp, Relational, Register};
+use softsim_blocks::library::{
+    Accumulator, Constant, Delay, Logical, LogicalOp, Register, RelOp, Relational,
+};
 use softsim_blocks::{FixFmt, Graph, Resources};
 use softsim_cosim::{FslFromHw, FslToHw, Peripheral};
 

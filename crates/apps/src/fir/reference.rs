@@ -56,8 +56,7 @@ mod tests {
         let taps = vec![2, -1, 4];
         let x1 = test_signal(16, 1);
         let x2 = test_signal(16, 2);
-        let sum: Vec<i32> =
-            x1.iter().zip(&x2).map(|(a, b)| a.wrapping_add(*b)).collect();
+        let sum: Vec<i32> = x1.iter().zip(&x2).map(|(a, b)| a.wrapping_add(*b)).collect();
         let y_sum = fir(&taps, &sum);
         let y1 = fir(&taps, &x1);
         let y2 = fir(&taps, &x2);

@@ -231,10 +231,7 @@ mod tests {
         for (num, den) in [(100, 4096), (-2048, 4096), (3000, 5000), (-4000, 4100)] {
             let a = divide(num, den, DivStrategy::Idiv);
             let b = divide(num, den, DivStrategy::Cordic(CORDIC_ITERS));
-            assert!(
-                (a - b).abs() <= 2,
-                "num={num} den={den}: idiv {a} vs cordic {b}"
-            );
+            assert!((a - b).abs() <= 2, "num={num} den={den}: idiv {a} vs cordic {b}");
         }
     }
 }

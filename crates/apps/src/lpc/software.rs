@@ -232,9 +232,7 @@ mod tests {
         assert_eq!(sim.run(10_000_000), CoSimStop::Halted, "{div:?}");
         let read = |label: &str, n: usize| -> Vec<i32> {
             let base = img.symbol(label).unwrap();
-            (0..n)
-                .map(|i| sim.cpu().mem().read_u32(base + 4 * i as u32).unwrap() as i32)
-                .collect()
+            (0..n).map(|i| sim.cpu().mem().read_u32(base + 4 * i as u32).unwrap() as i32).collect()
         };
         let a = read("a_data", order + 1);
         let k = read("k_data", order);

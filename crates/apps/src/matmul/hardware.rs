@@ -109,8 +109,8 @@ impl Block for MatmulUnit {
                 let i = self.a_idx % nb;
                 for j in 0..nb {
                     // The nb parallel multiply-accumulates of Fig. 6.
-                    self.acc[i * nb + j] = self.acc[i * nb + j]
-                        .wrapping_add(data.wrapping_mul(self.b[k * nb + j]));
+                    self.acc[i * nb + j] =
+                        self.acc[i * nb + j].wrapping_add(data.wrapping_mul(self.b[k * nb + j]));
                 }
                 self.a_idx += 1;
                 if self.a_idx == nb * nb {
@@ -144,11 +144,7 @@ impl Block for MatmulUnit {
         // register packed behind it and one B register (~9 slices/element
         // at 32 bits), nb column-broadcast registers, plus the stream
         // control and output buffering.
-        Resources {
-            slices: nb * nb * 9 + nb * 10 + 63,
-            brams: 0,
-            mult18s: nb,
-        }
+        Resources { slices: nb * nb * 9 + nb * 10 + 63, brams: 0, mult18s: nb }
     }
     fn reset(&mut self) {
         *self = MatmulUnit::new(self.nb);

@@ -111,8 +111,7 @@ pub fn block_product(a_block: &[i32], b_block: &[i32], nb: usize) -> Vec<i32> {
         for i in 0..nb {
             let a = a_block[k * nb + i];
             for j in 0..nb {
-                c[i * nb + j] =
-                    c[i * nb + j].wrapping_add(a.wrapping_mul(b_block[k * nb + j]));
+                c[i * nb + j] = c[i * nb + j].wrapping_add(a.wrapping_mul(b_block[k * nb + j]));
             }
         }
     }

@@ -210,11 +210,7 @@ mod tests {
             let mut sim = CoSim::with_peripheral(&img, matmul_peripheral(nb));
             assert_eq!(sim.run(100_000_000), CoSimStop::Halted, "n={n} nb={nb}");
             assert_eq!(sim.hw_stats().output_overflows, 0);
-            assert_eq!(
-                read_matrix(&sim, &img, n),
-                reference::multiply(&a, &b),
-                "n={n} nb={nb}"
-            );
+            assert_eq!(read_matrix(&sim, &img, n), reference::multiply(&a, &b), "n={n} nb={nb}");
         }
     }
 

@@ -10,8 +10,8 @@
 //! Generator users validate an MCode block against its schematic.
 
 use softsim_blocks::library::{
-    Accumulator, AddSub, AddSubOp, Constant, Logical, LogicalOp, Mult, Mux, RelOp, Relational,
-    Register, Slice,
+    Accumulator, AddSub, AddSubOp, Constant, Logical, LogicalOp, Mult, Mux, Register, RelOp,
+    Relational, Slice,
 };
 use softsim_blocks::{FixFmt, Graph, NodeId};
 

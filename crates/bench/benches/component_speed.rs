@@ -5,8 +5,8 @@
 //! speed is set by its slowest component, and the RTL baseline pays per
 //! event and per delta cycle).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use softsim_apps::cordic::hardware::cordic_graph;
+use softsim_bench::harness::Harness;
 use softsim_blocks::block::bit;
 use softsim_blocks::{Fix, FixFmt};
 use softsim_rtl::{clock, Kernel};
@@ -14,68 +14,55 @@ use std::hint::black_box;
 
 const CYCLES: u64 = 50_000;
 
-fn block_scheduler_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("block_scheduler");
-    group.sample_size(10);
+fn main() {
+    let mut h = Harness::new();
+    h.samples(5);
+
     for p in [1usize, 4, 8, 16] {
-        group.throughput(Throughput::Elements(CYCLES));
-        group.bench_function(BenchmarkId::new("cordic_pipeline", p), |b| {
-            b.iter(|| {
-                let mut g = cordic_graph(p);
-                let data = g.input_handle("fsl0_data").unwrap();
-                let valid = g.input_handle("fsl0_valid").unwrap();
-                let ctrl = g.input_handle("fsl0_ctrl").unwrap();
-                let word = Fix::from_int(0x1234, FixFmt::INT32);
-                for i in 0..CYCLES {
-                    g.set_input_fast(data, word);
-                    g.set_input_fast(valid, bit(i % 3 != 0));
-                    g.set_input_fast(ctrl, bit(false));
-                    g.step();
-                }
-                black_box(g.cycles())
-            });
+        h.bench(format!("block_scheduler/cordic_pipeline/{p}"), || {
+            let mut g = cordic_graph(p);
+            let data = g.input_handle("fsl0_data").unwrap();
+            let valid = g.input_handle("fsl0_valid").unwrap();
+            let ctrl = g.input_handle("fsl0_ctrl").unwrap();
+            let word = Fix::from_int(0x1234, FixFmt::INT32);
+            for i in 0..CYCLES {
+                g.set_input_fast(data, word);
+                g.set_input_fast(valid, bit(i % 3 != 0));
+                g.set_input_fast(ctrl, bit(false));
+                g.step();
+            }
+            black_box(g.cycles());
         });
     }
-    group.finish();
-}
 
-fn event_kernel_costs(c: &mut Criterion) {
-    let mut group = c.benchmark_group("event_kernel");
-    group.sample_size(10);
     // A chain of n combinational processes toggled by a clock: measures
     // event dispatch + delta-cycle propagation cost.
     for n in [4usize, 16, 64] {
-        group.throughput(Throughput::Elements(CYCLES));
-        group.bench_function(BenchmarkId::new("comb_chain", n), |b| {
-            b.iter(|| {
-                let mut k = Kernel::new();
-                let clk = clock(&mut k, 20);
-                let mut sigs = vec![k.signal("s0", 32)];
-                for i in 1..=n {
-                    sigs.push(k.signal(format!("s{i}"), 32));
+        h.bench(format!("event_kernel/comb_chain/{n}"), || {
+            let mut k = Kernel::new();
+            let clk = clock(&mut k, 20);
+            let mut sigs = vec![k.signal("s0", 32)];
+            for i in 1..=n {
+                sigs.push(k.signal(format!("s{i}"), 32));
+            }
+            // Driver: increment s0 every rising edge.
+            let s0 = sigs[0];
+            k.process("drv", &[clk.clk], move |ctx| {
+                if ctx.rising(clk.clk) {
+                    let v = ctx.get(s0).wrapping_add(1);
+                    ctx.set(s0, v);
                 }
-                // Driver: increment s0 every rising edge.
-                let s0 = sigs[0];
-                k.process("drv", &[clk.clk], move |ctx| {
-                    if ctx.rising(clk.clk) {
-                        let v = ctx.get(s0).wrapping_add(1);
-                        ctx.set(s0, v);
-                    }
-                });
-                for i in 0..n {
-                    let (a, y) = (sigs[i], sigs[i + 1]);
-                    k.process(format!("p{i}"), &[a], move |ctx| {
-                        let v = ctx.get(a).wrapping_add(1);
-                        ctx.set(y, v);
-                    });
-                }
-                k.run_until(CYCLES * 20);
-                black_box(k.stats().events)
             });
+            for i in 0..n {
+                let (a, y) = (sigs[i], sigs[i + 1]);
+                k.process(format!("p{i}"), &[a], move |ctx| {
+                    let v = ctx.get(a).wrapping_add(1);
+                    ctx.set(y, v);
+                });
+            }
+            k.run_until(CYCLES * 20);
+            black_box(k.stats().events);
         });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, block_scheduler_scaling, event_kernel_costs);
-criterion_main!(benches);

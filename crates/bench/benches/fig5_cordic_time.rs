@@ -4,28 +4,22 @@
 //! co-simulation environment explores each design point — the whole value
 //! proposition of the paper.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use softsim_bench::harness::Harness;
 use softsim_bench::workloads;
 use softsim_cosim::CoSimStop;
 use std::hint::black_box;
 
-fn fig5(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig5_cordic_cosim");
-    group.sample_size(20);
+fn main() {
+    let mut h = Harness::new();
+    h.samples(5);
     for iters in workloads::CORDIC_ITERS {
         for p in std::iter::once(0usize).chain(workloads::CORDIC_PS) {
-            let label = format!("iters{iters}_P{p}");
-            group.bench_function(BenchmarkId::from_parameter(label), |bench| {
-                bench.iter(|| {
-                    let mut sim = workloads::cordic_cosim(iters, (p > 0).then_some(p));
-                    assert_eq!(sim.run(u64::MAX / 2), CoSimStop::Halted);
-                    black_box(sim.cpu_stats().cycles)
-                });
+            h.bench(format!("fig5_cordic_cosim/iters{iters}_P{p}"), || {
+                let mut sim = workloads::cordic_cosim(iters, (p > 0).then_some(p));
+                assert_eq!(sim.run(u64::MAX / 2), CoSimStop::Halted);
+                black_box(sim.cpu_stats().cycles);
             });
         }
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, fig5);
-criterion_main!(benches);

@@ -1,32 +1,26 @@
 //! Figure 7 bench: co-simulating block matrix multiplication across the
 //! (N, block-size) design space of the paper's second application.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use softsim_bench::harness::Harness;
 use softsim_bench::workloads;
 use softsim_cosim::CoSimStop;
 use std::hint::black_box;
 
-fn fig7(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig7_matmul_cosim");
-    group.sample_size(10);
+fn main() {
+    let mut h = Harness::new();
+    h.samples(5);
     // N = 32 takes seconds per iteration; bench the small/medium points.
     for n in [4usize, 8, 16] {
         for nb in [0usize, 2, 4] {
             if nb != 0 && n % nb != 0 {
                 continue;
             }
-            let label = format!("N{n}_blk{nb}");
-            group.bench_function(BenchmarkId::from_parameter(label), |bench| {
-                bench.iter(|| {
-                    let mut sim = workloads::matmul_cosim(n, (nb > 0).then_some(nb));
-                    assert_eq!(sim.run(u64::MAX / 2), CoSimStop::Halted);
-                    black_box(sim.cpu_stats().cycles)
-                });
+            h.bench(format!("fig7_matmul_cosim/N{n}_blk{nb}"), || {
+                let mut sim = workloads::matmul_cosim(n, (nb > 0).then_some(nb));
+                assert_eq!(sim.run(u64::MAX / 2), CoSimStop::Halted);
+                black_box(sim.cpu_stats().cycles);
             });
         }
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, fig7);
-criterion_main!(benches);

@@ -3,50 +3,39 @@
 //! event-driven RTL baseline. The ratio of the two reproduces the paper's
 //! headline 5.6×–19.4× simulation speedups.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use softsim_bench::harness::Harness;
 use softsim_bench::workloads;
 use softsim_cosim::CoSimStop;
 use softsim_rtl::RtlStop;
 use std::hint::black_box;
 
-fn table1(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table1_sim_time");
-    group.sample_size(10);
+fn main() {
+    let mut h = Harness::new();
+    h.samples(5);
     for p in workloads::CORDIC_PS {
-        group.bench_function(BenchmarkId::new("cosim_cordic24", format!("P{p}")), |b| {
-            b.iter(|| {
-                let mut sim = workloads::cordic_cosim_long(24, Some(p));
-                assert_eq!(sim.run(u64::MAX / 2), CoSimStop::Halted);
-                black_box(sim.cpu_stats().cycles)
-            });
+        h.bench(format!("table1_sim_time/cosim_cordic24/P{p}"), || {
+            let mut sim = workloads::cordic_cosim_long(24, Some(p));
+            assert_eq!(sim.run(u64::MAX / 2), CoSimStop::Halted);
+            black_box(sim.cpu_stats().cycles);
         });
-        group.bench_function(BenchmarkId::new("rtl_cordic24", format!("P{p}")), |b| {
-            b.iter(|| {
-                let mut soc = workloads::cordic_rtl_long(24, Some(p));
-                assert_eq!(soc.run(u64::MAX / 4), RtlStop::Halted);
-                black_box(soc.cpu_cycles())
-            });
+        h.bench(format!("table1_sim_time/rtl_cordic24/P{p}"), || {
+            let mut soc = workloads::cordic_rtl_long(24, Some(p));
+            assert_eq!(soc.run(u64::MAX / 4), RtlStop::Halted);
+            black_box(soc.cpu_cycles());
         });
     }
     for nb in [2usize, 4] {
         let n = workloads::MATMUL_TABLE_N;
-        group.bench_function(BenchmarkId::new("cosim_matmul16", format!("blk{nb}")), |b| {
-            b.iter(|| {
-                let mut sim = workloads::matmul_cosim(n, Some(nb));
-                assert_eq!(sim.run(u64::MAX / 2), CoSimStop::Halted);
-                black_box(sim.cpu_stats().cycles)
-            });
+        h.bench(format!("table1_sim_time/cosim_matmul16/blk{nb}"), || {
+            let mut sim = workloads::matmul_cosim(n, Some(nb));
+            assert_eq!(sim.run(u64::MAX / 2), CoSimStop::Halted);
+            black_box(sim.cpu_stats().cycles);
         });
-        group.bench_function(BenchmarkId::new("rtl_matmul16", format!("blk{nb}")), |b| {
-            b.iter(|| {
-                let mut soc = workloads::matmul_rtl_sys(n, Some(nb));
-                assert_eq!(soc.run(u64::MAX / 4), RtlStop::Halted);
-                black_box(soc.cpu_cycles())
-            });
+        h.bench(format!("table1_sim_time/rtl_matmul16/blk{nb}"), || {
+            let mut soc = workloads::matmul_rtl_sys(n, Some(nb));
+            assert_eq!(soc.run(u64::MAX / 4), RtlStop::Halted);
+            black_box(soc.cpu_cycles());
         });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, table1);
-criterion_main!(benches);

@@ -3,7 +3,7 @@
 //! co-simulation and the RTL baseline (the paper's 1.9e5 / 1.4e4 / 2.3e3
 //! cycles-per-second ordering).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use softsim_bench::harness::Harness;
 use softsim_bench::workloads;
 use softsim_blocks::{Fix, FixFmt};
 use softsim_bus::FslBank;
@@ -12,74 +12,48 @@ use softsim_iss::{Cpu, StopReason};
 use softsim_rtl::RtlStop;
 use std::hint::black_box;
 
-fn table2(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table2_sim_speed");
-    group.sample_size(10);
+fn main() {
+    let mut h = Harness::new();
+    h.samples(10);
 
     // Instruction simulator alone: pure-software CORDIC image.
     let img = workloads::cordic_sw_image(24);
-    let cycles = {
+    h.bench("table2_sim_speed/iss_alone", || {
         let mut cpu = Cpu::with_default_memory(&img);
         let mut fsl = FslBank::default();
         assert_eq!(cpu.run(&mut fsl, u64::MAX / 2), StopReason::Halted);
-        cpu.stats().cycles
-    };
-    group.throughput(Throughput::Elements(cycles));
-    group.bench_function("iss_alone", |b| {
-        b.iter(|| {
-            let mut cpu = Cpu::with_default_memory(&img);
-            let mut fsl = FslBank::default();
-            assert_eq!(cpu.run(&mut fsl, u64::MAX / 2), StopReason::Halted);
-            black_box(cpu.stats().cycles)
-        });
+        black_box(cpu.stats().cycles);
     });
 
     // Block simulator alone: the 4-PE pipeline, 100k clocks.
     const HW_CYCLES: u64 = 100_000;
-    group.throughput(Throughput::Elements(HW_CYCLES));
-    group.bench_function("blocks_alone", |b| {
-        b.iter(|| {
-            let mut g = softsim_apps::cordic::hardware::cordic_graph(4);
-            let data = Fix::from_int(0x1234, FixFmt::INT32);
-            let on = Fix::from_int(1, FixFmt::BOOL);
-            let off = Fix::zero(FixFmt::BOOL);
-            let hd = g.input_handle("fsl0_data").unwrap();
-            let hv = g.input_handle("fsl0_valid").unwrap();
-            let hc = g.input_handle("fsl0_ctrl").unwrap();
-            for i in 0..HW_CYCLES {
-                g.set_input_fast(hd, data);
-                g.set_input_fast(hv, if i % 3 != 0 { on } else { off });
-                g.set_input_fast(hc, off);
-                g.step();
-            }
-            black_box(g.cycles())
-        });
+    h.bench("table2_sim_speed/blocks_alone", || {
+        let mut g = softsim_apps::cordic::hardware::cordic_graph(4);
+        let data = Fix::from_int(0x1234, FixFmt::INT32);
+        let on = Fix::from_int(1, FixFmt::BOOL);
+        let off = Fix::zero(FixFmt::BOOL);
+        let hd = g.input_handle("fsl0_data").unwrap();
+        let hv = g.input_handle("fsl0_valid").unwrap();
+        let hc = g.input_handle("fsl0_ctrl").unwrap();
+        for i in 0..HW_CYCLES {
+            g.set_input_fast(hd, data);
+            g.set_input_fast(hv, if i % 3 != 0 { on } else { off });
+            g.set_input_fast(hc, off);
+            g.step();
+        }
+        black_box(g.cycles());
     });
 
     // Full co-simulation and the RTL baseline on the same workload.
-    let cosim_cycles = {
+    h.bench("table2_sim_speed/cosim", || {
         let mut sim = workloads::cordic_cosim_long(24, Some(4));
         assert_eq!(sim.run(u64::MAX / 2), CoSimStop::Halted);
-        sim.cpu_stats().cycles
-    };
-    group.throughput(Throughput::Elements(cosim_cycles));
-    group.bench_function("cosim", |b| {
-        b.iter(|| {
-            let mut sim = workloads::cordic_cosim_long(24, Some(4));
-            assert_eq!(sim.run(u64::MAX / 2), CoSimStop::Halted);
-            black_box(sim.cpu_stats().cycles)
-        });
+        black_box(sim.cpu_stats().cycles);
     });
-    group.throughput(Throughput::Elements(cosim_cycles));
-    group.bench_function("rtl_baseline", |b| {
-        b.iter(|| {
-            let mut soc = workloads::cordic_rtl_long(24, Some(4));
-            assert_eq!(soc.run(u64::MAX / 4), RtlStop::Halted);
-            black_box(soc.cpu_cycles())
-        });
+    h.bench("table2_sim_speed/rtl_baseline", || {
+        let mut soc = workloads::cordic_rtl_long(24, Some(4));
+        assert_eq!(soc.run(u64::MAX / 4), RtlStop::Halted);
+        black_box(soc.cpu_cycles());
     });
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, table2);
-criterion_main!(benches);

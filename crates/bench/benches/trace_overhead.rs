@@ -1,0 +1,71 @@
+//! Tracing-overhead guard: the observability layer must be free when it
+//! is off. The untraced configuration (no sink attached — the default
+//! for every workload in the repo) runs the Table II ISS workload
+//! against the instrumented-but-null configuration (a `NullSink`
+//! attached, every event constructed and dispatched) and asserts the
+//! untraced path is not measurably slower — within 2% of the null-sink
+//! path even though it does strictly less work.
+//!
+//! Samples are interleaved (A,B,A,B,...) so frequency scaling and cache
+//! warm-up hit both configurations equally, and minima are compared
+//! (minimum wall time is the standard low-noise estimator for
+//! same-machine A/B timing).
+
+use softsim_bus::FslBank;
+use softsim_iss::{Cpu, StopReason};
+use softsim_trace::{shared, NullSink};
+use std::cell::RefCell;
+use std::hint::black_box;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+const SAMPLES: usize = 15;
+
+fn run_untraced(img: &softsim_isa::Image) -> Duration {
+    let mut cpu = Cpu::with_default_memory(img);
+    let mut fsl = FslBank::default();
+    let start = Instant::now();
+    assert_eq!(cpu.run(&mut fsl, u64::MAX / 2), StopReason::Halted);
+    let wall = start.elapsed();
+    black_box(cpu.stats().cycles);
+    wall
+}
+
+fn run_null_traced(img: &softsim_isa::Image) -> Duration {
+    let mut cpu = Cpu::with_default_memory(img);
+    let mut fsl = FslBank::default();
+    let sink = shared(Rc::new(RefCell::new(NullSink)));
+    cpu.attach_trace(sink.clone());
+    fsl.attach_trace(sink);
+    let start = Instant::now();
+    assert_eq!(cpu.run(&mut fsl, u64::MAX / 2), StopReason::Halted);
+    let wall = start.elapsed();
+    black_box(cpu.stats().cycles);
+    wall
+}
+
+fn main() {
+    let img = softsim_bench::workloads::cordic_sw_image(24);
+    // Warm-up both paths.
+    run_untraced(&img);
+    run_null_traced(&img);
+    let mut untraced = Vec::with_capacity(SAMPLES);
+    let mut nulled = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        untraced.push(run_untraced(&img));
+        nulled.push(run_null_traced(&img));
+    }
+    let best_untraced = *untraced.iter().min().unwrap();
+    let best_nulled = *nulled.iter().min().unwrap();
+    let ratio = best_untraced.as_secs_f64() / best_nulled.as_secs_f64();
+    println!(
+        "trace overhead guard: untraced {best_untraced:?}, null-sink {best_nulled:?}, \
+         untraced/null ratio {ratio:.4}"
+    );
+    assert!(
+        ratio <= 1.02,
+        "tracing-off path must stay within 2% of the null-sink path \
+         (untraced {best_untraced:?} vs null {best_nulled:?}, ratio {ratio:.4})"
+    );
+    println!("ok: tracing-off overhead within 2%");
+}

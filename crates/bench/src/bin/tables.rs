@@ -1,7 +1,7 @@
 //! Prints the reproduced tables and figures of the paper.
 //!
 //! Usage: `tables [--fig5] [--fig7] [--table1] [--table2] [--claims]
-//! [--ablation] [--all] [--csv [DIR]]`
+//! [--ablation] [--profile] [--all] [--csv [DIR]]`
 //!
 //! Run in release mode — the Table I / Table II rows measure wall-clock
 //! simulation speed.
@@ -28,6 +28,9 @@ fn main() {
     }
     if want("--claims") {
         println!("{}", tables::claims_text());
+    }
+    if want("--profile") {
+        println!("{}", tables::profile_text());
     }
     if want("--ablation") {
         println!("{}", tables::ablation_fsl_vs_opb_text());

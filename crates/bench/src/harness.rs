@@ -1,0 +1,122 @@
+//! A minimal, dependency-free benchmark runner: the `criterion`
+//! replacement for the fully offline build (`DESIGN.md` §6).
+//!
+//! Each `cargo bench` target constructs a [`Harness`], registers named
+//! closures, and calls [`Harness::finish`]. Every closure is warmed up
+//! once, then timed for a fixed number of samples; the report prints the
+//! median, minimum, and mean per-iteration time. `--quick` (or the
+//! `SOFTSIM_BENCH_QUICK` environment variable) cuts the sample count for
+//! smoke runs, and a name prefix given on the command line filters which
+//! benchmarks execute — mirroring the criterion CLI just enough for
+//! `cargo bench <filter>` to keep working.
+
+use std::time::{Duration, Instant};
+
+/// Default number of timed samples per benchmark.
+pub const DEFAULT_SAMPLES: u32 = 10;
+
+/// One timed benchmark result.
+#[derive(Debug, Clone)]
+pub struct Sampled {
+    /// Benchmark name (group/label).
+    pub name: String,
+    /// Per-sample wall-clock durations, sorted ascending.
+    pub samples: Vec<Duration>,
+}
+
+impl Sampled {
+    /// Median per-iteration time.
+    pub fn median(&self) -> Duration {
+        self.samples[self.samples.len() / 2]
+    }
+
+    /// Minimum per-iteration time.
+    pub fn min(&self) -> Duration {
+        self.samples[0]
+    }
+
+    /// Mean per-iteration time.
+    pub fn mean(&self) -> Duration {
+        self.samples.iter().sum::<Duration>() / self.samples.len() as u32
+    }
+}
+
+/// The benchmark runner: registers and times named closures.
+pub struct Harness {
+    filter: Option<String>,
+    samples: u32,
+    results: Vec<Sampled>,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Harness {
+    /// A harness configured from the process arguments (`cargo bench`
+    /// passes `--bench`; an extra positional argument becomes a name
+    /// filter; `--quick` reduces sampling).
+    pub fn new() -> Harness {
+        let mut filter = None;
+        let mut samples = DEFAULT_SAMPLES;
+        if std::env::var_os("SOFTSIM_BENCH_QUICK").is_some() {
+            samples = 3;
+        }
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" | "--test" => {}
+                "--quick" => samples = 3,
+                s if s.starts_with("--") => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Harness { filter, samples, results: Vec::new() }
+    }
+
+    /// Overrides the per-benchmark sample count.
+    pub fn samples(&mut self, n: u32) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Times `body` (one full iteration per call) under `name`, unless
+    /// the command-line filter excludes it.
+    pub fn bench(&mut self, name: impl Into<String>, mut body: impl FnMut()) -> &mut Self {
+        let name = name.into();
+        if let Some(f) = &self.filter {
+            if !name.contains(f.as_str()) {
+                return self;
+            }
+        }
+        body(); // warm-up: page in code and data, fill allocator pools
+        let mut samples = Vec::with_capacity(self.samples as usize);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            body();
+            samples.push(start.elapsed());
+        }
+        samples.sort();
+        let r = Sampled { name, samples };
+        println!(
+            "{:<44} median {:>12?}  min {:>12?}  mean {:>12?}",
+            r.name,
+            r.median(),
+            r.min(),
+            r.mean()
+        );
+        self.results.push(r);
+        self
+    }
+
+    /// All results timed so far.
+    pub fn results(&self) -> &[Sampled] {
+        &self.results
+    }
+
+    /// Prints a footer and consumes the harness.
+    pub fn finish(&mut self) {
+        println!("{} benchmark(s) timed, {} samples each", self.results.len(), self.samples);
+    }
+}

@@ -7,10 +7,13 @@
 //!
 //! * `cargo run --release -p softsim-bench --bin tables -- --all`
 //!   prints everything (see `EXPERIMENTS.md`);
-//! * `cargo bench` runs the criterion benchmarks, one per table/figure.
+//! * `cargo bench` runs the wall-clock benchmarks (built on the
+//!   dependency-free [`harness`]), one per table/figure, plus the
+//!   tracing-overhead guard.
 
 #![warn(missing_docs)]
 
+pub mod harness;
 pub mod measure;
 pub mod tables;
 pub mod workloads;

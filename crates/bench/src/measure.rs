@@ -4,8 +4,8 @@
 use softsim_blocks::{Fix, FixFmt, Graph};
 use softsim_bus::FslBank;
 use softsim_cosim::{CoSim, CoSimStop};
-use softsim_iss::{Cpu, StopReason};
 use softsim_isa::Image;
+use softsim_iss::{Cpu, StopReason};
 use softsim_rtl::{RtlStop, SocRtl};
 use std::time::{Duration, Instant};
 
@@ -80,7 +80,8 @@ pub fn time_blocks_alone(mut graph: Graph, cycles: u64) -> SimTiming {
     for i in 0..cycles {
         // Alternate data/idle to exercise realistic activity.
         let _ = graph.set_input("fsl0_data", data);
-        let _ = graph.set_input("fsl0_valid", if i % 3 != 0 { on } else { Fix::zero(FixFmt::BOOL) });
+        let _ =
+            graph.set_input("fsl0_valid", if i % 3 != 0 { on } else { Fix::zero(FixFmt::BOOL) });
         let _ = graph.set_input("fsl0_ctrl", Fix::zero(FixFmt::BOOL));
         graph.step();
     }

@@ -93,12 +93,7 @@ pub fn figure7() -> Vec<Fig7Point> {
             let mut sim = workloads::matmul_cosim(n, (nb > 0).then_some(nb));
             assert_eq!(sim.run(u64::MAX / 2), CoSimStop::Halted);
             let cycles = sim.cpu_stats().cycles;
-            points.push(Fig7Point {
-                n,
-                nb,
-                cycles,
-                time_us: cycles as f64 / PAPER_CLOCK_HZ * 1e6,
-            });
+            points.push(Fig7Point { n, nb, cycles, time_us: cycles as f64 / PAPER_CLOCK_HZ * 1e6 });
         }
     }
     points
@@ -224,9 +219,8 @@ pub fn table1_text(repeats: u32) -> String {
         );
     }
     let avg = speedups.iter().sum::<f64>() / speedups.len() as f64;
-    let (min, max) = speedups
-        .iter()
-        .fold((f64::MAX, 0.0f64), |(lo, hi), &s| (lo.min(s), hi.max(s)));
+    let (min, max) =
+        speedups.iter().fold((f64::MAX, 0.0f64), |(lo, hi), &s| (lo.min(s), hi.max(s)));
     let _ = writeln!(
         out,
         "simulation speedups: {min:.1}x .. {max:.1}x, average {avg:.1}x \
@@ -249,17 +243,27 @@ pub struct Table2Row {
 pub fn table2() -> Vec<Table2Row> {
     let img = workloads::cordic_sw_image(24);
     let iss = measure::time_iss_alone(&img, 100);
-    let blocks = measure::time_blocks_alone(
-        softsim_apps::cordic::hardware::cordic_graph(4),
-        500_000,
-    );
+    let blocks =
+        measure::time_blocks_alone(softsim_apps::cordic::hardware::cordic_graph(4), 500_000);
     let rtl = measure::time_rtl(|| workloads::cordic_rtl_long(24, Some(4)), 2);
     let cosim = measure::time_cosim(|| workloads::cordic_cosim_long(24, Some(4)), 5);
     vec![
-        Table2Row { simulator: "instruction simulator (ISS alone)", cycles_per_sec: iss.cycles_per_sec() },
-        Table2Row { simulator: "block simulator (HW peripheral only)", cycles_per_sec: blocks.cycles_per_sec() },
-        Table2Row { simulator: "co-simulation (ISS + blocks + FSL)", cycles_per_sec: cosim.cycles_per_sec() },
-        Table2Row { simulator: "low-level behavioral RTL (baseline)", cycles_per_sec: rtl.cycles_per_sec() },
+        Table2Row {
+            simulator: "instruction simulator (ISS alone)",
+            cycles_per_sec: iss.cycles_per_sec(),
+        },
+        Table2Row {
+            simulator: "block simulator (HW peripheral only)",
+            cycles_per_sec: blocks.cycles_per_sec(),
+        },
+        Table2Row {
+            simulator: "co-simulation (ISS + blocks + FSL)",
+            cycles_per_sec: cosim.cycles_per_sec(),
+        },
+        Table2Row {
+            simulator: "low-level behavioral RTL (baseline)",
+            cycles_per_sec: rtl.cycles_per_sec(),
+        },
     ]
 }
 
@@ -484,6 +488,53 @@ pub fn claims_text() -> String {
         out,
         "  matmul {n}x{n}, 2x2 blocks: {:+.1}% execution time [paper: +8.8%]",
         (b2.cycles as f64 / sw.cycles as f64 - 1.0) * 100.0
+    );
+    out
+}
+
+/// Runs the CORDIC `P = 4`, 24-iteration co-simulation with the full
+/// observability stack attached and renders the profile: hot PCs,
+/// instruction mix, the stall-attribution cycle breakdown, FIFO
+/// high-water marks and the gateway traffic — everything `softsim-trace`
+/// collects, reconciled against the ISS's own counters.
+pub fn profile_text() -> String {
+    use softsim_trace::{shared, Fanout, FifoDir, Profile, Timeline};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    let profile = Rc::new(RefCell::new(Profile::new()));
+    let timeline = Rc::new(RefCell::new(Timeline::new()));
+    let fanout = Fanout::new().with(shared(profile.clone())).with(shared(timeline.clone()));
+
+    let mut sim = workloads::cordic_cosim(24, Some(4));
+    sim.attach_trace(shared(Rc::new(RefCell::new(fanout))));
+    assert_eq!(sim.run(u64::MAX / 2), CoSimStop::Halted);
+
+    let stats = sim.cpu_stats();
+    let profile = profile.borrow();
+    let timeline = timeline.borrow();
+    let breakdown = profile.breakdown();
+    assert_eq!(
+        breakdown.total, stats.cycles,
+        "trace must reconcile exactly with the ISS cycle counter"
+    );
+
+    let mut out = String::from("Profile: CORDIC division, 24 iterations, P = 4 pipeline\n\n");
+    out.push_str(&profile.report(10));
+    let _ = writeln!(
+        out,
+        "\nFIFO high-water (depth 16): to-hw {} words, from-hw {} words",
+        timeline.high_water(FifoDir::ToHw),
+        timeline.high_water(FifoDir::FromHw),
+    );
+    let _ = writeln!(
+        out,
+        "reconciliation: {} compute + {} FSL-read-stall + {} FSL-write-stall = {} cycles (ISS: {})",
+        breakdown.compute,
+        breakdown.fsl_read_stall,
+        breakdown.fsl_write_stall,
+        breakdown.compute + breakdown.fsl_read_stall + breakdown.fsl_write_stall,
+        stats.cycles,
     );
     out
 }

@@ -111,9 +111,7 @@ pub fn cordic_cosim(iterations: u32, p: Option<usize>) -> CoSim {
 pub fn cordic_rtl(iterations: u32, p: Option<usize>) -> SocRtl {
     match p {
         None => SocRtl::new(&cordic_sw_image(iterations)),
-        Some(p) => {
-            softsim_apps::cordic::rtl::build_cordic_rtl(&cordic_hw_image(iterations, p), p)
-        }
+        Some(p) => softsim_apps::cordic::rtl::build_cordic_rtl(&cordic_hw_image(iterations, p), p),
     }
 }
 
@@ -154,9 +152,7 @@ pub fn matmul_cosim(n: usize, nb: Option<usize>) -> CoSim {
 pub fn matmul_rtl_sys(n: usize, nb: Option<usize>) -> SocRtl {
     match nb {
         None => SocRtl::new(&matmul_image(n, None)),
-        Some(nb) => {
-            softsim_apps::matmul::rtl::build_matmul_rtl(&matmul_image(n, Some(nb)), nb)
-        }
+        Some(nb) => softsim_apps::matmul::rtl::build_matmul_rtl(&matmul_image(n, Some(nb)), nb),
     }
 }
 

@@ -269,7 +269,13 @@ impl Fix {
     /// Arithmetic negation into the same format (wraps on the most
     /// negative value, as hardware does).
     pub fn neg(&self) -> Fix {
-        Fix::quantize(-(self.raw as i128), self.fmt.frac, self.fmt, Overflow::Wrap, Rounding::Truncate)
+        Fix::quantize(
+            -(self.raw as i128),
+            self.fmt.frac,
+            self.fmt,
+            Overflow::Wrap,
+            Rounding::Truncate,
+        )
     }
 
     /// Absolute value into the same format (wraps on the most negative).
@@ -341,11 +347,24 @@ mod tests {
 
     #[test]
     fn saturation_clamps() {
-        let big = Fix::quantize(1_000_000, 0, FixFmt::signed(8, 0), Overflow::Saturate, Rounding::Truncate);
+        let big = Fix::quantize(
+            1_000_000,
+            0,
+            FixFmt::signed(8, 0),
+            Overflow::Saturate,
+            Rounding::Truncate,
+        );
         assert_eq!(big.raw(), 127);
-        let small = Fix::quantize(-1_000_000, 0, FixFmt::signed(8, 0), Overflow::Saturate, Rounding::Truncate);
+        let small = Fix::quantize(
+            -1_000_000,
+            0,
+            FixFmt::signed(8, 0),
+            Overflow::Saturate,
+            Rounding::Truncate,
+        );
         assert_eq!(small.raw(), -128);
-        let u = Fix::quantize(-5, 0, FixFmt::unsigned(8, 0), Overflow::Saturate, Rounding::Truncate);
+        let u =
+            Fix::quantize(-5, 0, FixFmt::unsigned(8, 0), Overflow::Saturate, Rounding::Truncate);
         assert_eq!(u.raw(), 0);
     }
 

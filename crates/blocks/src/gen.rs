@@ -128,9 +128,8 @@ mod tests {
     #[test]
     fn adder_tree_sums_constants() {
         let mut g = Graph::new();
-        let leaves: Vec<(NodeId, usize)> = (1..=7)
-            .map(|i| (g.add(format!("c{i}"), Constant::int(i, I16)), 0))
-            .collect();
+        let leaves: Vec<(NodeId, usize)> =
+            (1..=7).map(|i| (g.add(format!("c{i}"), Constant::int(i, I16)), 0)).collect();
         let (root, port) = adder_tree(&mut g, "sum", &leaves, I32).unwrap();
         g.gateway_out("total", root, port);
         g.compile().unwrap();
@@ -142,9 +141,8 @@ mod tests {
     fn mult_bank_broadcasts_a() {
         let mut g = Graph::new();
         let a = g.add("a", Constant::int(3, I16));
-        let b: Vec<(NodeId, usize)> = (0..4)
-            .map(|i| (g.add(format!("b{i}"), Constant::int(10 + i, I16)), 0))
-            .collect();
+        let b: Vec<(NodeId, usize)> =
+            (0..4).map(|i| (g.add(format!("b{i}"), Constant::int(10 + i, I16)), 0)).collect();
         let mults = mult_bank(&mut g, "m", (a, 0), &b, I32, 1).unwrap();
         for (i, m) in mults.iter().enumerate() {
             g.gateway_out(format!("p{i}"), *m, 0);
@@ -152,11 +150,7 @@ mod tests {
         g.compile().unwrap();
         g.run(2); // one stage of multiplier latency
         for i in 0..4 {
-            assert_eq!(
-                g.output(&format!("p{i}")).unwrap().raw(),
-                3 * (10 + i as i64),
-                "lane {i}"
-            );
+            assert_eq!(g.output(&format!("p{i}")).unwrap().raw(), 3 * (10 + i as i64), "lane {i}");
         }
     }
 
@@ -173,11 +167,7 @@ mod tests {
         for i in 1..=8 {
             g.set_input("x", Fix::from_int(i, I16)).unwrap();
             g.step();
-            assert_eq!(
-                g.output("a").unwrap().raw(),
-                g.output("b").unwrap().raw(),
-                "cycle {i}"
-            );
+            assert_eq!(g.output("a").unwrap().raw(), g.output("b").unwrap().raw(), "cycle {i}");
         }
     }
 

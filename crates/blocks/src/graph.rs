@@ -91,7 +91,10 @@ impl std::error::Error for GraphError {}
 enum Kind {
     Block(Box<dyn Block>),
     /// Gateway In: a value set from outside before each step.
-    Input { fmt: FixFmt, value: Fix },
+    Input {
+        fmt: FixFmt,
+        value: Fix,
+    },
 }
 
 struct Node {
@@ -142,6 +145,25 @@ pub struct Graph {
     scratch: Vec<Fix>,
     /// Scope probes: (name, flat value index, recorded samples).
     probes: Vec<(String, usize, Vec<Fix>)>,
+    /// Switching-activity measurement, when enabled.
+    activity: Option<Activity>,
+}
+
+/// Measured switching activity of a design (see
+/// [`Graph::enable_activity`]): how many output-port values changed,
+/// per node and in total, over the observed cycles. Drives the
+/// activity factor of the domain-specific hardware energy model in
+/// place of its default assumption.
+#[derive(Debug, Default, Clone)]
+struct Activity {
+    /// Every port value as of the previous observed cycle.
+    prev: Vec<Fix>,
+    /// Value changes per node.
+    node_toggles: Vec<u64>,
+    /// Value changes across the whole design.
+    toggles: u64,
+    /// Observed cycles.
+    cycles: u64,
 }
 
 impl Graph {
@@ -241,10 +263,7 @@ impl Graph {
         for node in &self.nodes {
             for (port, src) in node.sources.iter().enumerate() {
                 if src.is_none() {
-                    return Err(GraphError::UnconnectedInput {
-                        node: node.name.clone(),
-                        port,
-                    });
+                    return Err(GraphError::UnconnectedInput { node: node.name.clone(), port });
                 }
             }
         }
@@ -274,10 +293,8 @@ impl Graph {
             }
         }
         if order.len() != n {
-            let cyclic = (0..n)
-                .filter(|&i| indegree[i] > 0)
-                .map(|i| self.nodes[i].name.clone())
-                .collect();
+            let cyclic =
+                (0..n).filter(|&i| indegree[i] > 0).map(|i| self.nodes[i].name.clone()).collect();
             return Err(GraphError::CombinationalCycle { nodes: cyclic });
         }
         // Flatten the source plan.
@@ -358,8 +375,7 @@ impl Graph {
     /// [`Graph::compile`].
     pub fn step(&mut self) {
         assert!(self.compiled, "Graph::compile must succeed before step");
-        let Graph { nodes, values, schedule, seq_nodes, plan_src, plan_range, scratch, .. } =
-            self;
+        let Graph { nodes, values, schedule, seq_nodes, plan_src, plan_range, scratch, .. } = self;
         // Phase 1: settle combinational logic in topological order.
         for &i in schedule.iter() {
             let i = i as usize;
@@ -387,6 +403,19 @@ impl Graph {
             if let Kind::Block(b) = &mut nodes[i].kind {
                 b.clock(scratch);
             }
+        }
+        if let Some(act) = &mut self.activity {
+            for (i, node) in self.nodes.iter().enumerate() {
+                let off = node.val_off as usize;
+                for s in off..off + node.val_len as usize {
+                    if self.values[s].to_bits() != act.prev[s].to_bits() {
+                        act.node_toggles[i] += 1;
+                        act.toggles += 1;
+                    }
+                    act.prev[s] = self.values[s];
+                }
+            }
+            act.cycles += 1;
         }
         for (_, idx, samples) in &mut self.probes {
             samples.push(self.values[*idx]);
@@ -439,6 +468,49 @@ impl Graph {
             *v = Fix::zero(v.fmt());
         }
         self.cycle = 0;
+        if self.activity.is_some() {
+            self.enable_activity();
+        }
+    }
+
+    /// Starts measuring switching activity: from the next [`Graph::step`]
+    /// on, every settled port value is compared against the previous
+    /// cycle and changes are counted per node. The measured factor
+    /// replaces the hardware energy model's default activity assumption.
+    /// Calling again restarts the measurement.
+    pub fn enable_activity(&mut self) {
+        self.activity = Some(Activity {
+            prev: self.values.clone(),
+            node_toggles: vec![0; self.nodes.len()],
+            toggles: 0,
+            cycles: 0,
+        });
+    }
+
+    /// The measured activity factor — the fraction of port values that
+    /// toggled in an average observed cycle. `None` until
+    /// [`Graph::enable_activity`] has been called and at least one cycle
+    /// observed.
+    pub fn activity_factor(&self) -> Option<f64> {
+        let act = self.activity.as_ref()?;
+        if act.cycles == 0 || self.values.is_empty() {
+            return None;
+        }
+        Some(act.toggles as f64 / (self.values.len() as u64 * act.cycles) as f64)
+    }
+
+    /// Per-node toggle counts from the activity measurement, in node
+    /// insertion order: `(name, toggles)`. Empty until enabled.
+    pub fn node_activity(&self) -> Vec<(&str, u64)> {
+        match &self.activity {
+            Some(act) => self
+                .nodes
+                .iter()
+                .zip(&act.node_toggles)
+                .map(|(n, &t)| (n.name.as_str(), t))
+                .collect(),
+            None => Vec::new(),
+        }
     }
 
     /// Attaches a scope probe (the Simulink scope analog): the settled
@@ -568,6 +640,74 @@ mod tests {
         assert!(csv.starts_with("cycle,delayed\n"));
         assert!(csv.contains("3,3"));
         assert!(g.probe_samples("missing").is_none());
+    }
+
+    /// Round-trip: render the probes to CSV, parse the CSV back, and
+    /// recover exactly the recorded samples — the contract external
+    /// plotting tools rely on.
+    #[test]
+    fn probe_csv_round_trips() {
+        let mut g = Graph::new();
+        let x = g.gateway_in("x", I16);
+        let d1 = g.add("d1", Delay::new(I16, 1));
+        let d2 = g.add("d2", Delay::new(I16, 2));
+        g.wire(x, d1, 0).unwrap();
+        g.wire(x, d2, 0).unwrap();
+        g.add_probe("one", d1, 0);
+        g.add_probe("two", d2, 0);
+        g.compile().unwrap();
+        for i in 1..=6 {
+            g.set_input("x", Fix::from_int(i * 7 - 20, I16)).unwrap();
+            g.step();
+        }
+        let csv = g.probes_to_csv();
+        let mut lines = csv.lines();
+        let header: Vec<&str> = lines.next().unwrap().split(',').collect();
+        assert_eq!(header, ["cycle", "one", "two"]);
+        let mut parsed: Vec<Vec<f64>> = Vec::new();
+        for line in lines {
+            parsed.push(line.split(',').map(|f| f.parse().unwrap()).collect());
+        }
+        assert_eq!(parsed.len(), 6, "one row per simulated cycle");
+        for (name, col) in [("one", 1usize), ("two", 2)] {
+            let samples = g.probe_samples(name).unwrap();
+            for (row, s) in samples.iter().enumerate() {
+                assert_eq!(parsed[row][0] as usize, row, "cycle column");
+                assert_eq!(parsed[row][col], s.to_f64(), "{name} row {row}");
+            }
+        }
+    }
+
+    /// Switching-activity measurement: a design where exactly half the
+    /// port values toggle every cycle measures an activity factor of
+    /// one half, and a quiescent design measures zero.
+    #[test]
+    fn activity_factor_measures_toggle_rate() {
+        let mut g = Graph::new();
+        let x = g.gateway_in("x", I16);
+        let d = g.add("d", Delay::new(I16, 1));
+        g.wire(x, d, 0).unwrap();
+        g.gateway_out("y", d, 0);
+        g.compile().unwrap();
+        g.enable_activity();
+        assert_eq!(g.activity_factor(), None, "no cycles observed yet");
+        // Toggle the input each cycle: both ports (gateway and delay
+        // output) change every cycle after the pipeline fills.
+        for i in 0..100 {
+            g.set_input("x", Fix::from_int(i % 2, I16)).unwrap();
+            g.step();
+        }
+        let f = g.activity_factor().unwrap();
+        assert!(f > 0.9, "everything toggles nearly every cycle: {f}");
+        let toggles: u64 = g.node_activity().iter().map(|(_, t)| t).sum();
+        assert!(toggles > 150, "per-node counts back the factor: {toggles}");
+
+        // A quiescent run measures zero.
+        g.enable_activity();
+        g.set_input("x", Fix::from_int(0, I16)).unwrap();
+        g.run(50);
+        let f = g.activity_factor().unwrap();
+        assert!(f < 0.05, "held-constant design barely toggles: {f}");
     }
 
     #[test]

@@ -30,79 +30,102 @@ pub use graph::{Graph, GraphError, NodeId};
 pub use resource::Resources;
 
 #[cfg(test)]
-mod proptests {
+mod randomized {
     use crate::fix::{Fix, FixFmt, Overflow, Rounding};
-    use proptest::prelude::*;
+    use softsim_testkit::{cases, Rng};
 
-    fn fmt_strategy() -> impl Strategy<Value = FixFmt> {
-        (1u8..=32, -8i8..=32, any::<bool>()).prop_map(|(word, frac, signed)| FixFmt {
-            word,
-            frac,
-            signed,
-        })
+    fn random_fmt(rng: &mut Rng) -> FixFmt {
+        FixFmt {
+            word: rng.range_u32(1, 33) as u8,
+            frac: rng.range_i16(-8, 33) as i8,
+            signed: rng.flip(),
+        }
     }
 
-    fn fix_strategy() -> impl Strategy<Value = Fix> {
-        fmt_strategy().prop_flat_map(|fmt| {
-            (fmt.min_raw()..=fmt.max_raw()).prop_map(move |raw| Fix::from_raw(raw, fmt))
-        })
+    fn random_fix(rng: &mut Rng) -> Fix {
+        let fmt = random_fmt(rng);
+        let raw = rng.range_i64(fmt.min_raw(), fmt.max_raw() + 1);
+        Fix::from_raw(raw, fmt)
     }
 
-    proptest! {
-        /// Quantization always produces a representable value.
-        #[test]
-        fn quantize_in_range(v in any::<i64>(), frac in -8i8..=32, fmt in fmt_strategy(),
-                             sat in any::<bool>(), near in any::<bool>()) {
-            let ovf = if sat { Overflow::Saturate } else { Overflow::Wrap };
-            let rnd = if near { Rounding::Nearest } else { Rounding::Truncate };
+    /// Quantization always produces a representable value.
+    #[test]
+    fn quantize_in_range() {
+        cases(3_000, |seed, rng| {
+            let v = rng.next_u64() as i64;
+            let frac = rng.range_i16(-8, 33) as i8;
+            let fmt = random_fmt(rng);
+            let ovf = if rng.flip() { Overflow::Saturate } else { Overflow::Wrap };
+            let rnd = if rng.flip() { Rounding::Nearest } else { Rounding::Truncate };
             let q = Fix::quantize(v as i128, frac, fmt, ovf, rnd);
-            prop_assert!(fmt.contains_raw(q.raw()));
-        }
+            assert!(fmt.contains_raw(q.raw()), "seed {seed}: {q:?} not in {fmt:?}");
+        });
+    }
 
-        /// Bit transport round-trips every value.
-        #[test]
-        fn bits_round_trip(x in fix_strategy()) {
-            prop_assert_eq!(Fix::from_bits(x.to_bits(), x.fmt()), x);
-        }
+    /// Bit transport round-trips every value.
+    #[test]
+    fn bits_round_trip() {
+        cases(3_000, |seed, rng| {
+            let x = random_fix(rng);
+            assert_eq!(Fix::from_bits(x.to_bits(), x.fmt()), x, "seed {seed}");
+        });
+    }
 
-        /// Full-precision add/sub agree with exact rational arithmetic
-        /// whenever the grown result format fits the 63-bit cap (f64 is
-        /// exact for these bit widths).
-        #[test]
-        fn full_precision_ops_exact(a in fix_strategy(), b in fix_strategy()) {
+    /// Full-precision add/sub agree with exact rational arithmetic
+    /// whenever the grown result format fits the 63-bit cap (f64 is
+    /// exact for these bit widths).
+    #[test]
+    fn full_precision_ops_exact() {
+        cases(3_000, |seed, rng| {
+            let (a, b) = (random_fix(rng), random_fix(rng));
             // The exact result needs max(int bits)+2 integer bits and the
             // finer binary point; skip pairs that exceed the 63-bit cap.
             let frac = a.fmt().frac.max(b.fmt().frac) as i32;
             let int = (a.fmt().int_bits().max(b.fmt().int_bits()) as i32) + 2;
-            prop_assume!(int + frac <= 63 && a.fmt().word as i32 + frac - a.fmt().frac as i32 <= 52);
-            prop_assume!(b.fmt().word as i32 + frac - b.fmt().frac as i32 <= 52);
+            if int + frac > 63
+                || a.fmt().word as i32 + frac - a.fmt().frac as i32 > 52
+                || b.fmt().word as i32 + frac - b.fmt().frac as i32 > 52
+            {
+                return;
+            }
             let s = a.add_full(&b);
-            prop_assert_eq!(s.to_f64(), a.to_f64() + b.to_f64());
+            assert_eq!(s.to_f64(), a.to_f64() + b.to_f64(), "seed {seed} add");
             let d = a.sub_full(&b);
-            prop_assert_eq!(d.to_f64(), a.to_f64() - b.to_f64());
-        }
+            assert_eq!(d.to_f64(), a.to_f64() - b.to_f64(), "seed {seed} sub");
+        });
+    }
 
-        /// Converting into a wider same-signedness format is lossless.
-        #[test]
-        fn widening_convert_lossless(x in fix_strategy()) {
+    /// Converting into a wider same-signedness format is lossless.
+    #[test]
+    fn widening_convert_lossless() {
+        cases(3_000, |seed, rng| {
+            let x = random_fix(rng);
             let fmt = x.fmt();
             if fmt.word <= 30 {
                 let wide = FixFmt { word: fmt.word + 2, frac: fmt.frac, signed: fmt.signed };
                 let y = x.convert(wide, Overflow::Wrap, Rounding::Truncate);
-                prop_assert_eq!(y.to_f64(), x.to_f64());
+                assert_eq!(y.to_f64(), x.to_f64(), "seed {seed}");
             }
-        }
+        });
+    }
 
-        /// Saturating conversion is monotone: order never reverses.
-        #[test]
-        fn saturating_convert_monotone(a in fix_strategy(), b in fix_strategy(), target in fmt_strategy()) {
-            if a.fmt() == b.fmt() {
-                let ca = a.convert(target, Overflow::Saturate, Rounding::Truncate);
-                let cb = b.convert(target, Overflow::Saturate, Rounding::Truncate);
-                if a.raw() <= b.raw() {
-                    prop_assert!(ca.cmp_value(&cb) != std::cmp::Ordering::Greater);
-                }
+    /// Saturating conversion is monotone: order never reverses.
+    #[test]
+    fn saturating_convert_monotone() {
+        cases(3_000, |seed, rng| {
+            let fmt = random_fmt(rng);
+            let raw_a = rng.range_i64(fmt.min_raw(), fmt.max_raw() + 1);
+            let raw_b = rng.range_i64(fmt.min_raw(), fmt.max_raw() + 1);
+            let (a, b) = (Fix::from_raw(raw_a, fmt), Fix::from_raw(raw_b, fmt));
+            let target = random_fmt(rng);
+            let ca = a.convert(target, Overflow::Saturate, Rounding::Truncate);
+            let cb = b.convert(target, Overflow::Saturate, Rounding::Truncate);
+            if a.raw() <= b.raw() {
+                assert!(
+                    ca.cmp_value(&cb) != std::cmp::Ordering::Greater,
+                    "seed {seed}: order reversed"
+                );
             }
-        }
+        });
     }
 }

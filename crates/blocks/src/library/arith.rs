@@ -297,9 +297,7 @@ impl Block for Shift {
             ShiftDir::Left => self.amount as i32,
             ShiftDir::Right => -(self.amount as i32),
         };
-        outputs[0] = inputs[0]
-            .convert(self.out, Overflow::Wrap, Rounding::Truncate)
-            .shift_raw(n);
+        outputs[0] = inputs[0].convert(self.out, Overflow::Wrap, Rounding::Truncate).shift_raw(n);
     }
     // Constant shifts are wiring: zero resources.
 }

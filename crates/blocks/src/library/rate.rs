@@ -150,8 +150,11 @@ impl Block for CMult {
         self.out
     }
     fn eval(&self, inputs: &[Fix], outputs: &mut [Fix]) {
-        outputs[0] =
-            inputs[0].mul_full(&self.constant).convert(self.out, Overflow::Wrap, Rounding::Truncate);
+        outputs[0] = inputs[0].mul_full(&self.constant).convert(
+            self.out,
+            Overflow::Wrap,
+            Rounding::Truncate,
+        );
     }
     fn resources(&self) -> Resources {
         let raw = self.constant.raw().unsigned_abs();

@@ -42,8 +42,7 @@ impl Block for Delay {
     }
     fn clock(&mut self, inputs: &[Fix]) {
         self.line.pop_front();
-        self.line
-            .push_back(inputs[0].convert(self.fmt, Overflow::Wrap, Rounding::Truncate));
+        self.line.push_back(inputs[0].convert(self.fmt, Overflow::Wrap, Rounding::Truncate));
     }
     fn is_combinational(&self) -> bool {
         false
@@ -194,10 +193,11 @@ impl Block for Accumulator {
         if bool_of(&inputs[2]) {
             self.state = Fix::zero(self.fmt);
         } else if bool_of(&inputs[1]) {
-            self.state = self
-                .state
-                .add_full(&inputs[0])
-                .convert(self.fmt, Overflow::Wrap, Rounding::Truncate);
+            self.state = self.state.add_full(&inputs[0]).convert(
+                self.fmt,
+                Overflow::Wrap,
+                Rounding::Truncate,
+            );
         }
     }
     fn is_combinational(&self) -> bool {
@@ -261,8 +261,7 @@ impl Block for SyncFifo {
             self.queue.pop_front();
         }
         if bool_of(&inputs[1]) && self.queue.len() < self.depth {
-            self.queue
-                .push_back(inputs[0].convert(self.fmt, Overflow::Wrap, Rounding::Truncate));
+            self.queue.push_back(inputs[0].convert(self.fmt, Overflow::Wrap, Rounding::Truncate));
         }
     }
     fn is_combinational(&self) -> bool {

@@ -10,10 +10,33 @@
 //! of whether the data buffering ... is realized using registers, slices
 //! or embedded memory blocks."
 
+use softsim_trace::{FifoDir, SharedSink, TraceEvent};
 use std::collections::VecDeque;
 
 /// Default FSL FIFO depth (the Xilinx FSL macro default).
 pub const DEFAULT_DEPTH: usize = 16;
+
+/// Tracing state of one FIFO: the shared sink plus this channel's
+/// identity and the current clock cycle (stamped in by whoever owns the
+/// clock domain — [`FslBank::set_trace_cycle`]). Boxed so the untraced
+/// FIFO stays small.
+#[derive(Clone)]
+struct FifoTrace {
+    sink: SharedSink,
+    dir: FifoDir,
+    channel: u8,
+    cycle: u64,
+}
+
+impl std::fmt::Debug for FifoTrace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FifoTrace")
+            .field("dir", &self.dir)
+            .field("channel", &self.channel)
+            .field("cycle", &self.cycle)
+            .finish_non_exhaustive()
+    }
+}
 
 /// One word traveling over an FSL: 32 data bits plus the control bit.
 ///
@@ -60,6 +83,7 @@ pub struct FslFifo {
     queue: VecDeque<FslWord>,
     depth: usize,
     stats: FslStats,
+    trace: Option<Box<FifoTrace>>,
 }
 
 impl Default for FslFifo {
@@ -75,7 +99,26 @@ impl FslFifo {
     /// Panics if `depth == 0`.
     pub fn new(depth: usize) -> FslFifo {
         assert!(depth > 0, "FSL FIFO depth must be positive");
-        FslFifo { queue: VecDeque::with_capacity(depth), depth, stats: FslStats::default() }
+        FslFifo {
+            queue: VecDeque::with_capacity(depth),
+            depth,
+            stats: FslStats::default(),
+            trace: None,
+        }
+    }
+
+    /// Attaches a trace sink to this FIFO. Pushes, pops and flag
+    /// rejections are emitted as cycle-stamped events; the cycle domain
+    /// is supplied via [`FslFifo::set_trace_cycle`].
+    pub fn attach_trace(&mut self, sink: SharedSink, dir: FifoDir, channel: u8) {
+        self.trace = Some(Box::new(FifoTrace { sink, dir, channel, cycle: 0 }));
+    }
+
+    /// Stamps the current clock cycle into subsequently emitted events.
+    pub fn set_trace_cycle(&mut self, cycle: u64) {
+        if let Some(t) = &mut self.trace {
+            t.cycle = cycle;
+        }
     }
 
     /// FIFO capacity in words.
@@ -108,11 +151,28 @@ impl FslFifo {
     pub fn try_push(&mut self, word: FslWord) -> bool {
         if self.full() {
             self.stats.full_rejections += 1;
+            if let Some(t) = &self.trace {
+                t.sink.borrow_mut().event(&TraceEvent::FifoFull {
+                    cycle: t.cycle,
+                    dir: t.dir,
+                    channel: t.channel,
+                });
+            }
             return false;
         }
         self.queue.push_back(word);
         self.stats.pushes += 1;
         self.stats.max_occupancy = self.stats.max_occupancy.max(self.queue.len());
+        if let Some(t) = &self.trace {
+            t.sink.borrow_mut().event(&TraceEvent::FifoPush {
+                cycle: t.cycle,
+                dir: t.dir,
+                channel: t.channel,
+                data: word.data,
+                control: word.control,
+                occupancy: self.queue.len() as u8,
+            });
+        }
         true
     }
 
@@ -121,10 +181,27 @@ impl FslFifo {
         match self.queue.pop_front() {
             Some(w) => {
                 self.stats.pops += 1;
+                if let Some(t) = &self.trace {
+                    t.sink.borrow_mut().event(&TraceEvent::FifoPop {
+                        cycle: t.cycle,
+                        dir: t.dir,
+                        channel: t.channel,
+                        data: w.data,
+                        control: w.control,
+                        occupancy: self.queue.len() as u8,
+                    });
+                }
                 Some(w)
             }
             None => {
                 self.stats.empty_rejections += 1;
+                if let Some(t) = &self.trace {
+                    t.sink.borrow_mut().event(&TraceEvent::FifoEmpty {
+                        cycle: t.cycle,
+                        dir: t.dir,
+                        channel: t.channel,
+                    });
+                }
                 None
             }
         }
@@ -158,6 +235,9 @@ pub struct FslBank {
     to_hw: [FslFifo; CHANNELS],
     /// Peripheral → processor channels (CPU `get` side).
     from_hw: [FslFifo; CHANNELS],
+    /// True once a trace sink is attached: gates the per-cycle stamping
+    /// so the untraced path pays a single branch.
+    traced: bool,
 }
 
 impl Default for FslBank {
@@ -172,7 +252,49 @@ impl FslBank {
         FslBank {
             to_hw: std::array::from_fn(|_| FslFifo::new(depth)),
             from_hw: std::array::from_fn(|_| FslFifo::new(depth)),
+            traced: false,
         }
+    }
+
+    /// Attaches a trace sink to every channel in both directions. FIFO
+    /// events carry the cycle most recently stamped in with
+    /// [`FslBank::set_trace_cycle`] (the processor does this each tick).
+    pub fn attach_trace(&mut self, sink: SharedSink) {
+        for (i, f) in self.to_hw.iter_mut().enumerate() {
+            f.attach_trace(sink.clone(), FifoDir::ToHw, i as u8);
+        }
+        for (i, f) in self.from_hw.iter_mut().enumerate() {
+            f.attach_trace(sink.clone(), FifoDir::FromHw, i as u8);
+        }
+        self.traced = true;
+    }
+
+    /// True once [`FslBank::attach_trace`] has been called.
+    pub fn traced(&self) -> bool {
+        self.traced
+    }
+
+    /// Stamps the current clock cycle into every channel's trace state.
+    /// No-op (one branch) when no sink is attached.
+    pub fn set_trace_cycle(&mut self, cycle: u64) {
+        if !self.traced {
+            return;
+        }
+        for f in self.to_hw.iter_mut().chain(self.from_hw.iter_mut()) {
+            f.set_trace_cycle(cycle);
+        }
+    }
+
+    /// Highest occupancy ever observed on any processor → hardware
+    /// channel.
+    pub fn max_to_hw_occupancy(&self) -> usize {
+        self.to_hw.iter().map(|f| f.stats().max_occupancy).max().unwrap_or(0)
+    }
+
+    /// Highest occupancy ever observed on any hardware → processor
+    /// channel.
+    pub fn max_from_hw_occupancy(&self) -> usize {
+        self.from_hw.iter().map(|f| f.stats().max_occupancy).max().unwrap_or(0)
     }
 
     /// Processor-to-hardware channel `ch` (the CPU writes here).

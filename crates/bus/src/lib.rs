@@ -21,50 +21,53 @@ pub use lmb::{LmbMemory, MemError, LMB_LATENCY};
 pub use opb::{OpbBus, OpbFault, OpbPeripheral, RegisterFile, OPB_READ_LATENCY, OPB_WRITE_LATENCY};
 
 #[cfg(test)]
-mod proptests {
+mod randomized {
     use crate::fsl::{FslFifo, FslWord};
-    use proptest::prelude::*;
+    use softsim_testkit::cases;
 
-    proptest! {
-        /// The FIFO never exceeds its depth, never loses or reorders words,
-        /// and its flags always reflect occupancy — under any interleaving
-        /// of pushes and pops.
-        #[test]
-        fn fifo_invariants(depth in 1usize..32, ops in proptest::collection::vec(any::<Option<u32>>(), 0..200)) {
+    /// The FIFO never exceeds its depth, never loses or reorders words,
+    /// and its flags always reflect occupancy — under any interleaving
+    /// of pushes and pops.
+    #[test]
+    fn fifo_invariants() {
+        cases(200, |seed, rng| {
+            let depth = rng.range_usize(1, 32);
             let mut fifo = FslFifo::new(depth);
             let mut model: std::collections::VecDeque<u32> = Default::default();
-            for op in ops {
-                match op {
-                    Some(v) => {
-                        let accepted = fifo.try_push(FslWord::data(v));
-                        prop_assert_eq!(accepted, model.len() < depth);
-                        if accepted { model.push_back(v); }
+            for _ in 0..rng.range_usize(0, 200) {
+                if rng.flip() {
+                    let v = rng.next_u32();
+                    let accepted = fifo.try_push(FslWord::data(v));
+                    assert_eq!(accepted, model.len() < depth, "seed {seed}");
+                    if accepted {
+                        model.push_back(v);
                     }
-                    None => {
-                        let got = fifo.try_pop().map(|w| w.data);
-                        prop_assert_eq!(got, model.pop_front());
-                    }
+                } else {
+                    let got = fifo.try_pop().map(|w| w.data);
+                    assert_eq!(got, model.pop_front(), "seed {seed}");
                 }
-                prop_assert!(fifo.len() <= depth);
-                prop_assert_eq!(fifo.len(), model.len());
-                prop_assert_eq!(fifo.exists(), !model.is_empty());
-                prop_assert_eq!(fifo.full(), model.len() == depth);
-                prop_assert_eq!(fifo.peek().map(|w| w.data), model.front().copied());
+                assert!(fifo.len() <= depth, "seed {seed}");
+                assert_eq!(fifo.len(), model.len(), "seed {seed}");
+                assert_eq!(fifo.exists(), !model.is_empty(), "seed {seed}");
+                assert_eq!(fifo.full(), model.len() == depth, "seed {seed}");
+                assert_eq!(fifo.peek().map(|w| w.data), model.front().copied(), "seed {seed}");
             }
-        }
+        });
+    }
 
-        /// Byte-level writes and word-level reads agree on big-endian layout.
-        #[test]
-        fn lmb_endianness(addr_words in 0u32..4, value: u32) {
+    /// Byte-level writes and word-level reads agree on big-endian layout.
+    #[test]
+    fn lmb_endianness() {
+        cases(100, |seed, rng| {
             let mut mem = crate::lmb::LmbMemory::new(64);
-            let addr = addr_words * 4;
+            let addr = rng.range_u32(0, 4) * 4;
+            let value = rng.next_u32();
             mem.write_u32(addr, value).unwrap();
-            let b = value.to_be_bytes();
-            for (i, expect) in b.iter().enumerate() {
-                prop_assert_eq!(mem.read_u8(addr + i as u32).unwrap(), *expect);
+            for (i, expect) in value.to_be_bytes().iter().enumerate() {
+                assert_eq!(mem.read_u8(addr + i as u32).unwrap(), *expect, "seed {seed}");
             }
-            prop_assert_eq!(mem.read_u16(addr).unwrap(), (value >> 16) as u16);
-            prop_assert_eq!(mem.read_u16(addr + 2).unwrap(), value as u16);
-        }
+            assert_eq!(mem.read_u16(addr).unwrap(), (value >> 16) as u16, "seed {seed}");
+            assert_eq!(mem.read_u16(addr + 2).unwrap(), value as u16, "seed {seed}");
+        });
     }
 }

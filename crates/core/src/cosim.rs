@@ -20,8 +20,9 @@ use crate::binding::{FslFromHw, FslToHw};
 use softsim_blocks::graph::{InputHandle, OutputHandle};
 use softsim_blocks::{Fix, FixFmt, Graph};
 use softsim_bus::{FslBank, FslWord};
-use softsim_iss::{Cpu, CpuStats, Event, Fault};
 use softsim_isa::{CpuConfig, Image};
+use softsim_iss::{Cpu, CpuStats, Event, Fault};
+use softsim_trace::{SharedSink, TraceEvent};
 
 /// The clock frequency of the paper's experiments (§IV): 50 MHz on the
 /// ML300 Virtex-II Pro board.
@@ -49,6 +50,13 @@ pub struct HwStats {
     /// error the paper avoids by sizing data sets to FIFO capacity; tests
     /// assert this stays zero.
     pub output_overflows: u64,
+    /// High-water occupancy across the processor → hardware FIFOs
+    /// claimed by peripherals (how close the software side came to
+    /// overrunning the FSL depth).
+    pub max_to_hw_occupancy: usize,
+    /// High-water occupancy across the hardware → processor FIFOs
+    /// claimed by peripherals.
+    pub max_from_hw_occupancy: usize,
 }
 
 /// Resolved processor → hardware wiring (handles, no name lookups in the
@@ -84,14 +92,10 @@ impl Peripheral {
     /// (checked eagerly so misconfigurations fail at attach time).
     pub fn new(graph: Graph, inputs: Vec<FslToHw>, outputs: Vec<FslFromHw>) -> Peripheral {
         let resolve_in = |name: &str| {
-            graph
-                .input_handle(name)
-                .unwrap_or_else(|_| panic!("missing gateway-in `{name}`"))
+            graph.input_handle(name).unwrap_or_else(|_| panic!("missing gateway-in `{name}`"))
         };
         let resolve_out = |name: &str| {
-            graph
-                .output_handle(name)
-                .unwrap_or_else(|_| panic!("missing gateway-out `{name}`"))
+            graph.output_handle(name).unwrap_or_else(|_| panic!("missing gateway-out `{name}`"))
         };
         let inputs = inputs
             .iter()
@@ -119,6 +123,12 @@ impl Peripheral {
     pub fn graph(&self) -> &Graph {
         &self.graph
     }
+
+    /// Mutable access to the underlying block graph (e.g. to attach
+    /// probes or enable switching-activity measurement).
+    pub fn graph_mut(&mut self) -> &mut Graph {
+        &mut self.graph
+    }
 }
 
 /// The co-simulator: one soft processor, its FSL channels, and an
@@ -129,6 +139,9 @@ pub struct CoSim {
     peripherals: Vec<Peripheral>,
     hw_stats: HwStats,
     clock_hz: f64,
+    /// Cycle-domain observability sink for gateway word transfers (the
+    /// CPU and FSL bank hold their own clones).
+    sink: Option<SharedSink>,
 }
 
 impl CoSim {
@@ -141,6 +154,7 @@ impl CoSim {
             peripherals: Vec::new(),
             hw_stats: HwStats::default(),
             clock_hz: PAPER_CLOCK_HZ,
+            sink: None,
         }
     }
 
@@ -161,6 +175,7 @@ impl CoSim {
             peripherals: Vec::new(),
             hw_stats: HwStats::default(),
             clock_hz: PAPER_CLOCK_HZ,
+            sink: None,
         };
         if let Some(p) = peripheral {
             sim.add_peripheral(p);
@@ -198,6 +213,17 @@ impl CoSim {
         self.clock_hz = hz;
     }
 
+    /// Attaches an observability sink to the whole system: the processor
+    /// (instruction retires and stall attribution), the FSL bank (FIFO
+    /// push/pop/full/empty with occupancies) and the co-simulator itself
+    /// (gateway word transfers). All events share the processor's cycle
+    /// domain. The untraced path is unaffected — no sink, no events.
+    pub fn attach_trace(&mut self, sink: SharedSink) {
+        self.cpu.attach_trace(sink.clone());
+        self.fsl.attach_trace(sink.clone());
+        self.sink = Some(sink);
+    }
+
     /// The processor model.
     pub fn cpu(&self) -> &Cpu {
         &self.cpu
@@ -211,6 +237,17 @@ impl CoSim {
     /// The FSL channels.
     pub fn fsl(&self) -> &FslBank {
         &self.fsl
+    }
+
+    /// The attached customized hardware peripherals.
+    pub fn peripherals(&self) -> &[Peripheral] {
+        &self.peripherals
+    }
+
+    /// Mutable access to the attached peripherals (e.g. to enable
+    /// switching-activity measurement on their graphs before a run).
+    pub fn peripherals_mut(&mut self) -> &mut [Peripheral] {
+        &mut self.peripherals
     }
 
     /// Hardware-side statistics.
@@ -230,8 +267,12 @@ impl CoSim {
 
     /// Advances the whole system by one clock cycle.
     pub fn step(&mut self) -> Event {
+        // The cycle about to execute — matches the stamp `Cpu::tick`
+        // writes into the FSL trace state, so gateway events sort with
+        // the FIFO and retire events of the same clock.
+        let cycle = self.cpu.stats().cycles;
         let event = self.cpu.tick(&mut self.fsl);
-        for p in &mut self.peripherals {
+        for (pid, p) in self.peripherals.iter_mut().enumerate() {
             // Feed gateway inputs from the processor-side FIFOs. The
             // peripheral's `ready` output (settled last cycle) gates
             // consumption.
@@ -240,10 +281,23 @@ impl CoSim {
                     Some(h) => !p.graph.output_fast(h).is_zero(),
                     None => true,
                 };
-                let word = if ready { self.fsl.to_hw(b.channel).try_pop() } else { None };
+                let fifo = self.fsl.to_hw(b.channel);
+                let occupancy = fifo.len();
+                if occupancy > self.hw_stats.max_to_hw_occupancy {
+                    self.hw_stats.max_to_hw_occupancy = occupancy;
+                }
+                let word = if ready { fifo.try_pop() } else { None };
                 let (data, valid, ctrl) = match word {
                     Some(w) => {
                         self.hw_stats.words_to_hw += 1;
+                        if let Some(sink) = &self.sink {
+                            sink.borrow_mut().event(&TraceEvent::GatewayWord {
+                                cycle,
+                                peripheral: pid as u8,
+                                to_hw: true,
+                                data: w.data,
+                            });
+                        }
                         (w.data, true, w.control)
                     }
                     None => (0, false, false),
@@ -267,8 +321,20 @@ impl CoSim {
                 };
                 if self.fsl.from_hw(b.channel).try_push(FslWord { data, control }) {
                     self.hw_stats.words_from_hw += 1;
+                    if let Some(sink) = &self.sink {
+                        sink.borrow_mut().event(&TraceEvent::GatewayWord {
+                            cycle,
+                            peripheral: pid as u8,
+                            to_hw: false,
+                            data,
+                        });
+                    }
                 } else {
                     self.hw_stats.output_overflows += 1;
+                }
+                let occupancy = self.fsl.from_hw(b.channel).len();
+                if occupancy > self.hw_stats.max_from_hw_occupancy {
+                    self.hw_stats.max_from_hw_occupancy = occupancy;
                 }
             }
         }
@@ -279,10 +345,7 @@ impl CoSim {
     pub fn run(&mut self, max_cycles: u64) -> CoSimStop {
         for _ in 0..max_cycles {
             match self.step() {
-                Event::Halted => return CoSimStop::Halted,
-                Event::Retired { inst: softsim_isa::Inst::Halt, .. } => {
-                    return CoSimStop::Halted
-                }
+                e if e.is_halt() => return CoSimStop::Halted,
                 Event::Fault(f) => return CoSimStop::Fault(f),
                 _ => {}
             }

@@ -18,6 +18,7 @@
 use softsim_blocks::graph::{InputHandle, OutputHandle};
 use softsim_blocks::{Fix, FixFmt, Graph};
 use softsim_bus::OpbPeripheral;
+use softsim_trace::{SharedSink, TraceEvent};
 use std::collections::VecDeque;
 
 /// STATUS register offset.
@@ -49,6 +50,11 @@ pub struct OpbBlockAdapter {
     input: VecDeque<(u32, bool)>,
     /// Result words awaiting an RDATA read.
     output: VecDeque<u32>,
+    /// Bus clocks elapsed — the adapter's cycle domain (the OPB is
+    /// clocked by the processor, so this tracks CPU cycles one-to-one).
+    cycle: u64,
+    /// Optional observability sink for word transfers across the bus.
+    sink: Option<SharedSink>,
 }
 
 impl OpbBlockAdapter {
@@ -71,12 +77,34 @@ impl OpbBlockAdapter {
             h_out_valid,
             input: VecDeque::new(),
             output: VecDeque::new(),
+            cycle: 0,
+            sink: None,
         }
     }
 
     /// Results currently buffered (testing/diagnostics).
     pub fn pending_results(&self) -> usize {
         self.output.len()
+    }
+
+    /// Attaches an observability sink. Word transfers across the bus are
+    /// reported as [`TraceEvent::GatewayWord`] with `peripheral = 0xff`
+    /// (distinguishing the OPB attachment from FSL-attached peripherals)
+    /// and the adapter's own clock count as the cycle.
+    pub fn attach_trace(&mut self, sink: SharedSink) {
+        self.sink = Some(sink);
+    }
+
+    #[inline]
+    fn emit(&self, to_hw: bool, data: u32) {
+        if let Some(sink) = &self.sink {
+            sink.borrow_mut().event(&TraceEvent::GatewayWord {
+                cycle: self.cycle,
+                peripheral: 0xff,
+                to_hw,
+                data,
+            });
+        }
     }
 }
 
@@ -95,14 +123,12 @@ impl OpbPeripheral for OpbBlockAdapter {
 
     fn write(&mut self, offset: u32, value: u32) {
         match offset {
-            REG_WDATA
-                if self.input.len() < INPUT_DEPTH => {
-                    self.input.push_back((value, false));
-                }
-            REG_WCTRL
-                if self.input.len() < INPUT_DEPTH => {
-                    self.input.push_back((value, true));
-                }
+            REG_WDATA if self.input.len() < INPUT_DEPTH => {
+                self.input.push_back((value, false));
+            }
+            REG_WCTRL if self.input.len() < INPUT_DEPTH => {
+                self.input.push_back((value, true));
+            }
             _ => {}
         }
     }
@@ -114,16 +140,21 @@ impl OpbPeripheral for OpbBlockAdapter {
             Some((d, c)) => (d, true, c),
             None => (0, false, false),
         };
+        if valid {
+            self.emit(true, data);
+        }
         self.graph.set_input_fast(self.h_data, Fix::from_bits(data as u64, FixFmt::INT32));
-        self.graph
-            .set_input_fast(self.h_valid, Fix::from_int(valid as i64, FixFmt::BOOL));
+        self.graph.set_input_fast(self.h_valid, Fix::from_int(valid as i64, FixFmt::BOOL));
         if let Some(h) = self.h_ctrl {
             self.graph.set_input_fast(h, Fix::from_int(ctrl as i64, FixFmt::BOOL));
         }
         self.graph.step();
         if !self.graph.output_fast(self.h_out_valid).is_zero() {
-            self.output.push_back(self.graph.output_fast(self.h_out_data).to_bits() as u32);
+            let out = self.graph.output_fast(self.h_out_data).to_bits() as u32;
+            self.emit(false, out);
+            self.output.push_back(out);
         }
+        self.cycle += 1;
     }
 }
 

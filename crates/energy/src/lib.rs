@@ -152,7 +152,11 @@ pub fn hardware_energy_nj(resources: Resources, cycles: u64, model: &HardwareEne
 
 /// Static energy for a whole system occupying `system_resources` for the
 /// duration of the run.
-pub fn static_energy_nj(system_resources: Resources, time_us: f64, model: &StaticPowerModel) -> f64 {
+pub fn static_energy_nj(
+    system_resources: Resources,
+    time_us: f64,
+    model: &StaticPowerModel,
+) -> f64 {
     // µW × µs = pJ.
     system_resources.slices as f64 * model.uw_per_slice * time_us / 1000.0
 }
@@ -176,6 +180,33 @@ pub fn cosim_energy(
             stats.cycles,
             &HardwareEnergyModel::default(),
         ),
+        static_nj: static_energy_nj(system_resources, time_us, &StaticPowerModel::default()),
+        time_us,
+    }
+}
+
+/// Like [`cosim_energy`], but the hardware activity factor is *measured*
+/// from the run itself rather than assumed: peripherals whose graphs had
+/// switching-activity measurement enabled (`Graph::enable_activity`
+/// before the run) contribute their observed toggle rate, averaged
+/// across peripherals. Falls back to the default assumption when nothing
+/// was measured.
+pub fn cosim_energy_measured(
+    sim: &CoSim,
+    peripheral_resources: Resources,
+    system_resources: Resources,
+) -> EnergyReport {
+    let factors: Vec<f64> =
+        sim.peripherals().iter().filter_map(|p| p.graph().activity_factor()).collect();
+    let mut hw_model = HardwareEnergyModel::default();
+    if !factors.is_empty() {
+        hw_model.activity = factors.iter().sum::<f64>() / factors.len() as f64;
+    }
+    let stats = sim.cpu_stats();
+    let time_us = stats.cycles as f64 / PAPER_CLOCK_HZ * 1e6;
+    EnergyReport {
+        software_nj: software_energy_nj(&stats, &InstructionEnergyModel::default()),
+        hardware_nj: hardware_energy_nj(peripheral_resources, stats.cycles, &hw_model),
         static_nj: static_energy_nj(system_resources, time_us, &StaticPowerModel::default()),
         time_us,
     }
@@ -271,6 +302,27 @@ mod tests {
         let e = cosim_energy(&sim, pipeline_resources(4), Resources::slices(819));
         let mw = e.average_mw();
         assert!((5.0..500.0).contains(&mw), "average power {mw:.1} mW");
+    }
+
+    #[test]
+    fn measured_activity_drives_hardware_energy() {
+        use softsim_cosim::CoSim;
+        let img = assemble(&hw_program(&batch(), 24, 4)).unwrap();
+        let mut sim = CoSim::with_peripheral(&img, cordic_peripheral(4));
+        sim.peripherals_mut()[0].graph_mut().enable_activity();
+        assert_eq!(sim.run(u64::MAX / 2), CoSimStop::Halted);
+
+        let res = pipeline_resources(4);
+        let assumed = cosim_energy(&sim, res, res);
+        let measured = cosim_energy_measured(&sim, res, res);
+        let factor = sim.peripherals()[0].graph().activity_factor().unwrap();
+        assert!((0.0..1.0).contains(&factor), "plausible toggle rate: {factor}");
+        // Hardware energy is linear in the activity factor; software and
+        // static terms are untouched by the substitution.
+        let expect = assumed.hardware_nj * factor / HardwareEnergyModel::default().activity;
+        assert!((measured.hardware_nj - expect).abs() < 1e-6);
+        assert_eq!(measured.software_nj, assumed.software_nj);
+        assert_eq!(measured.static_nj, assumed.static_nj);
     }
 
     #[test]

@@ -38,10 +38,8 @@
 //! ```
 
 use crate::encode::encode;
-use crate::inst::{
-    ArithFlags, BarrelOp, Cond, FslChan, FslMode, Inst, LogicOp, MemSize, ShiftOp,
-};
 use crate::image::Image;
+use crate::inst::{ArithFlags, BarrelOp, Cond, FslChan, FslMode, Inst, LogicOp, MemSize, ShiftOp};
 use crate::reg::Reg;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -107,9 +105,7 @@ impl Expr {
     fn eval(&self, syms: &BTreeMap<String, i64>) -> Result<i64, String> {
         Ok(match self {
             Expr::Num(n) => *n,
-            Expr::Sym(s) => {
-                *syms.get(s).ok_or_else(|| format!("undefined symbol `{s}`"))?
-            }
+            Expr::Sym(s) => *syms.get(s).ok_or_else(|| format!("undefined symbol `{s}`"))?,
             Expr::Add(a, b) => a.eval(syms)?.wrapping_add(b.eval(syms)?),
             Expr::Sub(a, b) => a.eval(syms)?.wrapping_sub(b.eval(syms)?),
             Expr::Mul(a, b) => a.eval(syms)?.wrapping_mul(b.eval(syms)?),
@@ -137,9 +133,15 @@ enum ImmKind {
 #[derive(Debug, Clone)]
 enum Item {
     /// One machine instruction; `imm` (if any) patches the prototype.
-    Inst { proto: Inst, imm: Option<(Expr, ImmKind)> },
+    Inst {
+        proto: Inst,
+        imm: Option<(Expr, ImmKind)>,
+    },
     /// `li`/`la` pseudo: always two words (`imm` + `addik`).
-    LoadImm32 { rd: Reg, expr: Expr },
+    LoadImm32 {
+        rd: Reg,
+        expr: Expr,
+    },
     Word(Vec<Expr>),
     Half(Vec<Expr>),
     Byte(Vec<Expr>),
@@ -1088,10 +1090,7 @@ mod tests {
         )
         .unwrap();
         let inst = decode(img.read_u32(0)).unwrap();
-        assert_eq!(
-            inst,
-            Inst::AddI { rd: r(3), ra: r(0), imm: 0x11F, flags: ArithFlags::KEEP }
-        );
+        assert_eq!(inst, Inst::AddI { rd: r(3), ra: r(0), imm: 0x11F, flags: ArithFlags::KEEP });
     }
 
     #[test]

@@ -32,11 +32,8 @@ pub fn disassemble(image: &Image) -> Vec<DisasmLine> {
             Ok(inst) => inst.to_string(),
             Err(_) => format!(".word {word:#010x}"),
         };
-        let labels = image
-            .symbols()
-            .filter(|(_, a)| *a == addr)
-            .map(|(n, _)| n.to_string())
-            .collect();
+        let labels =
+            image.symbols().filter(|(_, a)| *a == addr).map(|(n, _)| n.to_string()).collect();
         lines.push(DisasmLine { addr, word, text, labels });
         addr += 4;
     }
@@ -95,8 +92,7 @@ mod tests {
                    halt\n";
         let img = assemble(src).unwrap();
         // Re-assemble the disassembly and compare words.
-        let relisted: String =
-            disassemble(&img).iter().map(|l| format!("{}\n", l.text)).collect();
+        let relisted: String = disassemble(&img).iter().map(|l| format!("{}\n", l.text)).collect();
         let img2 = assemble(&relisted).unwrap();
         assert_eq!(img.bytes(), img2.bytes());
     }

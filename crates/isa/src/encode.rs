@@ -375,12 +375,7 @@ pub fn decode(word: u32) -> Result<Inst, DecodeError> {
         OP_BARRELI => {
             let imm = word & 0xFFFF;
             let op = barrel_from_minor(imm & 0x7FF).ok_or(err_minor)?;
-            Inst::BarrelI {
-                op,
-                rd: field_rd(word),
-                ra: field_ra(word),
-                amount: (imm & 0x1F) as u8,
-            }
+            Inst::BarrelI { op, rd: field_rd(word), ra: field_ra(word), amount: (imm & 0x1F) as u8 }
         }
         OP_FSL => {
             let imm = word & 0xFFFF;
@@ -453,18 +448,78 @@ pub fn decode(word: u32) -> Result<Inst, DecodeError> {
         }
         OP_RTSD => Inst::Rtsd { ra: field_ra(word), imm: field_imm(word) },
         OP_IMM => Inst::Imm { imm: (word & 0xFFFF) as u16 },
-        OP_LBU => Inst::Load { size: MemSize::Byte, rd: field_rd(word), ra: field_ra(word), rb: field_rb(word) },
-        OP_LHU => Inst::Load { size: MemSize::Half, rd: field_rd(word), ra: field_ra(word), rb: field_rb(word) },
-        OP_LW => Inst::Load { size: MemSize::Word, rd: field_rd(word), ra: field_ra(word), rb: field_rb(word) },
-        OP_SB => Inst::Store { size: MemSize::Byte, rd: field_rd(word), ra: field_ra(word), rb: field_rb(word) },
-        OP_SH => Inst::Store { size: MemSize::Half, rd: field_rd(word), ra: field_ra(word), rb: field_rb(word) },
-        OP_SW => Inst::Store { size: MemSize::Word, rd: field_rd(word), ra: field_ra(word), rb: field_rb(word) },
-        OP_LBUI => Inst::LoadI { size: MemSize::Byte, rd: field_rd(word), ra: field_ra(word), imm: field_imm(word) },
-        OP_LHUI => Inst::LoadI { size: MemSize::Half, rd: field_rd(word), ra: field_ra(word), imm: field_imm(word) },
-        OP_LWI => Inst::LoadI { size: MemSize::Word, rd: field_rd(word), ra: field_ra(word), imm: field_imm(word) },
-        OP_SBI => Inst::StoreI { size: MemSize::Byte, rd: field_rd(word), ra: field_ra(word), imm: field_imm(word) },
-        OP_SHI => Inst::StoreI { size: MemSize::Half, rd: field_rd(word), ra: field_ra(word), imm: field_imm(word) },
-        OP_SWI => Inst::StoreI { size: MemSize::Word, rd: field_rd(word), ra: field_ra(word), imm: field_imm(word) },
+        OP_LBU => Inst::Load {
+            size: MemSize::Byte,
+            rd: field_rd(word),
+            ra: field_ra(word),
+            rb: field_rb(word),
+        },
+        OP_LHU => Inst::Load {
+            size: MemSize::Half,
+            rd: field_rd(word),
+            ra: field_ra(word),
+            rb: field_rb(word),
+        },
+        OP_LW => Inst::Load {
+            size: MemSize::Word,
+            rd: field_rd(word),
+            ra: field_ra(word),
+            rb: field_rb(word),
+        },
+        OP_SB => Inst::Store {
+            size: MemSize::Byte,
+            rd: field_rd(word),
+            ra: field_ra(word),
+            rb: field_rb(word),
+        },
+        OP_SH => Inst::Store {
+            size: MemSize::Half,
+            rd: field_rd(word),
+            ra: field_ra(word),
+            rb: field_rb(word),
+        },
+        OP_SW => Inst::Store {
+            size: MemSize::Word,
+            rd: field_rd(word),
+            ra: field_ra(word),
+            rb: field_rb(word),
+        },
+        OP_LBUI => Inst::LoadI {
+            size: MemSize::Byte,
+            rd: field_rd(word),
+            ra: field_ra(word),
+            imm: field_imm(word),
+        },
+        OP_LHUI => Inst::LoadI {
+            size: MemSize::Half,
+            rd: field_rd(word),
+            ra: field_ra(word),
+            imm: field_imm(word),
+        },
+        OP_LWI => Inst::LoadI {
+            size: MemSize::Word,
+            rd: field_rd(word),
+            ra: field_ra(word),
+            imm: field_imm(word),
+        },
+        OP_SBI => Inst::StoreI {
+            size: MemSize::Byte,
+            rd: field_rd(word),
+            ra: field_ra(word),
+            imm: field_imm(word),
+        },
+        OP_SHI => Inst::StoreI {
+            size: MemSize::Half,
+            rd: field_rd(word),
+            ra: field_ra(word),
+            imm: field_imm(word),
+        },
+        OP_SWI => Inst::StoreI {
+            size: MemSize::Word,
+            rd: field_rd(word),
+            ra: field_ra(word),
+            imm: field_imm(word),
+        },
         OP_HALT => Inst::Halt,
         _ => return Err(DecodeError::UnknownOpcode { opcode: opcode as u8, word }),
     };

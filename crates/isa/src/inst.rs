@@ -624,8 +624,14 @@ mod tests {
     #[test]
     fn display_formats_canonically() {
         let cases: Vec<(Inst, &str)> = vec![
-            (Inst::Add { rd: r(3), ra: r(4), rb: r(5), flags: ArithFlags::PLAIN }, "add r3, r4, r5"),
-            (Inst::AddI { rd: r(3), ra: r(4), imm: -2, flags: ArithFlags::KEEP }, "addik r3, r4, -2"),
+            (
+                Inst::Add { rd: r(3), ra: r(4), rb: r(5), flags: ArithFlags::PLAIN },
+                "add r3, r4, r5",
+            ),
+            (
+                Inst::AddI { rd: r(3), ra: r(4), imm: -2, flags: ArithFlags::KEEP },
+                "addik r3, r4, -2",
+            ),
             (Inst::Cmp { rd: r(1), ra: r(2), rb: r(3), unsigned: true }, "cmpu r1, r2, r3"),
             (
                 Inst::Get { rd: r(7), chan: FslChan::new(0), mode: FslMode::NONBLOCKING_DATA },

@@ -30,6 +30,7 @@ use crate::fault::Fault;
 use crate::stats::CpuStats;
 use softsim_bus::{FslBank, LmbMemory};
 use softsim_isa::{decode, CpuConfig, Image, Inst, Reg};
+use softsim_trace::{InstClass, SharedSink, StallCause, TraceEvent};
 use std::collections::HashSet;
 
 /// Default local-memory size (64 KiB, a typical MicroBlaze LMB setup).
@@ -61,6 +62,44 @@ pub enum Event {
     },
     /// A simulation fault; the processor halts.
     Fault(Fault),
+}
+
+impl Event {
+    /// True when this event means the processor has stopped executing —
+    /// either it was already halted, or the instruction retiring this
+    /// cycle is `halt`. The single halt predicate shared by
+    /// [`Cpu::run`] and the co-simulator's run loop, so both stop on
+    /// the same cycle.
+    pub fn is_halt(&self) -> bool {
+        matches!(self, Event::Halted | Event::Retired { inst: Inst::Halt, .. })
+    }
+}
+
+/// Coarse classification of an instruction for profiling.
+pub fn classify(inst: &Inst) -> InstClass {
+    match inst {
+        Inst::Add { .. }
+        | Inst::AddI { .. }
+        | Inst::Rsub { .. }
+        | Inst::RsubI { .. }
+        | Inst::Cmp { .. }
+        | Inst::Sext { .. } => InstClass::Alu,
+        Inst::Mul { .. } | Inst::MulI { .. } => InstClass::Mul,
+        Inst::Div { .. } => InstClass::Div,
+        Inst::Shift { .. } | Inst::Barrel { .. } | Inst::BarrelI { .. } => InstClass::Shift,
+        Inst::Logic { .. } | Inst::LogicI { .. } => InstClass::Logic,
+        Inst::Load { .. } | Inst::LoadI { .. } => InstClass::Load,
+        Inst::Store { .. } | Inst::StoreI { .. } => InstClass::Store,
+        Inst::Br { .. }
+        | Inst::BrI { .. }
+        | Inst::Bcc { .. }
+        | Inst::BccI { .. }
+        | Inst::Rtsd { .. } => InstClass::Branch,
+        Inst::Imm { .. } => InstClass::Imm,
+        Inst::Get { .. } => InstClass::FslGet,
+        Inst::Put { .. } => InstClass::FslPut,
+        Inst::Halt => InstClass::Halt,
+    }
 }
 
 /// Why a multi-cycle [`Cpu::run`] stopped.
@@ -127,6 +166,14 @@ pub struct Cpu {
     /// Breakpoint address being resumed from (suppresses re-reporting).
     bp_skip: Option<u32>,
     trace: Option<Vec<TraceEntry>>,
+    /// Cycle-domain observability sink (None on the untraced fast path).
+    sink: Option<SharedSink>,
+    /// Issue cycle of the in-flight instruction (trace bookkeeping).
+    inst_start: u64,
+    /// FSL read-stall cycles charged to the in-flight instruction.
+    inst_read_stalls: u32,
+    /// FSL write-stall cycles charged to the in-flight instruction.
+    inst_write_stalls: u32,
 }
 
 impl Cpu {
@@ -163,6 +210,10 @@ impl Cpu {
             breakpoints: HashSet::new(),
             bp_skip: None,
             trace: None,
+            sink: None,
+            inst_start: 0,
+            inst_read_stalls: 0,
+            inst_write_stalls: 0,
         }
     }
 
@@ -177,9 +228,11 @@ impl Cpu {
         let size = self.mem.size();
         let breakpoints = std::mem::take(&mut self.breakpoints);
         let trace = self.trace.as_ref().map(|_| Vec::new());
+        let sink = self.sink.take();
         *self = Cpu::new(image, size);
         self.breakpoints = breakpoints;
         self.trace = trace;
+        self.sink = sink;
     }
 
     /// Reads a register (r0 always reads zero).
@@ -266,6 +319,27 @@ impl Cpu {
         self.trace = Some(Vec::new());
     }
 
+    /// Attaches a cycle-domain trace sink: retires (with per-instruction
+    /// stall attribution) and FSL stall intervals are emitted as
+    /// [`TraceEvent`]s. With no sink attached the hot path pays only a
+    /// well-predicted `Option` branch — the overhead guard in
+    /// `crates/bench` holds it to within 2%.
+    pub fn attach_trace(&mut self, sink: SharedSink) {
+        self.sink = Some(sink);
+    }
+
+    /// The attached cycle-domain sink, if any.
+    pub fn trace_sink(&self) -> Option<&SharedSink> {
+        self.sink.as_ref()
+    }
+
+    #[inline]
+    fn emit(&self, e: TraceEvent) {
+        if let Some(s) = &self.sink {
+            s.borrow_mut().event(&e);
+        }
+    }
+
     /// The collected trace, if tracing is enabled.
     pub fn trace(&self) -> Option<&[TraceEntry]> {
         self.trace.as_deref()
@@ -288,6 +362,9 @@ impl Cpu {
         if let Some(opb) = &mut self.opb {
             opb.tick();
         }
+        // Stamp the cycle domain into the FSL trace state so FIFO events
+        // emitted this cycle (by us or by the hardware side) carry it.
+        fsl.set_trace_cycle(self.stats.cycles);
         match std::mem::replace(&mut self.pipe, Pipe::Ready) {
             Pipe::Busy { remaining, pc, inst } => {
                 self.stats.cycles += 1;
@@ -302,6 +379,18 @@ impl Cpu {
                 self.stats.cycles += 1;
                 match self.exec_fsl(&inst, fsl) {
                     Ok(()) => {
+                        if self.sink.is_some() {
+                            let (cause, stalled) = match inst {
+                                Inst::Get { .. } => (StallCause::FslRead, self.inst_read_stalls),
+                                _ => (StallCause::FslWrite, self.inst_write_stalls),
+                            };
+                            self.emit(TraceEvent::StallEnd {
+                                cycle: self.stats.cycles - 1,
+                                pc,
+                                cause,
+                                cycles: stalled as u64,
+                            });
+                        }
                         // One more cycle of pipeline occupancy after the
                         // transfer completes (total base cost of 2 cycles).
                         self.pipe = Pipe::Busy { remaining: 1, pc, inst };
@@ -309,8 +398,14 @@ impl Cpu {
                     }
                     Err(()) => {
                         match inst {
-                            Inst::Get { .. } => self.stats.fsl_read_stalls += 1,
-                            _ => self.stats.fsl_write_stalls += 1,
+                            Inst::Get { .. } => {
+                                self.stats.fsl_read_stalls += 1;
+                                self.inst_read_stalls += 1;
+                            }
+                            _ => {
+                                self.stats.fsl_write_stalls += 1;
+                                self.inst_write_stalls += 1;
+                            }
                         }
                         self.pipe = Pipe::FslStall { pc, inst };
                         Event::Busy
@@ -331,6 +426,9 @@ impl Cpu {
             return Event::Breakpoint { pc };
         }
         self.bp_skip = None;
+        self.inst_start = self.stats.cycles;
+        self.inst_read_stalls = 0;
+        self.inst_write_stalls = 0;
         self.stats.cycles += 1;
         let word = match self.mem.read_u32(pc) {
             Ok(w) => w,
@@ -352,9 +450,20 @@ impl Cpu {
                 inst.base_cycles() + inst.taken_penalty()
             }
             Ok(ExecOutcome::FslBlocked) => {
-                match inst {
-                    Inst::Get { .. } => self.stats.fsl_read_stalls += 1,
-                    _ => self.stats.fsl_write_stalls += 1,
+                let cause = match inst {
+                    Inst::Get { .. } => {
+                        self.stats.fsl_read_stalls += 1;
+                        self.inst_read_stalls += 1;
+                        StallCause::FslRead
+                    }
+                    _ => {
+                        self.stats.fsl_write_stalls += 1;
+                        self.inst_write_stalls += 1;
+                        StallCause::FslWrite
+                    }
+                };
+                if self.sink.is_some() {
+                    self.emit(TraceEvent::StallBegin { cycle: self.inst_start, pc, cause });
                 }
                 self.pipe = Pipe::FslStall { pc, inst };
                 return Event::Busy;
@@ -378,6 +487,17 @@ impl Cpu {
                 cycle: self.stats.cycles,
                 pc,
                 word: softsim_isa::encode(&inst),
+            });
+        }
+        if self.sink.is_some() {
+            self.emit(TraceEvent::Retire {
+                cycle: self.inst_start,
+                pc,
+                word: softsim_isa::encode(&inst),
+                class: classify(&inst),
+                cycles: (self.stats.cycles - self.inst_start) as u32,
+                read_stalls: self.inst_read_stalls,
+                write_stalls: self.inst_write_stalls,
             });
         }
         if self.in_delay_slot {
@@ -409,10 +529,9 @@ impl Cpu {
         let limit = self.stats.cycles + max_cycles;
         while self.stats.cycles < limit {
             match self.tick(fsl) {
-                Event::Halted => return StopReason::Halted,
+                e if e.is_halt() => return StopReason::Halted,
                 Event::Fault(f) => return StopReason::Fault(f),
                 Event::Breakpoint { pc } => return StopReason::Breakpoint(pc),
-                Event::Retired { inst: Inst::Halt, .. } => return StopReason::Halted,
                 _ => {}
             }
         }

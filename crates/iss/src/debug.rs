@@ -111,7 +111,11 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
         }
         "step" => Command::Step,
         "cont" => Command::Continue {
-            max_cycles: parts.next().map(|t| t.parse().map_err(|_| "bad cycle count".to_string())).transpose()?.unwrap_or(u64::MAX / 2),
+            max_cycles: parts
+                .next()
+                .map(|t| t.parse().map_err(|_| "bad cycle count".to_string()))
+                .transpose()?
+                .unwrap_or(u64::MAX / 2),
         },
         "break" => Command::Break(parse_u32(parts.next().ok_or("missing address")?)?),
         "delete" => Command::Delete(parse_u32(parts.next().ok_or("missing address")?)?),

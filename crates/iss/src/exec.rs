@@ -127,7 +127,8 @@ impl Cpu {
             }
             Inst::Sext { rd, ra, half } => {
                 let a = self.reg(ra);
-                let out = if half { a as u16 as i16 as i32 as u32 } else { a as u8 as i8 as i32 as u32 };
+                let out =
+                    if half { a as u16 as i16 as i32 as u32 } else { a as u8 as i8 as i32 as u32 };
                 self.set_reg(rd, out);
             }
             Inst::Barrel { op, rd, ra, rb } => {
@@ -156,11 +157,7 @@ impl Cpu {
                 self.store(pc, size, ea, self.reg(rd))?;
             }
             Inst::Br { rb, link, absolute, delay } => {
-                let target = if absolute {
-                    self.reg(rb)
-                } else {
-                    pc.wrapping_add(self.reg(rb))
-                };
+                let target = if absolute { self.reg(rb) } else { pc.wrapping_add(self.reg(rb)) };
                 return Ok(self.take_branch(pc, target, link, delay));
             }
             Inst::BrI { imm, link, absolute, delay } => {
@@ -287,27 +284,25 @@ impl Cpu {
     ///   failure (1) or success (0), matching `microblaze_nbread_datafsl`.
     pub(crate) fn exec_fsl(&mut self, inst: &Inst, fsl: &mut FslBank) -> Result<(), ()> {
         match *inst {
-            Inst::Get { rd, chan, mode } => {
-                match fsl.from_hw(chan.index()).try_pop() {
-                    Some(word) => {
-                        if word.control != mode.control {
-                            self.stats.fsl_control_mismatches += 1;
-                        }
-                        self.set_reg(rd, word.data);
-                        self.stats.fsl_words_received += 1;
-                        if mode.non_blocking {
-                            self.carry = false;
-                        }
-                        Ok(())
+            Inst::Get { rd, chan, mode } => match fsl.from_hw(chan.index()).try_pop() {
+                Some(word) => {
+                    if word.control != mode.control {
+                        self.stats.fsl_control_mismatches += 1;
                     }
-                    None if mode.non_blocking => {
-                        self.carry = true;
-                        self.stats.fsl_nonblocking_misses += 1;
-                        Ok(())
+                    self.set_reg(rd, word.data);
+                    self.stats.fsl_words_received += 1;
+                    if mode.non_blocking {
+                        self.carry = false;
                     }
-                    None => Err(()),
+                    Ok(())
                 }
-            }
+                None if mode.non_blocking => {
+                    self.carry = true;
+                    self.stats.fsl_nonblocking_misses += 1;
+                    Ok(())
+                }
+                None => Err(()),
+            },
             Inst::Put { ra, chan, mode } => {
                 let word = FslWord { data: self.reg(ra), control: mode.control };
                 if fsl.to_hw(chan.index()).try_push(word) {

@@ -18,9 +18,9 @@ mod exec;
 mod fault;
 mod stats;
 
-pub use cpu::{Cpu, Event, StopReason, TraceEntry, DEFAULT_MEM_BYTES, OPB_BASE};
-pub use softsim_isa::CpuConfig;
+pub use cpu::{classify, Cpu, Event, StopReason, TraceEntry, DEFAULT_MEM_BYTES, OPB_BASE};
 pub use fault::Fault;
+pub use softsim_isa::CpuConfig;
 pub use stats::CpuStats;
 
 #[cfg(test)]

@@ -88,7 +88,15 @@ pub fn addsub(
 }
 
 /// A combinational 2:1 multiplexer.
-pub fn mux2(k: &mut Kernel, name: &str, sel: SignalId, a0: SignalId, a1: SignalId, y: SignalId, width: u8) {
+pub fn mux2(
+    k: &mut Kernel,
+    name: &str,
+    sel: SignalId,
+    a0: SignalId,
+    a1: SignalId,
+    y: SignalId,
+    width: u8,
+) {
     k.add_primitives(Primitives { lut_bits: width as u64, ..Default::default() });
     k.process(name, &[sel, a0, a1], move |ctx| {
         let v = if ctx.get(sel) == 0 { ctx.get(a0) } else { ctx.get(a1) };
@@ -106,7 +114,14 @@ pub fn sign_bit(k: &mut Kernel, name: &str, a: SignalId, y: SignalId, width: u8)
 
 /// A constant arithmetic right shifter (wiring in hardware, a process in
 /// behavioral simulation).
-pub fn shift_right_arith(k: &mut Kernel, name: &str, a: SignalId, y: SignalId, amount: u32, width: u8) {
+pub fn shift_right_arith(
+    k: &mut Kernel,
+    name: &str,
+    a: SignalId,
+    y: SignalId,
+    amount: u32,
+    width: u8,
+) {
     k.process(name, &[a], move |ctx| {
         let v = sext(ctx.get(a), width) >> amount;
         ctx.set(y, v as u64);

@@ -17,6 +17,7 @@
 //! simulated clock than the arithmetic-level co-simulation — the effect
 //! the paper measures.
 
+use softsim_trace::{SharedSink, TraceEvent};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -165,6 +166,10 @@ pub struct Kernel {
     primitives: Primitives,
     /// VCD sink, if recording.
     vcd: Option<crate::vcd::VcdWriter>,
+    /// Observability sink for per-time-step kernel statistics.
+    sink: Option<SharedSink>,
+    /// Stats snapshot at the last emitted [`TraceEvent::KernelStep`].
+    emitted: KernelStats,
 }
 
 impl Default for Kernel {
@@ -187,6 +192,8 @@ impl Kernel {
             stats: KernelStats::default(),
             primitives: Primitives::default(),
             vcd: None,
+            sink: None,
+            emitted: KernelStats::default(),
         }
     }
 
@@ -279,6 +286,35 @@ impl Kernel {
         self.vcd.take()
     }
 
+    /// Attaches an observability sink: one [`TraceEvent::KernelStep`] is
+    /// emitted per simulation time step, carrying the signal events,
+    /// delta cycles and process invocations that step cost — the
+    /// per-step price of event-driven simulation the paper's speedup
+    /// analysis is about.
+    pub fn attach_trace(&mut self, sink: SharedSink) {
+        self.sink = Some(sink);
+        self.emitted = self.stats;
+    }
+
+    /// Emits the kernel activity accumulated since the last emission as
+    /// one `KernelStep` stamped `time_ns` (skipped when idle).
+    fn emit_step(&mut self, time_ns: Time) {
+        let Some(sink) = &self.sink else { return };
+        let events = self.stats.events - self.emitted.events;
+        let delta_cycles = self.stats.delta_cycles - self.emitted.delta_cycles;
+        let process_runs = self.stats.process_runs - self.emitted.process_runs;
+        if events == 0 && delta_cycles == 0 && process_runs == 0 {
+            return;
+        }
+        sink.borrow_mut().event(&TraceEvent::KernelStep {
+            time_ns,
+            events,
+            delta_cycles,
+            process_runs,
+        });
+        self.emitted = self.stats;
+    }
+
     /// Runs until the event queue is exhausted or `until` is reached.
     /// Returns the time at which simulation stopped.
     pub fn run_until(&mut self, until: Time) -> Time {
@@ -297,15 +333,20 @@ impl Kernel {
             // Advance to the next timed transaction.
             match self.timed.keys().next().copied() {
                 Some(t) if t <= until => {
+                    if self.sink.is_some() {
+                        self.emit_step(self.now);
+                    }
                     self.now = t;
                     self.stats.time_steps += 1;
                     let txns = self.timed.remove(&t).expect("key exists");
                     self.next_delta.extend(txns);
                 }
                 _ => {
-                    self.now = self.now.max(until.min(
-                        self.timed.keys().next().copied().unwrap_or(until),
-                    ));
+                    if self.sink.is_some() {
+                        self.emit_step(self.now);
+                    }
+                    self.now =
+                        self.now.max(until.min(self.timed.keys().next().copied().unwrap_or(until)));
                     return self.now;
                 }
             }

@@ -24,7 +24,9 @@
 
 use crate::comp::{clock, Clock};
 use crate::kernel::{Kernel, Primitives, SignalId};
-use softsim_isa::{decode, ArithFlags, BarrelOp, CpuConfig, Image, Inst, LogicOp, MemSize, Reg, ShiftOp};
+use softsim_isa::{
+    decode, ArithFlags, BarrelOp, CpuConfig, Image, Inst, LogicOp, MemSize, Reg, ShiftOp,
+};
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
@@ -194,11 +196,9 @@ const CPU_BASE_PRIMITIVES: Primitives =
 const BARREL_PRIMITIVES: Primitives =
     Primitives { ff_bits: 10, lut_bits: 160, mult18s: 0, brams: 0 };
 /// The optional multiplier (three embedded MULT18X18s plus glue).
-const MULT_PRIMITIVES: Primitives =
-    Primitives { ff_bits: 20, lut_bits: 130, mult18s: 3, brams: 0 };
+const MULT_PRIMITIVES: Primitives = Primitives { ff_bits: 20, lut_bits: 130, mult18s: 3, brams: 0 };
 /// The optional serial divider (32-cycle iterative unit).
-const DIV_PRIMITIVES: Primitives =
-    Primitives { ff_bits: 110, lut_bits: 240, mult18s: 0, brams: 0 };
+const DIV_PRIMITIVES: Primitives = Primitives { ff_bits: 110, lut_bits: 240, mult18s: 0, brams: 0 };
 /// One LMB interface controller.
 const LMB_PRIMITIVES: Primitives = Primitives { ff_bits: 8, lut_bits: 20, mult18s: 0, brams: 0 };
 
@@ -230,11 +230,8 @@ impl SocRtl {
         }
         kernel.add_primitives(LMB_PRIMITIVES); // instruction-side controller
         kernel.add_primitives(LMB_PRIMITIVES); // data-side controller
-        // Program storage BRAMs.
-        kernel.add_primitives(Primitives {
-            brams: image.bram_count(),
-            ..Default::default()
-        });
+                                               // Program storage BRAMs.
+        kernel.add_primitives(Primitives { brams: image.bram_count(), ..Default::default() });
 
         let arch = Rc::new(RefCell::new(Arch {
             config,
@@ -304,7 +301,9 @@ impl SocRtl {
             kernel.process("decoder", &[ir], move |ctx| {
                 let w = ctx.get(ir) as u32;
                 // opcode | rd | ra | rb packed — pure observation traffic.
-                let packed = (w >> 26) | ((w >> 21) & 0x1F) << 6 | ((w >> 16) & 0x1F) << 11
+                let packed = (w >> 26)
+                    | ((w >> 21) & 0x1F) << 6
+                    | ((w >> 16) & 0x1F) << 11
                     | ((w >> 11) & 0x1F) << 16;
                 ctx.set(decode_fields, packed as u64);
             });
@@ -552,9 +551,7 @@ fn cpu_cycle(
                     return;
                 }
             };
-            if a.in_delay_slot
-                && (inst.is_branch() || inst.is_imm_prefix() || inst == Inst::Halt)
-            {
+            if a.in_delay_slot && (inst.is_branch() || inst.is_imm_prefix() || inst == Inst::Halt) {
                 a.halted = true;
                 a.fault = Some(format!("illegal delay slot at {pc:#010x}"));
                 ctx.set(sigs.halted, 1);

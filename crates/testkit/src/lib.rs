@@ -1,0 +1,165 @@
+//! # softsim-testkit — deterministic randomized-testing support
+//!
+//! A tiny, dependency-free stand-in for the `rand`/`proptest` pair used
+//! by the randomized tests across the workspace. The build environment is
+//! fully offline (`DESIGN.md` §6: no external dependencies), so the
+//! randomized invariant tests draw their inputs from this deterministic
+//! generator instead.
+//!
+//! Tests written against it are reproducible by construction: every
+//! failure message should carry the case seed, and re-running the same
+//! seed replays the identical input.
+
+#![warn(missing_docs)]
+
+/// A small, fast, deterministic PRNG (xorshift64\* with a splitmix64
+/// seed scrambler). Not cryptographic; statistics are more than adequate
+/// for generating test inputs.
+#[derive(Debug, Clone)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// A generator seeded from `seed` (any value, including 0).
+    pub fn new(seed: u64) -> Rng {
+        // splitmix64 scramble so nearby seeds give unrelated streams.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        Rng((z ^ (z >> 31)) | 1)
+    }
+
+    /// The next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// The next 32 uniformly random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "Rng::below(0)");
+        // Multiply-shift bounding; bias is < 2^-32 for test-sized bounds.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// A uniform `usize` in `[lo, hi)`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        lo + self.below((hi - lo) as u64) as usize
+    }
+
+    /// A uniform `u32` in `[lo, hi)`.
+    pub fn range_u32(&mut self, lo: u32, hi: u32) -> u32 {
+        lo + self.below((hi - lo) as u64) as u32
+    }
+
+    /// A uniform `i64` in `[lo, hi)`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + self.below((hi - lo) as u64) as i64
+    }
+
+    /// A uniform `i16` in `[lo, hi)`.
+    pub fn range_i16(&mut self, lo: i16, hi: i16) -> i16 {
+        self.range_i64(lo as i64, hi as i64) as i16
+    }
+
+    /// A fair coin flip.
+    pub fn flip(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform `f64` in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.f64() * (hi - lo)
+    }
+
+    /// A uniformly chosen element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.range_usize(0, items.len())]
+    }
+}
+
+/// Runs `body` for `n` independently seeded cases (seeds `0..n`).
+///
+/// The closure receives the case seed (put it in every assertion message
+/// so failures replay) and a generator for that case.
+pub fn cases(n: u64, mut body: impl FnMut(u64, &mut Rng)) {
+    for seed in 0..n {
+        let mut rng = Rng::new(seed);
+        body(seed, &mut rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_and_seed_sensitive() {
+        let a: Vec<u64> = {
+            let mut r = Rng::new(7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Rng::new(7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = Rng::new(8);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b, "same seed, same stream");
+        assert_ne!(a, c, "nearby seeds diverge");
+    }
+
+    #[test]
+    fn bounds_are_respected() {
+        let mut r = Rng::new(42);
+        for _ in 0..10_000 {
+            let v = r.range_usize(3, 17);
+            assert!((3..17).contains(&v));
+            let w = r.range_i64(-50, -10);
+            assert!((-50..-10).contains(&w));
+            let f = r.range_f64(0.25, 0.5);
+            assert!((0.25..0.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn below_is_roughly_uniform() {
+        let mut r = Rng::new(1);
+        let mut buckets = [0u32; 10];
+        for _ in 0..100_000 {
+            buckets[r.below(10) as usize] += 1;
+        }
+        for (i, &b) in buckets.iter().enumerate() {
+            assert!((8_000..12_000).contains(&b), "bucket {i} count {b}");
+        }
+    }
+
+    #[test]
+    fn cases_pass_distinct_seeds() {
+        let mut seen = Vec::new();
+        cases(5, |seed, rng| {
+            seen.push((seed, rng.next_u64()));
+        });
+        assert_eq!(seen.len(), 5);
+        let firsts: std::collections::HashSet<u64> = seen.iter().map(|&(_, v)| v).collect();
+        assert_eq!(firsts.len(), 5, "each case sees a distinct stream");
+    }
+}

@@ -1,0 +1,166 @@
+//! Chrome trace-event JSON export.
+//!
+//! Produces the JSON object format of the Trace Event spec, loadable in
+//! Perfetto (`ui.perfetto.dev`) or `chrome://tracing`. One simulated
+//! clock cycle maps to one microsecond of trace time (`ts`/`dur` are in
+//! microseconds per the spec), so a 50 MHz run visualizes with cycle
+//! resolution.
+//!
+//! Track layout:
+//!
+//! * `tid 1` — retired instructions as complete (`X`) slices, named by
+//!   instruction class, with PC and raw word in `args`;
+//! * `tid 2` — FSL stall intervals as begin/end (`B`/`E`) pairs;
+//! * counter (`C`) tracks per FSL FIFO carrying occupancy, and one per
+//!   RTL-kernel statistic;
+//! * instant (`i`) events for FIFO flag rejections and gateway words.
+
+use crate::event::{StallCause, TraceEvent};
+
+/// The process id used for all cycle-domain tracks.
+const PID: u32 = 1;
+
+fn esc(s: &str) -> String {
+    // The strings we emit are generated labels; escape defensively anyway.
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn stall_name(cause: StallCause) -> &'static str {
+    match cause {
+        StallCause::FslRead => "fsl read stall",
+        StallCause::FslWrite => "fsl write stall",
+    }
+}
+
+/// Renders `events` as a Chrome trace-event JSON document.
+///
+/// Events are sorted by timestamp so `ts` is non-decreasing — some
+/// viewers require it, and the exporter tests assert it.
+pub fn to_json(events: &[TraceEvent]) -> String {
+    let mut sorted: Vec<&TraceEvent> = events.iter().collect();
+    sorted.sort_by_key(|e| e.timestamp());
+    let mut rows: Vec<String> = Vec::with_capacity(sorted.len());
+    for e in sorted {
+        let row = match *e {
+            TraceEvent::Retire { cycle, pc, word, class, cycles, read_stalls, write_stalls } => {
+                format!(
+                    concat!(
+                        r#"{{"name":"{}","cat":"cpu","ph":"X","ts":{},"dur":{},"pid":{},"tid":1,"#,
+                        r#""args":{{"pc":"{:#010x}","word":"{:#010x}","read_stalls":{},"write_stalls":{}}}}}"#
+                    ),
+                    esc(class.label()),
+                    cycle,
+                    cycles,
+                    PID,
+                    pc,
+                    word,
+                    read_stalls,
+                    write_stalls
+                )
+            }
+            TraceEvent::StallBegin { cycle, pc, cause } => format!(
+                r#"{{"name":"{}","cat":"stall","ph":"B","ts":{},"pid":{},"tid":2,"args":{{"pc":"{:#010x}"}}}}"#,
+                stall_name(cause),
+                cycle,
+                PID,
+                pc
+            ),
+            TraceEvent::StallEnd { cycle, pc, cause, cycles } => format!(
+                r#"{{"name":"{}","cat":"stall","ph":"E","ts":{},"pid":{},"tid":2,"args":{{"pc":"{:#010x}","cycles":{}}}}}"#,
+                stall_name(cause),
+                cycle,
+                PID,
+                pc,
+                cycles
+            ),
+            TraceEvent::FifoPush { cycle, dir, channel, occupancy, .. }
+            | TraceEvent::FifoPop { cycle, dir, channel, occupancy, .. } => format!(
+                r#"{{"name":"fsl {}{}","cat":"fifo","ph":"C","ts":{},"pid":{},"args":{{"occupancy":{}}}}}"#,
+                dir.label(),
+                channel,
+                cycle,
+                PID,
+                occupancy
+            ),
+            TraceEvent::FifoFull { cycle, dir, channel } => format!(
+                r#"{{"name":"fsl {}{} full","cat":"fifo","ph":"i","ts":{},"pid":{},"tid":3,"s":"t"}}"#,
+                dir.label(),
+                channel,
+                cycle,
+                PID
+            ),
+            TraceEvent::FifoEmpty { cycle, dir, channel } => format!(
+                r#"{{"name":"fsl {}{} empty","cat":"fifo","ph":"i","ts":{},"pid":{},"tid":3,"s":"t"}}"#,
+                dir.label(),
+                channel,
+                cycle,
+                PID
+            ),
+            TraceEvent::GatewayWord { cycle, peripheral, to_hw, data } => format!(
+                r#"{{"name":"gateway p{} {}","cat":"gateway","ph":"i","ts":{},"pid":{},"tid":4,"s":"t","args":{{"data":"{:#010x}"}}}}"#,
+                peripheral,
+                if to_hw { "to hw" } else { "from hw" },
+                cycle,
+                PID,
+                data
+            ),
+            TraceEvent::KernelStep { time_ns, events, delta_cycles, process_runs } => format!(
+                r#"{{"name":"rtl kernel","cat":"rtl","ph":"C","ts":{},"pid":2,"args":{{"events":{},"delta_cycles":{},"process_runs":{}}}}}"#,
+                time_ns, events, delta_cycles, process_runs
+            ),
+        };
+        rows.push(row);
+    }
+    let mut out = String::from("{\"traceEvents\":[");
+    out.push_str(&rows.join(","));
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::FifoDir;
+    use crate::json;
+
+    #[test]
+    fn export_is_valid_json_with_sorted_ts() {
+        let events = vec![
+            TraceEvent::FifoPush {
+                cycle: 9,
+                dir: FifoDir::ToHw,
+                channel: 0,
+                data: 1,
+                control: false,
+                occupancy: 1,
+            },
+            TraceEvent::Retire {
+                cycle: 2,
+                pc: 0x10,
+                word: 0xdead_beef,
+                class: crate::InstClass::Alu,
+                cycles: 1,
+                read_stalls: 0,
+                write_stalls: 0,
+            },
+        ];
+        let text = to_json(&events);
+        let v = json::parse(&text).expect("valid JSON");
+        let rows = v.get("traceEvents").and_then(json::Value::as_array).expect("traceEvents");
+        assert_eq!(rows.len(), 2);
+        let ts: Vec<f64> =
+            rows.iter().map(|r| r.get("ts").and_then(json::Value::as_f64).unwrap()).collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]), "ts non-decreasing: {ts:?}");
+    }
+}

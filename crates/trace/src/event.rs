@@ -1,0 +1,242 @@
+//! The cycle-domain event model.
+
+/// Why the processor is stalled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StallCause {
+    /// Blocking FSL `get` waiting on the `exists` flag.
+    FslRead,
+    /// Blocking FSL `put` waiting on the `full` flag.
+    FslWrite,
+}
+
+/// Direction of an FSL FIFO relative to the processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FifoDir {
+    /// Processor → hardware (the CPU `put` side).
+    ToHw,
+    /// Hardware → processor (the CPU `get` side).
+    FromHw,
+}
+
+impl FifoDir {
+    /// Short label used in timelines and trace names.
+    pub fn label(self) -> &'static str {
+        match self {
+            FifoDir::ToHw => "to_hw",
+            FifoDir::FromHw => "from_hw",
+        }
+    }
+}
+
+/// Coarse instruction classification for mix and cycle-breakdown
+/// reporting. The mapping from a concrete ISA lives with the simulator;
+/// this crate only aggregates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstClass {
+    /// Integer ALU / compare / sign-extend.
+    Alu,
+    /// Multiply (3-cycle on the modeled pipeline).
+    Mul,
+    /// Serial divide.
+    Div,
+    /// Shift / barrel shift.
+    Shift,
+    /// Bitwise logic.
+    Logic,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Branch / return.
+    Branch,
+    /// `imm` prefix.
+    Imm,
+    /// FSL read (`get` family).
+    FslGet,
+    /// FSL write (`put` family).
+    FslPut,
+    /// `halt`.
+    Halt,
+    /// Anything else.
+    Other,
+}
+
+impl InstClass {
+    /// All classes, in report order.
+    pub const ALL: [InstClass; 13] = [
+        InstClass::Alu,
+        InstClass::Mul,
+        InstClass::Div,
+        InstClass::Shift,
+        InstClass::Logic,
+        InstClass::Load,
+        InstClass::Store,
+        InstClass::Branch,
+        InstClass::Imm,
+        InstClass::FslGet,
+        InstClass::FslPut,
+        InstClass::Halt,
+        InstClass::Other,
+    ];
+
+    /// Dense index for table storage.
+    pub fn index(self) -> usize {
+        InstClass::ALL.iter().position(|&c| c == self).expect("class in ALL")
+    }
+
+    /// Report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            InstClass::Alu => "alu",
+            InstClass::Mul => "mul",
+            InstClass::Div => "div",
+            InstClass::Shift => "shift",
+            InstClass::Logic => "logic",
+            InstClass::Load => "load",
+            InstClass::Store => "store",
+            InstClass::Branch => "branch",
+            InstClass::Imm => "imm",
+            InstClass::FslGet => "fsl_get",
+            InstClass::FslPut => "fsl_put",
+            InstClass::Halt => "halt",
+            InstClass::Other => "other",
+        }
+    }
+}
+
+/// One cycle-domain observation from somewhere in the co-simulation
+/// stack. Every event is stamped with the clock cycle (or, for the RTL
+/// kernel, simulation time) at which it occurred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// An instruction retired. `cycle` is the cycle the instruction
+    /// *issued* on; `cycles` is its total occupancy including stalls, so
+    /// summing `cycles` over a halted run reproduces the processor's
+    /// cycle counter exactly.
+    Retire {
+        /// Issue cycle (0-based).
+        cycle: u64,
+        /// Instruction address.
+        pc: u32,
+        /// Raw instruction word.
+        word: u32,
+        /// Coarse classification.
+        class: InstClass,
+        /// Total cycles from issue to retire, stalls included.
+        cycles: u32,
+        /// Cycles of this instruction spent stalled on FSL reads.
+        read_stalls: u32,
+        /// Cycles of this instruction spent stalled on FSL writes.
+        write_stalls: u32,
+    },
+    /// A blocking FSL access began stalling the processor.
+    StallBegin {
+        /// First stalled cycle.
+        cycle: u64,
+        /// PC of the stalled instruction.
+        pc: u32,
+        /// Read- or write-side stall.
+        cause: StallCause,
+    },
+    /// A blocking FSL access completed after stalling.
+    StallEnd {
+        /// Cycle on which the transfer finally completed.
+        cycle: u64,
+        /// PC of the stalled instruction.
+        pc: u32,
+        /// Read- or write-side stall.
+        cause: StallCause,
+        /// Number of stalled cycles.
+        cycles: u64,
+    },
+    /// A word entered an FSL FIFO.
+    FifoPush {
+        /// Cycle stamp.
+        cycle: u64,
+        /// FIFO direction.
+        dir: FifoDir,
+        /// Channel number.
+        channel: u8,
+        /// Payload.
+        data: u32,
+        /// Control bit.
+        control: bool,
+        /// Occupancy *after* the push.
+        occupancy: u8,
+    },
+    /// A word left an FSL FIFO.
+    FifoPop {
+        /// Cycle stamp.
+        cycle: u64,
+        /// FIFO direction.
+        dir: FifoDir,
+        /// Channel number.
+        channel: u8,
+        /// Payload.
+        data: u32,
+        /// Control bit.
+        control: bool,
+        /// Occupancy *after* the pop.
+        occupancy: u8,
+    },
+    /// A push was rejected: the FIFO's `full` flag was raised.
+    FifoFull {
+        /// Cycle stamp.
+        cycle: u64,
+        /// FIFO direction.
+        dir: FifoDir,
+        /// Channel number.
+        channel: u8,
+    },
+    /// A pop found nothing: the FIFO's `exists` flag was low.
+    FifoEmpty {
+        /// Cycle stamp.
+        cycle: u64,
+        /// FIFO direction.
+        dir: FifoDir,
+        /// Channel number.
+        channel: u8,
+    },
+    /// A word crossed a gateway between the bus models and a hardware
+    /// peripheral (FSL binding or OPB adapter).
+    GatewayWord {
+        /// Cycle stamp.
+        cycle: u64,
+        /// Peripheral index (attachment order).
+        peripheral: u8,
+        /// `true` when the word traveled processor → hardware.
+        to_hw: bool,
+        /// Payload.
+        data: u32,
+    },
+    /// The event-driven RTL kernel advanced one simulation time step.
+    /// Counters are cumulative kernel totals at that instant.
+    KernelStep {
+        /// Simulation time in nanoseconds.
+        time_ns: u64,
+        /// Cumulative signal events.
+        events: u64,
+        /// Cumulative delta cycles.
+        delta_cycles: u64,
+        /// Cumulative process invocations.
+        process_runs: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The event's time stamp: clock cycle, or nanoseconds for
+    /// [`TraceEvent::KernelStep`].
+    pub fn timestamp(&self) -> u64 {
+        match *self {
+            TraceEvent::Retire { cycle, .. }
+            | TraceEvent::StallBegin { cycle, .. }
+            | TraceEvent::StallEnd { cycle, .. }
+            | TraceEvent::FifoPush { cycle, .. }
+            | TraceEvent::FifoPop { cycle, .. }
+            | TraceEvent::FifoFull { cycle, .. }
+            | TraceEvent::FifoEmpty { cycle, .. }
+            | TraceEvent::GatewayWord { cycle, .. } => cycle,
+            TraceEvent::KernelStep { time_ns, .. } => time_ns,
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! # softsim-trace — cycle-domain observability for the co-simulation stack
+//!
+//! The paper's co-simulation environment exists to answer *where do the
+//! cycles go?* — how much of an application's time is compute, how much
+//! is spent stalled on the Fast Simplex Links, how deep the FIFOs
+//! actually fill (§IV's communication-overhead analysis). This crate is
+//! the instrumentation layer that extracts those answers from a run
+//! without changing its simulated behavior:
+//!
+//! * [`TraceEvent`] — the cycle-domain event model: instruction retires
+//!   with stall attribution, FSL pushes/pops/flag rejections per channel,
+//!   gateway word transfers, and discrete-event kernel activity;
+//! * [`TraceSink`] — the observer trait every simulator component emits
+//!   into; sinks are attached explicitly and the untraced path stays a
+//!   single predictable branch;
+//! * [`Recorder`] — a bounded ring buffer of raw events;
+//! * [`Timeline`] — per-channel FIFO occupancy time series with
+//!   high-water marks, exported as CSV;
+//! * [`Profile`] — hot-PC histogram, instruction mix and the
+//!   compute / FSL-read-stall / FSL-write-stall / memory cycle
+//!   breakdown, with totals that reconcile *exactly* against the
+//!   processor's own [`cycles`](Profile::total_cycles) counter;
+//! * [`chrome`] — Chrome trace-event JSON (loadable in Perfetto /
+//!   `chrome://tracing`);
+//! * [`json`] — a minimal JSON reader so exports can be schema-checked
+//!   in tests without external dependencies.
+//!
+//! The crate is intentionally dependency-free (std only) and knows
+//! nothing about the simulators; they depend on it, never the reverse.
+//!
+//! # Attaching
+//!
+//! Sinks are shared between the processor, the FSL bank and the
+//! co-simulator through [`SharedSink`] (`Rc<RefCell<dyn TraceSink>>`):
+//!
+//! ```
+//! use softsim_trace::{Profile, SharedSink, TraceEvent, TraceSink};
+//! use std::cell::RefCell;
+//! use std::rc::Rc;
+//!
+//! let profile = Rc::new(RefCell::new(Profile::new()));
+//! let sink: SharedSink = profile.clone();
+//! sink.borrow_mut().event(&TraceEvent::GatewayWord {
+//!     cycle: 3,
+//!     peripheral: 0,
+//!     to_hw: true,
+//!     data: 42,
+//! });
+//! assert_eq!(profile.borrow().gateway_words_to_hw(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod chrome;
+mod event;
+pub mod json;
+mod profile;
+mod recorder;
+mod sink;
+mod timeline;
+
+pub use event::{FifoDir, InstClass, StallCause, TraceEvent};
+pub use profile::{CycleBreakdown, PcStat, Profile};
+pub use recorder::Recorder;
+pub use sink::{shared, Fanout, NullSink, SharedSink, TraceSink};
+pub use timeline::Timeline;

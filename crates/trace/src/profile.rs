@@ -1,0 +1,312 @@
+//! Stall attribution and hot-spot profiling.
+
+use crate::event::{InstClass, TraceEvent};
+use crate::sink::TraceSink;
+use std::collections::HashMap;
+
+/// Per-PC execution counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PcStat {
+    /// Times an instruction at this PC retired.
+    pub retires: u64,
+    /// Cycles attributed to this PC (stalls included).
+    pub cycles: u64,
+}
+
+/// Where a run's cycles went. `compute` is everything that is not an
+/// FSL stall (memory cycles are a subset of compute, broken out
+/// separately), so
+/// `compute + fsl_read_stall + fsl_write_stall == total` always holds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CycleBreakdown {
+    /// Total cycles attributed to retired instructions.
+    pub total: u64,
+    /// Non-stall cycles.
+    pub compute: u64,
+    /// Cycles stalled on blocking FSL reads.
+    pub fsl_read_stall: u64,
+    /// Cycles stalled on blocking FSL writes.
+    pub fsl_write_stall: u64,
+    /// Cycles of load/store instructions (subset of `compute`).
+    pub memory: u64,
+}
+
+/// Aggregating profiler: consumes [`TraceEvent`]s and produces the
+/// textual profile report — hot-PC histogram, instruction mix and the
+/// cycle breakdown of the paper's communication-overhead analysis.
+///
+/// Every retire event carries its instruction's full cycle occupancy,
+/// so for a run that executed to `halt` the profile's
+/// [`total_cycles`](Profile::total_cycles) equals the processor's own
+/// cycle counter *exactly* — asserted by the integration tests.
+#[derive(Debug, Clone, Default)]
+pub struct Profile {
+    pcs: HashMap<u32, PcStat>,
+    class_retires: [u64; InstClass::ALL.len()],
+    class_cycles: [u64; InstClass::ALL.len()],
+    total_cycles: u64,
+    instructions: u64,
+    read_stall_cycles: u64,
+    write_stall_cycles: u64,
+    memory_cycles: u64,
+    fifo_pushes: u64,
+    fifo_pops: u64,
+    fifo_full_rejections: u64,
+    fifo_empty_rejections: u64,
+    gateway_to_hw: u64,
+    gateway_from_hw: u64,
+    kernel_steps: u64,
+    kernel_events: u64,
+    kernel_delta_cycles: u64,
+}
+
+impl Profile {
+    /// An empty profile.
+    pub fn new() -> Profile {
+        Profile::default()
+    }
+
+    /// Total cycles attributed to retired instructions.
+    pub fn total_cycles(&self) -> u64 {
+        self.total_cycles
+    }
+
+    /// Instructions retired.
+    pub fn total_instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Cycles stalled on blocking FSL reads.
+    pub fn read_stall_cycles(&self) -> u64 {
+        self.read_stall_cycles
+    }
+
+    /// Cycles stalled on blocking FSL writes.
+    pub fn write_stall_cycles(&self) -> u64 {
+        self.write_stall_cycles
+    }
+
+    /// Gateway words that traveled processor → hardware.
+    pub fn gateway_words_to_hw(&self) -> u64 {
+        self.gateway_to_hw
+    }
+
+    /// Gateway words that traveled hardware → processor.
+    pub fn gateway_words_from_hw(&self) -> u64 {
+        self.gateway_from_hw
+    }
+
+    /// Per-PC counters.
+    pub fn pc_stats(&self) -> &HashMap<u32, PcStat> {
+        &self.pcs
+    }
+
+    /// Retire count for one instruction class.
+    pub fn class_retires(&self, class: InstClass) -> u64 {
+        self.class_retires[class.index()]
+    }
+
+    /// The cycle breakdown.
+    pub fn breakdown(&self) -> CycleBreakdown {
+        CycleBreakdown {
+            total: self.total_cycles,
+            compute: self.total_cycles - self.read_stall_cycles - self.write_stall_cycles,
+            fsl_read_stall: self.read_stall_cycles,
+            fsl_write_stall: self.write_stall_cycles,
+            memory: self.memory_cycles,
+        }
+    }
+
+    /// The `n` hottest PCs by attributed cycles, descending (PC breaks
+    /// ties so the order is deterministic).
+    pub fn hot_pcs(&self, n: usize) -> Vec<(u32, PcStat)> {
+        let mut v: Vec<(u32, PcStat)> = self.pcs.iter().map(|(&pc, &s)| (pc, s)).collect();
+        v.sort_by_key(|&(pc, s)| (std::cmp::Reverse(s.cycles), pc));
+        v.truncate(n);
+        v
+    }
+
+    /// The instruction mix sorted by retire count, descending.
+    pub fn mix(&self) -> Vec<(InstClass, u64, u64)> {
+        let mut v: Vec<(InstClass, u64, u64)> = InstClass::ALL
+            .iter()
+            .map(|&c| (c, self.class_retires[c.index()], self.class_cycles[c.index()]))
+            .filter(|&(_, retires, _)| retires > 0)
+            .collect();
+        v.sort_by_key(|&(c, retires, _)| (std::cmp::Reverse(retires), c.index()));
+        v
+    }
+
+    /// Renders the textual profile report: cycle breakdown, top-`top_n`
+    /// instruction mix and hot-PC histogram.
+    pub fn report(&self, top_n: usize) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let b = self.breakdown();
+        let pct = |part: u64| {
+            if b.total == 0 {
+                0.0
+            } else {
+                100.0 * part as f64 / b.total as f64
+            }
+        };
+        let _ = writeln!(
+            out,
+            "cycle breakdown ({} cycles, {} instructions)",
+            b.total, self.instructions
+        );
+        let _ = writeln!(out, "  compute          {:>10}  {:5.1}%", b.compute, pct(b.compute));
+        let _ = writeln!(out, "    of which mem   {:>10}  {:5.1}%", b.memory, pct(b.memory));
+        let _ = writeln!(
+            out,
+            "  fsl read stall   {:>10}  {:5.1}%",
+            b.fsl_read_stall,
+            pct(b.fsl_read_stall)
+        );
+        let _ = writeln!(
+            out,
+            "  fsl write stall  {:>10}  {:5.1}%",
+            b.fsl_write_stall,
+            pct(b.fsl_write_stall)
+        );
+        if self.fifo_pushes + self.fifo_pops > 0 {
+            let _ = writeln!(
+                out,
+                "fsl traffic: {} pushes, {} pops, {} full-rejects, {} empty-rejects",
+                self.fifo_pushes,
+                self.fifo_pops,
+                self.fifo_full_rejections,
+                self.fifo_empty_rejections
+            );
+        }
+        if self.gateway_to_hw + self.gateway_from_hw > 0 {
+            let _ = writeln!(
+                out,
+                "gateway words: {} to hw, {} from hw",
+                self.gateway_to_hw, self.gateway_from_hw
+            );
+        }
+        if self.kernel_steps > 0 {
+            let _ = writeln!(
+                out,
+                "rtl kernel: {} time steps, {} events, {} delta cycles",
+                self.kernel_steps, self.kernel_events, self.kernel_delta_cycles
+            );
+        }
+        let _ = writeln!(out, "instruction mix (top {top_n}):");
+        for (class, retires, cycles) in self.mix().into_iter().take(top_n) {
+            let _ = writeln!(
+                out,
+                "  {:<9} {:>10} retired  {:>10} cycles  {:5.1}%",
+                class.label(),
+                retires,
+                cycles,
+                pct(cycles)
+            );
+        }
+        let _ = writeln!(out, "hot PCs (top {top_n}):");
+        for (pc, s) in self.hot_pcs(top_n) {
+            let _ = writeln!(
+                out,
+                "  {:#010x} {:>10} cycles  {:>10} retires  {:5.1}%",
+                pc,
+                s.cycles,
+                s.retires,
+                pct(s.cycles)
+            );
+        }
+        out
+    }
+}
+
+impl TraceSink for Profile {
+    fn event(&mut self, e: &TraceEvent) {
+        match *e {
+            TraceEvent::Retire { pc, class, cycles, read_stalls, write_stalls, .. } => {
+                let s = self.pcs.entry(pc).or_default();
+                s.retires += 1;
+                s.cycles += cycles as u64;
+                self.class_retires[class.index()] += 1;
+                self.class_cycles[class.index()] += cycles as u64;
+                self.total_cycles += cycles as u64;
+                self.instructions += 1;
+                self.read_stall_cycles += read_stalls as u64;
+                self.write_stall_cycles += write_stalls as u64;
+                if matches!(class, InstClass::Load | InstClass::Store) {
+                    self.memory_cycles += cycles as u64;
+                }
+            }
+            TraceEvent::FifoPush { .. } => self.fifo_pushes += 1,
+            TraceEvent::FifoPop { .. } => self.fifo_pops += 1,
+            TraceEvent::FifoFull { .. } => self.fifo_full_rejections += 1,
+            TraceEvent::FifoEmpty { .. } => self.fifo_empty_rejections += 1,
+            TraceEvent::GatewayWord { to_hw, .. } => {
+                if to_hw {
+                    self.gateway_to_hw += 1;
+                } else {
+                    self.gateway_from_hw += 1;
+                }
+            }
+            TraceEvent::KernelStep { events, delta_cycles, .. } => {
+                self.kernel_steps += 1;
+                self.kernel_events = events;
+                self.kernel_delta_cycles = delta_cycles;
+            }
+            TraceEvent::StallBegin { .. } | TraceEvent::StallEnd { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn retire(pc: u32, class: InstClass, cycles: u32, rs: u32, ws: u32) -> TraceEvent {
+        TraceEvent::Retire {
+            cycle: 0,
+            pc,
+            word: 0,
+            class,
+            cycles,
+            read_stalls: rs,
+            write_stalls: ws,
+        }
+    }
+
+    #[test]
+    fn breakdown_reconciles_by_construction() {
+        let mut p = Profile::new();
+        p.event(&retire(0x0, InstClass::Alu, 1, 0, 0));
+        p.event(&retire(0x4, InstClass::FslGet, 7, 5, 0));
+        p.event(&retire(0x8, InstClass::FslPut, 4, 0, 2));
+        p.event(&retire(0xC, InstClass::Load, 2, 0, 0));
+        let b = p.breakdown();
+        assert_eq!(b.total, 14);
+        assert_eq!(b.compute + b.fsl_read_stall + b.fsl_write_stall, b.total);
+        assert_eq!(b.fsl_read_stall, 5);
+        assert_eq!(b.fsl_write_stall, 2);
+        assert_eq!(b.memory, 2);
+    }
+
+    #[test]
+    fn hot_pcs_sorted_by_cycles() {
+        let mut p = Profile::new();
+        p.event(&retire(0x10, InstClass::Alu, 1, 0, 0));
+        p.event(&retire(0x20, InstClass::Mul, 3, 0, 0));
+        p.event(&retire(0x20, InstClass::Mul, 3, 0, 0));
+        let hot = p.hot_pcs(2);
+        assert_eq!(hot[0].0, 0x20);
+        assert_eq!(hot[0].1.cycles, 6);
+        assert_eq!(hot[1].0, 0x10);
+    }
+
+    #[test]
+    fn report_mentions_every_section() {
+        let mut p = Profile::new();
+        p.event(&retire(0x0, InstClass::Alu, 1, 0, 0));
+        let r = p.report(5);
+        assert!(r.contains("cycle breakdown"));
+        assert!(r.contains("instruction mix"));
+        assert!(r.contains("hot PCs"));
+    }
+}

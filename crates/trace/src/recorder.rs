@@ -1,0 +1,107 @@
+//! A bounded ring-buffer event recorder.
+
+use crate::event::TraceEvent;
+use crate::sink::TraceSink;
+
+/// Records raw events into a bounded ring buffer: when the buffer is
+/// full, the oldest events are overwritten (and counted), so memory use
+/// is fixed no matter how long the simulation runs.
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    buf: Vec<TraceEvent>,
+    capacity: usize,
+    /// Index of the oldest event once the buffer has wrapped.
+    head: usize,
+    dropped: u64,
+}
+
+impl Recorder {
+    /// A recorder keeping at most `capacity` events.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Recorder {
+        assert!(capacity > 0, "Recorder capacity must be positive");
+        Recorder { buf: Vec::with_capacity(capacity.min(4096)), capacity, head: 0, dropped: 0 }
+    }
+
+    /// Events currently held, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+
+    /// Number of events overwritten after the buffer filled.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Discards all recorded events.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+        self.dropped = 0;
+    }
+}
+
+impl TraceSink for Recorder {
+    fn event(&mut self, e: &TraceEvent) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(*e);
+        } else {
+            self.buf[self.head] = *e;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+
+    fn ev(cycle: u64) -> TraceEvent {
+        TraceEvent::GatewayWord { cycle, peripheral: 0, to_hw: true, data: cycle as u32 }
+    }
+
+    #[test]
+    fn stays_bounded_and_keeps_newest() {
+        let mut r = Recorder::new(4);
+        for c in 0..10 {
+            r.event(&ev(c));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 6);
+        let cycles: Vec<u64> = r.events().iter().map(|e| e.timestamp()).collect();
+        assert_eq!(cycles, vec![6, 7, 8, 9], "oldest-first, newest retained");
+    }
+
+    #[test]
+    fn order_preserved_before_wrap() {
+        let mut r = Recorder::new(8);
+        for c in 0..5 {
+            r.event(&ev(c));
+        }
+        assert_eq!(r.dropped(), 0);
+        let cycles: Vec<u64> = r.events().iter().map(|e| e.timestamp()).collect();
+        assert_eq!(cycles, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,144 @@
+//! Per-channel FIFO occupancy time series.
+
+use crate::event::{FifoDir, TraceEvent};
+use crate::sink::TraceSink;
+use std::collections::BTreeMap;
+
+/// One occupancy series: `(cycle, occupancy-after-the-event)` samples,
+/// appended only when the occupancy changes.
+#[derive(Debug, Clone, Default)]
+pub struct Series {
+    samples: Vec<(u64, u32)>,
+    high_water: u32,
+}
+
+impl Series {
+    /// The recorded `(cycle, occupancy)` samples.
+    pub fn samples(&self) -> &[(u64, u32)] {
+        &self.samples
+    }
+
+    /// Highest occupancy ever observed.
+    pub fn high_water(&self) -> u32 {
+        self.high_water
+    }
+
+    fn push(&mut self, cycle: u64, occupancy: u32) {
+        self.high_water = self.high_water.max(occupancy);
+        self.samples.push((cycle, occupancy));
+    }
+}
+
+/// Collects FIFO occupancy timelines keyed by `(direction, channel)`,
+/// for CSV export and high-water analysis (the paper sizes data batches
+/// to FIFO capacity; these series show how close a design point gets).
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    series: BTreeMap<(bool, u8), Series>,
+}
+
+impl Timeline {
+    /// An empty timeline collector.
+    pub fn new() -> Timeline {
+        Timeline::default()
+    }
+
+    /// The series for one FIFO, if it ever saw traffic.
+    pub fn fifo(&self, dir: FifoDir, channel: u8) -> Option<&Series> {
+        self.series.get(&(matches!(dir, FifoDir::ToHw), channel))
+    }
+
+    /// Highest occupancy observed on any channel in `dir`.
+    pub fn high_water(&self, dir: FifoDir) -> u32 {
+        let want = matches!(dir, FifoDir::ToHw);
+        self.series
+            .iter()
+            .filter(|((d, _), _)| *d == want)
+            .map(|(_, s)| s.high_water)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Renders every series as CSV rows `cycle,fifo,occupancy`, sorted by
+    /// cycle (then by FIFO name for simultaneous events).
+    pub fn to_csv(&self) -> String {
+        use std::fmt::Write as _;
+        let mut rows: Vec<(u64, String, u32)> = Vec::new();
+        for ((to_hw, ch), series) in &self.series {
+            let dir = if *to_hw { FifoDir::ToHw } else { FifoDir::FromHw };
+            for &(cycle, occ) in &series.samples {
+                rows.push((cycle, format!("{}{}", dir.label(), ch), occ));
+            }
+        }
+        rows.sort();
+        let mut out = String::from("cycle,fifo,occupancy\n");
+        for (cycle, name, occ) in rows {
+            let _ = writeln!(out, "{cycle},{name},{occ}");
+        }
+        out
+    }
+}
+
+impl TraceSink for Timeline {
+    fn event(&mut self, e: &TraceEvent) {
+        let (cycle, dir, channel, occupancy) = match *e {
+            TraceEvent::FifoPush { cycle, dir, channel, occupancy, .. }
+            | TraceEvent::FifoPop { cycle, dir, channel, occupancy, .. } => {
+                (cycle, dir, channel, occupancy)
+            }
+            _ => return,
+        };
+        self.series
+            .entry((matches!(dir, FifoDir::ToHw), channel))
+            .or_default()
+            .push(cycle, occupancy as u32);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn push(cycle: u64, ch: u8, occ: u8) -> TraceEvent {
+        TraceEvent::FifoPush {
+            cycle,
+            dir: FifoDir::ToHw,
+            channel: ch,
+            data: 0,
+            control: false,
+            occupancy: occ,
+        }
+    }
+
+    #[test]
+    fn tracks_high_water_per_channel() {
+        let mut t = Timeline::new();
+        t.event(&push(1, 0, 1));
+        t.event(&push(2, 0, 2));
+        t.event(&TraceEvent::FifoPop {
+            cycle: 3,
+            dir: FifoDir::ToHw,
+            channel: 0,
+            data: 0,
+            control: false,
+            occupancy: 1,
+        });
+        t.event(&push(4, 1, 5));
+        assert_eq!(t.fifo(FifoDir::ToHw, 0).unwrap().high_water(), 2);
+        assert_eq!(t.fifo(FifoDir::ToHw, 1).unwrap().high_water(), 5);
+        assert_eq!(t.high_water(FifoDir::ToHw), 5);
+        assert_eq!(t.high_water(FifoDir::FromHw), 0);
+    }
+
+    #[test]
+    fn csv_is_sorted_by_cycle() {
+        let mut t = Timeline::new();
+        t.event(&push(7, 1, 1));
+        t.event(&push(2, 0, 1));
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "cycle,fifo,occupancy");
+        assert_eq!(lines[1], "2,to_hw0,1");
+        assert_eq!(lines[2], "7,to_hw1,1");
+    }
+}

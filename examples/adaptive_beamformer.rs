@@ -30,14 +30,8 @@ fn main() {
         );
     }
     // Show the computed weights for the curious.
-    let weights = reference::levinson_durbin(
-        &r,
-        reference::DivStrategy::Cordic(16),
-    );
+    let weights = reference::levinson_durbin(&r, reference::DivStrategy::Cordic(16));
     let a: Vec<f64> = weights.a.iter().map(|&v| reference::from_fix(v)).collect();
     println!("\nprediction-error filter A(z) = {a:.3?}");
-    println!(
-        "residual error energy: {:.4} (from r[0] = 1.0)",
-        reference::from_fix(weights.error)
-    );
+    println!("residual error energy: {:.4} (from r[0] = 1.0)", reference::from_fix(weights.error));
 }

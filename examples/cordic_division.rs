@@ -55,8 +55,7 @@ fn main() {
         let eff = effective_iterations(iterations, p);
         for (i, &(a, b)) in pairs.iter().enumerate() {
             let got = hw.cpu().mem().read_u32(base + 4 * i as u32).unwrap() as i32;
-            let expect =
-                reference::divide_fix(reference::to_fix(a), reference::to_fix(b), eff);
+            let expect = reference::divide_fix(reference::to_fix(a), reference::to_fix(b), eff);
             assert_eq!(got, expect, "sample {i}");
             let err = (reference::from_fix(got) - b / a).abs();
             assert!(err <= reference::error_bound(eff));

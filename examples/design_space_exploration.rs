@@ -6,8 +6,8 @@
 //! Run with: `cargo run --release --example design_space_exploration`
 
 use softsim::apps::cordic::hardware::pipeline_resources;
-use softsim::apps::cordic::software::{hw_program, sw_program, CordicBatch, SwStyle};
 use softsim::apps::cordic::reference;
+use softsim::apps::cordic::software::{hw_program, sw_program, CordicBatch, SwStyle};
 use softsim::blocks::Resources;
 use softsim::cosim::{CoSim, CoSimStop};
 use softsim::isa::asm::assemble;
@@ -44,20 +44,14 @@ fn main() {
     // P = 1..=8: every pipeline depth.
     for p in 1..=8usize {
         let img = assemble(&hw_program(&batch, iterations, p)).unwrap();
-        let mut sim = CoSim::with_peripheral(
-            &img,
-            softsim::apps::cordic::hardware::cordic_peripheral(p),
-        );
+        let mut sim =
+            CoSim::with_peripheral(&img, softsim::apps::cordic::hardware::cordic_peripheral(p));
         assert_eq!(sim.run(10_000_000), CoSimStop::Halted);
         points.push(DesignPoint {
             name: format!("{p}-PE pipeline"),
             cycles: sim.cpu_stats().cycles,
             resources: estimate_system(
-                &SystemConfig {
-                    program: &img,
-                    peripheral: pipeline_resources(p),
-                    fsl_channels: 1,
-                },
+                &SystemConfig { program: &img, peripheral: pipeline_resources(p), fsl_channels: 1 },
                 &sheet,
             ),
         });
@@ -75,8 +69,11 @@ fn main() {
             p.resources.slices,
             p.resources.mult18s,
             if p.cycles < base {
-                format!("{:.2}x faster, +{} slices", base as f64 / p.cycles as f64,
-                        p.resources.slices - points[0].resources.slices)
+                format!(
+                    "{:.2}x faster, +{} slices",
+                    base as f64 / p.cycles as f64,
+                    p.resources.slices - points[0].resources.slices
+                )
             } else {
                 "baseline".into()
             }

@@ -15,7 +15,10 @@ fn main() {
     let order = 6;
     let r = test_autocorrelation(order);
     println!("Levinson-Durbin weight update, order {order} (AR(2) test input)");
-    println!("{:<22} {:>8} {:>10} {:>12}", "division strategy", "cycles", "time(us)", "vs SW CORDIC");
+    println!(
+        "{:<22} {:>8} {:>10} {:>12}",
+        "division strategy", "cycles", "time(us)", "vs SW CORDIC"
+    );
     let mut sw_cycles = 0u64;
     for div in [
         LpcDivision::CordicSw,

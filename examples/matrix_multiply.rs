@@ -24,9 +24,8 @@ fn run_config(n: usize, nb: Option<usize>) -> (u64, Matrix) {
     };
     assert_eq!(sim.run(1_000_000_000), CoSimStop::Halted);
     let base = img.symbol(RESULT_LABEL).unwrap();
-    let data = (0..n * n)
-        .map(|i| sim.cpu().mem().read_u32(base + 4 * i as u32).unwrap() as i32)
-        .collect();
+    let data =
+        (0..n * n).map(|i| sim.cpu().mem().read_u32(base + 4 * i as u32).unwrap() as i32).collect();
     (sim.cpu_stats().cycles, Matrix::from_rows(n, data))
 }
 

@@ -27,11 +27,7 @@ fn plus1000_peripheral() -> Peripheral {
     g.gateway_out("fsl0_out_data", rdata, 0);
     g.gateway_out("fsl0_out_valid", rvalid, 0);
     g.compile().unwrap();
-    Peripheral::new(
-        g,
-        vec![FslToHw::standard(0).without_control()],
-        vec![FslFromHw::standard(0)],
-    )
+    Peripheral::new(g, vec![FslToHw::standard(0).without_control()], vec![FslFromHw::standard(0)])
 }
 
 fn main() {

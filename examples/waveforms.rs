@@ -82,17 +82,17 @@ fn main() {
     g.set_input("valid", bit(false)).unwrap();
     g.run(8);
     std::fs::write("target/cordic_pipeline.csv", g.probes_to_csv()).unwrap();
-    println!(
-        "wrote target/cordic_pipeline.csv ({} cycles x {} probes)",
-        g.cycles(),
-        2 * p
-    );
+    println!("wrote target/cordic_pipeline.csv ({} cycles x {} probes)", g.cycles(), 2 * p);
     // The Z probe of the last PE shows the quotient after 4 iterations.
-    let z: Vec<f64> =
-        g.probe_samples("pe3_z").unwrap().iter().map(|v| {
+    let z: Vec<f64> = g
+        .probe_samples("pe3_z")
+        .unwrap()
+        .iter()
+        .map(|v| {
             // Z is a raw Q8.24 word transported as INT32 bits.
             reference::from_fix(v.to_bits() as u32 as i32)
-        }).collect();
+        })
+        .collect();
     println!("pe3 Z trace (quotient forming): {:?}", &z[z.len() - 5..]);
     let expect = reference::divide_fix(reference::to_fix(1.5), reference::to_fix(0.9), 4);
     assert!((z.iter().last().unwrap() - reference::from_fix(expect)).abs() < 1e-9);

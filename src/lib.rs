@@ -48,3 +48,4 @@ pub use softsim_isa as isa;
 pub use softsim_iss as iss;
 pub use softsim_resource as resource;
 pub use softsim_rtl as rtl;
+pub use softsim_trace as trace;

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/component_speed-fd45fe14e9672e6a.d: crates/bench/benches/component_speed.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcomponent_speed-fd45fe14e9672e6a.rmeta: crates/bench/benches/component_speed.rs Cargo.toml
+
+crates/bench/benches/component_speed.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_validation-d1173d2dfc9db459.d: tests/cross_validation.rs
+
+/root/repo/target/debug/deps/cross_validation-d1173d2dfc9db459: tests/cross_validation.rs
+
+tests/cross_validation.rs:

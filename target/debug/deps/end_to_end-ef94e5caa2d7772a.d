@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-ef94e5caa2d7772a.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-ef94e5caa2d7772a: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_cordic_time-1e2b9b0642a87f1f.d: crates/bench/benches/fig5_cordic_time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_cordic_time-1e2b9b0642a87f1f.rmeta: crates/bench/benches/fig5_cordic_time.rs Cargo.toml
+
+crates/bench/benches/fig5_cordic_time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_matmul_time-88cd1cdcd2386a3e.d: crates/bench/benches/fig7_matmul_time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_matmul_time-88cd1cdcd2386a3e.rmeta: crates/bench/benches/fig7_matmul_time.rs Cargo.toml
+
+crates/bench/benches/fig7_matmul_time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

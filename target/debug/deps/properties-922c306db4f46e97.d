@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-922c306db4f46e97.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-922c306db4f46e97: tests/properties.rs
+
+tests/properties.rs:

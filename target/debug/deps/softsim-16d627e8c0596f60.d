@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/softsim-16d627e8c0596f60.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoftsim-16d627e8c0596f60.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/softsim-259d382ba0b45cce.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsoftsim-259d382ba0b45cce.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsoftsim-259d382ba0b45cce.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/softsim-b4ce95477ad351bf.d: src/lib.rs
+
+/root/repo/target/debug/deps/softsim-b4ce95477ad351bf: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/softsim-d22a664be4c99c33.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoftsim-d22a664be4c99c33.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

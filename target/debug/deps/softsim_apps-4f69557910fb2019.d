@@ -1,0 +1,31 @@
+/root/repo/target/debug/deps/softsim_apps-4f69557910fb2019.d: crates/apps/src/lib.rs crates/apps/src/beamformer.rs crates/apps/src/cordic/mod.rs crates/apps/src/cordic/divider.rs crates/apps/src/cordic/hardware.rs crates/apps/src/cordic/opb.rs crates/apps/src/cordic/reference.rs crates/apps/src/cordic/rtl.rs crates/apps/src/cordic/software.rs crates/apps/src/fir/mod.rs crates/apps/src/fir/hardware.rs crates/apps/src/fir/reference.rs crates/apps/src/fir/rtl.rs crates/apps/src/fir/software.rs crates/apps/src/lpc/mod.rs crates/apps/src/lpc/reference.rs crates/apps/src/lpc/software.rs crates/apps/src/matmul/mod.rs crates/apps/src/matmul/hardware.rs crates/apps/src/matmul/reference.rs crates/apps/src/matmul/rtl.rs crates/apps/src/matmul/software.rs crates/apps/src/matmul/structural.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoftsim_apps-4f69557910fb2019.rmeta: crates/apps/src/lib.rs crates/apps/src/beamformer.rs crates/apps/src/cordic/mod.rs crates/apps/src/cordic/divider.rs crates/apps/src/cordic/hardware.rs crates/apps/src/cordic/opb.rs crates/apps/src/cordic/reference.rs crates/apps/src/cordic/rtl.rs crates/apps/src/cordic/software.rs crates/apps/src/fir/mod.rs crates/apps/src/fir/hardware.rs crates/apps/src/fir/reference.rs crates/apps/src/fir/rtl.rs crates/apps/src/fir/software.rs crates/apps/src/lpc/mod.rs crates/apps/src/lpc/reference.rs crates/apps/src/lpc/software.rs crates/apps/src/matmul/mod.rs crates/apps/src/matmul/hardware.rs crates/apps/src/matmul/reference.rs crates/apps/src/matmul/rtl.rs crates/apps/src/matmul/software.rs crates/apps/src/matmul/structural.rs Cargo.toml
+
+crates/apps/src/lib.rs:
+crates/apps/src/beamformer.rs:
+crates/apps/src/cordic/mod.rs:
+crates/apps/src/cordic/divider.rs:
+crates/apps/src/cordic/hardware.rs:
+crates/apps/src/cordic/opb.rs:
+crates/apps/src/cordic/reference.rs:
+crates/apps/src/cordic/rtl.rs:
+crates/apps/src/cordic/software.rs:
+crates/apps/src/fir/mod.rs:
+crates/apps/src/fir/hardware.rs:
+crates/apps/src/fir/reference.rs:
+crates/apps/src/fir/rtl.rs:
+crates/apps/src/fir/software.rs:
+crates/apps/src/lpc/mod.rs:
+crates/apps/src/lpc/reference.rs:
+crates/apps/src/lpc/software.rs:
+crates/apps/src/matmul/mod.rs:
+crates/apps/src/matmul/hardware.rs:
+crates/apps/src/matmul/reference.rs:
+crates/apps/src/matmul/rtl.rs:
+crates/apps/src/matmul/software.rs:
+crates/apps/src/matmul/structural.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

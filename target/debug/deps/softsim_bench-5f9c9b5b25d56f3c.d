@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/softsim_bench-5f9c9b5b25d56f3c.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/measure.rs crates/bench/src/tables.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/libsoftsim_bench-5f9c9b5b25d56f3c.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/measure.rs crates/bench/src/tables.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/libsoftsim_bench-5f9c9b5b25d56f3c.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/measure.rs crates/bench/src/tables.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/measure.rs:
+crates/bench/src/tables.rs:
+crates/bench/src/workloads.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/softsim_bench-6b5cc01b4ea9ef7e.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/measure.rs crates/bench/src/tables.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/softsim_bench-6b5cc01b4ea9ef7e: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/measure.rs crates/bench/src/tables.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/measure.rs:
+crates/bench/src/tables.rs:
+crates/bench/src/workloads.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/softsim_bench-8e8eee9f3f247184.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/measure.rs crates/bench/src/tables.rs crates/bench/src/workloads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoftsim_bench-8e8eee9f3f247184.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/measure.rs crates/bench/src/tables.rs crates/bench/src/workloads.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/measure.rs:
+crates/bench/src/tables.rs:
+crates/bench/src/workloads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/softsim_blocks-29b165ff26a457d4.d: crates/blocks/src/lib.rs crates/blocks/src/block.rs crates/blocks/src/fix.rs crates/blocks/src/gen.rs crates/blocks/src/graph.rs crates/blocks/src/library/mod.rs crates/blocks/src/library/arith.rs crates/blocks/src/library/logic.rs crates/blocks/src/library/rate.rs crates/blocks/src/library/seq.rs crates/blocks/src/resource.rs
+
+/root/repo/target/debug/deps/softsim_blocks-29b165ff26a457d4: crates/blocks/src/lib.rs crates/blocks/src/block.rs crates/blocks/src/fix.rs crates/blocks/src/gen.rs crates/blocks/src/graph.rs crates/blocks/src/library/mod.rs crates/blocks/src/library/arith.rs crates/blocks/src/library/logic.rs crates/blocks/src/library/rate.rs crates/blocks/src/library/seq.rs crates/blocks/src/resource.rs
+
+crates/blocks/src/lib.rs:
+crates/blocks/src/block.rs:
+crates/blocks/src/fix.rs:
+crates/blocks/src/gen.rs:
+crates/blocks/src/graph.rs:
+crates/blocks/src/library/mod.rs:
+crates/blocks/src/library/arith.rs:
+crates/blocks/src/library/logic.rs:
+crates/blocks/src/library/rate.rs:
+crates/blocks/src/library/seq.rs:
+crates/blocks/src/resource.rs:

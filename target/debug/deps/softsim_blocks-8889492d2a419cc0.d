@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/softsim_blocks-8889492d2a419cc0.d: crates/blocks/src/lib.rs crates/blocks/src/block.rs crates/blocks/src/fix.rs crates/blocks/src/gen.rs crates/blocks/src/graph.rs crates/blocks/src/library/mod.rs crates/blocks/src/library/arith.rs crates/blocks/src/library/logic.rs crates/blocks/src/library/rate.rs crates/blocks/src/library/seq.rs crates/blocks/src/resource.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoftsim_blocks-8889492d2a419cc0.rmeta: crates/blocks/src/lib.rs crates/blocks/src/block.rs crates/blocks/src/fix.rs crates/blocks/src/gen.rs crates/blocks/src/graph.rs crates/blocks/src/library/mod.rs crates/blocks/src/library/arith.rs crates/blocks/src/library/logic.rs crates/blocks/src/library/rate.rs crates/blocks/src/library/seq.rs crates/blocks/src/resource.rs Cargo.toml
+
+crates/blocks/src/lib.rs:
+crates/blocks/src/block.rs:
+crates/blocks/src/fix.rs:
+crates/blocks/src/gen.rs:
+crates/blocks/src/graph.rs:
+crates/blocks/src/library/mod.rs:
+crates/blocks/src/library/arith.rs:
+crates/blocks/src/library/logic.rs:
+crates/blocks/src/library/rate.rs:
+crates/blocks/src/library/seq.rs:
+crates/blocks/src/resource.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

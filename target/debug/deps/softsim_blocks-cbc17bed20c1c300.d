@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/softsim_blocks-cbc17bed20c1c300.d: crates/blocks/src/lib.rs crates/blocks/src/block.rs crates/blocks/src/fix.rs crates/blocks/src/gen.rs crates/blocks/src/graph.rs crates/blocks/src/library/mod.rs crates/blocks/src/library/arith.rs crates/blocks/src/library/logic.rs crates/blocks/src/library/rate.rs crates/blocks/src/library/seq.rs crates/blocks/src/resource.rs
+
+/root/repo/target/debug/deps/libsoftsim_blocks-cbc17bed20c1c300.rlib: crates/blocks/src/lib.rs crates/blocks/src/block.rs crates/blocks/src/fix.rs crates/blocks/src/gen.rs crates/blocks/src/graph.rs crates/blocks/src/library/mod.rs crates/blocks/src/library/arith.rs crates/blocks/src/library/logic.rs crates/blocks/src/library/rate.rs crates/blocks/src/library/seq.rs crates/blocks/src/resource.rs
+
+/root/repo/target/debug/deps/libsoftsim_blocks-cbc17bed20c1c300.rmeta: crates/blocks/src/lib.rs crates/blocks/src/block.rs crates/blocks/src/fix.rs crates/blocks/src/gen.rs crates/blocks/src/graph.rs crates/blocks/src/library/mod.rs crates/blocks/src/library/arith.rs crates/blocks/src/library/logic.rs crates/blocks/src/library/rate.rs crates/blocks/src/library/seq.rs crates/blocks/src/resource.rs
+
+crates/blocks/src/lib.rs:
+crates/blocks/src/block.rs:
+crates/blocks/src/fix.rs:
+crates/blocks/src/gen.rs:
+crates/blocks/src/graph.rs:
+crates/blocks/src/library/mod.rs:
+crates/blocks/src/library/arith.rs:
+crates/blocks/src/library/logic.rs:
+crates/blocks/src/library/rate.rs:
+crates/blocks/src/library/seq.rs:
+crates/blocks/src/resource.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/softsim_bus-1ea4ccaf8ae8620e.d: crates/bus/src/lib.rs crates/bus/src/fsl.rs crates/bus/src/lmb.rs crates/bus/src/opb.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoftsim_bus-1ea4ccaf8ae8620e.rmeta: crates/bus/src/lib.rs crates/bus/src/fsl.rs crates/bus/src/lmb.rs crates/bus/src/opb.rs Cargo.toml
+
+crates/bus/src/lib.rs:
+crates/bus/src/fsl.rs:
+crates/bus/src/lmb.rs:
+crates/bus/src/opb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

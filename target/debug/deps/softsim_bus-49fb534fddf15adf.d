@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/softsim_bus-49fb534fddf15adf.d: crates/bus/src/lib.rs crates/bus/src/fsl.rs crates/bus/src/lmb.rs crates/bus/src/opb.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoftsim_bus-49fb534fddf15adf.rmeta: crates/bus/src/lib.rs crates/bus/src/fsl.rs crates/bus/src/lmb.rs crates/bus/src/opb.rs Cargo.toml
+
+crates/bus/src/lib.rs:
+crates/bus/src/fsl.rs:
+crates/bus/src/lmb.rs:
+crates/bus/src/opb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

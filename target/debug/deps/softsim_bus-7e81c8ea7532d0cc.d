@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/softsim_bus-7e81c8ea7532d0cc.d: crates/bus/src/lib.rs crates/bus/src/fsl.rs crates/bus/src/lmb.rs crates/bus/src/opb.rs
+
+/root/repo/target/debug/deps/libsoftsim_bus-7e81c8ea7532d0cc.rlib: crates/bus/src/lib.rs crates/bus/src/fsl.rs crates/bus/src/lmb.rs crates/bus/src/opb.rs
+
+/root/repo/target/debug/deps/libsoftsim_bus-7e81c8ea7532d0cc.rmeta: crates/bus/src/lib.rs crates/bus/src/fsl.rs crates/bus/src/lmb.rs crates/bus/src/opb.rs
+
+crates/bus/src/lib.rs:
+crates/bus/src/fsl.rs:
+crates/bus/src/lmb.rs:
+crates/bus/src/opb.rs:

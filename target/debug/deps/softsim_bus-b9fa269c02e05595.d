@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/softsim_bus-b9fa269c02e05595.d: crates/bus/src/lib.rs crates/bus/src/fsl.rs crates/bus/src/lmb.rs crates/bus/src/opb.rs
+
+/root/repo/target/debug/deps/softsim_bus-b9fa269c02e05595: crates/bus/src/lib.rs crates/bus/src/fsl.rs crates/bus/src/lmb.rs crates/bus/src/opb.rs
+
+crates/bus/src/lib.rs:
+crates/bus/src/fsl.rs:
+crates/bus/src/lmb.rs:
+crates/bus/src/opb.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/softsim_cosim-1b92f427fb56aac8.d: crates/core/src/lib.rs crates/core/src/binding.rs crates/core/src/cosim.rs crates/core/src/opb.rs
+
+/root/repo/target/debug/deps/libsoftsim_cosim-1b92f427fb56aac8.rlib: crates/core/src/lib.rs crates/core/src/binding.rs crates/core/src/cosim.rs crates/core/src/opb.rs
+
+/root/repo/target/debug/deps/libsoftsim_cosim-1b92f427fb56aac8.rmeta: crates/core/src/lib.rs crates/core/src/binding.rs crates/core/src/cosim.rs crates/core/src/opb.rs
+
+crates/core/src/lib.rs:
+crates/core/src/binding.rs:
+crates/core/src/cosim.rs:
+crates/core/src/opb.rs:

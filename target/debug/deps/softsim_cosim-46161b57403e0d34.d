@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/softsim_cosim-46161b57403e0d34.d: crates/core/src/lib.rs crates/core/src/binding.rs crates/core/src/cosim.rs crates/core/src/opb.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoftsim_cosim-46161b57403e0d34.rmeta: crates/core/src/lib.rs crates/core/src/binding.rs crates/core/src/cosim.rs crates/core/src/opb.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/binding.rs:
+crates/core/src/cosim.rs:
+crates/core/src/opb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

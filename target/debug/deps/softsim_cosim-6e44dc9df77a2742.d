@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/softsim_cosim-6e44dc9df77a2742.d: crates/core/src/lib.rs crates/core/src/binding.rs crates/core/src/cosim.rs crates/core/src/opb.rs
+
+/root/repo/target/debug/deps/softsim_cosim-6e44dc9df77a2742: crates/core/src/lib.rs crates/core/src/binding.rs crates/core/src/cosim.rs crates/core/src/opb.rs
+
+crates/core/src/lib.rs:
+crates/core/src/binding.rs:
+crates/core/src/cosim.rs:
+crates/core/src/opb.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/softsim_energy-87ab7020ff9bc546.d: crates/energy/src/lib.rs
+
+/root/repo/target/debug/deps/softsim_energy-87ab7020ff9bc546: crates/energy/src/lib.rs
+
+crates/energy/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/softsim_energy-c66ad498454975e5.d: crates/energy/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoftsim_energy-c66ad498454975e5.rmeta: crates/energy/src/lib.rs Cargo.toml
+
+crates/energy/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

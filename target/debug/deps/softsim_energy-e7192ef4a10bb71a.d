@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/softsim_energy-e7192ef4a10bb71a.d: crates/energy/src/lib.rs
+
+/root/repo/target/debug/deps/libsoftsim_energy-e7192ef4a10bb71a.rlib: crates/energy/src/lib.rs
+
+/root/repo/target/debug/deps/libsoftsim_energy-e7192ef4a10bb71a.rmeta: crates/energy/src/lib.rs
+
+crates/energy/src/lib.rs:

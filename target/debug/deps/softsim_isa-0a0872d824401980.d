@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/softsim_isa-0a0872d824401980.d: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/config.rs crates/isa/src/disasm.rs crates/isa/src/encode.rs crates/isa/src/image.rs crates/isa/src/inst.rs crates/isa/src/reg.rs
+
+/root/repo/target/debug/deps/libsoftsim_isa-0a0872d824401980.rlib: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/config.rs crates/isa/src/disasm.rs crates/isa/src/encode.rs crates/isa/src/image.rs crates/isa/src/inst.rs crates/isa/src/reg.rs
+
+/root/repo/target/debug/deps/libsoftsim_isa-0a0872d824401980.rmeta: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/config.rs crates/isa/src/disasm.rs crates/isa/src/encode.rs crates/isa/src/image.rs crates/isa/src/inst.rs crates/isa/src/reg.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/asm.rs:
+crates/isa/src/config.rs:
+crates/isa/src/disasm.rs:
+crates/isa/src/encode.rs:
+crates/isa/src/image.rs:
+crates/isa/src/inst.rs:
+crates/isa/src/reg.rs:

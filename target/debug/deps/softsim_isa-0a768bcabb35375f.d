@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/softsim_isa-0a768bcabb35375f.d: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/config.rs crates/isa/src/disasm.rs crates/isa/src/encode.rs crates/isa/src/image.rs crates/isa/src/inst.rs crates/isa/src/reg.rs
+
+/root/repo/target/debug/deps/softsim_isa-0a768bcabb35375f: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/config.rs crates/isa/src/disasm.rs crates/isa/src/encode.rs crates/isa/src/image.rs crates/isa/src/inst.rs crates/isa/src/reg.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/asm.rs:
+crates/isa/src/config.rs:
+crates/isa/src/disasm.rs:
+crates/isa/src/encode.rs:
+crates/isa/src/image.rs:
+crates/isa/src/inst.rs:
+crates/isa/src/reg.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/softsim_isa-c80874aaa60a7fa7.d: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/config.rs crates/isa/src/disasm.rs crates/isa/src/encode.rs crates/isa/src/image.rs crates/isa/src/inst.rs crates/isa/src/reg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoftsim_isa-c80874aaa60a7fa7.rmeta: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/config.rs crates/isa/src/disasm.rs crates/isa/src/encode.rs crates/isa/src/image.rs crates/isa/src/inst.rs crates/isa/src/reg.rs Cargo.toml
+
+crates/isa/src/lib.rs:
+crates/isa/src/asm.rs:
+crates/isa/src/config.rs:
+crates/isa/src/disasm.rs:
+crates/isa/src/encode.rs:
+crates/isa/src/image.rs:
+crates/isa/src/inst.rs:
+crates/isa/src/reg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

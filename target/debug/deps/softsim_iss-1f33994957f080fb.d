@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/softsim_iss-1f33994957f080fb.d: crates/iss/src/lib.rs crates/iss/src/cpu.rs crates/iss/src/debug.rs crates/iss/src/exec.rs crates/iss/src/fault.rs crates/iss/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoftsim_iss-1f33994957f080fb.rmeta: crates/iss/src/lib.rs crates/iss/src/cpu.rs crates/iss/src/debug.rs crates/iss/src/exec.rs crates/iss/src/fault.rs crates/iss/src/stats.rs Cargo.toml
+
+crates/iss/src/lib.rs:
+crates/iss/src/cpu.rs:
+crates/iss/src/debug.rs:
+crates/iss/src/exec.rs:
+crates/iss/src/fault.rs:
+crates/iss/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

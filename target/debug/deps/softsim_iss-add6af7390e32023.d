@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/softsim_iss-add6af7390e32023.d: crates/iss/src/lib.rs crates/iss/src/cpu.rs crates/iss/src/debug.rs crates/iss/src/exec.rs crates/iss/src/fault.rs crates/iss/src/stats.rs
+
+/root/repo/target/debug/deps/softsim_iss-add6af7390e32023: crates/iss/src/lib.rs crates/iss/src/cpu.rs crates/iss/src/debug.rs crates/iss/src/exec.rs crates/iss/src/fault.rs crates/iss/src/stats.rs
+
+crates/iss/src/lib.rs:
+crates/iss/src/cpu.rs:
+crates/iss/src/debug.rs:
+crates/iss/src/exec.rs:
+crates/iss/src/fault.rs:
+crates/iss/src/stats.rs:

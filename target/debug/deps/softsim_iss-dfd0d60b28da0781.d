@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/softsim_iss-dfd0d60b28da0781.d: crates/iss/src/lib.rs crates/iss/src/cpu.rs crates/iss/src/debug.rs crates/iss/src/exec.rs crates/iss/src/fault.rs crates/iss/src/stats.rs
+
+/root/repo/target/debug/deps/libsoftsim_iss-dfd0d60b28da0781.rlib: crates/iss/src/lib.rs crates/iss/src/cpu.rs crates/iss/src/debug.rs crates/iss/src/exec.rs crates/iss/src/fault.rs crates/iss/src/stats.rs
+
+/root/repo/target/debug/deps/libsoftsim_iss-dfd0d60b28da0781.rmeta: crates/iss/src/lib.rs crates/iss/src/cpu.rs crates/iss/src/debug.rs crates/iss/src/exec.rs crates/iss/src/fault.rs crates/iss/src/stats.rs
+
+crates/iss/src/lib.rs:
+crates/iss/src/cpu.rs:
+crates/iss/src/debug.rs:
+crates/iss/src/exec.rs:
+crates/iss/src/fault.rs:
+crates/iss/src/stats.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/softsim_resource-0475d2bf9d660a39.d: crates/resource/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoftsim_resource-0475d2bf9d660a39.rmeta: crates/resource/src/lib.rs Cargo.toml
+
+crates/resource/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/softsim_resource-a4c757123ced6499.d: crates/resource/src/lib.rs
+
+/root/repo/target/debug/deps/softsim_resource-a4c757123ced6499: crates/resource/src/lib.rs
+
+crates/resource/src/lib.rs:

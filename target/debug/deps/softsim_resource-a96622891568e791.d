@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/softsim_resource-a96622891568e791.d: crates/resource/src/lib.rs
+
+/root/repo/target/debug/deps/libsoftsim_resource-a96622891568e791.rlib: crates/resource/src/lib.rs
+
+/root/repo/target/debug/deps/libsoftsim_resource-a96622891568e791.rmeta: crates/resource/src/lib.rs
+
+crates/resource/src/lib.rs:

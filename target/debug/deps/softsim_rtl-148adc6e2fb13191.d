@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/softsim_rtl-148adc6e2fb13191.d: crates/rtl/src/lib.rs crates/rtl/src/comp.rs crates/rtl/src/kernel.rs crates/rtl/src/soc.rs crates/rtl/src/vcd.rs
+
+/root/repo/target/debug/deps/softsim_rtl-148adc6e2fb13191: crates/rtl/src/lib.rs crates/rtl/src/comp.rs crates/rtl/src/kernel.rs crates/rtl/src/soc.rs crates/rtl/src/vcd.rs
+
+crates/rtl/src/lib.rs:
+crates/rtl/src/comp.rs:
+crates/rtl/src/kernel.rs:
+crates/rtl/src/soc.rs:
+crates/rtl/src/vcd.rs:

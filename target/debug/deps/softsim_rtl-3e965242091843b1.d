@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/softsim_rtl-3e965242091843b1.d: crates/rtl/src/lib.rs crates/rtl/src/comp.rs crates/rtl/src/kernel.rs crates/rtl/src/soc.rs crates/rtl/src/vcd.rs
+
+/root/repo/target/debug/deps/libsoftsim_rtl-3e965242091843b1.rlib: crates/rtl/src/lib.rs crates/rtl/src/comp.rs crates/rtl/src/kernel.rs crates/rtl/src/soc.rs crates/rtl/src/vcd.rs
+
+/root/repo/target/debug/deps/libsoftsim_rtl-3e965242091843b1.rmeta: crates/rtl/src/lib.rs crates/rtl/src/comp.rs crates/rtl/src/kernel.rs crates/rtl/src/soc.rs crates/rtl/src/vcd.rs
+
+crates/rtl/src/lib.rs:
+crates/rtl/src/comp.rs:
+crates/rtl/src/kernel.rs:
+crates/rtl/src/soc.rs:
+crates/rtl/src/vcd.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/softsim_rtl-98bebae570d34d2e.d: crates/rtl/src/lib.rs crates/rtl/src/comp.rs crates/rtl/src/kernel.rs crates/rtl/src/soc.rs crates/rtl/src/vcd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoftsim_rtl-98bebae570d34d2e.rmeta: crates/rtl/src/lib.rs crates/rtl/src/comp.rs crates/rtl/src/kernel.rs crates/rtl/src/soc.rs crates/rtl/src/vcd.rs Cargo.toml
+
+crates/rtl/src/lib.rs:
+crates/rtl/src/comp.rs:
+crates/rtl/src/kernel.rs:
+crates/rtl/src/soc.rs:
+crates/rtl/src/vcd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

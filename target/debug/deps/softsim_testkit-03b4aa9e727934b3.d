@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/softsim_testkit-03b4aa9e727934b3.d: crates/testkit/src/lib.rs
+
+/root/repo/target/debug/deps/softsim_testkit-03b4aa9e727934b3: crates/testkit/src/lib.rs
+
+crates/testkit/src/lib.rs:

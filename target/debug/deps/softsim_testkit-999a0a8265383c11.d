@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/softsim_testkit-999a0a8265383c11.d: crates/testkit/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoftsim_testkit-999a0a8265383c11.rmeta: crates/testkit/src/lib.rs Cargo.toml
+
+crates/testkit/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

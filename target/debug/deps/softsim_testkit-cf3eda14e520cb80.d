@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/softsim_testkit-cf3eda14e520cb80.d: crates/testkit/src/lib.rs
+
+/root/repo/target/debug/deps/libsoftsim_testkit-cf3eda14e520cb80.rlib: crates/testkit/src/lib.rs
+
+/root/repo/target/debug/deps/libsoftsim_testkit-cf3eda14e520cb80.rmeta: crates/testkit/src/lib.rs
+
+crates/testkit/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/softsim_testkit-e5d1426550c979eb.d: crates/testkit/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoftsim_testkit-e5d1426550c979eb.rmeta: crates/testkit/src/lib.rs Cargo.toml
+
+crates/testkit/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/softsim_trace-1a726b07fa78be98.d: crates/trace/src/lib.rs crates/trace/src/chrome.rs crates/trace/src/event.rs crates/trace/src/json.rs crates/trace/src/profile.rs crates/trace/src/recorder.rs crates/trace/src/sink.rs crates/trace/src/timeline.rs
+
+/root/repo/target/debug/deps/libsoftsim_trace-1a726b07fa78be98.rlib: crates/trace/src/lib.rs crates/trace/src/chrome.rs crates/trace/src/event.rs crates/trace/src/json.rs crates/trace/src/profile.rs crates/trace/src/recorder.rs crates/trace/src/sink.rs crates/trace/src/timeline.rs
+
+/root/repo/target/debug/deps/libsoftsim_trace-1a726b07fa78be98.rmeta: crates/trace/src/lib.rs crates/trace/src/chrome.rs crates/trace/src/event.rs crates/trace/src/json.rs crates/trace/src/profile.rs crates/trace/src/recorder.rs crates/trace/src/sink.rs crates/trace/src/timeline.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/chrome.rs:
+crates/trace/src/event.rs:
+crates/trace/src/json.rs:
+crates/trace/src/profile.rs:
+crates/trace/src/recorder.rs:
+crates/trace/src/sink.rs:
+crates/trace/src/timeline.rs:

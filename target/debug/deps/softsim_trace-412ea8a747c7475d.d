@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/softsim_trace-412ea8a747c7475d.d: crates/trace/src/lib.rs crates/trace/src/chrome.rs crates/trace/src/event.rs crates/trace/src/json.rs crates/trace/src/profile.rs crates/trace/src/recorder.rs crates/trace/src/sink.rs crates/trace/src/timeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoftsim_trace-412ea8a747c7475d.rmeta: crates/trace/src/lib.rs crates/trace/src/chrome.rs crates/trace/src/event.rs crates/trace/src/json.rs crates/trace/src/profile.rs crates/trace/src/recorder.rs crates/trace/src/sink.rs crates/trace/src/timeline.rs Cargo.toml
+
+crates/trace/src/lib.rs:
+crates/trace/src/chrome.rs:
+crates/trace/src/event.rs:
+crates/trace/src/json.rs:
+crates/trace/src/profile.rs:
+crates/trace/src/recorder.rs:
+crates/trace/src/sink.rs:
+crates/trace/src/timeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/softsim_trace-ca13fb80c5c2e3c5.d: crates/trace/src/lib.rs crates/trace/src/chrome.rs crates/trace/src/event.rs crates/trace/src/json.rs crates/trace/src/profile.rs crates/trace/src/recorder.rs crates/trace/src/sink.rs crates/trace/src/timeline.rs
+
+/root/repo/target/debug/deps/softsim_trace-ca13fb80c5c2e3c5: crates/trace/src/lib.rs crates/trace/src/chrome.rs crates/trace/src/event.rs crates/trace/src/json.rs crates/trace/src/profile.rs crates/trace/src/recorder.rs crates/trace/src/sink.rs crates/trace/src/timeline.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/chrome.rs:
+crates/trace/src/event.rs:
+crates/trace/src/json.rs:
+crates/trace/src/profile.rs:
+crates/trace/src/recorder.rs:
+crates/trace/src/sink.rs:
+crates/trace/src/timeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_sim_time-fc068fe245078100.d: crates/bench/benches/table1_sim_time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_sim_time-fc068fe245078100.rmeta: crates/bench/benches/table1_sim_time.rs Cargo.toml
+
+crates/bench/benches/table1_sim_time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

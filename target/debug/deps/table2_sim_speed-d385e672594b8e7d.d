@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_sim_speed-d385e672594b8e7d.d: crates/bench/benches/table2_sim_speed.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_sim_speed-d385e672594b8e7d.rmeta: crates/bench/benches/table2_sim_speed.rs Cargo.toml
+
+crates/bench/benches/table2_sim_speed.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tables-089a99b6a44d4527.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/debug/deps/tables-089a99b6a44d4527: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tables-27e98d30727d026c.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/debug/deps/tables-27e98d30727d026c: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace-4a8b9528e38ee943.d: tests/trace.rs
+
+/root/repo/target/debug/deps/trace-4a8b9528e38ee943: tests/trace.rs
+
+tests/trace.rs:

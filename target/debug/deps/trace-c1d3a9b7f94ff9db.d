@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace-c1d3a9b7f94ff9db.d: tests/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace-c1d3a9b7f94ff9db.rmeta: tests/trace.rs Cargo.toml
+
+tests/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

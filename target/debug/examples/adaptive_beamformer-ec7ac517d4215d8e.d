@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/adaptive_beamformer-ec7ac517d4215d8e.d: examples/adaptive_beamformer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libadaptive_beamformer-ec7ac517d4215d8e.rmeta: examples/adaptive_beamformer.rs Cargo.toml
+
+examples/adaptive_beamformer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adaptive_beamformer-f37310a5c1c061da.d: examples/adaptive_beamformer.rs
+
+/root/repo/target/debug/examples/adaptive_beamformer-f37310a5c1c061da: examples/adaptive_beamformer.rs
+
+examples/adaptive_beamformer.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cordic_division-8c8f98342a51d25c.d: examples/cordic_division.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcordic_division-8c8f98342a51d25c.rmeta: examples/cordic_division.rs Cargo.toml
+
+examples/cordic_division.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cordic_division-ac9aa302211716c4.d: examples/cordic_division.rs
+
+/root/repo/target/debug/examples/cordic_division-ac9aa302211716c4: examples/cordic_division.rs
+
+examples/cordic_division.rs:

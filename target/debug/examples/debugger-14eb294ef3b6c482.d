@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/debugger-14eb294ef3b6c482.d: examples/debugger.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdebugger-14eb294ef3b6c482.rmeta: examples/debugger.rs Cargo.toml
+
+examples/debugger.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/debugger-8d16ccaf35242923.d: examples/debugger.rs
+
+/root/repo/target/debug/examples/debugger-8d16ccaf35242923: examples/debugger.rs
+
+examples/debugger.rs:

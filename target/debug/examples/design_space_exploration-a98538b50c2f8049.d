@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/design_space_exploration-a98538b50c2f8049.d: examples/design_space_exploration.rs
+
+/root/repo/target/debug/examples/design_space_exploration-a98538b50c2f8049: examples/design_space_exploration.rs
+
+examples/design_space_exploration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/energy_estimation-000f8ae353a1d852.d: examples/energy_estimation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libenergy_estimation-000f8ae353a1d852.rmeta: examples/energy_estimation.rs Cargo.toml
+
+examples/energy_estimation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/energy_estimation-b27b1ff6219026d0.d: examples/energy_estimation.rs
+
+/root/repo/target/debug/examples/energy_estimation-b27b1ff6219026d0: examples/energy_estimation.rs
+
+examples/energy_estimation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/lpc_weight_update-0954a31f3c09e405.d: examples/lpc_weight_update.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblpc_weight_update-0954a31f3c09e405.rmeta: examples/lpc_weight_update.rs Cargo.toml
+
+examples/lpc_weight_update.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/lpc_weight_update-d2994759e664564c.d: examples/lpc_weight_update.rs
+
+/root/repo/target/debug/examples/lpc_weight_update-d2994759e664564c: examples/lpc_weight_update.rs
+
+examples/lpc_weight_update.rs:

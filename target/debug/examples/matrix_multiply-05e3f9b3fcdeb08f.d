@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/matrix_multiply-05e3f9b3fcdeb08f.d: examples/matrix_multiply.rs
+
+/root/repo/target/debug/examples/matrix_multiply-05e3f9b3fcdeb08f: examples/matrix_multiply.rs
+
+examples/matrix_multiply.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/matrix_multiply-2918917e1c0c600b.d: examples/matrix_multiply.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmatrix_multiply-2918917e1c0c600b.rmeta: examples/matrix_multiply.rs Cargo.toml
+
+examples/matrix_multiply.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/profiling-0aa11f319d58bbb3.d: examples/profiling.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprofiling-0aa11f319d58bbb3.rmeta: examples/profiling.rs Cargo.toml
+
+examples/profiling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

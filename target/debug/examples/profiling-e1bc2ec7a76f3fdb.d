@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/profiling-e1bc2ec7a76f3fdb.d: examples/profiling.rs
+
+/root/repo/target/debug/examples/profiling-e1bc2ec7a76f3fdb: examples/profiling.rs
+
+examples/profiling.rs:

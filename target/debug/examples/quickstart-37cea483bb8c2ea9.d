@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-37cea483bb8c2ea9.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-37cea483bb8c2ea9: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/waveforms-ae9933559cc32f9b.d: examples/waveforms.rs
+
+/root/repo/target/debug/examples/waveforms-ae9933559cc32f9b: examples/waveforms.rs
+
+examples/waveforms.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/waveforms-c795700b12702912.d: examples/waveforms.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwaveforms-c795700b12702912.rmeta: examples/waveforms.rs Cargo.toml
+
+examples/waveforms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

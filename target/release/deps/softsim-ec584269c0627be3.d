@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/softsim-ec584269c0627be3.d: src/lib.rs
+
+/root/repo/target/release/deps/libsoftsim-ec584269c0627be3.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libsoftsim-ec584269c0627be3.rmeta: src/lib.rs
+
+src/lib.rs:

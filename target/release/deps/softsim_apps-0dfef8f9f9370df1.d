@@ -1,0 +1,29 @@
+/root/repo/target/release/deps/softsim_apps-0dfef8f9f9370df1.d: crates/apps/src/lib.rs crates/apps/src/beamformer.rs crates/apps/src/cordic/mod.rs crates/apps/src/cordic/divider.rs crates/apps/src/cordic/hardware.rs crates/apps/src/cordic/opb.rs crates/apps/src/cordic/reference.rs crates/apps/src/cordic/rtl.rs crates/apps/src/cordic/software.rs crates/apps/src/fir/mod.rs crates/apps/src/fir/hardware.rs crates/apps/src/fir/reference.rs crates/apps/src/fir/rtl.rs crates/apps/src/fir/software.rs crates/apps/src/lpc/mod.rs crates/apps/src/lpc/reference.rs crates/apps/src/lpc/software.rs crates/apps/src/matmul/mod.rs crates/apps/src/matmul/hardware.rs crates/apps/src/matmul/reference.rs crates/apps/src/matmul/rtl.rs crates/apps/src/matmul/software.rs crates/apps/src/matmul/structural.rs
+
+/root/repo/target/release/deps/libsoftsim_apps-0dfef8f9f9370df1.rlib: crates/apps/src/lib.rs crates/apps/src/beamformer.rs crates/apps/src/cordic/mod.rs crates/apps/src/cordic/divider.rs crates/apps/src/cordic/hardware.rs crates/apps/src/cordic/opb.rs crates/apps/src/cordic/reference.rs crates/apps/src/cordic/rtl.rs crates/apps/src/cordic/software.rs crates/apps/src/fir/mod.rs crates/apps/src/fir/hardware.rs crates/apps/src/fir/reference.rs crates/apps/src/fir/rtl.rs crates/apps/src/fir/software.rs crates/apps/src/lpc/mod.rs crates/apps/src/lpc/reference.rs crates/apps/src/lpc/software.rs crates/apps/src/matmul/mod.rs crates/apps/src/matmul/hardware.rs crates/apps/src/matmul/reference.rs crates/apps/src/matmul/rtl.rs crates/apps/src/matmul/software.rs crates/apps/src/matmul/structural.rs
+
+/root/repo/target/release/deps/libsoftsim_apps-0dfef8f9f9370df1.rmeta: crates/apps/src/lib.rs crates/apps/src/beamformer.rs crates/apps/src/cordic/mod.rs crates/apps/src/cordic/divider.rs crates/apps/src/cordic/hardware.rs crates/apps/src/cordic/opb.rs crates/apps/src/cordic/reference.rs crates/apps/src/cordic/rtl.rs crates/apps/src/cordic/software.rs crates/apps/src/fir/mod.rs crates/apps/src/fir/hardware.rs crates/apps/src/fir/reference.rs crates/apps/src/fir/rtl.rs crates/apps/src/fir/software.rs crates/apps/src/lpc/mod.rs crates/apps/src/lpc/reference.rs crates/apps/src/lpc/software.rs crates/apps/src/matmul/mod.rs crates/apps/src/matmul/hardware.rs crates/apps/src/matmul/reference.rs crates/apps/src/matmul/rtl.rs crates/apps/src/matmul/software.rs crates/apps/src/matmul/structural.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/beamformer.rs:
+crates/apps/src/cordic/mod.rs:
+crates/apps/src/cordic/divider.rs:
+crates/apps/src/cordic/hardware.rs:
+crates/apps/src/cordic/opb.rs:
+crates/apps/src/cordic/reference.rs:
+crates/apps/src/cordic/rtl.rs:
+crates/apps/src/cordic/software.rs:
+crates/apps/src/fir/mod.rs:
+crates/apps/src/fir/hardware.rs:
+crates/apps/src/fir/reference.rs:
+crates/apps/src/fir/rtl.rs:
+crates/apps/src/fir/software.rs:
+crates/apps/src/lpc/mod.rs:
+crates/apps/src/lpc/reference.rs:
+crates/apps/src/lpc/software.rs:
+crates/apps/src/matmul/mod.rs:
+crates/apps/src/matmul/hardware.rs:
+crates/apps/src/matmul/reference.rs:
+crates/apps/src/matmul/rtl.rs:
+crates/apps/src/matmul/software.rs:
+crates/apps/src/matmul/structural.rs:

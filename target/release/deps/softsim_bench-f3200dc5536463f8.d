@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/softsim_bench-f3200dc5536463f8.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/measure.rs crates/bench/src/tables.rs crates/bench/src/workloads.rs
+
+/root/repo/target/release/deps/libsoftsim_bench-f3200dc5536463f8.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/measure.rs crates/bench/src/tables.rs crates/bench/src/workloads.rs
+
+/root/repo/target/release/deps/libsoftsim_bench-f3200dc5536463f8.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/measure.rs crates/bench/src/tables.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/measure.rs:
+crates/bench/src/tables.rs:
+crates/bench/src/workloads.rs:

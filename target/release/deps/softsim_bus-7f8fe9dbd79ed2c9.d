@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/softsim_bus-7f8fe9dbd79ed2c9.d: crates/bus/src/lib.rs crates/bus/src/fsl.rs crates/bus/src/lmb.rs crates/bus/src/opb.rs
+
+/root/repo/target/release/deps/libsoftsim_bus-7f8fe9dbd79ed2c9.rlib: crates/bus/src/lib.rs crates/bus/src/fsl.rs crates/bus/src/lmb.rs crates/bus/src/opb.rs
+
+/root/repo/target/release/deps/libsoftsim_bus-7f8fe9dbd79ed2c9.rmeta: crates/bus/src/lib.rs crates/bus/src/fsl.rs crates/bus/src/lmb.rs crates/bus/src/opb.rs
+
+crates/bus/src/lib.rs:
+crates/bus/src/fsl.rs:
+crates/bus/src/lmb.rs:
+crates/bus/src/opb.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/softsim_cosim-597acda1d3776a87.d: crates/core/src/lib.rs crates/core/src/binding.rs crates/core/src/cosim.rs crates/core/src/opb.rs
+
+/root/repo/target/release/deps/libsoftsim_cosim-597acda1d3776a87.rlib: crates/core/src/lib.rs crates/core/src/binding.rs crates/core/src/cosim.rs crates/core/src/opb.rs
+
+/root/repo/target/release/deps/libsoftsim_cosim-597acda1d3776a87.rmeta: crates/core/src/lib.rs crates/core/src/binding.rs crates/core/src/cosim.rs crates/core/src/opb.rs
+
+crates/core/src/lib.rs:
+crates/core/src/binding.rs:
+crates/core/src/cosim.rs:
+crates/core/src/opb.rs:

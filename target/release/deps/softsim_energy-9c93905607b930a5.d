@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/softsim_energy-9c93905607b930a5.d: crates/energy/src/lib.rs
+
+/root/repo/target/release/deps/libsoftsim_energy-9c93905607b930a5.rlib: crates/energy/src/lib.rs
+
+/root/repo/target/release/deps/libsoftsim_energy-9c93905607b930a5.rmeta: crates/energy/src/lib.rs
+
+crates/energy/src/lib.rs:

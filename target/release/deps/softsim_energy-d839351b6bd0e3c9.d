@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/softsim_energy-d839351b6bd0e3c9.d: crates/energy/src/lib.rs
+
+/root/repo/target/release/deps/libsoftsim_energy-d839351b6bd0e3c9.rlib: crates/energy/src/lib.rs
+
+/root/repo/target/release/deps/libsoftsim_energy-d839351b6bd0e3c9.rmeta: crates/energy/src/lib.rs
+
+crates/energy/src/lib.rs:

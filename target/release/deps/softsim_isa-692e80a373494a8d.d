@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/softsim_isa-692e80a373494a8d.d: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/config.rs crates/isa/src/disasm.rs crates/isa/src/encode.rs crates/isa/src/image.rs crates/isa/src/inst.rs crates/isa/src/reg.rs
+
+/root/repo/target/release/deps/libsoftsim_isa-692e80a373494a8d.rlib: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/config.rs crates/isa/src/disasm.rs crates/isa/src/encode.rs crates/isa/src/image.rs crates/isa/src/inst.rs crates/isa/src/reg.rs
+
+/root/repo/target/release/deps/libsoftsim_isa-692e80a373494a8d.rmeta: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/config.rs crates/isa/src/disasm.rs crates/isa/src/encode.rs crates/isa/src/image.rs crates/isa/src/inst.rs crates/isa/src/reg.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/asm.rs:
+crates/isa/src/config.rs:
+crates/isa/src/disasm.rs:
+crates/isa/src/encode.rs:
+crates/isa/src/image.rs:
+crates/isa/src/inst.rs:
+crates/isa/src/reg.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/softsim_iss-3f2f4340f16808e1.d: crates/iss/src/lib.rs crates/iss/src/cpu.rs crates/iss/src/debug.rs crates/iss/src/exec.rs crates/iss/src/fault.rs crates/iss/src/stats.rs
+
+/root/repo/target/release/deps/libsoftsim_iss-3f2f4340f16808e1.rlib: crates/iss/src/lib.rs crates/iss/src/cpu.rs crates/iss/src/debug.rs crates/iss/src/exec.rs crates/iss/src/fault.rs crates/iss/src/stats.rs
+
+/root/repo/target/release/deps/libsoftsim_iss-3f2f4340f16808e1.rmeta: crates/iss/src/lib.rs crates/iss/src/cpu.rs crates/iss/src/debug.rs crates/iss/src/exec.rs crates/iss/src/fault.rs crates/iss/src/stats.rs
+
+crates/iss/src/lib.rs:
+crates/iss/src/cpu.rs:
+crates/iss/src/debug.rs:
+crates/iss/src/exec.rs:
+crates/iss/src/fault.rs:
+crates/iss/src/stats.rs:

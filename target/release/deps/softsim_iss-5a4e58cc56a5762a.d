@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/softsim_iss-5a4e58cc56a5762a.d: crates/iss/src/lib.rs crates/iss/src/cpu.rs crates/iss/src/debug.rs crates/iss/src/exec.rs crates/iss/src/fault.rs crates/iss/src/stats.rs
+
+/root/repo/target/release/deps/libsoftsim_iss-5a4e58cc56a5762a.rlib: crates/iss/src/lib.rs crates/iss/src/cpu.rs crates/iss/src/debug.rs crates/iss/src/exec.rs crates/iss/src/fault.rs crates/iss/src/stats.rs
+
+/root/repo/target/release/deps/libsoftsim_iss-5a4e58cc56a5762a.rmeta: crates/iss/src/lib.rs crates/iss/src/cpu.rs crates/iss/src/debug.rs crates/iss/src/exec.rs crates/iss/src/fault.rs crates/iss/src/stats.rs
+
+crates/iss/src/lib.rs:
+crates/iss/src/cpu.rs:
+crates/iss/src/debug.rs:
+crates/iss/src/exec.rs:
+crates/iss/src/fault.rs:
+crates/iss/src/stats.rs:

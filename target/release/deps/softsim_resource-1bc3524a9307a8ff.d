@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/softsim_resource-1bc3524a9307a8ff.d: crates/resource/src/lib.rs
+
+/root/repo/target/release/deps/libsoftsim_resource-1bc3524a9307a8ff.rlib: crates/resource/src/lib.rs
+
+/root/repo/target/release/deps/libsoftsim_resource-1bc3524a9307a8ff.rmeta: crates/resource/src/lib.rs
+
+crates/resource/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/softsim_resource-4ebd13a4225e0b75.d: crates/resource/src/lib.rs
+
+/root/repo/target/release/deps/libsoftsim_resource-4ebd13a4225e0b75.rlib: crates/resource/src/lib.rs
+
+/root/repo/target/release/deps/libsoftsim_resource-4ebd13a4225e0b75.rmeta: crates/resource/src/lib.rs
+
+crates/resource/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/softsim_rtl-62c7c9fa3902d103.d: crates/rtl/src/lib.rs crates/rtl/src/comp.rs crates/rtl/src/kernel.rs crates/rtl/src/soc.rs crates/rtl/src/vcd.rs
+
+/root/repo/target/release/deps/libsoftsim_rtl-62c7c9fa3902d103.rlib: crates/rtl/src/lib.rs crates/rtl/src/comp.rs crates/rtl/src/kernel.rs crates/rtl/src/soc.rs crates/rtl/src/vcd.rs
+
+/root/repo/target/release/deps/libsoftsim_rtl-62c7c9fa3902d103.rmeta: crates/rtl/src/lib.rs crates/rtl/src/comp.rs crates/rtl/src/kernel.rs crates/rtl/src/soc.rs crates/rtl/src/vcd.rs
+
+crates/rtl/src/lib.rs:
+crates/rtl/src/comp.rs:
+crates/rtl/src/kernel.rs:
+crates/rtl/src/soc.rs:
+crates/rtl/src/vcd.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/softsim_testkit-09a167d52bdb823b.d: crates/testkit/src/lib.rs
+
+/root/repo/target/release/deps/libsoftsim_testkit-09a167d52bdb823b.rlib: crates/testkit/src/lib.rs
+
+/root/repo/target/release/deps/libsoftsim_testkit-09a167d52bdb823b.rmeta: crates/testkit/src/lib.rs
+
+crates/testkit/src/lib.rs:

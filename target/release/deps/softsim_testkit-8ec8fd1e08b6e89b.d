@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/softsim_testkit-8ec8fd1e08b6e89b.d: crates/testkit/src/lib.rs
+
+/root/repo/target/release/deps/libsoftsim_testkit-8ec8fd1e08b6e89b.rlib: crates/testkit/src/lib.rs
+
+/root/repo/target/release/deps/libsoftsim_testkit-8ec8fd1e08b6e89b.rmeta: crates/testkit/src/lib.rs
+
+crates/testkit/src/lib.rs:

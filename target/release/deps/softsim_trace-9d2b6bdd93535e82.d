@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/softsim_trace-9d2b6bdd93535e82.d: crates/trace/src/lib.rs crates/trace/src/chrome.rs crates/trace/src/event.rs crates/trace/src/json.rs crates/trace/src/profile.rs crates/trace/src/recorder.rs crates/trace/src/sink.rs crates/trace/src/timeline.rs
+
+/root/repo/target/release/deps/libsoftsim_trace-9d2b6bdd93535e82.rlib: crates/trace/src/lib.rs crates/trace/src/chrome.rs crates/trace/src/event.rs crates/trace/src/json.rs crates/trace/src/profile.rs crates/trace/src/recorder.rs crates/trace/src/sink.rs crates/trace/src/timeline.rs
+
+/root/repo/target/release/deps/libsoftsim_trace-9d2b6bdd93535e82.rmeta: crates/trace/src/lib.rs crates/trace/src/chrome.rs crates/trace/src/event.rs crates/trace/src/json.rs crates/trace/src/profile.rs crates/trace/src/recorder.rs crates/trace/src/sink.rs crates/trace/src/timeline.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/chrome.rs:
+crates/trace/src/event.rs:
+crates/trace/src/json.rs:
+crates/trace/src/profile.rs:
+crates/trace/src/recorder.rs:
+crates/trace/src/sink.rs:
+crates/trace/src/timeline.rs:

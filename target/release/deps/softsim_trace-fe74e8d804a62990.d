@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/softsim_trace-fe74e8d804a62990.d: crates/trace/src/lib.rs crates/trace/src/chrome.rs crates/trace/src/event.rs crates/trace/src/json.rs crates/trace/src/profile.rs crates/trace/src/recorder.rs crates/trace/src/sink.rs crates/trace/src/timeline.rs
+
+/root/repo/target/release/deps/libsoftsim_trace-fe74e8d804a62990.rlib: crates/trace/src/lib.rs crates/trace/src/chrome.rs crates/trace/src/event.rs crates/trace/src/json.rs crates/trace/src/profile.rs crates/trace/src/recorder.rs crates/trace/src/sink.rs crates/trace/src/timeline.rs
+
+/root/repo/target/release/deps/libsoftsim_trace-fe74e8d804a62990.rmeta: crates/trace/src/lib.rs crates/trace/src/chrome.rs crates/trace/src/event.rs crates/trace/src/json.rs crates/trace/src/profile.rs crates/trace/src/recorder.rs crates/trace/src/sink.rs crates/trace/src/timeline.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/chrome.rs:
+crates/trace/src/event.rs:
+crates/trace/src/json.rs:
+crates/trace/src/profile.rs:
+crates/trace/src/recorder.rs:
+crates/trace/src/sink.rs:
+crates/trace/src/timeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tables-3717f1a98bd1cf0a.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/release/deps/tables-3717f1a98bd1cf0a: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tables-f8e764f77eef538f.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/release/deps/tables-f8e764f77eef538f: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:

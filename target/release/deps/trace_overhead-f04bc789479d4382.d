@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trace_overhead-f04bc789479d4382.d: crates/bench/benches/trace_overhead.rs
+
+/root/repo/target/release/deps/trace_overhead-f04bc789479d4382: crates/bench/benches/trace_overhead.rs
+
+crates/bench/benches/trace_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/profiling-a39ab091340da868.d: examples/profiling.rs
+
+/root/repo/target/release/examples/profiling-a39ab091340da868: examples/profiling.rs
+
+examples/profiling.rs:

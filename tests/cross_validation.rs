@@ -5,18 +5,17 @@
 //! the high-level cycle-accurate simulation environment should match the
 //! functional behavior of the corresponding low-level implementations").
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use softsim::bus::FslBank;
 use softsim::isa::inst::{ArithFlags, BarrelOp, FslChan, FslMode, Inst, LogicOp, MemSize, ShiftOp};
-use softsim::isa::{encode, Image, Reg};
 use softsim::isa::CpuConfig;
+use softsim::isa::{encode, Image, Reg};
 use softsim::iss::{Cpu, StopReason};
 use softsim::rtl::{RtlStop, SocRtl};
+use softsim_testkit::Rng;
 
 /// Generates a random straight-line program (no branches, guaranteed to
 /// halt) over the full ALU/memory/FSL-nonblocking instruction space.
-fn random_program(rng: &mut StdRng, len: usize) -> Image {
+fn random_program(rng: &mut Rng, len: usize) -> Image {
     let mut image = Image::new(0);
     let mut addr = 0u32;
     let mut emit = |image: &mut Image, inst: Inst| {
@@ -29,85 +28,84 @@ fn random_program(rng: &mut StdRng, len: usize) -> Image {
         &mut image,
         Inst::AddI { rd: Reg::new(1), ra: Reg::R0, imm: 0x7F00, flags: ArithFlags::KEEP },
     );
-    let reg = |rng: &mut StdRng| Reg::new(rng.gen_range(0..32));
+    let reg = |rng: &mut Rng| Reg::new(rng.range_u32(0, 32) as u8);
     // Avoid clobbering the base register r1.
-    let dst = |rng: &mut StdRng| loop {
-        let r = rng.gen_range(0..32);
+    let dst = |rng: &mut Rng| loop {
+        let r = rng.range_u32(0, 32) as u8;
         if r != 1 {
             break Reg::new(r);
         }
     };
     for _ in 0..len {
-        let inst = match rng.gen_range(0..15) {
+        let inst = match rng.range_u32(0, 15) {
             0 => Inst::Add {
                 rd: dst(rng),
                 ra: reg(rng),
                 rb: reg(rng),
-                flags: ArithFlags::from_bits(rng.gen_range(0..4)),
+                flags: ArithFlags::from_bits(rng.range_u32(0, 4)),
             },
             1 => Inst::Rsub {
                 rd: dst(rng),
                 ra: reg(rng),
                 rb: reg(rng),
-                flags: ArithFlags::from_bits(rng.gen_range(0..4)),
+                flags: ArithFlags::from_bits(rng.range_u32(0, 4)),
             },
             2 => Inst::AddI {
                 rd: dst(rng),
                 ra: reg(rng),
-                imm: rng.gen(),
-                flags: ArithFlags::from_bits(rng.gen_range(0..4)),
+                imm: rng.next_u32() as i16,
+                flags: ArithFlags::from_bits(rng.range_u32(0, 4)),
             },
-            3 => Inst::Cmp { rd: dst(rng), ra: reg(rng), rb: reg(rng), unsigned: rng.gen() },
+            3 => Inst::Cmp { rd: dst(rng), ra: reg(rng), rb: reg(rng), unsigned: rng.flip() },
             4 => Inst::Mul { rd: dst(rng), ra: reg(rng), rb: reg(rng) },
             5 => Inst::Logic {
-                op: [LogicOp::Or, LogicOp::And, LogicOp::Xor, LogicOp::Andn]
-                    [rng.gen_range(0..4)],
+                op: *rng.pick(&[LogicOp::Or, LogicOp::And, LogicOp::Xor, LogicOp::Andn]),
                 rd: dst(rng),
                 ra: reg(rng),
                 rb: reg(rng),
             },
             6 => Inst::Shift {
-                op: [ShiftOp::Sra, ShiftOp::Src, ShiftOp::Srl][rng.gen_range(0..3)],
+                op: *rng.pick(&[ShiftOp::Sra, ShiftOp::Src, ShiftOp::Srl]),
                 rd: dst(rng),
                 ra: reg(rng),
             },
             7 => Inst::BarrelI {
-                op: [BarrelOp::Bsll, BarrelOp::Bsrl, BarrelOp::Bsra][rng.gen_range(0..3)],
+                op: *rng.pick(&[BarrelOp::Bsll, BarrelOp::Bsrl, BarrelOp::Bsra]),
                 rd: dst(rng),
                 ra: reg(rng),
-                amount: rng.gen_range(0..32),
+                amount: rng.range_u32(0, 32) as u8,
             },
-            8 => Inst::Sext { rd: dst(rng), ra: reg(rng), half: rng.gen() },
+            8 => Inst::Sext { rd: dst(rng), ra: reg(rng), half: rng.flip() },
             9 => {
-                let size = [MemSize::Byte, MemSize::Half, MemSize::Word][rng.gen_range(0..3)];
+                let size = *rng.pick(&[MemSize::Byte, MemSize::Half, MemSize::Word]);
                 let align = size.bytes() as i16;
                 Inst::LoadI {
                     size,
                     rd: dst(rng),
                     ra: Reg::new(1),
-                    imm: rng.gen_range(0..0x40) * align,
+                    imm: rng.range_i16(0, 0x40) * align,
                 }
             }
             10 => {
-                let size = [MemSize::Byte, MemSize::Half, MemSize::Word][rng.gen_range(0..3)];
+                let size = *rng.pick(&[MemSize::Byte, MemSize::Half, MemSize::Word]);
                 let align = size.bytes() as i16;
                 Inst::StoreI {
                     size,
                     rd: reg(rng),
                     ra: Reg::new(1),
-                    imm: rng.gen_range(0..0x40) * align,
+                    imm: rng.range_i16(0, 0x40) * align,
                 }
             }
-            11 => Inst::Imm { imm: rng.gen() },
-            14 => Inst::Div { rd: dst(rng), ra: reg(rng), rb: reg(rng), unsigned: rng.gen() },
+            11 => Inst::Imm { imm: rng.next_u32() as u16 },
+            14 => Inst::Div { rd: dst(rng), ra: reg(rng), rb: reg(rng), unsigned: rng.flip() },
             12 => Inst::Get {
                 rd: dst(rng),
-                chan: FslChan::new(rng.gen_range(0..8)),
+                chan: FslChan::new(rng.range_u32(0, 8) as u8),
                 mode: FslMode::NONBLOCKING_DATA,
             },
             _ => Inst::Put {
                 ra: reg(rng),
-                chan: FslChan::new(rng.gen_range(0..8)),
+                chan: FslChan::new(rng.range_u32(0, 8) as u8),
                 mode: FslMode::NONBLOCKING_DATA,
             },
         };
@@ -120,7 +118,7 @@ fn random_program(rng: &mut StdRng, len: usize) -> Image {
                 Inst::AddI {
                     rd: dst(rng),
                     ra: reg(rng),
-                    imm: rng.gen(),
+                    imm: rng.next_u32() as i16,
                     flags: ArithFlags::KEEP,
                 },
             );
@@ -140,9 +138,7 @@ fn iss_fingerprint(image: &Image) -> (Vec<u32>, u64, u64) {
     let regs: Vec<u32> = (0..32).map(|i| cpu.reg(Reg::new(i))).collect();
     let mut checksum = 0u64;
     for a in (0x7F00u32..0x8100).step_by(4) {
-        checksum = checksum
-            .wrapping_mul(31)
-            .wrapping_add(cpu.mem().read_u32(a).unwrap() as u64);
+        checksum = checksum.wrapping_mul(31).wrapping_add(cpu.mem().read_u32(a).unwrap() as u64);
     }
     (regs, checksum, cpu.stats().cycles)
 }
@@ -162,7 +158,7 @@ fn rtl_fingerprint(image: &Image) -> (Vec<u32>, u64, u64) {
 #[test]
 fn iss_and_rtl_agree_on_random_programs() {
     for seed in 0..30u64 {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::new(seed);
         let image = random_program(&mut rng, 120);
         let (iss_regs, iss_mem, iss_cycles) = iss_fingerprint(&image);
         let (rtl_regs, rtl_mem, rtl_cycles) = rtl_fingerprint(&image);
@@ -174,7 +170,7 @@ fn iss_and_rtl_agree_on_random_programs() {
 
 #[test]
 fn traces_match_instruction_for_instruction() {
-    let mut rng = StdRng::seed_from_u64(99);
+    let mut rng = Rng::new(99);
     let image = random_program(&mut rng, 60);
     let mut cpu = Cpu::with_config(&image, CpuConfig::full());
     cpu.enable_trace();
@@ -183,8 +179,7 @@ fn traces_match_instruction_for_instruction() {
     let mut soc = SocRtl::with_config(&image, CpuConfig::full());
     soc.enable_trace();
     assert_eq!(soc.run(1_000_000), RtlStop::Halted);
-    let iss_trace: Vec<(u32, u32)> =
-        cpu.trace().unwrap().iter().map(|t| (t.pc, t.word)).collect();
+    let iss_trace: Vec<(u32, u32)> = cpu.trace().unwrap().iter().map(|t| (t.pc, t.word)).collect();
     assert_eq!(iss_trace, soc.trace(), "retirement streams must be identical");
 }
 

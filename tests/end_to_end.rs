@@ -10,18 +10,28 @@ use softsim::isa::asm::assemble;
 fn cordic_full_design_space_is_correct() {
     // Every (iterations, P) configuration of Figure 5 produces quotients
     // that match the golden model bit-exactly.
-    let pairs =
-        [(1.0, 0.5), (1.75, 1.6), (2.5, -2.0), (1.0, 0.001)].map(|(a, b): (f64, f64)| {
-            (cordic::reference::to_fix(a), cordic::reference::to_fix(b))
-        });
+    let pairs = [(1.0, 0.5), (1.75, 1.6), (2.5, -2.0), (1.0, 0.001)]
+        .map(|(a, b): (f64, f64)| (cordic::reference::to_fix(a), cordic::reference::to_fix(b)));
     let batch = cordic::software::CordicBatch::new(&pairs);
     for iters in [8u32, 24] {
         for p in [1usize, 2, 3, 4, 5, 6, 7, 8] {
             let img = assemble(&cordic::software::hw_program(&batch, iters, p)).unwrap();
-            let mut sim =
-                CoSim::with_peripheral(&img, cordic::hardware::cordic_peripheral(p));
+            let mut sim = CoSim::with_peripheral(&img, cordic::hardware::cordic_peripheral(p));
             assert_eq!(sim.run(10_000_000), CoSimStop::Halted, "iters={iters} P={p}");
             assert_eq!(sim.hw_stats().output_overflows, 0);
+            // The paper sizes each data set to FIFO capacity ("the size
+            // of each set of data is selected carefully"): no batch may
+            // ever come close to overrunning the 16-deep FSL FIFOs.
+            assert!(
+                sim.hw_stats().max_to_hw_occupancy <= 16,
+                "iters={iters} P={p}: to-hw FIFO high-water {} exceeds depth",
+                sim.hw_stats().max_to_hw_occupancy
+            );
+            assert!(
+                sim.hw_stats().max_from_hw_occupancy <= 16,
+                "iters={iters} P={p}: from-hw FIFO high-water {} exceeds depth",
+                sim.hw_stats().max_from_hw_occupancy
+            );
             let base = img.symbol(cordic::software::RESULT_LABEL).unwrap();
             let eff = cordic::software::effective_iterations(iters, p);
             for (i, &(a, b)) in pairs.iter().enumerate() {
@@ -47,8 +57,7 @@ fn matmul_all_sizes_and_blocks_correct() {
                 continue;
             }
             let img = assemble(&matmul::software::hw_program(&a, &b, nb)).unwrap();
-            let mut sim =
-                CoSim::with_peripheral(&img, matmul::hardware::matmul_peripheral(nb));
+            let mut sim = CoSim::with_peripheral(&img, matmul::hardware::matmul_peripheral(nb));
             assert_eq!(sim.run(500_000_000), CoSimStop::Halted, "n={n} nb={nb}");
             let base = img.symbol(matmul::software::RESULT_LABEL).unwrap();
             for i in 0..n * n {
