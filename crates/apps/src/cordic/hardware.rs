@@ -15,7 +15,7 @@
 //!   keeps it locally).
 
 use crate::cordic::reference;
-use softsim_blocks::block::{bit, Block};
+use softsim_blocks::block::{bit, state_word, Block};
 use softsim_blocks::{Fix, FixFmt, Graph, Resources};
 use softsim_cosim::{FslFromHw, FslToHw, Peripheral};
 use std::collections::VecDeque;
@@ -108,6 +108,25 @@ impl Block for Deserializer {
     fn reset(&mut self) {
         *self = Deserializer::default();
     }
+    fn save_state(&self, out: &mut Vec<u64>) {
+        out.push(self.phase as u64);
+        out.push(self.xs as u32 as u64);
+        out.push(self.y as u32 as u64);
+        out.push(self.z as u32 as u64);
+        out.push(self.tuple_valid as u64);
+        out.push(self.c0 as u32 as u64);
+        out.push(self.c_load as u64);
+    }
+    fn load_state(&mut self, src: &mut dyn Iterator<Item = u64>) {
+        let mut w = || state_word("CordicDeserializer", src);
+        self.phase = w() as u8;
+        self.xs = w() as u32 as i32;
+        self.y = w() as u32 as i32;
+        self.z = w() as u32 as i32;
+        self.tuple_valid = w() != 0;
+        self.c0 = w() as u32 as i32;
+        self.c_load = w() != 0;
+    }
 }
 
 /// One CORDIC processing element (Eq. 2): a fully-pipelined stage with a
@@ -186,6 +205,25 @@ impl Block for CordicPe {
     fn reset(&mut self) {
         *self = CordicPe::default();
     }
+    fn save_state(&self, out: &mut Vec<u64>) {
+        out.push(self.xs as u32 as u64);
+        out.push(self.y as u32 as u64);
+        out.push(self.z as u32 as u64);
+        out.push(self.tuple_valid as u64);
+        out.push(self.c as u32 as u64);
+        out.push(self.c_fwd as u32 as u64);
+        out.push(self.c_load_fwd as u64);
+    }
+    fn load_state(&mut self, src: &mut dyn Iterator<Item = u64>) {
+        let mut w = || state_word("CordicPe", src);
+        self.xs = w() as u32 as i32;
+        self.y = w() as u32 as i32;
+        self.z = w() as u32 as i32;
+        self.tuple_valid = w() != 0;
+        self.c = w() as u32 as i32;
+        self.c_fwd = w() as u32 as i32;
+        self.c_load_fwd = w() != 0;
+    }
 }
 
 /// Packs `(Y, Z)` result pairs back onto one output FSL, one word per
@@ -253,6 +291,24 @@ impl Block for Serializer {
     }
     fn reset(&mut self) {
         *self = Serializer::default();
+    }
+    fn save_state(&self, out: &mut Vec<u64>) {
+        out.push(self.queue.len() as u64);
+        out.extend(self.queue.iter().map(|&w| w as u32 as u64));
+        out.push(self.out_data as u32 as u64);
+        out.push(self.out_valid as u64);
+        out.push(self.max_occupancy as u64);
+    }
+    fn load_state(&mut self, src: &mut dyn Iterator<Item = u64>) {
+        let mut w = || state_word("CordicSerializer", src);
+        let len = w() as usize;
+        self.queue.clear();
+        for _ in 0..len {
+            self.queue.push_back(w() as u32 as i32);
+        }
+        self.out_data = w() as u32 as i32;
+        self.out_valid = w() != 0;
+        self.max_occupancy = w() as usize;
     }
 }
 

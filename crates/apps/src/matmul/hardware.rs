@@ -14,7 +14,7 @@
 //!   handed to an output buffer and streamed back row-major, one word per
 //!   cycle, while the next A block may already stream in.
 
-use softsim_blocks::block::{bit, Block};
+use softsim_blocks::block::{bit, state_word, Block};
 use softsim_blocks::{Fix, FixFmt, Graph, Resources};
 use softsim_cosim::{FslFromHw, FslToHw, Peripheral};
 use std::collections::VecDeque;
@@ -148,6 +148,36 @@ impl Block for MatmulUnit {
     }
     fn reset(&mut self) {
         *self = MatmulUnit::new(self.nb);
+    }
+    fn save_state(&self, out: &mut Vec<u64>) {
+        out.extend(self.b.iter().map(|&w| w as u32 as u64));
+        out.push(self.b_idx as u64);
+        out.extend(self.acc.iter().map(|&w| w as u32 as u64));
+        out.push(self.a_idx as u64);
+        out.push(self.out.len() as u64);
+        out.extend(self.out.iter().map(|&w| w as u32 as u64));
+        out.push(self.out_data as u32 as u64);
+        out.push(self.out_valid as u64);
+        out.push(self.max_occupancy as u64);
+    }
+    fn load_state(&mut self, src: &mut dyn Iterator<Item = u64>) {
+        let mut w = || state_word("MatmulUnit", src);
+        for v in &mut self.b {
+            *v = w() as u32 as i32;
+        }
+        self.b_idx = w() as usize;
+        for v in &mut self.acc {
+            *v = w() as u32 as i32;
+        }
+        self.a_idx = w() as usize;
+        let len = w() as usize;
+        self.out.clear();
+        for _ in 0..len {
+            self.out.push_back(w() as u32 as i32);
+        }
+        self.out_data = w() as u32 as i32;
+        self.out_valid = w() != 0;
+        self.max_occupancy = w() as usize;
     }
 }
 

@@ -1,7 +1,7 @@
 //! Prints the reproduced tables and figures of the paper.
 //!
 //! Usage: `tables [--fig5] [--fig7] [--table1] [--table2] [--claims]
-//! [--ablation] [--profile] [--all] [--csv [DIR]]`
+//! [--ablation] [--profile] [--faults] [--all] [--csv [DIR]]`
 //!
 //! Run in release mode — the Table I / Table II rows measure wall-clock
 //! simulation speed.
@@ -31,6 +31,9 @@ fn main() {
     }
     if want("--profile") {
         println!("{}", tables::profile_text());
+    }
+    if want("--faults") {
+        println!("{}", softsim_bench::faults::faults_text());
     }
     if want("--ablation") {
         println!("{}", tables::ablation_fsl_vs_opb_text());

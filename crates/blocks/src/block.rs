@@ -52,6 +52,32 @@ pub trait Block {
 
     /// Resets sequential state to power-on values.
     fn reset(&mut self) {}
+
+    /// Appends the block's sequential state to `out` as raw `u64` words
+    /// (fixed-point values via [`Fix::to_bits`], counters verbatim,
+    /// variable-length containers preceded by their length). The default
+    /// is a no-op, correct for combinational blocks; every sequential
+    /// block must override it together with [`Block::load_state`] so
+    /// graph checkpoints capture it.
+    fn save_state(&self, out: &mut Vec<u64>) {
+        let _ = out;
+    }
+
+    /// Restores the state written by [`Block::save_state`], consuming the
+    /// same number of words from the front of `src`.
+    ///
+    /// # Panics
+    /// Implementations panic if `src` runs dry — a snapshot/graph
+    /// mismatch is a caller bug, not a recoverable condition.
+    fn load_state(&mut self, src: &mut dyn Iterator<Item = u64>) {
+        let _ = src;
+    }
+}
+
+/// Pulls one state word in a [`Block::load_state`] implementation,
+/// panicking with the block kind on underflow.
+pub fn state_word(kind: &str, src: &mut dyn Iterator<Item = u64>) -> u64 {
+    src.next().unwrap_or_else(|| panic!("{kind}: snapshot underflow"))
 }
 
 /// Interprets a signal as a boolean (nonzero = true).

@@ -121,6 +121,21 @@ impl Node {
     }
 }
 
+/// A complete snapshot of a compiled design's simulation state, as raw
+/// `u64` words (see [`Graph::save_state`]). The shape is only meaningful
+/// against the same compiled design; restoring into a different design
+/// panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphState {
+    /// The design's cycle counter.
+    pub cycle: u64,
+    /// Every output-port value, flat, as [`Fix::to_bits`] words.
+    pub values: Vec<u64>,
+    /// Concatenated per-node state: gateway-input values and each
+    /// block's [`Block::save_state`] stream, in node order.
+    pub block_words: Vec<u64>,
+}
+
 /// A synchronous block design, stepped one clock cycle at a time.
 #[derive(Default)]
 pub struct Graph {
@@ -471,6 +486,50 @@ impl Graph {
         if self.activity.is_some() {
             self.enable_activity();
         }
+    }
+
+    /// Captures the design's complete simulation state: the cycle
+    /// counter, every settled port value and the sequential state of
+    /// every block (via [`Block::save_state`]). Probes and activity
+    /// measurement are observers, not design state, and are excluded.
+    pub fn save_state(&self) -> GraphState {
+        let mut block_words = Vec::new();
+        for node in &self.nodes {
+            match &node.kind {
+                Kind::Block(b) => b.save_state(&mut block_words),
+                Kind::Input { value, .. } => block_words.push(value.to_bits()),
+            }
+        }
+        GraphState {
+            cycle: self.cycle,
+            values: self.values.iter().map(Fix::to_bits).collect(),
+            block_words,
+        }
+    }
+
+    /// Restores a snapshot taken by [`Graph::save_state`] on a graph of
+    /// the *same compiled design*.
+    ///
+    /// # Panics
+    /// Panics if the snapshot's shape does not match this design (wrong
+    /// value count or block state length).
+    pub fn load_state(&mut self, state: &GraphState) {
+        assert_eq!(state.values.len(), self.values.len(), "snapshot/design value-count mismatch");
+        self.cycle = state.cycle;
+        for (v, &bits) in self.values.iter_mut().zip(&state.values) {
+            *v = Fix::from_bits(bits, v.fmt());
+        }
+        let mut src = state.block_words.iter().copied();
+        for node in &mut self.nodes {
+            match &mut node.kind {
+                Kind::Block(b) => b.load_state(&mut src),
+                Kind::Input { fmt, value } => {
+                    let bits = src.next().expect("snapshot underflow at gateway input");
+                    *value = Fix::from_bits(bits, *fmt);
+                }
+            }
+        }
+        assert!(src.next().is_none(), "snapshot/design block-state length mismatch");
     }
 
     /// Starts measuring switching activity: from the next [`Graph::step`]

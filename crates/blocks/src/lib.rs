@@ -26,7 +26,7 @@ pub mod resource;
 
 pub use block::Block;
 pub use fix::{Fix, FixFmt, Overflow, Rounding};
-pub use graph::{Graph, GraphError, NodeId};
+pub use graph::{Graph, GraphError, GraphState, NodeId};
 pub use resource::Resources;
 
 #[cfg(test)]

@@ -1,7 +1,7 @@
 //! Arithmetic blocks: constant, add/sub, multiplier, negate, absolute
 //! value, shift and format conversion.
 
-use crate::block::Block;
+use crate::block::{state_word, Block};
 use crate::fix::{Fix, FixFmt, Overflow, Rounding};
 use crate::resource::Resources;
 use std::collections::VecDeque;
@@ -182,6 +182,14 @@ impl Block for Mult {
     fn reset(&mut self) {
         for v in &mut self.pipe {
             *v = Fix::zero(self.out);
+        }
+    }
+    fn save_state(&self, out: &mut Vec<u64>) {
+        out.extend(self.pipe.iter().map(Fix::to_bits));
+    }
+    fn load_state(&mut self, src: &mut dyn Iterator<Item = u64>) {
+        for v in &mut self.pipe {
+            *v = Fix::from_bits(state_word("Mult", src), self.out);
         }
     }
 }

@@ -2,7 +2,7 @@
 //! multiplication, thresholding, dual-port RAM — the rest of the standard
 //! System Generator blockset used by signal-processing designs.
 
-use crate::block::{bit, bool_of, Block};
+use crate::block::{bit, bool_of, state_word, Block};
 use crate::fix::{Fix, FixFmt, Overflow, Rounding};
 use crate::resource::Resources;
 
@@ -61,6 +61,14 @@ impl Block for DownSample {
         self.phase = 0;
         self.held = Fix::zero(self.fmt);
     }
+    fn save_state(&self, out: &mut Vec<u64>) {
+        out.push(self.phase);
+        out.push(self.held.to_bits());
+    }
+    fn load_state(&mut self, src: &mut dyn Iterator<Item = u64>) {
+        self.phase = state_word("DownSample", src) % self.factor;
+        self.held = Fix::from_bits(state_word("DownSample", src), self.fmt);
+    }
 }
 
 /// Repeats each input sample `factor` times and strobes the first copy
@@ -117,6 +125,14 @@ impl Block for UpSample {
     fn reset(&mut self) {
         self.phase = 0;
         self.held = Fix::zero(self.fmt);
+    }
+    fn save_state(&self, out: &mut Vec<u64>) {
+        out.push(self.phase);
+        out.push(self.held.to_bits());
+    }
+    fn load_state(&mut self, src: &mut dyn Iterator<Item = u64>) {
+        self.phase = state_word("UpSample", src) % self.factor;
+        self.held = Fix::from_bits(state_word("UpSample", src), self.fmt);
     }
 }
 
@@ -255,6 +271,18 @@ impl Block for DualPortRam {
         }
         self.reg_a = Fix::zero(self.fmt);
         self.reg_b = Fix::zero(self.fmt);
+    }
+    fn save_state(&self, out: &mut Vec<u64>) {
+        out.extend(self.data.iter().map(Fix::to_bits));
+        out.push(self.reg_a.to_bits());
+        out.push(self.reg_b.to_bits());
+    }
+    fn load_state(&mut self, src: &mut dyn Iterator<Item = u64>) {
+        for v in &mut self.data {
+            *v = Fix::from_bits(state_word("DualPortRam", src), self.fmt);
+        }
+        self.reg_a = Fix::from_bits(state_word("DualPortRam", src), self.fmt);
+        self.reg_b = Fix::from_bits(state_word("DualPortRam", src), self.fmt);
     }
 }
 

@@ -1,7 +1,7 @@
 //! Sequential blocks: delays, registers, counters, accumulators, FIFOs
 //! and memories.
 
-use crate::block::{bool_of, Block};
+use crate::block::{bool_of, state_word, Block};
 use crate::fix::{Fix, FixFmt, Overflow, Rounding};
 use crate::resource::Resources;
 use std::collections::VecDeque;
@@ -53,6 +53,14 @@ impl Block for Delay {
     fn reset(&mut self) {
         for v in &mut self.line {
             *v = Fix::zero(self.fmt);
+        }
+    }
+    fn save_state(&self, out: &mut Vec<u64>) {
+        out.extend(self.line.iter().map(Fix::to_bits));
+    }
+    fn load_state(&mut self, src: &mut dyn Iterator<Item = u64>) {
+        for v in &mut self.line {
+            *v = Fix::from_bits(state_word("Delay", src), self.fmt);
         }
     }
 }
@@ -107,6 +115,12 @@ impl Block for Register {
     fn reset(&mut self) {
         self.state = self.init;
     }
+    fn save_state(&self, out: &mut Vec<u64>) {
+        out.push(self.state.to_bits());
+    }
+    fn load_state(&mut self, src: &mut dyn Iterator<Item = u64>) {
+        self.state = Fix::from_bits(state_word("Register", src), self.fmt);
+    }
 }
 
 /// A free-running modulo counter.
@@ -156,6 +170,12 @@ impl Block for Counter {
     }
     fn reset(&mut self) {
         self.state = 0;
+    }
+    fn save_state(&self, out: &mut Vec<u64>) {
+        out.push(self.state);
+    }
+    fn load_state(&mut self, src: &mut dyn Iterator<Item = u64>) {
+        self.state = state_word("Counter", src) % self.modulo;
     }
 }
 
@@ -208,6 +228,12 @@ impl Block for Accumulator {
     }
     fn reset(&mut self) {
         self.state = Fix::zero(self.fmt);
+    }
+    fn save_state(&self, out: &mut Vec<u64>) {
+        out.push(self.state.to_bits());
+    }
+    fn load_state(&mut self, src: &mut dyn Iterator<Item = u64>) {
+        self.state = Fix::from_bits(state_word("Accumulator", src), self.fmt);
     }
 }
 
@@ -279,6 +305,18 @@ impl Block for SyncFifo {
     fn reset(&mut self) {
         self.queue.clear();
     }
+    fn save_state(&self, out: &mut Vec<u64>) {
+        out.push(self.queue.len() as u64);
+        out.extend(self.queue.iter().map(Fix::to_bits));
+    }
+    fn load_state(&mut self, src: &mut dyn Iterator<Item = u64>) {
+        let len = state_word("SyncFifo", src) as usize;
+        assert!(len <= self.depth, "SyncFifo: snapshot exceeds depth");
+        self.queue.clear();
+        for _ in 0..len {
+            self.queue.push_back(Fix::from_bits(state_word("SyncFifo", src), self.fmt));
+        }
+    }
 }
 
 /// A single-port synchronous RAM.
@@ -335,6 +373,16 @@ impl Block for SinglePortRam {
             *v = Fix::zero(self.fmt);
         }
         self.read_reg = Fix::zero(self.fmt);
+    }
+    fn save_state(&self, out: &mut Vec<u64>) {
+        out.extend(self.data.iter().map(Fix::to_bits));
+        out.push(self.read_reg.to_bits());
+    }
+    fn load_state(&mut self, src: &mut dyn Iterator<Item = u64>) {
+        for v in &mut self.data {
+            *v = Fix::from_bits(state_word("SinglePortRam", src), self.fmt);
+        }
+        self.read_reg = Fix::from_bits(state_word("SinglePortRam", src), self.fmt);
     }
 }
 

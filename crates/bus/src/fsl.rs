@@ -84,6 +84,25 @@ pub struct FslFifo {
     depth: usize,
     stats: FslStats,
     trace: Option<Box<FifoTrace>>,
+    /// Fault-injection override: the `full` flag reads asserted
+    /// regardless of occupancy (an SEU in the flag logic).
+    stuck_full: bool,
+    /// Fault-injection override: the `exists` flag reads deasserted
+    /// regardless of occupancy.
+    stuck_empty: bool,
+}
+
+/// Serializable state of one FSL FIFO (see [`FslFifo::save_state`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FslFifoState {
+    /// Buffered words, front first.
+    pub words: Vec<FslWord>,
+    /// Traffic statistics at snapshot time.
+    pub stats: FslStats,
+    /// Stuck-flag fault overrides.
+    pub stuck_full: bool,
+    /// Stuck-flag fault overrides.
+    pub stuck_empty: bool,
 }
 
 impl Default for FslFifo {
@@ -104,6 +123,8 @@ impl FslFifo {
             depth,
             stats: FslStats::default(),
             trace: None,
+            stuck_full: false,
+            stuck_empty: false,
         }
     }
 
@@ -136,14 +157,16 @@ impl FslFifo {
         self.queue.is_empty()
     }
 
-    /// The `FSL#_full` flag the writer observes.
+    /// The `FSL#_full` flag the writer observes. A
+    /// [`FslFifo::set_stuck_full`] fault forces it asserted.
     pub fn full(&self) -> bool {
-        self.queue.len() >= self.depth
+        self.stuck_full || self.queue.len() >= self.depth
     }
 
-    /// The `FSL#_exists` flag the reader observes.
+    /// The `FSL#_exists` flag the reader observes. A
+    /// [`FslFifo::set_stuck_empty`] fault forces it deasserted.
     pub fn exists(&self) -> bool {
-        !self.queue.is_empty()
+        !self.stuck_empty && !self.queue.is_empty()
     }
 
     /// Attempts to push one word; returns `false` (and leaves the FIFO
@@ -176,9 +199,11 @@ impl FslFifo {
         true
     }
 
-    /// Attempts to pop one word; `None` when empty.
+    /// Attempts to pop one word; `None` when empty (or when a stuck
+    /// `exists` fault hides the buffered words from the reader).
     pub fn try_pop(&mut self) -> Option<FslWord> {
-        match self.queue.pop_front() {
+        let popped = if self.stuck_empty { None } else { self.queue.pop_front() };
+        match popped {
             Some(w) => {
                 self.stats.pops += 1;
                 if let Some(t) = &self.trace {
@@ -220,6 +245,73 @@ impl FslFifo {
     /// Empties the FIFO (reset).
     pub fn clear(&mut self) {
         self.queue.clear();
+    }
+
+    /// Forces (or releases) the `full` flag regardless of occupancy —
+    /// models an SEU in the flag logic. Writers stall forever while set.
+    pub fn set_stuck_full(&mut self, stuck: bool) {
+        self.stuck_full = stuck;
+    }
+
+    /// Forces (or releases) a deasserted `exists` flag regardless of
+    /// occupancy. Readers see an empty channel while set.
+    pub fn set_stuck_empty(&mut self, stuck: bool) {
+        self.stuck_empty = stuck;
+    }
+
+    /// Mutable access to the `index`-th buffered word (0 = head), for
+    /// fault injection into in-flight data. `None` past the occupancy.
+    pub fn word_mut(&mut self, index: usize) -> Option<&mut FslWord> {
+        self.queue.get_mut(index)
+    }
+
+    /// Silently removes the `index`-th buffered word (0 = head) — a
+    /// dropped-word protocol fault. Returns the word, or `None` past the
+    /// occupancy. Deliberately bypasses statistics and tracing: the
+    /// design under test never observes the transfer.
+    pub fn remove_word(&mut self, index: usize) -> Option<FslWord> {
+        self.queue.remove(index)
+    }
+
+    /// Duplicates the head word in place — a duplicated-word protocol
+    /// fault. Returns `false` (unchanged) when the FIFO is empty or
+    /// already full. Bypasses statistics and tracing like
+    /// [`FslFifo::remove_word`].
+    pub fn duplicate_head(&mut self) -> bool {
+        if self.queue.len() >= self.depth {
+            return false;
+        }
+        match self.queue.front().copied() {
+            Some(w) => {
+                self.queue.push_front(w);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Captures the FIFO's snapshot state (contents, statistics and
+    /// fault overrides). Trace attachment is an observer and excluded.
+    pub fn save_state(&self) -> FslFifoState {
+        FslFifoState {
+            words: self.queue.iter().copied().collect(),
+            stats: self.stats,
+            stuck_full: self.stuck_full,
+            stuck_empty: self.stuck_empty,
+        }
+    }
+
+    /// Restores a snapshot taken by [`FslFifo::save_state`].
+    ///
+    /// # Panics
+    /// Panics if the snapshot holds more words than this FIFO's depth.
+    pub fn load_state(&mut self, state: &FslFifoState) {
+        assert!(state.words.len() <= self.depth, "snapshot exceeds FIFO depth");
+        self.queue.clear();
+        self.queue.extend(state.words.iter().copied());
+        self.stats = state.stats;
+        self.stuck_full = state.stuck_full;
+        self.stuck_empty = state.stuck_empty;
     }
 }
 
@@ -328,6 +420,50 @@ impl FslBank {
     pub fn words_in_flight(&self) -> usize {
         self.to_hw.iter().chain(self.from_hw.iter()).map(FslFifo::len).sum()
     }
+
+    /// Total successful pushes + pops across every channel in both
+    /// directions — a monotone progress counter for liveness watchdogs:
+    /// if it stops advancing, no word is moving anywhere in the bank.
+    pub fn total_ops(&self) -> u64 {
+        self.to_hw
+            .iter()
+            .chain(self.from_hw.iter())
+            .map(|f| f.stats().pushes + f.stats().pops)
+            .sum()
+    }
+
+    /// Captures every channel's snapshot state.
+    pub fn save_state(&self) -> FslBankState {
+        FslBankState {
+            to_hw: self.to_hw.iter().map(FslFifo::save_state).collect(),
+            from_hw: self.from_hw.iter().map(FslFifo::save_state).collect(),
+        }
+    }
+
+    /// Restores a snapshot taken by [`FslBank::save_state`].
+    ///
+    /// # Panics
+    /// Panics on a channel-count mismatch or when any channel's snapshot
+    /// exceeds its FIFO depth.
+    pub fn load_state(&mut self, state: &FslBankState) {
+        assert_eq!(state.to_hw.len(), CHANNELS, "snapshot channel count");
+        assert_eq!(state.from_hw.len(), CHANNELS, "snapshot channel count");
+        for (f, s) in self.to_hw.iter_mut().zip(&state.to_hw) {
+            f.load_state(s);
+        }
+        for (f, s) in self.from_hw.iter_mut().zip(&state.from_hw) {
+            f.load_state(s);
+        }
+    }
+}
+
+/// Serializable state of a full FSL bank (see [`FslBank::save_state`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FslBankState {
+    /// Processor → hardware channels, index order.
+    pub to_hw: Vec<FslFifoState>,
+    /// Hardware → processor channels, index order.
+    pub from_hw: Vec<FslFifoState>,
 }
 
 #[cfg(test)]

@@ -16,7 +16,9 @@ pub mod fsl;
 pub mod lmb;
 pub mod opb;
 
-pub use fsl::{FslBank, FslFifo, FslStats, FslWord, CHANNELS, DEFAULT_DEPTH};
+pub use fsl::{
+    FslBank, FslBankState, FslFifo, FslFifoState, FslStats, FslWord, CHANNELS, DEFAULT_DEPTH,
+};
 pub use lmb::{LmbMemory, MemError, LMB_LATENCY};
 pub use opb::{OpbBus, OpbFault, OpbPeripheral, RegisterFile, OPB_READ_LATENCY, OPB_WRITE_LATENCY};
 

@@ -144,6 +144,16 @@ impl LmbMemory {
     pub fn bytes(&self) -> &[u8] {
         &self.bytes
     }
+
+    /// Replaces the entire contents from a snapshot image.
+    ///
+    /// # Panics
+    /// Panics if `image` is not exactly this memory's size — restoring a
+    /// snapshot into a differently-sized memory is a caller bug.
+    pub fn load_bytes(&mut self, image: &[u8]) {
+        assert_eq!(image.len(), self.bytes.len(), "snapshot/memory size mismatch");
+        self.bytes.copy_from_slice(image);
+    }
 }
 
 #[cfg(test)]

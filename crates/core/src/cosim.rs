@@ -17,11 +17,11 @@
 //! paper's headline result.
 
 use crate::binding::{FslFromHw, FslToHw};
-use softsim_blocks::graph::{InputHandle, OutputHandle};
+use softsim_blocks::graph::{GraphState, InputHandle, OutputHandle};
 use softsim_blocks::{Fix, FixFmt, Graph};
-use softsim_bus::{FslBank, FslWord};
+use softsim_bus::{FslBank, FslBankState, FslWord};
 use softsim_isa::{CpuConfig, Image};
-use softsim_iss::{Cpu, CpuStats, Event, Fault};
+use softsim_iss::{Cpu, CpuSnapshot, CpuStats, Event, Fault, FslBlock};
 use softsim_trace::{SharedSink, TraceEvent};
 
 /// The clock frequency of the paper's experiments (§IV): 50 MHz on the
@@ -33,10 +33,68 @@ pub const PAPER_CLOCK_HZ: f64 = 50e6;
 pub enum CoSimStop {
     /// The software executed `halt`.
     Halted,
-    /// The cycle budget was exhausted.
-    CycleLimit,
+    /// The cycle budget was exhausted. When the processor was blocked on
+    /// a Fast Simplex Link at that moment, `blocked` says which channel
+    /// and direction — the stall context the tracer already follows, now
+    /// surfaced in the stop reason instead of being lost.
+    CycleLimit {
+        /// The FSL transfer the CPU was blocked on, if any.
+        blocked: Option<FslBlock>,
+    },
+    /// The liveness watchdog fired: no forward progress for the
+    /// configured number of cycles (see [`CoSim::set_watchdog`]).
+    Deadlock {
+        /// Cycle at which the watchdog gave up.
+        cycle: u64,
+        /// What the system was stuck on.
+        cause: DeadlockCause,
+    },
     /// The processor faulted.
     Fault(Fault),
+}
+
+impl std::fmt::Display for CoSimStop {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoSimStop::Halted => write!(f, "halted"),
+            CoSimStop::CycleLimit { blocked: None } => write!(f, "cycle budget exhausted"),
+            CoSimStop::CycleLimit { blocked: Some(b) } => {
+                write!(f, "cycle budget exhausted while stalled on a {b}")
+            }
+            CoSimStop::Deadlock { cycle, cause } => {
+                write!(f, "deadlock detected at cycle {cycle}: {cause}")
+            }
+            CoSimStop::Fault(fault) => write!(f, "fault: {fault}"),
+        }
+    }
+}
+
+/// What the liveness watchdog found the system stuck on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeadlockCause {
+    /// The CPU is blocked on an FSL transfer and no peripheral made the
+    /// flag change it is waiting for — the classic handshake deadlock
+    /// the paper's co-simulation is meant to catch before synthesis.
+    FslDeadlock {
+        /// The blocking transfer.
+        block: FslBlock,
+    },
+    /// Global livelock: the CPU keeps retiring nothing and no FIFO word
+    /// moves anywhere in the system.
+    Livelock,
+}
+
+impl std::fmt::Display for DeadlockCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeadlockCause::FslDeadlock { block } => {
+                write!(f, "processor stuck on a {block} with no peripheral progress")
+            }
+            DeadlockCause::Livelock => {
+                write!(f, "no instruction retired and no FIFO word moved")
+            }
+        }
+    }
 }
 
 /// Counters describing the hardware side of a run.
@@ -131,6 +189,33 @@ impl Peripheral {
     }
 }
 
+/// Liveness bookkeeping: progress counters as of the last observed
+/// cycle, and how long they have been frozen.
+#[derive(Debug, Clone, Copy)]
+struct Watchdog {
+    /// Cycles without progress before declaring deadlock.
+    threshold: u64,
+    last_instructions: u64,
+    last_fsl_ops: u64,
+    stalled_cycles: u64,
+}
+
+/// A complete co-simulator snapshot (see [`CoSim::save_state`]):
+/// processor, FSL bank and every peripheral graph, plus the
+/// hardware-side counters — everything needed to resume a run
+/// deterministically on a co-simulator built the same way.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoSimState {
+    /// The processor snapshot.
+    pub cpu: CpuSnapshot,
+    /// Every FSL channel's contents and statistics.
+    pub fsl: FslBankState,
+    /// One graph snapshot per attached peripheral, attachment order.
+    pub peripherals: Vec<GraphState>,
+    /// Hardware-side counters.
+    pub hw_stats: HwStats,
+}
+
 /// The co-simulator: one soft processor, its FSL channels, and an
 /// optional customized hardware peripheral.
 pub struct CoSim {
@@ -142,6 +227,8 @@ pub struct CoSim {
     /// Cycle-domain observability sink for gateway word transfers (the
     /// CPU and FSL bank hold their own clones).
     sink: Option<SharedSink>,
+    /// Liveness watchdog, when armed (see [`CoSim::set_watchdog`]).
+    watchdog: Option<Watchdog>,
 }
 
 impl CoSim {
@@ -155,6 +242,7 @@ impl CoSim {
             hw_stats: HwStats::default(),
             clock_hz: PAPER_CLOCK_HZ,
             sink: None,
+            watchdog: None,
         }
     }
 
@@ -176,6 +264,7 @@ impl CoSim {
             hw_stats: HwStats::default(),
             clock_hz: PAPER_CLOCK_HZ,
             sink: None,
+            watchdog: None,
         };
         if let Some(p) = peripheral {
             sim.add_peripheral(p);
@@ -237,6 +326,13 @@ impl CoSim {
     /// The FSL channels.
     pub fn fsl(&self) -> &FslBank {
         &self.fsl
+    }
+
+    /// Mutable access to the FSL channels — used by fault injectors to
+    /// corrupt in-flight words or stick flags, and by tests that shape
+    /// pathological FIFO configurations.
+    pub fn fsl_mut(&mut self) -> &mut FslBank {
+        &mut self.fsl
     }
 
     /// The attached customized hardware peripherals.
@@ -341,7 +437,100 @@ impl CoSim {
         event
     }
 
-    /// Runs until the software halts, faults, or `max_cycles` elapse.
+    /// Arms the liveness watchdog: if `threshold` consecutive cycles
+    /// pass in which no instruction retires *and* no FIFO word moves in
+    /// either direction, [`CoSim::run`] stops with
+    /// [`CoSimStop::Deadlock`] instead of silently burning the rest of
+    /// its cycle budget. Pick a threshold larger than the longest
+    /// FIFO-quiet stretch of the design (peripheral pipeline latency
+    /// plus any batching the software does); a few thousand cycles is
+    /// conservative for the workloads in this repository.
+    ///
+    /// # Panics
+    /// Panics if `threshold == 0`.
+    pub fn set_watchdog(&mut self, threshold: u64) {
+        assert!(threshold > 0, "watchdog threshold must be positive");
+        self.watchdog = Some(Watchdog {
+            threshold,
+            last_instructions: self.cpu.stats().instructions,
+            last_fsl_ops: self.fsl.total_ops(),
+            stalled_cycles: 0,
+        });
+    }
+
+    /// Disarms the liveness watchdog.
+    pub fn clear_watchdog(&mut self) {
+        self.watchdog = None;
+    }
+
+    /// One watchdog observation; called after each [`CoSim::step`] by
+    /// [`CoSim::run`], and available to manual steppers. Returns the
+    /// deadlock stop once the armed threshold is exceeded, `None`
+    /// otherwise (including when no watchdog is armed).
+    pub fn check_liveness(&mut self) -> Option<CoSimStop> {
+        let wd = self.watchdog.as_mut()?;
+        let instructions = self.cpu.stats().instructions;
+        let fsl_ops = self.fsl.total_ops();
+        if instructions != wd.last_instructions || fsl_ops != wd.last_fsl_ops {
+            wd.last_instructions = instructions;
+            wd.last_fsl_ops = fsl_ops;
+            wd.stalled_cycles = 0;
+            return None;
+        }
+        wd.stalled_cycles += 1;
+        if wd.stalled_cycles < wd.threshold {
+            return None;
+        }
+        let cycle = self.cpu.stats().cycles;
+        let cause = match self.cpu.fsl_block() {
+            Some(block) => DeadlockCause::FslDeadlock { block },
+            None => DeadlockCause::Livelock,
+        };
+        Some(CoSimStop::Deadlock { cycle, cause })
+    }
+
+    /// Captures the whole system's simulation state: processor, FSL bank
+    /// and every peripheral graph. Observers (trace sinks, probes,
+    /// activity measurement) and the watchdog are not part of the
+    /// snapshot; restoring re-arms nothing.
+    ///
+    /// # Panics
+    /// Panics if the processor has an OPB bus attached (see
+    /// [`Cpu::save_state`]).
+    pub fn save_state(&self) -> CoSimState {
+        CoSimState {
+            cpu: self.cpu.save_state(),
+            fsl: self.fsl.save_state(),
+            peripherals: self.peripherals.iter().map(|p| p.graph.save_state()).collect(),
+            hw_stats: self.hw_stats,
+        }
+    }
+
+    /// Restores a snapshot taken by [`CoSim::save_state`] on a
+    /// co-simulator built from the same image and peripherals. Any armed
+    /// watchdog is disarmed (its progress baseline would be stale).
+    ///
+    /// # Panics
+    /// Panics on a shape mismatch (different peripheral count or
+    /// incompatible graph/memory layout).
+    pub fn load_state(&mut self, state: &CoSimState) {
+        assert_eq!(
+            state.peripherals.len(),
+            self.peripherals.len(),
+            "snapshot/peripheral count mismatch"
+        );
+        self.cpu.load_state(&state.cpu);
+        self.fsl.load_state(&state.fsl);
+        for (p, s) in self.peripherals.iter_mut().zip(&state.peripherals) {
+            p.graph.load_state(s);
+        }
+        self.hw_stats = state.hw_stats;
+        self.watchdog = None;
+    }
+
+    /// Runs until the software halts, faults, deadlocks (when a watchdog
+    /// is armed) or `max_cycles` elapse. On cycle-budget expiry the stop
+    /// reports the FSL transfer the processor was blocked on, if any.
     pub fn run(&mut self, max_cycles: u64) -> CoSimStop {
         for _ in 0..max_cycles {
             match self.step() {
@@ -349,7 +538,10 @@ impl CoSim {
                 Event::Fault(f) => return CoSimStop::Fault(f),
                 _ => {}
             }
+            if let Some(stop) = self.check_liveness() {
+                return stop;
+            }
         }
-        CoSimStop::CycleLimit
+        CoSimStop::CycleLimit { blocked: self.cpu.fsl_block() }
     }
 }

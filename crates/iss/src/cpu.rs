@@ -29,8 +29,8 @@
 use crate::fault::Fault;
 use crate::stats::CpuStats;
 use softsim_bus::{FslBank, LmbMemory};
-use softsim_isa::{decode, CpuConfig, Image, Inst, Reg};
-use softsim_trace::{InstClass, SharedSink, StallCause, TraceEvent};
+use softsim_isa::{decode, encode, CpuConfig, Image, Inst, Reg};
+use softsim_trace::{FifoDir, InstClass, SharedSink, StallCause, TraceEvent};
 use std::collections::HashSet;
 
 /// Default local-memory size (64 KiB, a typical MicroBlaze LMB setup).
@@ -115,6 +115,33 @@ pub enum StopReason {
     Fault(Fault),
 }
 
+/// Where the processor is blocked on a Fast Simplex Link: the channel,
+/// the direction (read or write side) and the PC of the blocking
+/// instruction. Surfaced by [`Cpu::fsl_block`] so cycle-budget expiry
+/// and deadlock reports can say *what* the CPU was waiting for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FslBlock {
+    /// FSL channel number (0–7).
+    pub channel: u8,
+    /// `FromHw` for a blocked `get`, `ToHw` for a blocked `put`.
+    pub dir: FifoDir,
+    /// Address of the blocking instruction.
+    pub pc: u32,
+}
+
+impl std::fmt::Display for FslBlock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.dir {
+            FifoDir::FromHw => {
+                write!(f, "blocking get on FSL channel {} at pc {:#010x}", self.channel, self.pc)
+            }
+            FifoDir::ToHw => {
+                write!(f, "blocking put on FSL channel {} at pc {:#010x}", self.channel, self.pc)
+            }
+        }
+    }
+}
+
 /// Micro-architectural state of the in-flight instruction.
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum Pipe {
@@ -136,6 +163,64 @@ pub struct TraceEntry {
     pub pc: u32,
     /// Raw instruction word.
     pub word: u32,
+}
+
+/// Serializable pipeline occupancy inside a [`CpuSnapshot`]. In-flight
+/// instructions are stored re-encoded as raw words so the snapshot is
+/// plain data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipeSnapshot {
+    /// Ready to fetch.
+    Ready,
+    /// An executed instruction occupying the pipeline.
+    Busy {
+        /// Cycles left before retiring.
+        remaining: u32,
+        /// Address of the in-flight instruction.
+        pc: u32,
+        /// The instruction, re-encoded.
+        word: u32,
+    },
+    /// Blocked on a blocking FSL transfer.
+    FslStall {
+        /// Address of the blocked instruction.
+        pc: u32,
+        /// The instruction, re-encoded.
+        word: u32,
+    },
+}
+
+/// A complete processor snapshot (see [`Cpu::save_state`]): everything
+/// the simulation needs to resume deterministically, excluding debugger
+/// and tracing attachments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CpuSnapshot {
+    /// General-purpose registers.
+    pub regs: [u32; 32],
+    /// Program counter.
+    pub pc: u32,
+    /// MSR carry flag.
+    pub carry: bool,
+    /// Latched `imm` prefix.
+    pub imm_latch: Option<u16>,
+    /// Pending delayed-branch target.
+    pub delay_target: Option<u32>,
+    /// True while a delay slot executes.
+    pub in_delay_slot: bool,
+    /// Pending non-delayed taken-branch target.
+    pub redirect: Option<u32>,
+    /// Full local-memory image.
+    pub mem: Vec<u8>,
+    /// Extra bus-latency cycles charged to the in-flight instruction.
+    pub extra_cycles: u32,
+    /// Pipeline occupancy.
+    pub pipe: PipeSnapshot,
+    /// Halt flag.
+    pub halted: bool,
+    /// Accumulated statistics.
+    pub stats: CpuStats,
+    /// Breakpoint address being resumed from.
+    pub bp_skip: Option<u32>,
 }
 
 /// The MB32 processor.
@@ -348,6 +433,96 @@ impl Cpu {
     /// True when the processor is between instructions (nothing in flight).
     pub fn at_instruction_boundary(&self) -> bool {
         matches!(self.pipe, Pipe::Ready)
+    }
+
+    /// When the processor is stalled on a blocking FSL transfer, the
+    /// channel, direction and PC it is blocked on; `None` otherwise.
+    pub fn fsl_block(&self) -> Option<FslBlock> {
+        match &self.pipe {
+            Pipe::FslStall { pc, inst } => match inst {
+                Inst::Get { chan, .. } => {
+                    Some(FslBlock { channel: chan.index() as u8, dir: FifoDir::FromHw, pc: *pc })
+                }
+                Inst::Put { chan, .. } => {
+                    Some(FslBlock { channel: chan.index() as u8, dir: FifoDir::ToHw, pc: *pc })
+                }
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// Captures the processor's complete architectural and
+    /// micro-architectural state (registers, PC, flags, prefix/branch
+    /// latches, local memory, pipeline occupancy, halt flag and
+    /// statistics). Breakpoints and trace attachments are debugger/
+    /// observer state and are *not* captured; the in-flight instruction
+    /// is stored re-encoded so the snapshot is plain data.
+    ///
+    /// # Panics
+    /// Panics if an OPB bus is attached — memory-mapped peripherals hold
+    /// arbitrary device state outside the snapshot domain.
+    pub fn save_state(&self) -> CpuSnapshot {
+        assert!(self.opb.is_none(), "Cpu::save_state does not cover attached OPB peripherals");
+        let pipe = match &self.pipe {
+            Pipe::Ready => PipeSnapshot::Ready,
+            Pipe::Busy { remaining, pc, inst } => {
+                PipeSnapshot::Busy { remaining: *remaining, pc: *pc, word: encode(inst) }
+            }
+            Pipe::FslStall { pc, inst } => PipeSnapshot::FslStall { pc: *pc, word: encode(inst) },
+        };
+        CpuSnapshot {
+            regs: self.regs,
+            pc: self.pc,
+            carry: self.carry,
+            imm_latch: self.imm_latch,
+            delay_target: self.delay_target,
+            in_delay_slot: self.in_delay_slot,
+            redirect: self.redirect,
+            mem: self.mem.bytes().to_vec(),
+            extra_cycles: self.extra_cycles,
+            pipe,
+            halted: self.halted,
+            stats: self.stats,
+            bp_skip: self.bp_skip,
+        }
+    }
+
+    /// Restores a snapshot taken by [`Cpu::save_state`] on a processor
+    /// with the same memory size. Breakpoints and trace attachments keep
+    /// their current values.
+    ///
+    /// # Panics
+    /// Panics on a memory-size mismatch or a corrupted in-flight
+    /// instruction word.
+    pub fn load_state(&mut self, s: &CpuSnapshot) {
+        let decode_pipe = |word: u32| {
+            decode(word).unwrap_or_else(|e| panic!("snapshot pipeline word undecodable: {e}"))
+        };
+        self.pipe = match s.pipe {
+            PipeSnapshot::Ready => Pipe::Ready,
+            PipeSnapshot::Busy { remaining, pc, word } => {
+                Pipe::Busy { remaining, pc, inst: decode_pipe(word) }
+            }
+            PipeSnapshot::FslStall { pc, word } => Pipe::FslStall { pc, inst: decode_pipe(word) },
+        };
+        self.regs = s.regs;
+        self.pc = s.pc;
+        self.carry = s.carry;
+        self.imm_latch = s.imm_latch;
+        self.delay_target = s.delay_target;
+        self.in_delay_slot = s.in_delay_slot;
+        self.redirect = s.redirect;
+        self.mem.load_bytes(&s.mem);
+        self.extra_cycles = s.extra_cycles;
+        self.halted = s.halted;
+        self.stats = s.stats;
+        self.bp_skip = s.bp_skip;
+        // Per-instruction trace bookkeeping restarts cleanly: attribution
+        // within the in-flight instruction is observer state.
+        self.inst_start = s.stats.cycles;
+        self.inst_read_stalls = 0;
+        self.inst_write_stalls = 0;
     }
 
     /// Advances the processor by exactly one clock cycle.

@@ -299,4 +299,77 @@ mod tests {
         assert!(parse_command("rm xyz").is_err());
         assert!(parse_command("step extra").is_err());
     }
+
+    #[test]
+    fn parse_errors_name_the_offending_token() {
+        // Every malformed line maps to a distinct, precise diagnostic.
+        assert_eq!(parse_command("   "), Err("empty command".into()));
+        assert_eq!(parse_command("rr"), Err("missing register".into()));
+        assert_eq!(parse_command("rr r42"), Err("bad register `r42`".into()));
+        assert_eq!(parse_command("rr pc"), Err("bad register `pc`".into()));
+        assert_eq!(parse_command("wr r1"), Err("missing value".into()));
+        assert_eq!(parse_command("wr r1 0xZZ"), Err("bad number `0xZZ`".into()));
+        assert_eq!(parse_command("wpc"), Err("missing address".into()));
+        assert_eq!(parse_command("rm"), Err("missing address".into()));
+        assert_eq!(parse_command("rm xyz"), Err("bad number `xyz`".into()));
+        assert_eq!(parse_command("wm 0x10"), Err("missing value".into()));
+        assert_eq!(parse_command("break"), Err("missing address".into()));
+        assert_eq!(parse_command("delete"), Err("missing address".into()));
+        assert_eq!(parse_command("cont fast"), Err("bad cycle count".into()));
+        assert_eq!(parse_command("quit"), Err("unknown command `quit`".into()));
+        assert_eq!(parse_command("stats now"), Err("trailing operands".into()));
+        assert_eq!(parse_command("rpc 0"), Err("trailing operands".into()));
+    }
+
+    #[test]
+    fn parse_accepts_hex_and_decimal_operands() {
+        assert_eq!(parse_command("wm 0x40 255"), Ok(Command::WriteWord(0x40, 255)));
+        assert_eq!(parse_command("cont 500"), Ok(Command::Continue { max_cycles: 500 }));
+        // `cont` with no operand runs with an effectively unbounded budget.
+        assert!(
+            matches!(parse_command("cont"), Ok(Command::Continue { max_cycles }) if max_cycles > 1 << 60)
+        );
+    }
+
+    #[test]
+    fn commands_after_halt_still_answer() {
+        let img = session_program();
+        let mut cpu = Cpu::with_default_memory(&img);
+        let mut fsl = FslBank::default();
+        let mut dbg = DebugSession::new(&mut cpu, &mut fsl);
+        assert_eq!(
+            dbg.handle(Command::Continue { max_cycles: 10_000 }),
+            Reply::Stopped(StopReason::Halted)
+        );
+        // The session stays usable after halt: state reads answer, and
+        // further execution requests report halted instead of wedging.
+        assert_eq!(dbg.handle(Command::ReadReg(r(3))), Reply::Value(0));
+        assert!(matches!(dbg.handle(Command::ReadPc), Reply::Value(_)));
+        assert_eq!(dbg.handle(Command::Step), Reply::Stopped(StopReason::Halted));
+        assert_eq!(
+            dbg.handle(Command::Continue { max_cycles: 100 }),
+            Reply::Stopped(StopReason::Halted)
+        );
+        assert!(matches!(dbg.handle(Command::Stats), Reply::Stats(_)));
+    }
+
+    #[test]
+    fn breakpoint_add_remove_round_trips() {
+        let img = session_program();
+        let mut cpu = Cpu::with_default_memory(&img);
+        let mut fsl = FslBank::default();
+        let mut dbg = DebugSession::new(&mut cpu, &mut fsl);
+        // Textual add/remove round-trip, including the failure path.
+        assert_eq!(dbg.handle_line("break 0x4"), "ok");
+        assert_eq!(dbg.handle_line("delete 0x4"), "ok");
+        assert_eq!(dbg.handle_line("delete 0x4"), "error no breakpoint at 0x00000004");
+        assert_eq!(dbg.handle_line("delete 0x80"), "error no breakpoint at 0x00000080");
+        // Re-adding after removal works, and duplicates collapse.
+        assert_eq!(dbg.handle_line("break 0x4"), "ok");
+        assert_eq!(dbg.handle_line("break 0x4"), "ok");
+        assert_eq!(dbg.handle_line("delete 0x4"), "ok");
+        assert_eq!(dbg.handle_line("delete 0x4"), "error no breakpoint at 0x00000004");
+        // With every breakpoint gone the program runs to completion.
+        assert_eq!(dbg.handle_line("cont"), "stopped halted");
+    }
 }

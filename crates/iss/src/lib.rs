@@ -18,7 +18,10 @@ mod exec;
 mod fault;
 mod stats;
 
-pub use cpu::{classify, Cpu, Event, StopReason, TraceEntry, DEFAULT_MEM_BYTES, OPB_BASE};
+pub use cpu::{
+    classify, Cpu, CpuSnapshot, Event, FslBlock, PipeSnapshot, StopReason, TraceEntry,
+    DEFAULT_MEM_BYTES, OPB_BASE,
+};
 pub use fault::Fault;
 pub use softsim_isa::CpuConfig;
 pub use stats::CpuStats;

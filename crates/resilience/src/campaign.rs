@@ -1,0 +1,212 @@
+//! The fault-campaign runner.
+//!
+//! A campaign replays a co-simulation once fault-free (the *golden*
+//! run) and then once per scheduled injection, each trial restored from
+//! the same initial checkpoint so every run starts from byte-identical
+//! state. Outcomes follow the standard SEU classification: *masked*
+//! (program halts with the golden observables), *SDC* (silent data
+//! corruption — halts with different observables), *deadlock* (the
+//! liveness watchdog fired, or the padded cycle budget expired), and
+//! *fault* (the processor trapped).
+
+use crate::inject::{Injection, Injector};
+use softsim_cosim::{CoSim, CoSimStop};
+use softsim_iss::CpuStats;
+
+/// SEU outcome classification of one fault-injection trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Outcome {
+    /// The program halted and the observed results match the golden run.
+    Masked,
+    /// Silent data corruption: halted, but the observables differ.
+    Sdc,
+    /// The watchdog detected a deadlock or livelock, or the padded cycle
+    /// budget expired (classified together — the stored stop keeps the
+    /// precise cause, including which FSL the processor was stuck on).
+    Deadlock,
+    /// The processor raised an architectural fault.
+    Fault,
+}
+
+impl Outcome {
+    /// Short lower-case label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Outcome::Masked => "masked",
+            Outcome::Sdc => "sdc",
+            Outcome::Deadlock => "deadlock",
+            Outcome::Fault => "fault",
+        }
+    }
+}
+
+impl std::fmt::Display for Outcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The record of one injection trial.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trial {
+    /// The scheduled fault.
+    pub injection: Injection,
+    /// Whether the fault actually changed state (vacuous hits — r0,
+    /// empty FIFO slots — still run to completion and classify, almost
+    /// always as masked).
+    pub applied: bool,
+    /// How the run ended.
+    pub stop: CoSimStop,
+    /// Outcome classification.
+    pub outcome: Outcome,
+    /// Processor statistics at the end of the trial.
+    pub cpu_stats: CpuStats,
+    /// Hardware statistics at the end of the trial.
+    pub hw_stats: softsim_cosim::HwStats,
+}
+
+/// Campaign tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignConfig {
+    /// Liveness-watchdog threshold armed for every trial (cycles with no
+    /// retired instruction and no FIFO traffic).
+    pub watchdog_threshold: u64,
+    /// Trial cycle budget = `golden_cycles * budget_factor +
+    /// budget_floor`. The padding guarantees a fault can only exceed the
+    /// budget by stopping progress, which the watchdog reports first —
+    /// so trials never end in an ambiguous bare `CycleLimit`.
+    pub budget_factor: u64,
+    /// Additive part of the trial cycle budget.
+    pub budget_floor: u64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> CampaignConfig {
+        CampaignConfig { watchdog_threshold: 10_000, budget_factor: 4, budget_floor: 50_000 }
+    }
+}
+
+/// The result of a whole campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    /// Cycles the golden (fault-free) run took to halt.
+    pub golden_cycles: u64,
+    /// Observables of the golden run.
+    pub golden_observed: Vec<u32>,
+    /// One record per scheduled injection, schedule order.
+    pub trials: Vec<Trial>,
+}
+
+impl CampaignReport {
+    /// Trial counts as `(masked, sdc, deadlock, fault)`.
+    pub fn counts(&self) -> (usize, usize, usize, usize) {
+        let mut c = (0, 0, 0, 0);
+        for t in &self.trials {
+            match t.outcome {
+                Outcome::Masked => c.0 += 1,
+                Outcome::Sdc => c.1 += 1,
+                Outcome::Deadlock => c.2 += 1,
+                Outcome::Fault => c.3 += 1,
+            }
+        }
+        c
+    }
+
+    /// Plain-text summary table of the campaign.
+    pub fn text(&self, title: &str) -> String {
+        use std::fmt::Write;
+        let (masked, sdc, deadlock, fault) = self.counts();
+        let total = self.trials.len().max(1);
+        let pct = |n: usize| 100.0 * n as f64 / total as f64;
+        let mut s = String::new();
+        let _ = writeln!(s, "fault campaign: {title}");
+        let _ = writeln!(
+            s,
+            "  golden run: {} cycles, {} result words",
+            self.golden_cycles,
+            self.golden_observed.len()
+        );
+        let _ = writeln!(s, "  trials: {}", self.trials.len());
+        let _ = writeln!(s, "    masked:   {masked:5}  ({:5.1}%)", pct(masked));
+        let _ = writeln!(s, "    sdc:      {sdc:5}  ({:5.1}%)", pct(sdc));
+        let _ = writeln!(s, "    deadlock: {deadlock:5}  ({:5.1}%)", pct(deadlock));
+        let _ = writeln!(s, "    fault:    {fault:5}  ({:5.1}%)", pct(fault));
+        s
+    }
+}
+
+/// Runs a fault-injection campaign.
+///
+/// `sim` is the system under test, positioned at its initial state (it
+/// is checkpointed immediately, and restored from that checkpoint for
+/// the golden run and before every trial). `observe` extracts the
+/// workload's observable result words from a finished run — typically
+/// the output buffer in local memory.
+///
+/// Every trial: restore the initial checkpoint, step to the injection
+/// cycle, apply the fault, arm the watchdog, run under the padded
+/// budget, classify. The whole procedure is deterministic: an identical
+/// `sim`, `plan` and `observe` produce a byte-identical report.
+///
+/// # Panics
+/// Panics if the golden run does not halt within the configured budget
+/// floor times the factor (the workload must terminate fault-free).
+pub fn run_campaign(
+    sim: &mut CoSim,
+    plan: &[Injection],
+    observe: impl Fn(&CoSim) -> Vec<u32>,
+    config: CampaignConfig,
+) -> CampaignReport {
+    let initial = sim.save_state();
+
+    // Golden run: fault-free reference for cycle count and observables.
+    let golden_budget = config.budget_floor * config.budget_factor.max(1);
+    let stop = sim.run(golden_budget);
+    assert_eq!(stop, CoSimStop::Halted, "golden run must halt, got: {stop}");
+    let golden_cycles = sim.cpu().stats().cycles;
+    let golden_observed = observe(sim);
+    let budget = golden_cycles * config.budget_factor + config.budget_floor;
+
+    let mut trials = Vec::with_capacity(plan.len());
+    for &injection in plan {
+        sim.load_state(&initial);
+        // Step to the injection point; a fault this early (impossible
+        // fault-free, but cheap to guard) ends the trial immediately.
+        let mut early_stop = None;
+        while sim.cpu().stats().cycles < injection.cycle {
+            let e = sim.step();
+            if e.is_halt() {
+                early_stop = Some(CoSimStop::Halted);
+                break;
+            }
+            if let softsim_iss::Event::Fault(f) = e {
+                early_stop = Some(CoSimStop::Fault(f));
+                break;
+            }
+        }
+        let (applied, stop) = match early_stop {
+            Some(stop) => (false, stop),
+            None => {
+                let applied = Injector::apply(sim, injection.kind);
+                sim.set_watchdog(config.watchdog_threshold);
+                (applied, sim.run(budget - sim.cpu().stats().cycles.min(budget)))
+            }
+        };
+        let outcome = match &stop {
+            CoSimStop::Halted if observe(sim) == golden_observed => Outcome::Masked,
+            CoSimStop::Halted => Outcome::Sdc,
+            CoSimStop::Deadlock { .. } | CoSimStop::CycleLimit { .. } => Outcome::Deadlock,
+            CoSimStop::Fault(_) => Outcome::Fault,
+        };
+        trials.push(Trial {
+            injection,
+            applied,
+            stop,
+            outcome,
+            cpu_stats: sim.cpu().stats(),
+            hw_stats: sim.hw_stats(),
+        });
+    }
+    sim.load_state(&initial);
+    CampaignReport { golden_cycles, golden_observed, trials }
+}

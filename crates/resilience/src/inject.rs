@@ -1,0 +1,341 @@
+//! The deterministic fault injector.
+//!
+//! Faults model single-event upsets (SEUs) and protocol errors at the
+//! abstraction level the co-simulator works at: architectural register
+//! bits, local-memory words, words sitting in FSL FIFOs, and the FIFO
+//! handshake itself (dropped/duplicated words, stuck `full`/`exists`
+//! flags). Injection schedules are plain data — `(cycle, kind)` pairs —
+//! so a campaign seeded from [`softsim_testkit::Rng`] replays exactly.
+
+use softsim_cosim::CoSim;
+use softsim_isa::Reg;
+use softsim_testkit::Rng;
+use softsim_trace::{FifoDir, InjectionSite, SharedSink, TraceEvent};
+
+/// One fault to apply to the design under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Flip one bit of a general-purpose register. Targeting `r0` is
+    /// vacuous by construction (it is hardwired to zero).
+    RegBitFlip {
+        /// Register number (0–31).
+        reg: u8,
+        /// Bit position (0–31).
+        bit: u8,
+    },
+    /// Flip one bit of an aligned local-memory word.
+    MemBitFlip {
+        /// Word-aligned byte address.
+        addr: u32,
+        /// Bit position (0–31).
+        bit: u8,
+    },
+    /// Flip one bit of a word currently buffered in an FSL FIFO.
+    /// `bit == 32` flips the control flag instead of a data bit.
+    FifoBitFlip {
+        /// FIFO direction relative to the processor.
+        dir: FifoDir,
+        /// Channel number (0–7).
+        channel: u8,
+        /// Position in the FIFO (0 = head); vacuous past the occupancy.
+        index: u8,
+        /// Bit position (0–31 data, 32 control).
+        bit: u8,
+    },
+    /// Silently drop the head word of an FSL FIFO (a lost transfer).
+    FifoDrop {
+        /// FIFO direction relative to the processor.
+        dir: FifoDir,
+        /// Channel number (0–7).
+        channel: u8,
+    },
+    /// Duplicate the head word of an FSL FIFO (a replayed transfer).
+    FifoDuplicate {
+        /// FIFO direction relative to the processor.
+        dir: FifoDir,
+        /// Channel number (0–7).
+        channel: u8,
+    },
+    /// Permanently stick the `full` flag of a processor → hardware
+    /// channel: every subsequent blocking `put` stalls forever.
+    StuckFull {
+        /// Channel number (0–7).
+        channel: u8,
+    },
+    /// Permanently stick the `exists` flag of a hardware → processor
+    /// channel deasserted: every subsequent blocking `get` stalls
+    /// forever.
+    StuckEmpty {
+        /// Channel number (0–7).
+        channel: u8,
+    },
+}
+
+impl FaultKind {
+    /// The coarse trace-event site of this fault.
+    pub fn site(&self) -> InjectionSite {
+        match self {
+            FaultKind::RegBitFlip { .. } => InjectionSite::Register,
+            FaultKind::MemBitFlip { .. } => InjectionSite::Memory,
+            FaultKind::FifoBitFlip { .. } => InjectionSite::FifoWord,
+            FaultKind::FifoDrop { .. }
+            | FaultKind::FifoDuplicate { .. }
+            | FaultKind::StuckFull { .. }
+            | FaultKind::StuckEmpty { .. } => InjectionSite::Protocol,
+        }
+    }
+
+    /// Site-specific detail word carried in the trace event.
+    fn detail(&self) -> u32 {
+        match *self {
+            FaultKind::RegBitFlip { reg, bit } => (reg as u32) << 8 | bit as u32,
+            FaultKind::MemBitFlip { addr, .. } => addr,
+            FaultKind::FifoBitFlip { channel, index, bit, .. } => {
+                (channel as u32) << 16 | (index as u32) << 8 | bit as u32
+            }
+            FaultKind::FifoDrop { channel, .. }
+            | FaultKind::FifoDuplicate { channel, .. }
+            | FaultKind::StuckFull { channel }
+            | FaultKind::StuckEmpty { channel } => channel as u32,
+        }
+    }
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            FaultKind::RegBitFlip { reg, bit } => write!(f, "flip bit {bit} of r{reg}"),
+            FaultKind::MemBitFlip { addr, bit } => {
+                write!(f, "flip bit {bit} of memory word {addr:#010x}")
+            }
+            FaultKind::FifoBitFlip { dir, channel, index, bit } if bit >= 32 => {
+                write!(f, "flip the control flag of word {index} in {} FSL {channel}", dir.label())
+            }
+            FaultKind::FifoBitFlip { dir, channel, index, bit } => {
+                write!(f, "flip bit {bit} of word {index} in {} FSL {channel}", dir.label())
+            }
+            FaultKind::FifoDrop { dir, channel } => {
+                write!(f, "drop the head word of {} FSL {channel}", dir.label())
+            }
+            FaultKind::FifoDuplicate { dir, channel } => {
+                write!(f, "duplicate the head word of {} FSL {channel}", dir.label())
+            }
+            FaultKind::StuckFull { channel } => {
+                write!(f, "stick the full flag of to_hw FSL {channel}")
+            }
+            FaultKind::StuckEmpty { channel } => {
+                write!(f, "stick the exists flag of from_hw FSL {channel} low")
+            }
+        }
+    }
+}
+
+/// A scheduled fault: apply `kind` once the simulation reaches `cycle`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Injection {
+    /// Cycle at which to apply the fault.
+    pub cycle: u64,
+    /// The fault.
+    pub kind: FaultKind,
+}
+
+impl std::fmt::Display for Injection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "at cycle {}: {}", self.cycle, self.kind)
+    }
+}
+
+/// Applies a schedule of [`Injection`]s to a running co-simulation.
+///
+/// Call [`Injector::poll`] after every [`CoSim::step`]; every injection
+/// whose cycle has been reached is applied exactly once, in schedule
+/// order. Each applied fault is emitted as a
+/// [`TraceEvent::FaultInjected`] on the injector's own sink, so fault
+/// campaigns can be correlated against the rest of the cycle-domain
+/// trace.
+#[derive(Clone, Default)]
+pub struct Injector {
+    plan: Vec<Injection>,
+    next: usize,
+    sink: Option<SharedSink>,
+    applied: u64,
+    vacuous: u64,
+}
+
+impl Injector {
+    /// An injector for the given schedule (sorted by cycle internally;
+    /// ties keep their relative order).
+    pub fn new(mut plan: Vec<Injection>) -> Injector {
+        plan.sort_by_key(|i| i.cycle);
+        Injector { plan, next: 0, sink: None, applied: 0, vacuous: 0 }
+    }
+
+    /// Attaches a trace sink for [`TraceEvent::FaultInjected`] events.
+    pub fn attach_trace(&mut self, sink: SharedSink) {
+        self.sink = Some(sink);
+    }
+
+    /// The remaining (not yet applied) schedule.
+    pub fn pending(&self) -> &[Injection] {
+        &self.plan[self.next.min(self.plan.len())..]
+    }
+
+    /// Faults that changed simulator state when applied.
+    pub fn applied(&self) -> u64 {
+        self.applied
+    }
+
+    /// Faults that hit nothing (empty FIFO slot, register `r0`,
+    /// out-of-range address) and left the state unchanged.
+    pub fn vacuous(&self) -> u64 {
+        self.vacuous
+    }
+
+    /// True once every scheduled injection has been applied.
+    pub fn done(&self) -> bool {
+        self.next >= self.plan.len()
+    }
+
+    /// Applies every injection whose cycle the simulation has reached.
+    pub fn poll(&mut self, sim: &mut CoSim) {
+        let now = sim.cpu().stats().cycles;
+        while let Some(inj) = self.plan.get(self.next).copied() {
+            if inj.cycle > now {
+                break;
+            }
+            self.next += 1;
+            let changed = Injector::apply(sim, inj.kind);
+            if changed {
+                self.applied += 1;
+            } else {
+                self.vacuous += 1;
+            }
+            if let Some(sink) = &self.sink {
+                sink.borrow_mut().event(&TraceEvent::FaultInjected {
+                    cycle: now,
+                    site: inj.kind.site(),
+                    detail: inj.kind.detail(),
+                });
+            }
+        }
+    }
+
+    /// Applies one fault immediately. Returns `true` when the simulator
+    /// state actually changed; `false` for vacuous hits (flipping a bit
+    /// of `r0`, corrupting an empty FIFO slot, addressing past memory).
+    pub fn apply(sim: &mut CoSim, kind: FaultKind) -> bool {
+        match kind {
+            FaultKind::RegBitFlip { reg, bit } => {
+                let r = Reg::new(reg % 32);
+                if r.is_zero() {
+                    return false;
+                }
+                let old = sim.cpu().reg(r);
+                sim.cpu_mut().set_reg(r, old ^ (1 << (bit % 32)));
+                true
+            }
+            FaultKind::MemBitFlip { addr, bit } => {
+                let addr = addr & !3;
+                let Ok(old) = sim.cpu().mem().read_u32(addr) else {
+                    return false;
+                };
+                sim.cpu_mut()
+                    .mem_mut()
+                    .write_u32(addr, old ^ (1 << (bit % 32)))
+                    .expect("readable word is writable");
+                true
+            }
+            FaultKind::FifoBitFlip { dir, channel, index, bit } => {
+                let fsl = sim.fsl_mut();
+                let fifo = match dir {
+                    FifoDir::ToHw => fsl.to_hw(channel as usize % 8),
+                    FifoDir::FromHw => fsl.from_hw(channel as usize % 8),
+                };
+                match fifo.word_mut(index as usize) {
+                    Some(w) if bit >= 32 => {
+                        w.control = !w.control;
+                        true
+                    }
+                    Some(w) => {
+                        w.data ^= 1 << bit;
+                        true
+                    }
+                    None => false,
+                }
+            }
+            FaultKind::FifoDrop { dir, channel } => {
+                let fsl = sim.fsl_mut();
+                let fifo = match dir {
+                    FifoDir::ToHw => fsl.to_hw(channel as usize % 8),
+                    FifoDir::FromHw => fsl.from_hw(channel as usize % 8),
+                };
+                fifo.remove_word(0).is_some()
+            }
+            FaultKind::FifoDuplicate { dir, channel } => {
+                let fsl = sim.fsl_mut();
+                let fifo = match dir {
+                    FifoDir::ToHw => fsl.to_hw(channel as usize % 8),
+                    FifoDir::FromHw => fsl.from_hw(channel as usize % 8),
+                };
+                fifo.duplicate_head()
+            }
+            FaultKind::StuckFull { channel } => {
+                sim.fsl_mut().to_hw(channel as usize % 8).set_stuck_full(true);
+                true
+            }
+            FaultKind::StuckEmpty { channel } => {
+                sim.fsl_mut().from_hw(channel as usize % 8).set_stuck_empty(true);
+                true
+            }
+        }
+    }
+}
+
+/// Generates a deterministic random injection schedule: `n` faults with
+/// cycles drawn uniformly from `[window.0, window.1)`, sites spread over
+/// registers, the first `mem_bytes` of memory, and the given FSL
+/// `channels`. Identical arguments always produce the identical plan —
+/// the determinism the campaign runner and CI gate rely on.
+///
+/// # Panics
+/// Panics if the window is empty or `channels` is empty.
+pub fn random_plan(
+    seed: u64,
+    n: usize,
+    window: (u64, u64),
+    mem_bytes: u32,
+    channels: &[u8],
+) -> Vec<Injection> {
+    assert!(window.1 > window.0, "empty injection window");
+    assert!(!channels.is_empty(), "need at least one FSL channel");
+    let mut rng = Rng::new(seed);
+    let mut plan = Vec::with_capacity(n);
+    for _ in 0..n {
+        let cycle = window.0 + rng.below(window.1 - window.0);
+        let channel = *rng.pick(channels);
+        let dir = if rng.flip() { FifoDir::ToHw } else { FifoDir::FromHw };
+        let kind = match rng.below(7) {
+            0 => FaultKind::RegBitFlip {
+                reg: rng.range_u32(1, 32) as u8,
+                bit: rng.range_u32(0, 32) as u8,
+            },
+            1 => FaultKind::MemBitFlip {
+                addr: (rng.below(mem_bytes as u64 / 4) as u32) * 4,
+                bit: rng.range_u32(0, 32) as u8,
+            },
+            2 => FaultKind::FifoBitFlip {
+                dir,
+                channel,
+                index: rng.range_u32(0, 4) as u8,
+                bit: rng.range_u32(0, 33) as u8,
+            },
+            3 => FaultKind::FifoDrop { dir, channel },
+            4 => FaultKind::FifoDuplicate { dir, channel },
+            5 => FaultKind::StuckFull { channel },
+            _ => FaultKind::StuckEmpty { channel },
+        };
+        plan.push(Injection { cycle, kind });
+    }
+    plan.sort_by_key(|i| i.cycle);
+    plan
+}

@@ -1,0 +1,33 @@
+//! Fault injection, liveness watchdogs and checkpoint/restore for the
+//! softsim co-simulation stack.
+//!
+//! The paper's co-simulation framework (Ou & Prasanna, IPDPS 2005)
+//! validates *functional* designs; this crate adds the robustness story
+//! around it. Three pieces compose:
+//!
+//! * **Injection** ([`inject`]) — a deterministic schedule of SEU-style
+//!   faults (register/memory/FIFO bit flips) and protocol faults
+//!   (dropped, duplicated words; stuck `full`/`exists` flags) applied to
+//!   a running [`softsim_cosim::CoSim`] at exact cycles.
+//! * **Checkpoints** ([`snapshot`]) — a stable byte encoding of
+//!   [`softsim_cosim::CoSimState`], enabling run-to-checkpoint → inject
+//!   → resume workflows and byte-level determinism checks.
+//! * **Campaigns** ([`campaign`]) — golden run plus one restored trial
+//!   per fault, each classified masked / SDC / deadlock / fault, with
+//!   the co-simulator's liveness watchdog guaranteeing hung trials end
+//!   in a diagnosed [`softsim_cosim::CoSimStop::Deadlock`] rather than a
+//!   silent cycle-limit timeout.
+//!
+//! Everything is seeded through [`softsim_testkit::Rng`]: the same seed
+//! and schedule reproduce the same report, bit for bit — the property CI
+//! gates on.
+
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod inject;
+pub mod snapshot;
+
+pub use campaign::{run_campaign, CampaignConfig, CampaignReport, Outcome, Trial};
+pub use inject::{random_plan, FaultKind, Injection, Injector};
+pub use snapshot::{from_bytes, to_bytes, SnapshotError};

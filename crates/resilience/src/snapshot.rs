@@ -1,0 +1,382 @@
+//! Checkpoint serialization.
+//!
+//! [`CoSimState`] is a plain in-memory value; this module gives it a
+//! stable byte encoding so checkpoints can be stored, hashed, or diffed
+//! between runs. The format is deliberately simple: a 4-byte magic
+//! (`SSCK`), a `u32` version, then every field little-endian in
+//! declaration order. `Option`s are a tag byte followed by the value;
+//! variable-length sequences are length-prefixed with a `u32`.
+
+use softsim_blocks::GraphState;
+use softsim_bus::{FslBankState, FslFifoState, FslStats, FslWord};
+use softsim_cosim::CoSimState;
+use softsim_iss::{CpuSnapshot, CpuStats, PipeSnapshot};
+
+/// Magic bytes at the head of every checkpoint ("SoftSim ChecKpoint").
+pub const MAGIC: [u8; 4] = *b"SSCK";
+/// Current checkpoint format version.
+pub const VERSION: u32 = 1;
+
+/// Why a checkpoint byte stream could not be decoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The stream ended before the structure was complete.
+    Truncated,
+    /// The stream does not start with [`MAGIC`].
+    BadMagic,
+    /// The stream uses a format version this build does not understand.
+    BadVersion(u32),
+    /// A field held a value that cannot occur in a real snapshot.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Truncated => write!(f, "checkpoint truncated"),
+            SnapshotError::BadMagic => write!(f, "not a softsim checkpoint (bad magic)"),
+            SnapshotError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            SnapshotError::Corrupt(what) => write!(f, "corrupt checkpoint: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Serializes a co-simulation checkpoint to bytes.
+pub fn to_bytes(state: &CoSimState) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4096 + state.cpu.mem.len());
+    out.extend_from_slice(&MAGIC);
+    put_u32(&mut out, VERSION);
+    put_cpu(&mut out, &state.cpu);
+    put_bank(&mut out, &state.fsl);
+    put_u32(&mut out, state.peripherals.len() as u32);
+    for g in &state.peripherals {
+        put_graph(&mut out, g);
+    }
+    put_u64(&mut out, state.hw_stats.words_to_hw);
+    put_u64(&mut out, state.hw_stats.words_from_hw);
+    put_u64(&mut out, state.hw_stats.output_overflows);
+    put_u64(&mut out, state.hw_stats.max_to_hw_occupancy as u64);
+    put_u64(&mut out, state.hw_stats.max_from_hw_occupancy as u64);
+    out
+}
+
+/// Decodes a checkpoint produced by [`to_bytes`].
+pub fn from_bytes(bytes: &[u8]) -> Result<CoSimState, SnapshotError> {
+    let mut r = Reader { bytes, pos: 0 };
+    if r.take(4)? != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = r.u32()?;
+    if version != VERSION {
+        return Err(SnapshotError::BadVersion(version));
+    }
+    let cpu = get_cpu(&mut r)?;
+    let fsl = get_bank(&mut r)?;
+    let n = r.u32()? as usize;
+    let mut peripherals = Vec::with_capacity(n.min(64));
+    for _ in 0..n {
+        peripherals.push(get_graph(&mut r)?);
+    }
+    let hw_stats = softsim_cosim::HwStats {
+        words_to_hw: r.u64()?,
+        words_from_hw: r.u64()?,
+        output_overflows: r.u64()?,
+        max_to_hw_occupancy: r.u64()? as usize,
+        max_from_hw_occupancy: r.u64()? as usize,
+    };
+    if r.pos != r.bytes.len() {
+        return Err(SnapshotError::Corrupt("trailing bytes"));
+    }
+    Ok(CoSimState { cpu, fsl, peripherals, hw_stats })
+}
+
+// ---------------------------------------------------------------- writers
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(v as u8);
+}
+
+fn put_opt_u16(out: &mut Vec<u8>, v: Option<u16>) {
+    match v {
+        None => out.push(0),
+        Some(x) => {
+            out.push(1);
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+}
+
+fn put_opt_u32(out: &mut Vec<u8>, v: Option<u32>) {
+    match v {
+        None => out.push(0),
+        Some(x) => {
+            out.push(1);
+            put_u32(out, x);
+        }
+    }
+}
+
+fn put_cpu(out: &mut Vec<u8>, s: &CpuSnapshot) {
+    for r in s.regs {
+        put_u32(out, r);
+    }
+    put_u32(out, s.pc);
+    put_bool(out, s.carry);
+    put_opt_u16(out, s.imm_latch);
+    put_opt_u32(out, s.delay_target);
+    put_bool(out, s.in_delay_slot);
+    put_opt_u32(out, s.redirect);
+    put_u32(out, s.mem.len() as u32);
+    out.extend_from_slice(&s.mem);
+    put_u32(out, s.extra_cycles);
+    match s.pipe {
+        PipeSnapshot::Ready => out.push(0),
+        PipeSnapshot::Busy { remaining, pc, word } => {
+            out.push(1);
+            put_u32(out, remaining);
+            put_u32(out, pc);
+            put_u32(out, word);
+        }
+        PipeSnapshot::FslStall { pc, word } => {
+            out.push(2);
+            put_u32(out, pc);
+            put_u32(out, word);
+        }
+    }
+    put_bool(out, s.halted);
+    put_stats(out, &s.stats);
+    put_opt_u32(out, s.bp_skip);
+}
+
+fn put_stats(out: &mut Vec<u8>, s: &CpuStats) {
+    for v in [
+        s.cycles,
+        s.instructions,
+        s.fsl_read_stalls,
+        s.fsl_write_stalls,
+        s.fsl_words_sent,
+        s.fsl_words_received,
+        s.fsl_nonblocking_misses,
+        s.fsl_control_mismatches,
+        s.taken_branches,
+        s.mem_reads,
+        s.mem_writes,
+        s.multiplies,
+    ] {
+        put_u64(out, v);
+    }
+}
+
+fn put_fifo(out: &mut Vec<u8>, s: &FslFifoState) {
+    put_u32(out, s.words.len() as u32);
+    for w in &s.words {
+        put_u32(out, w.data);
+        put_bool(out, w.control);
+    }
+    put_u64(out, s.stats.pushes);
+    put_u64(out, s.stats.pops);
+    put_u64(out, s.stats.full_rejections);
+    put_u64(out, s.stats.empty_rejections);
+    put_u64(out, s.stats.max_occupancy as u64);
+    put_bool(out, s.stuck_full);
+    put_bool(out, s.stuck_empty);
+}
+
+fn put_bank(out: &mut Vec<u8>, s: &FslBankState) {
+    put_u32(out, s.to_hw.len() as u32);
+    for f in &s.to_hw {
+        put_fifo(out, f);
+    }
+    put_u32(out, s.from_hw.len() as u32);
+    for f in &s.from_hw {
+        put_fifo(out, f);
+    }
+}
+
+fn put_graph(out: &mut Vec<u8>, g: &GraphState) {
+    put_u64(out, g.cycle);
+    put_u32(out, g.values.len() as u32);
+    for v in &g.values {
+        put_u64(out, *v);
+    }
+    put_u32(out, g.block_words.len() as u32);
+    for v in &g.block_words {
+        put_u64(out, *v);
+    }
+}
+
+// ---------------------------------------------------------------- readers
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self.pos.checked_add(n).ok_or(SnapshotError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(SnapshotError::Truncated);
+        }
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, SnapshotError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    fn bool(&mut self) -> Result<bool, SnapshotError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(SnapshotError::Corrupt("bool out of range")),
+        }
+    }
+
+    fn opt_u16(&mut self) -> Result<Option<u16>, SnapshotError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u16()?)),
+            _ => Err(SnapshotError::Corrupt("option tag out of range")),
+        }
+    }
+
+    fn opt_u32(&mut self) -> Result<Option<u32>, SnapshotError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u32()?)),
+            _ => Err(SnapshotError::Corrupt("option tag out of range")),
+        }
+    }
+}
+
+fn get_cpu(r: &mut Reader) -> Result<CpuSnapshot, SnapshotError> {
+    let mut regs = [0u32; 32];
+    for reg in &mut regs {
+        *reg = r.u32()?;
+    }
+    let pc = r.u32()?;
+    let carry = r.bool()?;
+    let imm_latch = r.opt_u16()?;
+    let delay_target = r.opt_u32()?;
+    let in_delay_slot = r.bool()?;
+    let redirect = r.opt_u32()?;
+    let mem_len = r.u32()? as usize;
+    let mem = r.take(mem_len)?.to_vec();
+    let extra_cycles = r.u32()?;
+    let pipe = match r.u8()? {
+        0 => PipeSnapshot::Ready,
+        1 => PipeSnapshot::Busy { remaining: r.u32()?, pc: r.u32()?, word: r.u32()? },
+        2 => PipeSnapshot::FslStall { pc: r.u32()?, word: r.u32()? },
+        _ => return Err(SnapshotError::Corrupt("pipeline tag out of range")),
+    };
+    let halted = r.bool()?;
+    let stats = get_stats(r)?;
+    let bp_skip = r.opt_u32()?;
+    Ok(CpuSnapshot {
+        regs,
+        pc,
+        carry,
+        imm_latch,
+        delay_target,
+        in_delay_slot,
+        redirect,
+        mem,
+        extra_cycles,
+        pipe,
+        halted,
+        stats,
+        bp_skip,
+    })
+}
+
+fn get_stats(r: &mut Reader) -> Result<CpuStats, SnapshotError> {
+    Ok(CpuStats {
+        cycles: r.u64()?,
+        instructions: r.u64()?,
+        fsl_read_stalls: r.u64()?,
+        fsl_write_stalls: r.u64()?,
+        fsl_words_sent: r.u64()?,
+        fsl_words_received: r.u64()?,
+        fsl_nonblocking_misses: r.u64()?,
+        fsl_control_mismatches: r.u64()?,
+        taken_branches: r.u64()?,
+        mem_reads: r.u64()?,
+        mem_writes: r.u64()?,
+        multiplies: r.u64()?,
+    })
+}
+
+fn get_fifo(r: &mut Reader) -> Result<FslFifoState, SnapshotError> {
+    let n = r.u32()? as usize;
+    let mut words = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        words.push(FslWord { data: r.u32()?, control: r.bool()? });
+    }
+    let stats = FslStats {
+        pushes: r.u64()?,
+        pops: r.u64()?,
+        full_rejections: r.u64()?,
+        empty_rejections: r.u64()?,
+        max_occupancy: r.u64()? as usize,
+    };
+    let stuck_full = r.bool()?;
+    let stuck_empty = r.bool()?;
+    Ok(FslFifoState { words, stats, stuck_full, stuck_empty })
+}
+
+fn get_bank(r: &mut Reader) -> Result<FslBankState, SnapshotError> {
+    let n = r.u32()? as usize;
+    let mut to_hw = Vec::with_capacity(n.min(64));
+    for _ in 0..n {
+        to_hw.push(get_fifo(r)?);
+    }
+    let n = r.u32()? as usize;
+    let mut from_hw = Vec::with_capacity(n.min(64));
+    for _ in 0..n {
+        from_hw.push(get_fifo(r)?);
+    }
+    Ok(FslBankState { to_hw, from_hw })
+}
+
+fn get_graph(r: &mut Reader) -> Result<GraphState, SnapshotError> {
+    let cycle = r.u64()?;
+    let n = r.u32()? as usize;
+    let mut values = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        values.push(r.u64()?);
+    }
+    let n = r.u32()? as usize;
+    let mut block_words = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        block_words.push(r.u64()?);
+    }
+    Ok(GraphState { cycle, values, block_words })
+}

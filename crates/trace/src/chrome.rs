@@ -115,6 +115,13 @@ pub fn to_json(events: &[TraceEvent]) -> String {
                 PID,
                 data
             ),
+            TraceEvent::FaultInjected { cycle, site, detail } => format!(
+                r#"{{"name":"fault {}","cat":"fault","ph":"i","ts":{},"pid":{},"tid":5,"s":"t","args":{{"detail":"{:#010x}"}}}}"#,
+                site.label(),
+                cycle,
+                PID,
+                detail
+            ),
             TraceEvent::KernelStep { time_ns, events, delta_cycles, process_runs } => format!(
                 r#"{{"name":"rtl kernel","cat":"rtl","ph":"C","ts":{},"pid":2,"args":{{"events":{},"delta_cycles":{},"process_runs":{}}}}}"#,
                 time_ns, events, delta_cycles, process_runs

@@ -104,6 +104,33 @@ impl InstClass {
     }
 }
 
+/// Where a fault-injection campaign perturbed the simulated design.
+/// Mirrors the injector's fault kinds coarsely — the trace only needs
+/// enough to attribute downstream misbehavior to an upset site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InjectionSite {
+    /// A CPU general-purpose register bit flip.
+    Register,
+    /// An LMB memory bit flip.
+    Memory,
+    /// A bit flip in a word sitting in an FSL FIFO.
+    FifoWord,
+    /// A protocol upset: dropped/duplicated word or stuck flag.
+    Protocol,
+}
+
+impl InjectionSite {
+    /// Short label used in reports and trace names.
+    pub fn label(self) -> &'static str {
+        match self {
+            InjectionSite::Register => "register",
+            InjectionSite::Memory => "memory",
+            InjectionSite::FifoWord => "fifo_word",
+            InjectionSite::Protocol => "protocol",
+        }
+    }
+}
+
 /// One cycle-domain observation from somewhere in the co-simulation
 /// stack. Every event is stamped with the clock cycle (or, for the RTL
 /// kernel, simulation time) at which it occurred.
@@ -209,6 +236,15 @@ pub enum TraceEvent {
         /// Payload.
         data: u32,
     },
+    /// A fault-injection campaign perturbed the design under test.
+    FaultInjected {
+        /// Cycle stamp at which the upset was applied.
+        cycle: u64,
+        /// Coarse location of the upset.
+        site: InjectionSite,
+        /// Site-specific detail word (register index, address, channel…).
+        detail: u32,
+    },
     /// The event-driven RTL kernel advanced one simulation time step.
     /// Counters are cumulative kernel totals at that instant.
     KernelStep {
@@ -235,7 +271,8 @@ impl TraceEvent {
             | TraceEvent::FifoPop { cycle, .. }
             | TraceEvent::FifoFull { cycle, .. }
             | TraceEvent::FifoEmpty { cycle, .. }
-            | TraceEvent::GatewayWord { cycle, .. } => cycle,
+            | TraceEvent::GatewayWord { cycle, .. }
+            | TraceEvent::FaultInjected { cycle, .. } => cycle,
             TraceEvent::KernelStep { time_ns, .. } => time_ns,
         }
     }

@@ -58,6 +58,7 @@ pub struct Profile {
     kernel_steps: u64,
     kernel_events: u64,
     kernel_delta_cycles: u64,
+    faults_injected: u64,
 }
 
 impl Profile {
@@ -94,6 +95,11 @@ impl Profile {
     /// Gateway words that traveled hardware → processor.
     pub fn gateway_words_from_hw(&self) -> u64 {
         self.gateway_from_hw
+    }
+
+    /// Faults injected into the design under test.
+    pub fn faults_injected(&self) -> u64 {
+        self.faults_injected
     }
 
     /// Per-PC counters.
@@ -186,6 +192,9 @@ impl Profile {
                 self.gateway_to_hw, self.gateway_from_hw
             );
         }
+        if self.faults_injected > 0 {
+            let _ = writeln!(out, "faults injected: {}", self.faults_injected);
+        }
         if self.kernel_steps > 0 {
             let _ = writeln!(
                 out,
@@ -252,6 +261,7 @@ impl TraceSink for Profile {
                 self.kernel_events = events;
                 self.kernel_delta_cycles = delta_cycles;
             }
+            TraceEvent::FaultInjected { .. } => self.faults_injected += 1,
             TraceEvent::StallBegin { .. } | TraceEvent::StallEnd { .. } => {}
         }
     }

@@ -18,6 +18,8 @@
 //! | [`resource`] | `softsim-resource` | rapid resource estimation |
 //! | [`energy`] | `softsim-energy` | rapid energy estimation (the paper's §V extension) |
 //! | [`apps`] | `softsim-apps` | CORDIC divider + block matmul evaluation apps |
+//! | [`trace`] | `softsim-trace` | cycle-domain tracing, stall attribution, profiling |
+//! | [`resilience`] | `softsim-resilience` | fault injection, watchdogs, checkpoint/restore |
 //!
 //! # Quickstart
 //!
@@ -46,6 +48,7 @@ pub use softsim_cosim as cosim;
 pub use softsim_energy as energy;
 pub use softsim_isa as isa;
 pub use softsim_iss as iss;
+pub use softsim_resilience as resilience;
 pub use softsim_resource as resource;
 pub use softsim_rtl as rtl;
 pub use softsim_trace as trace;
