@@ -6,6 +6,13 @@
 //! untraced path is not measurably slower — within 2% of the null-sink
 //! path even though it does strictly less work.
 //!
+//! The metrics layer rides the same plumbing, so the guard extends to
+//! it: a configuration with a `MetricsCollector` instantiated but *not*
+//! attached (metrics off — the default) must also stay within 2% of the
+//! null-sink path. The new metric-feeding events (register writebacks,
+//! bus transfers, block activity) sit behind the same single tracing
+//! guard, so metrics-off costs nothing the guard would catch.
+//!
 //! Samples are interleaved (A,B,A,B,...) so frequency scaling and cache
 //! warm-up hit both configurations equally, and minima are compared
 //! (minimum wall time is the standard low-noise estimator for
@@ -13,6 +20,7 @@
 
 use softsim_bus::FslBank;
 use softsim_iss::{Cpu, StopReason};
+use softsim_metrics::MetricsCollector;
 use softsim_trace::{shared, NullSink};
 use std::cell::RefCell;
 use std::hint::black_box;
@@ -44,19 +52,38 @@ fn run_null_traced(img: &softsim_isa::Image) -> Duration {
     wall
 }
 
+fn run_metrics_off(img: &softsim_isa::Image) -> Duration {
+    // Metrics off: the collector exists (registry built, windows ready)
+    // but no sink is attached, so the hot path is identical to the
+    // untraced configuration — one predictable branch per emit site.
+    let collector = MetricsCollector::new(256);
+    let mut cpu = Cpu::with_default_memory(img);
+    let mut fsl = FslBank::default();
+    let start = Instant::now();
+    assert_eq!(cpu.run(&mut fsl, u64::MAX / 2), StopReason::Halted);
+    let wall = start.elapsed();
+    black_box(cpu.stats().cycles);
+    black_box(collector.to_prometheus().len());
+    wall
+}
+
 fn main() {
     let img = softsim_bench::workloads::cordic_sw_image(24);
-    // Warm-up both paths.
+    // Warm-up all paths.
     run_untraced(&img);
     run_null_traced(&img);
+    run_metrics_off(&img);
     let mut untraced = Vec::with_capacity(SAMPLES);
     let mut nulled = Vec::with_capacity(SAMPLES);
+    let mut metrics_off = Vec::with_capacity(SAMPLES);
     for _ in 0..SAMPLES {
         untraced.push(run_untraced(&img));
         nulled.push(run_null_traced(&img));
+        metrics_off.push(run_metrics_off(&img));
     }
     let best_untraced = *untraced.iter().min().unwrap();
     let best_nulled = *nulled.iter().min().unwrap();
+    let best_metrics_off = *metrics_off.iter().min().unwrap();
     let ratio = best_untraced.as_secs_f64() / best_nulled.as_secs_f64();
     println!(
         "trace overhead guard: untraced {best_untraced:?}, null-sink {best_nulled:?}, \
@@ -68,4 +95,15 @@ fn main() {
          (untraced {best_untraced:?} vs null {best_nulled:?}, ratio {ratio:.4})"
     );
     println!("ok: tracing-off overhead within 2%");
+    let ratio = best_metrics_off.as_secs_f64() / best_nulled.as_secs_f64();
+    println!(
+        "metrics overhead guard: metrics-off {best_metrics_off:?}, null-sink {best_nulled:?}, \
+         metrics-off/null ratio {ratio:.4}"
+    );
+    assert!(
+        ratio <= 1.02,
+        "metrics-off path must stay within 2% of the null-sink path \
+         (metrics-off {best_metrics_off:?} vs null {best_nulled:?}, ratio {ratio:.4})"
+    );
+    println!("ok: metrics-off overhead within 2%");
 }

@@ -1,10 +1,18 @@
 //! Prints the reproduced tables and figures of the paper.
 //!
 //! Usage: `tables [--fig5] [--fig7] [--table1] [--table2] [--claims]
-//! [--ablation] [--profile] [--faults] [--all] [--csv [DIR]]`
+//! [--ablation] [--profile] [--faults] [--metrics] [--all]
+//! [--csv [DIR]] [--bench-json [PATH]] [--record [PATH]]`
 //!
-//! Run in release mode — the Table I / Table II rows measure wall-clock
-//! simulation speed.
+//! Run in release mode — the Table I / Table II rows and `--bench-json`
+//! measure wall-clock simulation speed.
+//!
+//! * `--bench-json` writes the machine-readable benchmark record
+//!   (`BENCH_0003.json` by default) — wall times, cycles/sec and
+//!   co-sim-vs-RTL speedups.
+//! * `--record` writes the deterministic record (`tables_output.txt` by
+//!   default) — every cycle-exact section, no wall-clock numbers — the
+//!   file CI asserts is up to date.
 
 use softsim_bench::tables;
 
@@ -12,6 +20,16 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let all = args.is_empty() || args.iter().any(|a| a == "--all");
     let want = |flag: &str| all || args.iter().any(|a| a == flag);
+    // `--flag [PATH]`: an optional operand that is not itself a flag.
+    let operand = |flag: &str, default: &str| {
+        args.iter().position(|a| a == flag).map(|pos| {
+            args.get(pos + 1)
+                .filter(|d| !d.starts_with("--"))
+                .map(String::as_str)
+                .unwrap_or(default)
+                .to_string()
+        })
+    };
 
     if want("--fig5") {
         println!("{}", tables::figure5_text());
@@ -35,19 +53,25 @@ fn main() {
     if want("--faults") {
         println!("{}", softsim_bench::faults::faults_text());
     }
+    if want("--metrics") {
+        println!("{}", tables::metrics_text());
+    }
     if want("--ablation") {
         println!("{}", tables::ablation_fsl_vs_opb_text());
         println!("{}", tables::ablation_configurations_text());
         println!("{}", tables::lpc_text());
     }
     // `--csv [DIR]`: also write the figure data for external plotting.
-    if let Some(pos) = args.iter().position(|a| a == "--csv") {
-        let dir = args
-            .get(pos + 1)
-            .filter(|d| !d.starts_with("--"))
-            .map(String::as_str)
-            .unwrap_or("target/figures");
-        tables::write_csvs(std::path::Path::new(dir)).expect("write CSVs");
+    if let Some(dir) = operand("--csv", "target/figures") {
+        tables::write_csvs(std::path::Path::new(&dir)).expect("write CSVs");
         println!("wrote {dir}/fig5_cordic.csv and {dir}/fig7_matmul.csv");
+    }
+    if let Some(path) = operand("--bench-json", "BENCH_0003.json") {
+        tables::write_bench_json(std::path::Path::new(&path), 3).expect("write bench JSON");
+        println!("wrote {path}");
+    }
+    if let Some(path) = operand("--record", "tables_output.txt") {
+        std::fs::write(&path, tables::record_text()).expect("write record");
+        println!("wrote {path}");
     }
 }

@@ -1,0 +1,33 @@
+//! The committed deterministic record must match fresh output.
+//!
+//! `tables_output.txt` holds every cycle-exact section of the
+//! evaluation (figures, claims, profile, fault campaigns, ablations,
+//! metrics) and no wall-clock numbers, so it is reproducible on any
+//! machine. This test regenerates it in-process and compares byte for
+//! byte — the record can never silently go stale again.
+
+#[test]
+fn committed_record_matches_fresh_output() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tables_output.txt");
+    let committed = std::fs::read_to_string(path).expect("tables_output.txt must be committed");
+    let fresh = softsim_bench::tables::record_text();
+    if committed != fresh {
+        let mismatch = committed
+            .lines()
+            .zip(fresh.lines())
+            .enumerate()
+            .find(|(_, (a, b))| a != b)
+            .map(|(i, (a, b))| format!("first diff at line {}: {a:?} vs fresh {b:?}", i + 1))
+            .unwrap_or_else(|| {
+                format!(
+                    "line counts differ: committed {} vs fresh {}",
+                    committed.lines().count(),
+                    fresh.lines().count()
+                )
+            });
+        panic!(
+            "tables_output.txt is stale — regenerate with \
+             `cargo run --release -p softsim-bench --bin tables -- --record`\n{mismatch}"
+        );
+    }
+}

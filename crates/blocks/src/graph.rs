@@ -558,6 +558,18 @@ impl Graph {
         Some(act.toggles as f64 / (self.values.len() as u64 * act.cycles) as f64)
     }
 
+    /// True while switching activity is being measured.
+    pub fn activity_enabled(&self) -> bool {
+        self.activity.is_some()
+    }
+
+    /// Cumulative output-port toggles since [`Graph::enable_activity`];
+    /// 0 when measurement is off. Samplers take deltas of this to get
+    /// per-cycle switching activity.
+    pub fn total_toggles(&self) -> u64 {
+        self.activity.as_ref().map_or(0, |a| a.toggles)
+    }
+
     /// Per-node toggle counts from the activity measurement, in node
     /// insertion order: `(name, toggles)`. Empty until enabled.
     pub fn node_activity(&self) -> Vec<(&str, u64)> {

@@ -140,6 +140,9 @@ pub struct Peripheral {
     graph: Graph,
     inputs: Vec<ResolvedIn>,
     outputs: Vec<ResolvedOut>,
+    /// Cumulative toggle count at the last published
+    /// [`TraceEvent::BlockActivity`], for per-cycle deltas.
+    last_toggles: u64,
 }
 
 impl Peripheral {
@@ -174,7 +177,7 @@ impl Peripheral {
                 control: b.control.as_deref().map(resolve_out),
             })
             .collect();
-        Peripheral { graph, inputs, outputs }
+        Peripheral { graph, inputs, outputs, last_toggles: 0 }
     }
 
     /// The underlying block graph.
@@ -405,6 +408,22 @@ impl CoSim {
                 }
             }
             p.graph.step();
+            // Publish switching activity while it is being measured —
+            // one event per peripheral per cycle keeps the untraced and
+            // unmeasured paths free of extra work.
+            if self.sink.is_some() && p.graph.activity_enabled() {
+                let total = p.graph.total_toggles();
+                let toggles = (total - p.last_toggles) as u32;
+                p.last_toggles = total;
+                if let Some(sink) = &self.sink {
+                    sink.borrow_mut().event(&TraceEvent::BlockActivity {
+                        cycle,
+                        peripheral: pid as u8,
+                        firings: p.graph.len() as u32,
+                        toggles,
+                    });
+                }
+            }
             // Drain gateway outputs into the return FIFOs.
             for b in &p.outputs {
                 if p.graph.output_fast(b.valid).is_zero() {
@@ -523,6 +542,10 @@ impl CoSim {
         self.fsl.load_state(&state.fsl);
         for (p, s) in self.peripherals.iter_mut().zip(&state.peripherals) {
             p.graph.load_state(s);
+            // Activity measurement is an observer, not design state; the
+            // delta baseline just re-anchors so the next published
+            // BlockActivity event doesn't span the restore.
+            p.last_toggles = p.graph.total_toggles();
         }
         self.hw_stats = state.hw_stats;
         self.watchdog = None;

@@ -329,10 +329,21 @@ impl Cpu {
         }
     }
 
-    /// Writes a register (writes to r0 are discarded).
+    /// Writes a register (writes to r0 are discarded). Architectural
+    /// writebacks are reported to an attached trace sink as
+    /// [`TraceEvent::RegWrite`], stamped with the current cycle — the
+    /// divergence localizer keys on these to find the first corrupted
+    /// writeback after a fault.
     pub fn set_reg(&mut self, r: Reg, value: u32) {
         if !r.is_zero() {
             self.regs[r.index()] = value;
+            if self.sink.is_some() {
+                self.emit(TraceEvent::RegWrite {
+                    cycle: self.stats.cycles.saturating_sub(1),
+                    reg: r.index() as u8,
+                    value,
+                });
+            }
         }
     }
 
@@ -423,6 +434,24 @@ impl Cpu {
         if let Some(s) = &self.sink {
             s.borrow_mut().event(&e);
         }
+    }
+
+    /// Reports a completed LMB/OPB data transfer to the trace sink,
+    /// stamped with the issue cycle of the memory instruction.
+    pub(crate) fn emit_bus_transfer(
+        &self,
+        bus: softsim_trace::BusKind,
+        write: bool,
+        addr: u32,
+        wait: u32,
+    ) {
+        self.emit(TraceEvent::BusTransfer {
+            cycle: self.stats.cycles.saturating_sub(1),
+            bus,
+            write,
+            addr,
+            wait,
+        });
     }
 
     /// The collected trace, if tracing is enabled.

@@ -9,6 +9,7 @@ use crate::cpu::{Cpu, ExecOutcome};
 use crate::fault::Fault;
 use softsim_bus::{FslBank, FslWord};
 use softsim_isa::{ArithFlags, BarrelOp, Inst, LogicOp, MemSize, Reg, ShiftOp};
+use softsim_trace::BusKind;
 
 impl Cpu {
     /// Extends a 16-bit immediate to 32 bits, honoring (and consuming) a
@@ -219,6 +220,9 @@ impl Cpu {
             MemSize::Half => self.mem.read_u16(ea).map(u32::from),
             MemSize::Word => self.mem.read_u32(ea),
         };
+        if r.is_ok() {
+            self.emit_bus_transfer(BusKind::Lmb, false, ea, 0);
+        }
         r.map_err(|err| Fault::Memory { pc, err })
     }
 
@@ -232,6 +236,9 @@ impl Cpu {
             MemSize::Half => self.mem.write_u16(ea, value as u16),
             MemSize::Word => self.mem.write_u32(ea, value),
         };
+        if r.is_ok() {
+            self.emit_bus_transfer(BusKind::Lmb, true, ea, 0);
+        }
         r.map_err(|err| Fault::Memory { pc, err })
     }
 
@@ -249,6 +256,7 @@ impl Cpu {
         match bus.read(ea) {
             Ok((v, cycles)) => {
                 self.extra_cycles += cycles;
+                self.emit_bus_transfer(BusKind::Opb, false, ea, cycles);
                 Ok(v)
             }
             Err(_) => Err(fault(softsim_bus::MemError::OutOfRange { addr: ea, size: 0 })),
@@ -268,6 +276,7 @@ impl Cpu {
         match bus.write(ea, value) {
             Ok(cycles) => {
                 self.extra_cycles += cycles;
+                self.emit_bus_transfer(BusKind::Opb, true, ea, cycles);
                 Ok(())
             }
             Err(_) => Err(fault(softsim_bus::MemError::OutOfRange { addr: ea, size: 0 })),

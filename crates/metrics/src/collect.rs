@@ -1,0 +1,544 @@
+//! The metrics collector: a [`TraceSink`] that turns the cycle-domain
+//! event stream into a cumulative [`Registry`] and a cycle-windowed
+//! [`WindowSeries`].
+//!
+//! The collector rides the existing tracing plumbing, so enabling
+//! metrics costs the simulators nothing beyond the tracing guard they
+//! already pay; with no sink attached nothing here runs at all.
+
+use crate::registry::{CounterId, GaugeId, HistogramId, Registry};
+use crate::window::{WindowRow, WindowSeries};
+use softsim_trace::{BusKind, FifoDir, TraceEvent, TraceSink};
+
+/// Windowed column names, in value order. `data_signature` is a
+/// wrapping 32-bit sum of every architectural data word observed in the
+/// window (register writebacks, FIFO pushes, gateway words) — two runs
+/// with identical control flow but corrupted data differ in it.
+pub const COLUMNS: [&str; 19] = [
+    "instructions",
+    "ipc",
+    "read_stall_cycles",
+    "write_stall_cycles",
+    "fifo_pushes",
+    "fifo_pops",
+    "fifo_full_rejects",
+    "fifo_empty_rejects",
+    "occupancy_high_to_hw",
+    "occupancy_high_from_hw",
+    "gateway_to_hw",
+    "gateway_from_hw",
+    "opb_transfers",
+    "opb_wait_cycles",
+    "lmb_transfers",
+    "block_firings",
+    "block_toggles",
+    "reg_writes",
+    "data_signature",
+];
+
+const C_INSTRUCTIONS: usize = 0;
+const C_IPC: usize = 1;
+const C_READ_STALL: usize = 2;
+const C_WRITE_STALL: usize = 3;
+const C_FIFO_PUSHES: usize = 4;
+const C_FIFO_POPS: usize = 5;
+const C_FIFO_FULL: usize = 6;
+const C_FIFO_EMPTY: usize = 7;
+const C_OCC_HIGH_TO_HW: usize = 8;
+const C_OCC_HIGH_FROM_HW: usize = 9;
+const C_GATEWAY_TO_HW: usize = 10;
+const C_GATEWAY_FROM_HW: usize = 11;
+const C_OPB_TRANSFERS: usize = 12;
+const C_OPB_WAIT: usize = 13;
+const C_LMB_TRANSFERS: usize = 14;
+const C_BLOCK_FIRINGS: usize = 15;
+const C_BLOCK_TOGGLES: usize = 16;
+const C_REG_WRITES: usize = 17;
+const C_DATA_SIGNATURE: usize = 18;
+
+/// FIFO occupancy histogram bounds (FSL depths are small powers of two).
+const OCCUPANCY_BOUNDS: [f64; 5] = [1.0, 2.0, 4.0, 8.0, 16.0];
+/// FSL stall duration bounds, in cycles.
+const STALL_BOUNDS: [f64; 8] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
+/// Per-instruction cycle occupancy bounds.
+const INST_BOUNDS: [f64; 7] = [1.0, 2.0, 3.0, 4.0, 8.0, 16.0, 64.0];
+
+struct Ids {
+    instructions: CounterId,
+    cycles: CounterId,
+    stall_read: CounterId,
+    stall_write: CounterId,
+    reg_writes: CounterId,
+    fifo_pushes: CounterId,
+    fifo_pops: CounterId,
+    fifo_full: CounterId,
+    fifo_empty: CounterId,
+    gateway_to_hw: CounterId,
+    gateway_from_hw: CounterId,
+    bus_opb: CounterId,
+    bus_lmb: CounterId,
+    opb_wait: CounterId,
+    block_firings: CounterId,
+    block_toggles: CounterId,
+    faults: CounterId,
+    kernel_steps: CounterId,
+    dropped: GaugeId,
+    occupancy_hist: HistogramId,
+    stall_hist: HistogramId,
+    inst_hist: HistogramId,
+    /// Lazily registered per-channel occupancy high-water gauges,
+    /// indexed `[dir][channel]`.
+    occ_high: [[Option<GaugeId>; 16]; 2],
+}
+
+/// Collects the event stream of one run into metrics.
+///
+/// Attach (usually via `Fanout` alongside a `Recorder`), run, then call
+/// [`MetricsCollector::finish`] with the run's final cycle count to
+/// close the last (possibly partial) window. Snapshots are available as
+/// Prometheus text ([`MetricsCollector::to_prometheus`]) and a compact
+/// JSON time-series ([`MetricsCollector::to_json`]).
+pub struct MetricsCollector {
+    width: u64,
+    registry: Registry,
+    ids: Ids,
+    rows: Vec<WindowRow>,
+    cur_start: u64,
+    acc: [f64; COLUMNS.len()],
+    signature: u32,
+    /// One past the largest cycle stamp windowed so far.
+    high_t: u64,
+    finished: bool,
+}
+
+impl MetricsCollector {
+    /// A collector sampling over `window_cycles`-wide windows.
+    ///
+    /// # Panics
+    /// Panics if `window_cycles == 0`.
+    pub fn new(window_cycles: u64) -> MetricsCollector {
+        assert!(window_cycles > 0, "window width must be positive");
+        let mut r = Registry::new();
+        let ids = Ids {
+            instructions: r.counter(
+                "softsim_iss_instructions_total",
+                "Instructions retired by the soft processor",
+                vec![],
+            ),
+            cycles: r.counter(
+                "softsim_iss_cycles_total",
+                "Clock cycles attributed to retired instructions",
+                vec![],
+            ),
+            stall_read: r.counter(
+                "softsim_iss_stall_cycles_total",
+                "Cycles the processor spent stalled on blocking FSL accesses",
+                vec![("cause", "fsl_read".into())],
+            ),
+            stall_write: r.counter(
+                "softsim_iss_stall_cycles_total",
+                "Cycles the processor spent stalled on blocking FSL accesses",
+                vec![("cause", "fsl_write".into())],
+            ),
+            reg_writes: r.counter(
+                "softsim_iss_reg_writes_total",
+                "Architectural register writebacks",
+                vec![],
+            ),
+            fifo_pushes: r.counter(
+                "softsim_fsl_events_total",
+                "FSL FIFO events by kind",
+                vec![("kind", "push".into())],
+            ),
+            fifo_pops: r.counter(
+                "softsim_fsl_events_total",
+                "FSL FIFO events by kind",
+                vec![("kind", "pop".into())],
+            ),
+            fifo_full: r.counter(
+                "softsim_fsl_events_total",
+                "FSL FIFO events by kind",
+                vec![("kind", "full_reject".into())],
+            ),
+            fifo_empty: r.counter(
+                "softsim_fsl_events_total",
+                "FSL FIFO events by kind",
+                vec![("kind", "empty_reject".into())],
+            ),
+            gateway_to_hw: r.counter(
+                "softsim_gateway_words_total",
+                "Words crossing the HW/SW gateway",
+                vec![("dir", "to_hw".into())],
+            ),
+            gateway_from_hw: r.counter(
+                "softsim_gateway_words_total",
+                "Words crossing the HW/SW gateway",
+                vec![("dir", "from_hw".into())],
+            ),
+            bus_opb: r.counter(
+                "softsim_bus_transfers_total",
+                "Data words transferred per memory bus",
+                vec![("bus", "opb".into())],
+            ),
+            bus_lmb: r.counter(
+                "softsim_bus_transfers_total",
+                "Data words transferred per memory bus",
+                vec![("bus", "lmb".into())],
+            ),
+            opb_wait: r.counter(
+                "softsim_bus_wait_cycles_total",
+                "Bus wait cycles charged to the processor",
+                vec![("bus", "opb".into())],
+            ),
+            block_firings: r.counter(
+                "softsim_blocks_firings_total",
+                "Block firings in peripheral graphs (activity measurement on)",
+                vec![],
+            ),
+            block_toggles: r.counter(
+                "softsim_blocks_toggles_total",
+                "Output-port bit toggles in peripheral graphs",
+                vec![],
+            ),
+            faults: r.counter(
+                "softsim_faults_injected_total",
+                "Faults injected into the design under test",
+                vec![],
+            ),
+            kernel_steps: r.counter(
+                "softsim_rtl_kernel_steps_total",
+                "RTL kernel time steps observed",
+                vec![],
+            ),
+            dropped: r.gauge(
+                "softsim_trace_dropped_events",
+                "Events the bounded trace recorder overwrote (see set_dropped_events)",
+                vec![],
+            ),
+            occupancy_hist: r.histogram(
+                "softsim_fsl_occupancy",
+                "FSL FIFO occupancy after each push/pop",
+                vec![],
+                &OCCUPANCY_BOUNDS,
+            ),
+            stall_hist: r.histogram(
+                "softsim_iss_stall_duration_cycles",
+                "Duration of blocking FSL stalls",
+                vec![],
+                &STALL_BOUNDS,
+            ),
+            inst_hist: r.histogram(
+                "softsim_iss_instruction_cycles",
+                "Cycle occupancy per retired instruction, stalls included",
+                vec![],
+                &INST_BOUNDS,
+            ),
+            occ_high: [[None; 16]; 2],
+        };
+        MetricsCollector {
+            width: window_cycles,
+            registry: r,
+            ids,
+            rows: Vec::new(),
+            cur_start: 0,
+            acc: [0.0; COLUMNS.len()],
+            signature: 0,
+            high_t: 0,
+            finished: false,
+        }
+    }
+
+    /// The window width in cycles.
+    pub fn window_cycles(&self) -> u64 {
+        self.width
+    }
+
+    /// The cumulative registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Records how many events the paired bounded recorder dropped, so
+    /// data loss in the observability layer is itself observable.
+    pub fn set_dropped_events(&mut self, dropped: u64) {
+        self.registry.set(self.ids.dropped, dropped as f64);
+    }
+
+    /// Closes the current (possibly partial) window at `end_cycle` —
+    /// normally the processor's final cycle counter. Call once, after
+    /// the run; the collector ignores further events afterwards.
+    pub fn finish(&mut self, end_cycle: u64) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        let end = end_cycle.max(self.high_t);
+        while self.cur_start + self.width <= end {
+            self.close_window(self.cur_start + self.width);
+        }
+        if end > self.cur_start {
+            self.close_window(end);
+        }
+    }
+
+    /// The windowed series sampled so far (complete after
+    /// [`MetricsCollector::finish`]).
+    pub fn series(&self) -> WindowSeries {
+        WindowSeries { width: self.width, columns: COLUMNS.to_vec(), rows: self.rows.clone() }
+    }
+
+    /// Prometheus text exposition of the cumulative registry.
+    pub fn to_prometheus(&self) -> String {
+        self.registry.to_prometheus()
+    }
+
+    /// Compact JSON time-series of the windowed samples.
+    pub fn to_json(&self) -> String {
+        self.series().to_json()
+    }
+
+    fn close_window(&mut self, end: u64) {
+        let start = self.cur_start;
+        debug_assert!(end > start);
+        let mut values = self.acc;
+        values[C_IPC] = values[C_INSTRUCTIONS] / (end - start) as f64;
+        values[C_DATA_SIGNATURE] = self.signature as f64;
+        self.rows.push(WindowRow {
+            index: start / self.width,
+            start,
+            end,
+            values: values.to_vec(),
+        });
+        self.acc = [0.0; COLUMNS.len()];
+        self.signature = 0;
+        self.cur_start = end;
+    }
+
+    /// Rolls the window state forward so `t` falls inside the current
+    /// window, then returns the timestamp clamped into it (events that
+    /// arrive stamped before the current window — e.g. a retire for an
+    /// instruction that issued before a long stall — count toward the
+    /// current window).
+    fn roll(&mut self, t: u64) -> u64 {
+        while t >= self.cur_start + self.width {
+            self.close_window(self.cur_start + self.width);
+        }
+        let t = t.max(self.cur_start);
+        self.high_t = self.high_t.max(t + 1);
+        t
+    }
+
+    fn occ_high_gauge(&mut self, dir: FifoDir, channel: u8) -> GaugeId {
+        let d = match dir {
+            FifoDir::ToHw => 0,
+            FifoDir::FromHw => 1,
+        };
+        let slot = &mut self.ids.occ_high[d][channel as usize & 15];
+        if let Some(id) = *slot {
+            return id;
+        }
+        let id = self.registry.gauge(
+            "softsim_fsl_occupancy_high",
+            "High-water FIFO occupancy per channel",
+            vec![("dir", dir.label().into()), ("channel", channel.to_string())],
+        );
+        *slot = Some(id);
+        id
+    }
+
+    fn fifo_level(&mut self, dir: FifoDir, channel: u8, occupancy: u8) {
+        self.registry.observe(self.ids.occupancy_hist, occupancy as f64);
+        let id = self.occ_high_gauge(dir, channel);
+        self.registry.set_max(id, occupancy as f64);
+        let col = match dir {
+            FifoDir::ToHw => C_OCC_HIGH_TO_HW,
+            FifoDir::FromHw => C_OCC_HIGH_FROM_HW,
+        };
+        self.acc[col] = self.acc[col].max(occupancy as f64);
+    }
+}
+
+impl TraceSink for MetricsCollector {
+    fn event(&mut self, e: &TraceEvent) {
+        if self.finished {
+            return;
+        }
+        match *e {
+            TraceEvent::Retire { cycle, cycles, read_stalls, write_stalls, .. } => {
+                self.registry.inc(self.ids.instructions, 1);
+                self.registry.inc(self.ids.cycles, cycles as u64);
+                self.registry.inc(self.ids.stall_read, read_stalls as u64);
+                self.registry.inc(self.ids.stall_write, write_stalls as u64);
+                self.registry.observe(self.ids.inst_hist, cycles as f64);
+                let _ = self.roll(cycle);
+                self.acc[C_INSTRUCTIONS] += 1.0;
+                self.acc[C_READ_STALL] += read_stalls as f64;
+                self.acc[C_WRITE_STALL] += write_stalls as f64;
+            }
+            TraceEvent::StallBegin { .. } => {}
+            TraceEvent::StallEnd { cycle, cycles, .. } => {
+                self.registry.observe(self.ids.stall_hist, cycles as f64);
+                let _ = self.roll(cycle);
+            }
+            TraceEvent::FifoPush { cycle, dir, channel, data, occupancy, .. } => {
+                self.registry.inc(self.ids.fifo_pushes, 1);
+                self.fifo_level(dir, channel, occupancy);
+                let _ = self.roll(cycle);
+                self.acc[C_FIFO_PUSHES] += 1.0;
+                self.signature = self.signature.wrapping_add(data);
+            }
+            TraceEvent::FifoPop { cycle, dir, channel, occupancy, .. } => {
+                self.registry.inc(self.ids.fifo_pops, 1);
+                self.fifo_level(dir, channel, occupancy);
+                let _ = self.roll(cycle);
+                self.acc[C_FIFO_POPS] += 1.0;
+            }
+            TraceEvent::FifoFull { cycle, .. } => {
+                self.registry.inc(self.ids.fifo_full, 1);
+                let _ = self.roll(cycle);
+                self.acc[C_FIFO_FULL] += 1.0;
+            }
+            TraceEvent::FifoEmpty { cycle, .. } => {
+                self.registry.inc(self.ids.fifo_empty, 1);
+                let _ = self.roll(cycle);
+                self.acc[C_FIFO_EMPTY] += 1.0;
+            }
+            TraceEvent::GatewayWord { cycle, to_hw, data, .. } => {
+                let (id, col) = if to_hw {
+                    (self.ids.gateway_to_hw, C_GATEWAY_TO_HW)
+                } else {
+                    (self.ids.gateway_from_hw, C_GATEWAY_FROM_HW)
+                };
+                self.registry.inc(id, 1);
+                let _ = self.roll(cycle);
+                self.acc[col] += 1.0;
+                self.signature = self.signature.wrapping_add(data);
+            }
+            TraceEvent::FaultInjected { cycle, .. } => {
+                self.registry.inc(self.ids.faults, 1);
+                let _ = self.roll(cycle);
+                // Deliberately no windowed column: the injection itself
+                // must not count as a divergence between golden and
+                // trial series.
+            }
+            TraceEvent::RegWrite { cycle, value, .. } => {
+                self.registry.inc(self.ids.reg_writes, 1);
+                let _ = self.roll(cycle);
+                self.acc[C_REG_WRITES] += 1.0;
+                self.signature = self.signature.wrapping_add(value);
+            }
+            TraceEvent::BusTransfer { cycle, bus, wait, .. } => match bus {
+                BusKind::Opb => {
+                    self.registry.inc(self.ids.bus_opb, 1);
+                    self.registry.inc(self.ids.opb_wait, wait as u64);
+                    let _ = self.roll(cycle);
+                    self.acc[C_OPB_TRANSFERS] += 1.0;
+                    self.acc[C_OPB_WAIT] += wait as f64;
+                }
+                BusKind::Lmb => {
+                    self.registry.inc(self.ids.bus_lmb, 1);
+                    let _ = self.roll(cycle);
+                    self.acc[C_LMB_TRANSFERS] += 1.0;
+                }
+            },
+            TraceEvent::BlockActivity { cycle, firings, toggles, .. } => {
+                self.registry.inc(self.ids.block_firings, firings as u64);
+                self.registry.inc(self.ids.block_toggles, toggles as u64);
+                let _ = self.roll(cycle);
+                self.acc[C_BLOCK_FIRINGS] += firings as f64;
+                self.acc[C_BLOCK_TOGGLES] += toggles as f64;
+            }
+            TraceEvent::KernelStep { .. } => {
+                // Kernel steps are stamped in nanoseconds, not cycles —
+                // they feed the cumulative registry only.
+                self.registry.inc(self.ids.kernel_steps, 1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softsim_trace::InstClass;
+
+    fn retire(cycle: u64, cycles: u32) -> TraceEvent {
+        TraceEvent::Retire {
+            cycle,
+            pc: 0,
+            word: 0,
+            class: InstClass::Alu,
+            cycles,
+            read_stalls: 0,
+            write_stalls: 0,
+        }
+    }
+
+    #[test]
+    fn windows_partition_the_run_and_ipc_uses_clipped_width() {
+        let mut c = MetricsCollector::new(4);
+        for cy in 0..10 {
+            c.event(&retire(cy, 1));
+        }
+        c.finish(10);
+        let s = c.series();
+        assert_eq!(s.rows.len(), 3);
+        assert_eq!((s.rows[2].start, s.rows[2].end), (8, 10));
+        assert_eq!(s.value(&s.rows[2], "instructions"), Some(2.0));
+        assert_eq!(s.value(&s.rows[2], "ipc"), Some(1.0));
+        assert!(c.registry().to_prometheus().contains("softsim_iss_instructions_total 10"));
+    }
+
+    #[test]
+    fn window_wider_than_run_gives_single_partial_row() {
+        let mut c = MetricsCollector::new(1024);
+        c.event(&retire(0, 1));
+        c.event(&retire(5, 1));
+        c.finish(6);
+        let s = c.series();
+        assert_eq!(s.rows.len(), 1);
+        assert_eq!((s.rows[0].start, s.rows[0].end), (0, 6));
+        assert_eq!(s.value(&s.rows[0], "instructions"), Some(2.0));
+    }
+
+    #[test]
+    fn quiet_gaps_still_produce_aligned_zero_windows() {
+        let mut c = MetricsCollector::new(2);
+        c.event(&retire(0, 1));
+        c.event(&retire(9, 1));
+        c.finish(10);
+        let s = c.series();
+        assert_eq!(s.rows.len(), 5, "every window present, active or not");
+        assert_eq!(s.value(&s.rows[2], "instructions"), Some(0.0));
+    }
+
+    #[test]
+    fn injected_faults_touch_the_registry_but_no_window_column() {
+        let mut c = MetricsCollector::new(8);
+        c.event(&TraceEvent::FaultInjected {
+            cycle: 3,
+            site: softsim_trace::InjectionSite::Register,
+            detail: 5,
+        });
+        c.finish(8);
+        assert!(c.to_prometheus().contains("softsim_faults_injected_total 1"));
+        assert!(c.series().rows[0].values.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn per_channel_high_water_registers_lazily() {
+        let mut c = MetricsCollector::new(8);
+        c.event(&TraceEvent::FifoPush {
+            cycle: 0,
+            dir: FifoDir::ToHw,
+            channel: 2,
+            data: 7,
+            control: false,
+            occupancy: 3,
+        });
+        c.finish(4);
+        let text = c.to_prometheus();
+        assert!(text.contains("softsim_fsl_occupancy_high{dir=\"to_hw\",channel=\"2\"} 3"));
+        assert!(!text.contains("channel=\"1\""));
+    }
+}

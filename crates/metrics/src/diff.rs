@@ -1,0 +1,380 @@
+//! Golden-vs-trial divergence localization.
+//!
+//! A fault campaign classifies a trial as *SDC* when its final
+//! observables differ from the golden run's — but says nothing about
+//! where the corruption started. [`MetricsDiff`] answers that: it
+//! aligns the two runs' cycle-windowed series and their raw event
+//! timelines and reports the **first cycle window** and the **first
+//! architectural event** (register writeback, FIFO word, gateway word,
+//! block output) at which they part ways. Fault-injection marker events
+//! are excluded from the comparison — the injection itself is the
+//! cause, not the divergence.
+
+use crate::window::WindowSeries;
+use softsim_trace::TraceEvent;
+
+/// Everything [`MetricsDiff`] needs from one instrumented run.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// The windowed metrics series (finished).
+    pub series: WindowSeries,
+    /// The raw event timeline, emission order.
+    pub events: Vec<TraceEvent>,
+    /// Events the bounded recorder overwrote. Nonzero drops make the
+    /// event-level localization unreliable (the diverging event may be
+    /// among the lost ones) and are surfaced in the report.
+    pub dropped_events: u64,
+}
+
+/// The first windowed sample where the two series disagree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowDivergence {
+    /// Window index.
+    pub index: u64,
+    /// First cycle of the window.
+    pub start: u64,
+    /// One past the last cycle of the window.
+    pub end: u64,
+    /// Name of the first differing column in that window.
+    pub metric: String,
+    /// Golden value of that column.
+    pub golden: f64,
+    /// Trial value of that column.
+    pub trial: f64,
+}
+
+/// The first position where the two event timelines disagree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventDivergence {
+    /// Index into the (injection-filtered) common timeline.
+    pub position: usize,
+    /// Cycle stamp of the diverging event (the trial's where both
+    /// exist, else whichever stream still has events).
+    pub cycle: u64,
+    /// Human-readable description of what diverged.
+    pub what: String,
+    /// The golden run's event at that position, if any.
+    pub golden: Option<TraceEvent>,
+    /// The trial run's event at that position, if any.
+    pub trial: Option<TraceEvent>,
+}
+
+/// A full divergence report for one golden/trial pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Divergence {
+    /// First differing cycle window, if the windowed series differ.
+    pub window: Option<WindowDivergence>,
+    /// First differing architectural event, if the timelines differ.
+    pub event: Option<EventDivergence>,
+    /// Events dropped by the golden run's recorder.
+    pub golden_dropped: u64,
+    /// Events dropped by the trial run's recorder.
+    pub trial_dropped: u64,
+}
+
+impl Divergence {
+    /// True when neither the windows nor the timelines differ.
+    pub fn is_identical(&self) -> bool {
+        self.window.is_none() && self.event.is_none()
+    }
+
+    /// True when event-level localization may have missed the true
+    /// first divergence because a recorder overwrote events.
+    pub fn lossy(&self) -> bool {
+        self.golden_dropped > 0 || self.trial_dropped > 0
+    }
+
+    /// Multi-line report text.
+    pub fn text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        match &self.window {
+            Some(w) => {
+                let _ = writeln!(
+                    s,
+                    "first diverging window: #{} (cycles {}..{}) {}: golden {} vs trial {}",
+                    w.index, w.start, w.end, w.metric, w.golden, w.trial
+                );
+            }
+            None => {
+                let _ = writeln!(s, "windowed series identical");
+            }
+        }
+        match &self.event {
+            Some(e) => {
+                let _ = writeln!(s, "first diverging event: cycle {}, {}", e.cycle, e.what);
+            }
+            None => {
+                let _ = writeln!(s, "event timelines identical");
+            }
+        }
+        if self.lossy() {
+            let _ = writeln!(
+                s,
+                "warning: recorder dropped events (golden {}, trial {}) — localization may be late",
+                self.golden_dropped, self.trial_dropped
+            );
+        }
+        s
+    }
+}
+
+/// One-line description of an event for divergence reports.
+fn describe(e: &TraceEvent) -> String {
+    match *e {
+        TraceEvent::Retire { pc, class, .. } => {
+            format!("retire {} @ pc {pc:#010x}", class.label())
+        }
+        TraceEvent::StallBegin { cause, .. } => format!("stall begin ({cause:?})"),
+        TraceEvent::StallEnd { cause, cycles, .. } => {
+            format!("stall end ({cause:?}, {cycles} cycles)")
+        }
+        TraceEvent::FifoPush { dir, channel, data, .. } => {
+            format!("fifo push {}{channel} data {data:#010x}", dir.label())
+        }
+        TraceEvent::FifoPop { dir, channel, data, .. } => {
+            format!("fifo pop {}{channel} data {data:#010x}", dir.label())
+        }
+        TraceEvent::FifoFull { dir, channel, .. } => {
+            format!("fifo full reject {}{channel}", dir.label())
+        }
+        TraceEvent::FifoEmpty { dir, channel, .. } => {
+            format!("fifo empty reject {}{channel}", dir.label())
+        }
+        TraceEvent::GatewayWord { peripheral, to_hw, data, .. } => format!(
+            "gateway p{peripheral} {} data {data:#010x}",
+            if to_hw { "to_hw" } else { "from_hw" }
+        ),
+        TraceEvent::FaultInjected { site, detail, .. } => {
+            format!("fault injected ({}, detail {detail:#x})", site.label())
+        }
+        TraceEvent::RegWrite { reg, value, .. } => {
+            format!("register write r{reg} = {value:#010x}")
+        }
+        TraceEvent::BusTransfer { bus, write, addr, .. } => {
+            format!("{} {} @ {addr:#010x}", bus.label(), if write { "store" } else { "load" })
+        }
+        TraceEvent::BlockActivity { peripheral, firings, toggles, .. } => {
+            format!("block p{peripheral} activity ({firings} firings, {toggles} toggles)")
+        }
+        TraceEvent::KernelStep { time_ns, .. } => format!("rtl kernel step @ {time_ns} ns"),
+    }
+}
+
+/// The windowed-plus-timeline diff engine. Stateless; the struct exists
+/// as a namespace for the algorithm and its result types.
+pub struct MetricsDiff;
+
+impl MetricsDiff {
+    /// Compares a trial run against its golden reference.
+    ///
+    /// Windowed series are compared row by row, column by column (in
+    /// column order), on the aligned window indices; a missing trailing
+    /// row (one run outlived the other) counts as a divergence in the
+    /// first uncovered window. Event timelines are compared pairwise in
+    /// emission order after filtering out [`TraceEvent::FaultInjected`]
+    /// markers from both streams.
+    ///
+    /// # Panics
+    /// Panics if the two series were sampled with different window
+    /// widths or column sets — records must come from identically
+    /// configured collectors to be comparable.
+    pub fn diff(golden: &RunRecord, trial: &RunRecord) -> Divergence {
+        assert_eq!(
+            golden.series.width, trial.series.width,
+            "window widths differ; runs are not comparable"
+        );
+        assert_eq!(
+            golden.series.columns, trial.series.columns,
+            "column sets differ; runs are not comparable"
+        );
+        Divergence {
+            window: Self::first_window_divergence(&golden.series, &trial.series),
+            event: Self::first_event_divergence(&golden.events, &trial.events),
+            golden_dropped: golden.dropped_events,
+            trial_dropped: trial.dropped_events,
+        }
+    }
+
+    fn first_window_divergence(g: &WindowSeries, t: &WindowSeries) -> Option<WindowDivergence> {
+        let rows = g.rows.len().max(t.rows.len());
+        for i in 0..rows {
+            match (g.rows.get(i), t.rows.get(i)) {
+                (Some(gr), Some(tr)) => {
+                    for (c, name) in g.columns.iter().enumerate() {
+                        let (gv, tv) = (gr.values[c], tr.values[c]);
+                        if gv != tv {
+                            return Some(WindowDivergence {
+                                index: gr.index,
+                                start: gr.start,
+                                end: gr.end.max(tr.end),
+                                metric: name.to_string(),
+                                golden: gv,
+                                trial: tv,
+                            });
+                        }
+                    }
+                }
+                (Some(r), None) | (None, Some(r)) => {
+                    return Some(WindowDivergence {
+                        index: r.index,
+                        start: r.start,
+                        end: r.end,
+                        metric: "window_count".to_string(),
+                        golden: g.rows.len() as f64,
+                        trial: t.rows.len() as f64,
+                    });
+                }
+                (None, None) => unreachable!("i < max(len)"),
+            }
+        }
+        None
+    }
+
+    fn first_event_divergence(
+        golden: &[TraceEvent],
+        trial: &[TraceEvent],
+    ) -> Option<EventDivergence> {
+        let keep = |e: &&TraceEvent| !matches!(e, TraceEvent::FaultInjected { .. });
+        let mut g = golden.iter().filter(keep);
+        let mut t = trial.iter().filter(keep);
+        let mut position = 0;
+        loop {
+            match (g.next(), t.next()) {
+                (Some(ge), Some(te)) if ge == te => position += 1,
+                (Some(ge), Some(te)) => {
+                    return Some(EventDivergence {
+                        position,
+                        cycle: te.timestamp(),
+                        what: format!("golden {} vs trial {}", describe(ge), describe(te)),
+                        golden: Some(*ge),
+                        trial: Some(*te),
+                    });
+                }
+                (Some(ge), None) => {
+                    return Some(EventDivergence {
+                        position,
+                        cycle: ge.timestamp(),
+                        what: format!(
+                            "trial timeline ended; golden continues with {}",
+                            describe(ge)
+                        ),
+                        golden: Some(*ge),
+                        trial: None,
+                    });
+                }
+                (None, Some(te)) => {
+                    return Some(EventDivergence {
+                        position,
+                        cycle: te.timestamp(),
+                        what: format!(
+                            "golden timeline ended; trial continues with {}",
+                            describe(te)
+                        ),
+                        golden: None,
+                        trial: Some(*te),
+                    });
+                }
+                (None, None) => return None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::window::{WindowRow, WindowSeries};
+
+    fn series(width: u64, rows: Vec<(u64, Vec<f64>)>) -> WindowSeries {
+        WindowSeries {
+            width,
+            columns: vec!["a", "b"],
+            rows: rows
+                .into_iter()
+                .map(|(i, values)| WindowRow {
+                    index: i,
+                    start: i * width,
+                    end: (i + 1) * width,
+                    values,
+                })
+                .collect(),
+        }
+    }
+
+    fn record(series: WindowSeries, events: Vec<TraceEvent>) -> RunRecord {
+        RunRecord { series, events, dropped_events: 0 }
+    }
+
+    fn reg_write(cycle: u64, reg: u8, value: u32) -> TraceEvent {
+        TraceEvent::RegWrite { cycle, reg, value }
+    }
+
+    #[test]
+    fn identical_runs_report_no_divergence() {
+        let g = record(series(4, vec![(0, vec![1.0, 2.0])]), vec![reg_write(1, 3, 7)]);
+        let d = MetricsDiff::diff(&g, &g.clone());
+        assert!(d.is_identical());
+        assert!(d.text().contains("identical"));
+    }
+
+    #[test]
+    fn first_differing_window_and_column_reported() {
+        let g = record(series(4, vec![(0, vec![1.0, 2.0]), (1, vec![3.0, 4.0])]), vec![]);
+        let t = record(series(4, vec![(0, vec![1.0, 2.0]), (1, vec![3.0, 9.0])]), vec![]);
+        let w = MetricsDiff::diff(&g, &t).window.expect("diverges");
+        assert_eq!(w.index, 1);
+        assert_eq!(w.metric, "b");
+        assert_eq!((w.golden, w.trial), (4.0, 9.0));
+    }
+
+    #[test]
+    fn extra_trailing_windows_count_as_divergence() {
+        let g = record(series(4, vec![(0, vec![1.0, 2.0])]), vec![]);
+        let t = record(series(4, vec![(0, vec![1.0, 2.0]), (1, vec![0.0, 0.0])]), vec![]);
+        let w = MetricsDiff::diff(&g, &t).window.expect("diverges");
+        assert_eq!(w.metric, "window_count");
+        assert_eq!(w.index, 1);
+    }
+
+    #[test]
+    fn injection_markers_are_not_divergences_but_their_effects_are() {
+        let shared = series(4, vec![(0, vec![1.0, 2.0])]);
+        let g = record(shared.clone(), vec![reg_write(1, 3, 7), reg_write(2, 4, 8)]);
+        let t = record(
+            shared,
+            vec![
+                reg_write(1, 3, 7),
+                TraceEvent::FaultInjected {
+                    cycle: 2,
+                    site: softsim_trace::InjectionSite::Register,
+                    detail: 4,
+                },
+                reg_write(2, 4, 0x8000_0008),
+            ],
+        );
+        let e = MetricsDiff::diff(&g, &t).event.expect("diverges");
+        assert_eq!(e.position, 1, "the marker itself is filtered out");
+        assert_eq!(e.cycle, 2);
+        assert!(e.what.contains("register write r4"), "{}", e.what);
+    }
+
+    #[test]
+    fn truncated_trial_timeline_is_reported() {
+        let s = series(4, vec![(0, vec![0.0, 0.0])]);
+        let g = record(s.clone(), vec![reg_write(1, 3, 7)]);
+        let t = record(s, vec![]);
+        let e = MetricsDiff::diff(&g, &t).event.expect("diverges");
+        assert!(e.what.contains("trial timeline ended"));
+    }
+
+    #[test]
+    fn dropped_events_flag_the_report_as_lossy() {
+        let s = series(4, vec![(0, vec![0.0, 0.0])]);
+        let mut g = record(s.clone(), vec![]);
+        g.dropped_events = 5;
+        let d = MetricsDiff::diff(&g, &record(s, vec![]));
+        assert!(d.lossy());
+        assert!(d.text().contains("dropped events"));
+    }
+}

@@ -1,0 +1,60 @@
+//! # softsim-metrics — cycle-windowed metrics and divergence localization
+//!
+//! Where `softsim-trace` answers *what happened* (raw cycle-domain
+//! events), this crate answers *how much, when, and where two runs part
+//! ways*:
+//!
+//! * [`Registry`] — a typed registry of counters, gauges and
+//!   fixed-bucket [`Histogram`]s with Prometheus text exposition
+//!   (`Registry::to_prometheus`);
+//! * [`MetricsCollector`] — a [`TraceSink`](softsim_trace::TraceSink)
+//!   that folds the event stream into the registry *and* into a
+//!   cycle-windowed time-series ([`WindowSeries`], exported as compact
+//!   JSON) — IPC and stall breakdown from the ISS, per-channel FIFO
+//!   occupancy and backpressure from the FSL bank, LMB/OPB bus
+//!   utilization, block firings and switching activity;
+//! * [`MetricsDiff`] — aligns a golden and a trial run's windowed
+//!   series plus their event timelines and reports the first cycle
+//!   window and the first architectural event where they diverge, the
+//!   engine under the fault campaign's divergence localizer.
+//!
+//! Metric names follow `softsim_<subsystem>_<what>[_<unit>]` with
+//! labels for family members (`dir`, `channel`, `cause`, `bus`,
+//! `kind`); windows are half-open cycle ranges `[k·w, (k+1)·w)` with
+//! the final window clipped to the run length (see [`window`]).
+//!
+//! Everything rides the existing tracing plumbing: a simulator with no
+//! sink attached pays nothing, and one with a sink pays only the
+//! tracing guard it already had — there is no second instrumentation
+//! path to keep honest.
+//!
+//! ```
+//! use softsim_metrics::MetricsCollector;
+//! use softsim_trace::{InstClass, TraceEvent, TraceSink};
+//!
+//! let mut m = MetricsCollector::new(1024);
+//! m.event(&TraceEvent::Retire {
+//!     cycle: 3,
+//!     pc: 0x20,
+//!     word: 0,
+//!     class: InstClass::Alu,
+//!     cycles: 1,
+//!     read_stalls: 0,
+//!     write_stalls: 0,
+//! });
+//! m.finish(100);
+//! assert!(m.to_prometheus().contains("softsim_iss_instructions_total 1"));
+//! assert_eq!(m.series().rows.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+mod collect;
+mod diff;
+mod registry;
+pub mod window;
+
+pub use collect::{MetricsCollector, COLUMNS};
+pub use diff::{Divergence, EventDivergence, MetricsDiff, RunRecord, WindowDivergence};
+pub use registry::{CounterId, GaugeId, Histogram, HistogramId, Label, Registry};
+pub use window::{WindowRow, WindowSeries};

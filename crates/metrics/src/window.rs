@@ -1,0 +1,158 @@
+//! Cycle-window math and the windowed time-series representation.
+//!
+//! A run of `n` cycles sampled with window width `w` produces
+//! `ceil(n / w)` half-open windows `[k·w, (k+1)·w)`; the last window is
+//! clipped to the run length (`[k·w, n)`) when `n` is not a multiple of
+//! `w`. A window wider than the whole run yields a single clipped
+//! window `[0, n)`.
+
+use crate::registry::num;
+use std::fmt::Write as _;
+
+/// Index of the window containing `cycle` under width `width`.
+pub fn window_index(cycle: u64, width: u64) -> u64 {
+    assert!(width > 0, "window width must be positive");
+    cycle / width
+}
+
+/// Number of windows a run of `cycles` cycles produces under `width`
+/// (0 for an empty run).
+pub fn window_count(cycles: u64, width: u64) -> u64 {
+    assert!(width > 0, "window width must be positive");
+    cycles.div_ceil(width)
+}
+
+/// The half-open cycle range `[start, end)` of window `index`, clipped
+/// to a run of `cycles` cycles.
+pub fn window_bounds(index: u64, width: u64, cycles: u64) -> (u64, u64) {
+    let start = index * width;
+    (start, (start + width).min(cycles))
+}
+
+/// One sampled window: its cycle range and the metric values observed
+/// in it, positionally matching [`WindowSeries::columns`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowRow {
+    /// Window index (`start / width`).
+    pub index: u64,
+    /// First cycle covered (inclusive).
+    pub start: u64,
+    /// One past the last cycle covered; `start + width` except for a
+    /// clipped final window.
+    pub end: u64,
+    /// Metric values, one per series column.
+    pub values: Vec<f64>,
+}
+
+/// A windowed metrics time-series: fixed columns, one row per window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowSeries {
+    /// Window width in cycles.
+    pub width: u64,
+    /// Metric name per value position.
+    pub columns: Vec<&'static str>,
+    /// Sampled windows in cycle order.
+    pub rows: Vec<WindowRow>,
+}
+
+impl WindowSeries {
+    /// The value of column `name` in `row`, if the column exists.
+    pub fn value(&self, row: &WindowRow, name: &str) -> Option<f64> {
+        let i = self.columns.iter().position(|&c| c == name)?;
+        row.values.get(i).copied()
+    }
+
+    /// Renders the series as a compact JSON time-series document
+    /// (schema `softsim-metrics/1`): a column list plus one
+    /// `{"i":…,"start":…,"end":…,"v":[…]}` object per window.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"schema\":\"softsim-metrics/1\"");
+        let _ = write!(out, ",\"window_cycles\":{}", self.width);
+        out.push_str(",\"columns\":[");
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{c}\"");
+        }
+        out.push_str("],\"rows\":[");
+        for (i, r) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ =
+                write!(out, "{{\"i\":{},\"start\":{},\"end\":{},\"v\":[", r.index, r.start, r.end);
+            for (j, v) in r.values.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&json_num(*v));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// JSON-safe float rendering: NaN/±Inf are not JSON, so they render as
+/// `null` (they can only arise from degenerate zero-width windows).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        num(v)
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partial_last_window_is_clipped() {
+        // 10 cycles at width 4: [0,4) [4,8) [8,10).
+        assert_eq!(window_count(10, 4), 3);
+        assert_eq!(window_bounds(0, 4, 10), (0, 4));
+        assert_eq!(window_bounds(1, 4, 10), (4, 8));
+        assert_eq!(window_bounds(2, 4, 10), (8, 10));
+    }
+
+    #[test]
+    fn exact_multiple_has_no_empty_tail_window() {
+        assert_eq!(window_count(8, 4), 2);
+        assert_eq!(window_bounds(1, 4, 8), (4, 8));
+    }
+
+    #[test]
+    fn window_wider_than_run_yields_single_clipped_window() {
+        assert_eq!(window_count(10, 100), 1);
+        assert_eq!(window_bounds(0, 100, 10), (0, 10));
+    }
+
+    #[test]
+    fn empty_run_has_no_windows() {
+        assert_eq!(window_count(0, 16), 0);
+    }
+
+    #[test]
+    fn index_maps_cycles_to_windows() {
+        assert_eq!(window_index(0, 4), 0);
+        assert_eq!(window_index(3, 4), 0);
+        assert_eq!(window_index(4, 4), 1);
+    }
+
+    #[test]
+    fn series_json_is_compact_and_column_addressable() {
+        let s = WindowSeries {
+            width: 4,
+            columns: vec!["a", "b"],
+            rows: vec![WindowRow { index: 0, start: 0, end: 4, values: vec![1.0, 2.5] }],
+        };
+        let text = s.to_json();
+        assert!(text.contains("\"schema\":\"softsim-metrics/1\""));
+        assert!(text.contains("\"v\":[1,2.5]"));
+        assert_eq!(s.value(&s.rows[0], "b"), Some(2.5));
+        assert_eq!(s.value(&s.rows[0], "missing"), None);
+    }
+}

@@ -17,6 +17,10 @@
 //!   the co-simulator's liveness watchdog guaranteeing hung trials end
 //!   in a diagnosed [`softsim_cosim::CoSimStop::Deadlock`] rather than a
 //!   silent cycle-limit timeout.
+//! * **Localization** ([`localize`]) — instrumented golden/trial
+//!   re-runs diffed by `softsim-metrics`, upgrading an SDC verdict with
+//!   the first cycle window and the first architectural event (register
+//!   writeback, FIFO word, block output) where the trial diverged.
 //!
 //! Everything is seeded through [`softsim_testkit::Rng`]: the same seed
 //! and schedule reproduce the same report, bit for bit — the property CI
@@ -26,8 +30,10 @@
 
 pub mod campaign;
 pub mod inject;
+pub mod localize;
 pub mod snapshot;
 
 pub use campaign::{run_campaign, CampaignConfig, CampaignReport, Outcome, Trial};
 pub use inject::{random_plan, FaultKind, Injection, Injector};
+pub use localize::{capture_golden, localize_trial, DivergenceReport, GoldenRun, LocalizeConfig};
 pub use snapshot::{from_bytes, to_bytes, SnapshotError};

@@ -122,6 +122,23 @@ pub fn to_json(events: &[TraceEvent]) -> String {
                 PID,
                 detail
             ),
+            TraceEvent::RegWrite { cycle, reg, value } => format!(
+                r#"{{"name":"r{} write","cat":"cpu","ph":"i","ts":{},"pid":{},"tid":6,"s":"t","args":{{"value":"{:#010x}"}}}}"#,
+                reg, cycle, PID, value
+            ),
+            TraceEvent::BusTransfer { cycle, bus, write, addr, wait } => format!(
+                r#"{{"name":"{} {}","cat":"bus","ph":"i","ts":{},"pid":{},"tid":7,"s":"t","args":{{"addr":"{:#010x}","wait":{}}}}}"#,
+                bus.label(),
+                if write { "write" } else { "read" },
+                cycle,
+                PID,
+                addr,
+                wait
+            ),
+            TraceEvent::BlockActivity { cycle, peripheral, firings, toggles } => format!(
+                r#"{{"name":"block p{} activity","cat":"blocks","ph":"C","ts":{},"pid":{},"args":{{"firings":{},"toggles":{}}}}}"#,
+                peripheral, cycle, PID, firings, toggles
+            ),
             TraceEvent::KernelStep { time_ns, events, delta_cycles, process_runs } => format!(
                 r#"{{"name":"rtl kernel","cat":"rtl","ph":"C","ts":{},"pid":2,"args":{{"events":{},"delta_cycles":{},"process_runs":{}}}}}"#,
                 time_ns, events, delta_cycles, process_runs

@@ -131,6 +131,25 @@ impl InjectionSite {
     }
 }
 
+/// Which shared bus a word transfer crossed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BusKind {
+    /// The On-chip Peripheral Bus (shared, fixed per-transfer latency).
+    Opb,
+    /// The Local Memory Bus (single-cycle, point-to-point).
+    Lmb,
+}
+
+impl BusKind {
+    /// Short label used in metric names and trace labels.
+    pub fn label(self) -> &'static str {
+        match self {
+            BusKind::Opb => "opb",
+            BusKind::Lmb => "lmb",
+        }
+    }
+}
+
 /// One cycle-domain observation from somewhere in the co-simulation
 /// stack. Every event is stamped with the clock cycle (or, for the RTL
 /// kernel, simulation time) at which it occurred.
@@ -245,6 +264,43 @@ pub enum TraceEvent {
         /// Site-specific detail word (register index, address, channel…).
         detail: u32,
     },
+    /// A general-purpose register was written (architectural writeback).
+    /// Writes to r0 are discarded by the register file and not reported.
+    RegWrite {
+        /// Cycle stamp.
+        cycle: u64,
+        /// Destination register index (1..32).
+        reg: u8,
+        /// Value written.
+        value: u32,
+    },
+    /// A data word crossed one of the memory buses.
+    BusTransfer {
+        /// Cycle stamp (issue cycle of the memory instruction).
+        cycle: u64,
+        /// Which bus carried the transfer.
+        bus: BusKind,
+        /// `true` for a store, `false` for a load.
+        write: bool,
+        /// Byte address of the access.
+        addr: u32,
+        /// Extra bus wait cycles charged (0 on the single-cycle LMB).
+        wait: u32,
+    },
+    /// One peripheral block graph advanced a cycle with switching
+    /// activity measurement enabled. Emitted once per peripheral per
+    /// co-simulation step, only while the graph measures activity.
+    BlockActivity {
+        /// Cycle stamp.
+        cycle: u64,
+        /// Peripheral index (attachment order).
+        peripheral: u8,
+        /// Blocks fired this cycle (every node fires in the synchronous
+        /// dataflow model, so this is the node count).
+        firings: u32,
+        /// Output-port bit toggles this cycle.
+        toggles: u32,
+    },
     /// The event-driven RTL kernel advanced one simulation time step.
     /// Counters are cumulative kernel totals at that instant.
     KernelStep {
@@ -272,7 +328,10 @@ impl TraceEvent {
             | TraceEvent::FifoFull { cycle, .. }
             | TraceEvent::FifoEmpty { cycle, .. }
             | TraceEvent::GatewayWord { cycle, .. }
-            | TraceEvent::FaultInjected { cycle, .. } => cycle,
+            | TraceEvent::FaultInjected { cycle, .. }
+            | TraceEvent::RegWrite { cycle, .. }
+            | TraceEvent::BusTransfer { cycle, .. }
+            | TraceEvent::BlockActivity { cycle, .. } => cycle,
             TraceEvent::KernelStep { time_ns, .. } => time_ns,
         }
     }

@@ -59,6 +59,12 @@ pub struct Profile {
     kernel_events: u64,
     kernel_delta_cycles: u64,
     faults_injected: u64,
+    reg_writes: u64,
+    opb_transfers: u64,
+    opb_wait_cycles: u64,
+    lmb_transfers: u64,
+    block_firings: u64,
+    block_toggles: u64,
 }
 
 impl Profile {
@@ -100,6 +106,27 @@ impl Profile {
     /// Faults injected into the design under test.
     pub fn faults_injected(&self) -> u64 {
         self.faults_injected
+    }
+
+    /// Architectural register writebacks observed.
+    pub fn reg_writes(&self) -> u64 {
+        self.reg_writes
+    }
+
+    /// Word transfers over the OPB and the wait cycles they cost.
+    pub fn opb_traffic(&self) -> (u64, u64) {
+        (self.opb_transfers, self.opb_wait_cycles)
+    }
+
+    /// Word transfers over the single-cycle LMB.
+    pub fn lmb_transfers(&self) -> u64 {
+        self.lmb_transfers
+    }
+
+    /// Block firings and output toggles reported by peripheral graphs
+    /// (only populated while a graph measures switching activity).
+    pub fn block_activity(&self) -> (u64, u64) {
+        (self.block_firings, self.block_toggles)
     }
 
     /// Per-PC counters.
@@ -192,6 +219,20 @@ impl Profile {
                 self.gateway_to_hw, self.gateway_from_hw
             );
         }
+        if self.opb_transfers + self.lmb_transfers > 0 {
+            let _ = writeln!(
+                out,
+                "bus traffic: {} lmb transfers, {} opb transfers ({} wait cycles)",
+                self.lmb_transfers, self.opb_transfers, self.opb_wait_cycles
+            );
+        }
+        if self.block_firings > 0 {
+            let _ = writeln!(
+                out,
+                "block activity: {} firings, {} output toggles",
+                self.block_firings, self.block_toggles
+            );
+        }
         if self.faults_injected > 0 {
             let _ = writeln!(out, "faults injected: {}", self.faults_injected);
         }
@@ -262,6 +303,18 @@ impl TraceSink for Profile {
                 self.kernel_delta_cycles = delta_cycles;
             }
             TraceEvent::FaultInjected { .. } => self.faults_injected += 1,
+            TraceEvent::RegWrite { .. } => self.reg_writes += 1,
+            TraceEvent::BusTransfer { bus, wait, .. } => match bus {
+                crate::event::BusKind::Opb => {
+                    self.opb_transfers += 1;
+                    self.opb_wait_cycles += wait as u64;
+                }
+                crate::event::BusKind::Lmb => self.lmb_transfers += 1,
+            },
+            TraceEvent::BlockActivity { firings, toggles, .. } => {
+                self.block_firings += firings as u64;
+                self.block_toggles += toggles as u64;
+            }
             TraceEvent::StallBegin { .. } | TraceEvent::StallEnd { .. } => {}
         }
     }

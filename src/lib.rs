@@ -19,7 +19,8 @@
 //! | [`energy`] | `softsim-energy` | rapid energy estimation (the paper's §V extension) |
 //! | [`apps`] | `softsim-apps` | CORDIC divider + block matmul evaluation apps |
 //! | [`trace`] | `softsim-trace` | cycle-domain tracing, stall attribution, profiling |
-//! | [`resilience`] | `softsim-resilience` | fault injection, watchdogs, checkpoint/restore |
+//! | [`metrics`] | `softsim-metrics` | windowed metrics registry, Prometheus/JSON export, run diffing |
+//! | [`resilience`] | `softsim-resilience` | fault injection, watchdogs, checkpoint/restore, divergence localization |
 //!
 //! # Quickstart
 //!
@@ -48,6 +49,7 @@ pub use softsim_cosim as cosim;
 pub use softsim_energy as energy;
 pub use softsim_isa as isa;
 pub use softsim_iss as iss;
+pub use softsim_metrics as metrics;
 pub use softsim_resilience as resilience;
 pub use softsim_resource as resource;
 pub use softsim_rtl as rtl;
