@@ -101,6 +101,10 @@ impl Block for Deserializer {
     fn is_combinational(&self) -> bool {
         false
     }
+    fn is_quiescent(&self, inputs: &[Fix]) -> bool {
+        // No word arriving and the single-cycle strobes already clear.
+        inputs[1].is_zero() && !self.tuple_valid && !self.c_load
+    }
     fn resources(&self) -> Resources {
         // Three 32-bit holding registers, a phase counter and decode.
         Resources::slices(3 * 16 + 4)
@@ -197,6 +201,11 @@ impl Block for CordicPe {
     fn is_combinational(&self) -> bool {
         false
     }
+    fn is_quiescent(&self, inputs: &[Fix]) -> bool {
+        // No tuple and no control word incoming, and the forwarded
+        // strobes already clear.
+        inputs[3].is_zero() && inputs[5].is_zero() && !self.tuple_valid && !self.c_load_fwd
+    }
     fn resources(&self) -> Resources {
         // Two 32-bit add/sub datapaths (Y and Z), stage registers packing
         // behind them, the C register and the sign/select logic.
@@ -284,6 +293,10 @@ impl Block for Serializer {
     }
     fn is_combinational(&self) -> bool {
         false
+    }
+    fn is_quiescent(&self, inputs: &[Fix]) -> bool {
+        // Nothing arriving, nothing buffered, nothing being presented.
+        inputs[2].is_zero() && self.queue.is_empty() && !self.out_valid
     }
     fn resources(&self) -> Resources {
         // SRL16-based buffering plus the output register and control.

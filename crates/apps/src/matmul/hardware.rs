@@ -137,6 +137,10 @@ impl Block for MatmulUnit {
     fn is_combinational(&self) -> bool {
         false
     }
+    fn is_quiescent(&self, inputs: &[Fix]) -> bool {
+        // No word arriving, nothing buffered, nothing being presented.
+        inputs[1].is_zero() && self.out.is_empty() && !self.out_valid
+    }
     fn resources(&self) -> Resources {
         let nb = self.nb as u32;
         // nb parallel 18×18 multipliers (the 2 extra / 4 extra MULT18X18s

@@ -2,17 +2,24 @@
 //!
 //! Usage: `tables [--fig5] [--fig7] [--table1] [--table2] [--claims]
 //! [--ablation] [--profile] [--faults] [--metrics] [--all]
-//! [--csv [DIR]] [--bench-json [PATH]] [--record [PATH]]`
+//! [--csv [DIR]] [--bench-json [PATH]] [--speedup-json [PATH]]
+//! [--record [PATH]]`
 //!
-//! Run in release mode — the Table I / Table II rows and `--bench-json`
-//! measure wall-clock simulation speed.
+//! Run in release mode — the Table I / Table II rows, `--bench-json`
+//! and `--speedup-json` measure wall-clock simulation speed.
 //!
 //! * `--bench-json` writes the machine-readable benchmark record
 //!   (`BENCH_0003.json` by default) — wall times, cycles/sec and
 //!   co-sim-vs-RTL speedups.
+//! * `--speedup-json` writes the fast-forward / parallel-runner record
+//!   (`BENCH_0004.json` by default) — the serial stepped campaign vs
+//!   stall fast-forwarding vs the parallel sweep engine, with report
+//!   equality asserted before any number is written.
 //! * `--record` writes the deterministic record (`tables_output.txt` by
 //!   default) — every cycle-exact section, no wall-clock numbers — the
-//!   file CI asserts is up to date.
+//!   file CI asserts is up to date. Set `SOFTSIM_SWEEP_WORKERS=1` to
+//!   force the serial sweep path; CI diffs that against the default
+//!   parallel one.
 
 use softsim_bench::tables;
 
@@ -68,6 +75,11 @@ fn main() {
     }
     if let Some(path) = operand("--bench-json", "BENCH_0003.json") {
         tables::write_bench_json(std::path::Path::new(&path), 3).expect("write bench JSON");
+        println!("wrote {path}");
+    }
+    if let Some(path) = operand("--speedup-json", "BENCH_0004.json") {
+        softsim_bench::speedup::write_speedup_json(std::path::Path::new(&path))
+            .expect("write speedup JSON");
         println!("wrote {path}");
     }
     if let Some(path) = operand("--record", "tables_output.txt") {

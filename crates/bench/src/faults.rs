@@ -8,7 +8,10 @@
 
 use crate::workloads::{cordic_cosim, cordic_hw_image, matmul_cosim, matmul_image};
 use softsim_cosim::CoSim;
-use softsim_resilience::{random_plan, run_campaign, CampaignConfig, CampaignReport};
+use softsim_resilience::{
+    random_plan, run_campaign, run_campaign_parallel, CampaignConfig, CampaignReport, FaultKind,
+    Injection,
+};
 
 /// CORDIC iterations used by the fault campaigns (Figure 5's short
 /// configuration — enough cycles for a meaningful injection window).
@@ -34,16 +37,95 @@ fn golden_cycles(mut sim: CoSim) -> u64 {
     sim.cpu().stats().cycles
 }
 
-/// Runs a seeded fault campaign over the CORDIC divider (P =
-/// [`CORDIC_P`], hardware-accelerated) with `trials` injections.
-pub fn cordic_campaign(seed: u64, trials: usize) -> CampaignReport {
+/// The CORDIC campaign's injection plan plus the observable window
+/// (result base address, word count) — shared by the serial and
+/// parallel runners so both sweep the identical schedule.
+fn cordic_plan(seed: u64, trials: usize) -> (Vec<Injection>, u32, usize) {
     let img = cordic_hw_image(CORDIC_ITERS, CORDIC_P);
     let base = img.symbol("z_data").expect("cordic result label");
     let n = crate::workloads::cordic_batch().len();
     let golden = golden_cycles(cordic_cosim(CORDIC_ITERS, Some(CORDIC_P)));
     let plan = random_plan(seed, trials, (golden / 10, golden), img.bytes().len() as u32, &[0, 1]);
+    (plan, base, n)
+}
+
+/// Runs a seeded fault campaign over the CORDIC divider (P =
+/// [`CORDIC_P`], hardware-accelerated) with `trials` injections.
+pub fn cordic_campaign(seed: u64, trials: usize) -> CampaignReport {
+    cordic_campaign_with(seed, trials, CampaignConfig::default())
+}
+
+/// [`cordic_campaign`] with explicit tuning knobs — the speedup bench
+/// uses this to compare fast-forwarding on against off.
+pub fn cordic_campaign_with(seed: u64, trials: usize, config: CampaignConfig) -> CampaignReport {
+    let (plan, base, n) = cordic_plan(seed, trials);
     let mut sim = cordic_cosim(CORDIC_ITERS, Some(CORDIC_P));
-    run_campaign(&mut sim, &plan, |s| observe_words(s, base, n), CampaignConfig::default())
+    run_campaign(&mut sim, &plan, |s| observe_words(s, base, n), config)
+}
+
+/// The CORDIC campaign on `workers` threads. Byte-identical report to
+/// [`cordic_campaign`] with the same seed and trial count.
+pub fn cordic_campaign_parallel(seed: u64, trials: usize, workers: usize) -> CampaignReport {
+    let (plan, base, n) = cordic_plan(seed, trials);
+    run_campaign_parallel(
+        || cordic_cosim(CORDIC_ITERS, Some(CORDIC_P)),
+        &plan,
+        move |s| observe_words(s, base, n),
+        CampaignConfig::default(),
+        workers,
+    )
+}
+
+pub use crate::sweep::default_workers;
+
+/// An FSL-stall-heavy CORDIC campaign: every injection sticks a channel
+/// 0 handshake flag early in the run, so (almost) every trial ends
+/// blocked on an FSL transfer and burns the full watchdog threshold
+/// before it is declared dead. This is the workload stall
+/// fast-forwarding targets — nearly all of the serial runner's
+/// wall-clock goes into stepping stalled cycles in which nothing can
+/// change. The plan is a fixed deterministic stride, no RNG needed.
+pub fn cordic_stuck_plan(trials: usize) -> Vec<Injection> {
+    let golden = golden_cycles(cordic_cosim(CORDIC_ITERS, Some(CORDIC_P)));
+    let lo = golden / 10;
+    let span = (golden / 2).saturating_sub(lo).max(1);
+    (0..trials)
+        .map(|i| {
+            let cycle = lo + (i as u64 * 7919) % span;
+            let kind = if i % 2 == 0 {
+                FaultKind::StuckEmpty { channel: 0 }
+            } else {
+                FaultKind::StuckFull { channel: 0 }
+            };
+            Injection { cycle, kind }
+        })
+        .collect()
+}
+
+/// Runs [`cordic_stuck_plan`] serially under `config`.
+pub fn cordic_stuck_campaign(trials: usize, config: CampaignConfig) -> CampaignReport {
+    let img = cordic_hw_image(CORDIC_ITERS, CORDIC_P);
+    let base = img.symbol("z_data").expect("cordic result label");
+    let n = crate::workloads::cordic_batch().len();
+    let plan = cordic_stuck_plan(trials);
+    let mut sim = cordic_cosim(CORDIC_ITERS, Some(CORDIC_P));
+    run_campaign(&mut sim, &plan, |s| observe_words(s, base, n), config)
+}
+
+/// Runs [`cordic_stuck_plan`] on `workers` threads with the default
+/// configuration. Byte-identical report to the serial runner's.
+pub fn cordic_stuck_campaign_parallel(trials: usize, workers: usize) -> CampaignReport {
+    let img = cordic_hw_image(CORDIC_ITERS, CORDIC_P);
+    let base = img.symbol("z_data").expect("cordic result label");
+    let n = crate::workloads::cordic_batch().len();
+    let plan = cordic_stuck_plan(trials);
+    run_campaign_parallel(
+        || cordic_cosim(CORDIC_ITERS, Some(CORDIC_P)),
+        &plan,
+        move |s| observe_words(s, base, n),
+        CampaignConfig::default(),
+        workers,
+    )
 }
 
 /// Runs a seeded fault campaign over the block matmul (N =
@@ -68,16 +150,18 @@ pub const REPORT_SEED: u64 = 0x5EED_FA17;
 pub const REPORT_TRIALS: usize = 120;
 
 /// The `--faults` report: both campaigns, with the CORDIC sweep run
-/// twice to prove injector determinism (identical seed and schedule ⇒
-/// identical classification of every trial).
+/// twice — once serial, once on the parallel runner — to prove both
+/// injector determinism (identical seed and schedule ⇒ identical
+/// classification of every trial) and that the parallel engine merges
+/// to a byte-identical report.
 ///
 /// # Panics
-/// Panics if the two CORDIC runs disagree anywhere — the determinism
-/// regression CI gates on.
+/// Panics if the serial and parallel CORDIC runs disagree anywhere —
+/// the determinism regression CI gates on.
 pub fn faults_text() -> String {
     let cordic_a = cordic_campaign(REPORT_SEED, REPORT_TRIALS);
-    let cordic_b = cordic_campaign(REPORT_SEED, REPORT_TRIALS);
-    assert_eq!(cordic_a, cordic_b, "fault campaign must be deterministic");
+    let cordic_b = cordic_campaign_parallel(REPORT_SEED, REPORT_TRIALS, default_workers());
+    assert_eq!(cordic_a, cordic_b, "serial and parallel campaigns must agree bit for bit");
     let matmul = matmul_campaign(REPORT_SEED, REPORT_TRIALS);
     let mut s = String::new();
     s.push_str(&cordic_a.text(&format!(
@@ -115,6 +199,26 @@ mod tests {
         let a = cordic_campaign(3, 12);
         let b = cordic_campaign(3, 12);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_campaign_matches_serial() {
+        let serial = cordic_campaign(5, 16);
+        for workers in [1, 3, 8] {
+            let parallel = cordic_campaign_parallel(5, 16, workers);
+            assert_eq!(serial, parallel, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn fast_forward_off_matches_on() {
+        let on = cordic_campaign(9, 12);
+        let off = cordic_campaign_with(
+            9,
+            12,
+            CampaignConfig { fast_forward: false, ..CampaignConfig::default() },
+        );
+        assert_eq!(on, off);
     }
 
     #[test]

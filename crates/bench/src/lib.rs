@@ -16,5 +16,7 @@
 pub mod faults;
 pub mod harness;
 pub mod measure;
+pub mod speedup;
+pub mod sweep;
 pub mod tables;
 pub mod workloads;

@@ -1,0 +1,85 @@
+//! The deterministic parallel sweep engine.
+//!
+//! Design-space exploration sweeps (Figure 5's iteration × P grid,
+//! Figure 7's N × NB grid) and fault-campaign trials evaluate many
+//! independent points, each on its own co-simulator. [`parallel_map`]
+//! spreads those points over scoped worker threads and returns results
+//! **in input order**, so any text or table rendered from them is
+//! byte-identical to a serial evaluation — the property the committed
+//! `tables_output.txt` record and its CI gate rely on. No work items
+//! are shared between threads; determinism follows from each point
+//! being a pure function of its input plus the merge order being the
+//! input order, independent of thread scheduling.
+
+/// Evaluates `f` over `items` on up to `workers` scoped threads and
+/// returns the results in input order.
+///
+/// Items are dealt to workers in contiguous chunks; each worker writes
+/// its results straight into the matching output slots, so the merge is
+/// position-preserving by construction. `workers` is clamped to
+/// `1..=items.len()`; with one worker (or one item) this degenerates to
+/// a plain serial map on the calling thread.
+pub fn parallel_map<T, R>(items: Vec<T>, workers: usize, f: impl Fn(T) -> R + Sync) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+{
+    let n = items.len();
+    let workers = workers.clamp(1, n.max(1));
+    if workers == 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut out: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
+    let mut items = items;
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut slots = out.as_mut_slice();
+        while !slots.is_empty() {
+            let take = chunk.min(slots.len());
+            let (slot_chunk, slot_rest) = slots.split_at_mut(take);
+            slots = slot_rest;
+            let chunk_items: Vec<T> = items.drain(..take).collect();
+            scope.spawn(move || {
+                for (slot, item) in slot_chunk.iter_mut().zip(chunk_items) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    out.into_iter().map(|r| r.expect("worker filled every slot")).collect()
+}
+
+/// Worker-thread count for the parallel runners: the machine's
+/// available parallelism, capped so small CI runners are not
+/// oversubscribed. The `SOFTSIM_SWEEP_WORKERS` environment variable
+/// overrides it (CI sets it to 1 to produce the serial record it diffs
+/// the parallel one against).
+pub fn default_workers() -> usize {
+    if let Some(n) =
+        std::env::var("SOFTSIM_SWEEP_WORKERS").ok().and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        return n.max(1);
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_keep_input_order() {
+        let items: Vec<u64> = (0..37).collect();
+        for workers in [1, 2, 5, 64] {
+            let squares = parallel_map(items.clone(), workers, |x| x * x);
+            assert_eq!(squares, items.iter().map(|x| x * x).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item_sweeps_work() {
+        assert_eq!(parallel_map(Vec::<u32>::new(), 8, |x| x), Vec::<u32>::new());
+        assert_eq!(parallel_map(vec![9], 8, |x| x + 1), vec![10]);
+    }
+}

@@ -26,23 +26,29 @@ pub struct Fig5Point {
     pub time_us: f64,
 }
 
-/// Regenerates Figure 5: time performance of the CORDIC divider.
+/// Regenerates Figure 5: time performance of the CORDIC divider. The
+/// grid points are independent co-simulations, swept on worker threads
+/// (see [`crate::sweep::parallel_map`]); the result order — and hence
+/// the rendered text — matches the serial sweep exactly.
 pub fn figure5() -> Vec<Fig5Point> {
-    let mut points = Vec::new();
+    figure5_with(crate::sweep::default_workers())
+}
+
+/// [`figure5`] with an explicit worker-thread count (1 = serial); the
+/// speedup bench compares the two.
+pub fn figure5_with(workers: usize) -> Vec<Fig5Point> {
+    let mut grid = Vec::new();
     for &iters in &CORDIC_ITERS {
         for p in std::iter::once(0).chain(CORDIC_PS) {
-            let mut sim = workloads::cordic_cosim(iters, (p > 0).then_some(p));
-            assert_eq!(sim.run(u64::MAX / 2), CoSimStop::Halted);
-            let cycles = sim.cpu_stats().cycles;
-            points.push(Fig5Point {
-                iterations: iters,
-                p,
-                cycles,
-                time_us: cycles as f64 / PAPER_CLOCK_HZ * 1e6,
-            });
+            grid.push((iters, p));
         }
     }
-    points
+    crate::sweep::parallel_map(grid, workers, |(iters, p)| {
+        let mut sim = workloads::cordic_cosim(iters, (p > 0).then_some(p));
+        assert_eq!(sim.run(u64::MAX / 2), CoSimStop::Halted);
+        let cycles = sim.cpu_stats().cycles;
+        Fig5Point { iterations: iters, p, cycles, time_us: cycles as f64 / PAPER_CLOCK_HZ * 1e6 }
+    })
 }
 
 /// Formats Figure 5 as text.
@@ -82,21 +88,29 @@ pub struct Fig7Point {
     pub time_us: f64,
 }
 
-/// Regenerates Figure 7: block matmul time vs N for pure SW / 2×2 / 4×4.
+/// Regenerates Figure 7: block matmul time vs N for pure SW / 2×2 /
+/// 4×4, swept on worker threads in input order like [`figure5`].
 pub fn figure7() -> Vec<Fig7Point> {
-    let mut points = Vec::new();
+    figure7_with(crate::sweep::default_workers())
+}
+
+/// [`figure7`] with an explicit worker-thread count (1 = serial).
+pub fn figure7_with(workers: usize) -> Vec<Fig7Point> {
+    let mut grid = Vec::new();
     for &n in &MATMUL_NS {
         for nb in [0usize, 2, 4] {
             if nb != 0 && n % nb != 0 {
                 continue;
             }
-            let mut sim = workloads::matmul_cosim(n, (nb > 0).then_some(nb));
-            assert_eq!(sim.run(u64::MAX / 2), CoSimStop::Halted);
-            let cycles = sim.cpu_stats().cycles;
-            points.push(Fig7Point { n, nb, cycles, time_us: cycles as f64 / PAPER_CLOCK_HZ * 1e6 });
+            grid.push((n, nb));
         }
     }
-    points
+    crate::sweep::parallel_map(grid, workers, |(n, nb)| {
+        let mut sim = workloads::matmul_cosim(n, (nb > 0).then_some(nb));
+        assert_eq!(sim.run(u64::MAX / 2), CoSimStop::Halted);
+        let cycles = sim.cpu_stats().cycles;
+        Fig7Point { n, nb, cycles, time_us: cycles as f64 / PAPER_CLOCK_HZ * 1e6 }
+    })
 }
 
 /// Formats Figure 7 as text.
@@ -604,7 +618,7 @@ pub fn metrics_text() -> String {
 /// A JSON number: finite `f64`s render via `Display` (shortest
 /// round-trip, never exponent notation); non-finite values are clamped
 /// to `0` so the output stays RFC 8259 valid.
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {

@@ -50,6 +50,24 @@ pub trait Block {
         Resources::ZERO
     }
 
+    /// Quiescence hint for stall fast-forwarding: returns `true` only
+    /// when, given the settled `inputs` of the current cycle, a clock
+    /// edge would leave the block's sequential state (and therefore its
+    /// outputs on every later evaluate) bit-identical. With every block
+    /// of a design quiescent and every gateway input held constant, the
+    /// design is a fixed point and whole stalled stretches can be
+    /// skipped in one jump.
+    ///
+    /// The contract is *conservative*: `false` is always safe (the
+    /// default, and correct for combinational blocks whose outputs the
+    /// graph checks separately), while `true` must be exact — a block
+    /// that claims quiescence and then changes state breaks
+    /// cycle-accuracy.
+    fn is_quiescent(&self, inputs: &[Fix]) -> bool {
+        let _ = inputs;
+        false
+    }
+
     /// Resets sequential state to power-on values.
     fn reset(&mut self) {}
 

@@ -445,6 +445,83 @@ impl Graph {
         }
     }
 
+    /// True when the compiled design is at a fixed point: every node's
+    /// evaluate reproduces its settled output values from the settled
+    /// source values, and every sequential block reports (via
+    /// [`Block::is_quiescent`]) that a clock edge would leave its state
+    /// bit-identical. By induction along the topological schedule, a
+    /// [`Graph::step`] of a quiescent design changes nothing, and with
+    /// the gateway inputs held constant the design stays quiescent for
+    /// any number of further steps — the soundness condition for
+    /// [`Graph::fast_forward`].
+    ///
+    /// Conservative: `false` only means quiescence could not be proven.
+    ///
+    /// # Panics
+    /// Panics if the graph is not compiled.
+    pub fn is_quiescent(&self) -> bool {
+        assert!(self.compiled, "Graph::compile must succeed before is_quiescent");
+        let mut ins: Vec<Fix> = Vec::new();
+        let mut outs: Vec<Fix> = Vec::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            let (s, e) = self.plan_range[i];
+            ins.clear();
+            for &src in &self.plan_src[s as usize..e as usize] {
+                ins.push(self.values[src as usize]);
+            }
+            let off = node.val_off as usize;
+            let len = node.val_len as usize;
+            match &node.kind {
+                Kind::Block(b) => {
+                    outs.clear();
+                    outs.resize(len, Fix::zero(FixFmt::BOOL));
+                    b.eval(&ins, &mut outs);
+                    let same = outs
+                        .iter()
+                        .zip(&self.values[off..off + len])
+                        .all(|(a, b)| a.to_bits() == b.to_bits());
+                    if !same {
+                        return false;
+                    }
+                    if !b.is_combinational() && !b.is_quiescent(&ins) {
+                        return false;
+                    }
+                }
+                Kind::Input { value, .. } => {
+                    if value.to_bits() != self.values[off].to_bits() {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Advances the cycle counter by `n` cycles in one jump, exactly as
+    /// if [`Graph::step`] had run `n` times on a quiescent design: port
+    /// values and block state are untouched and the activity
+    /// measurement accrues `n` toggle-free cycles. The caller must have
+    /// established [`Graph::is_quiescent`] and must keep the gateway
+    /// inputs unchanged; scope probes must not be attached (they record
+    /// one sample per stepped cycle — see [`Graph::has_probes`]).
+    ///
+    /// # Panics
+    /// Panics if the graph is not compiled.
+    pub fn fast_forward(&mut self, n: u64) {
+        assert!(self.compiled, "Graph::compile must succeed before fast_forward");
+        debug_assert!(self.probes.is_empty(), "fast_forward would skip probe samples");
+        if let Some(act) = &mut self.activity {
+            act.cycles += n;
+        }
+        self.cycle += n;
+    }
+
+    /// True when scope probes are attached. Probes record one sample
+    /// per stepped cycle, so a probed design must not be fast-forwarded.
+    pub fn has_probes(&self) -> bool {
+        !self.probes.is_empty()
+    }
+
     /// Total cycles simulated.
     pub fn cycles(&self) -> u64 {
         self.cycle
@@ -779,6 +856,64 @@ mod tests {
         g.run(50);
         let f = g.activity_factor().unwrap();
         assert!(f < 0.05, "held-constant design barely toggles: {f}");
+    }
+
+    /// Quiescence: a delay line driven by a held-constant input becomes
+    /// quiescent once the line is saturated, and a fast-forward jump is
+    /// then indistinguishable from stepping (state, outputs, cycle
+    /// count, activity).
+    #[test]
+    fn quiescence_and_fast_forward_match_stepping() {
+        let mut g = Graph::new();
+        let x = g.gateway_in("x", I16);
+        let d = g.add("d", Delay::new(I16, 3));
+        g.wire(x, d, 0).unwrap();
+        g.gateway_out("y", d, 0);
+        g.compile().unwrap();
+        g.enable_activity();
+        g.set_input("x", Fix::from_int(7, I16)).unwrap();
+        g.step();
+        assert!(!g.is_quiescent(), "delay line still filling");
+        g.run(3);
+        assert!(g.is_quiescent(), "saturated delay line is a fixed point");
+        assert!(!g.has_probes());
+
+        // Fast-forward 100 cycles, then verify a real step changes
+        // nothing and the books match a stepped run.
+        let before = g.save_state();
+        g.fast_forward(100);
+        assert_eq!(g.cycles(), 104);
+        g.step();
+        let after = g.save_state();
+        assert_eq!(before.values, after.values, "quiescent values frozen");
+        assert_eq!(before.block_words, after.block_words, "quiescent state frozen");
+        assert_eq!(g.total_toggles(), {
+            let mut h = Graph::new();
+            let hx = h.gateway_in("x", I16);
+            let hd = h.add("d", Delay::new(I16, 3));
+            h.wire(hx, hd, 0).unwrap();
+            h.gateway_out("y", hd, 0);
+            h.compile().unwrap();
+            h.enable_activity();
+            h.set_input("x", Fix::from_int(7, I16)).unwrap();
+            h.run(105);
+            h.total_toggles()
+        });
+
+        // Changing the held input breaks quiescence.
+        g.set_input("x", Fix::from_int(8, I16)).unwrap();
+        assert!(!g.is_quiescent(), "changed gateway input is visible");
+    }
+
+    #[test]
+    fn probe_blocks_fast_forward_eligibility() {
+        let mut g = Graph::new();
+        let x = g.gateway_in("x", I16);
+        let d = g.add("d", Delay::new(I16, 1));
+        g.wire(x, d, 0).unwrap();
+        g.add_probe("p", d, 0);
+        g.compile().unwrap();
+        assert!(g.has_probes());
     }
 
     #[test]

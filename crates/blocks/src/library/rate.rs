@@ -54,6 +54,13 @@ impl Block for DownSample {
     fn is_combinational(&self) -> bool {
         false
     }
+    fn is_quiescent(&self, inputs: &[Fix]) -> bool {
+        // The phase counter only holds still at factor 1, where every
+        // cycle re-latches the input.
+        self.factor == 1
+            && self.held.to_bits()
+                == inputs[0].convert(self.fmt, Overflow::Wrap, Rounding::Truncate).to_bits()
+    }
     fn resources(&self) -> Resources {
         Resources::slices(Resources::ff_slices(self.fmt.word as u32) + 2)
     }
@@ -118,6 +125,11 @@ impl Block for UpSample {
     }
     fn is_combinational(&self) -> bool {
         false
+    }
+    fn is_quiescent(&self, inputs: &[Fix]) -> bool {
+        self.factor == 1
+            && self.held.to_bits()
+                == inputs[0].convert(self.fmt, Overflow::Wrap, Rounding::Truncate).to_bits()
     }
     fn resources(&self) -> Resources {
         Resources::slices(Resources::ff_slices(self.fmt.word as u32) + 2)
@@ -260,6 +272,22 @@ impl Block for DualPortRam {
     }
     fn is_combinational(&self) -> bool {
         false
+    }
+    fn is_quiescent(&self, inputs: &[Fix]) -> bool {
+        if self.data.is_empty() {
+            return true;
+        }
+        let n = self.data.len();
+        let addr_a = (inputs[0].raw().max(0) as usize) % n;
+        let addr_b = (inputs[3].raw().max(0) as usize) % n;
+        if bool_of(&inputs[2])
+            && self.data[addr_a].to_bits()
+                != inputs[1].convert(self.fmt, Overflow::Wrap, Rounding::Truncate).to_bits()
+        {
+            return false;
+        }
+        self.reg_a.to_bits() == self.data[addr_a].to_bits()
+            && self.reg_b.to_bits() == self.data[addr_b].to_bits()
     }
     fn resources(&self) -> Resources {
         let bits = self.data.len() as u32 * self.fmt.word as u32;

@@ -47,6 +47,11 @@ impl Block for Delay {
     fn is_combinational(&self) -> bool {
         false
     }
+    fn is_quiescent(&self, inputs: &[Fix]) -> bool {
+        // The line is saturated with the (converted) input value.
+        let v = inputs[0].convert(self.fmt, Overflow::Wrap, Rounding::Truncate);
+        self.line.iter().all(|s| s.to_bits() == v.to_bits())
+    }
     fn resources(&self) -> Resources {
         Resources::slices(Resources::ff_slices(self.fmt.word as u32) * self.line.len() as u32)
     }
@@ -109,6 +114,12 @@ impl Block for Register {
     fn is_combinational(&self) -> bool {
         false
     }
+    fn is_quiescent(&self, inputs: &[Fix]) -> bool {
+        // Disabled, or latching a value it already holds.
+        !bool_of(&inputs[1])
+            || inputs[0].convert(self.fmt, Overflow::Wrap, Rounding::Truncate).to_bits()
+                == self.state.to_bits()
+    }
     fn resources(&self) -> Resources {
         Resources::slices(Resources::ff_slices(self.fmt.word as u32))
     }
@@ -164,6 +175,10 @@ impl Block for Counter {
     }
     fn is_combinational(&self) -> bool {
         false
+    }
+    fn is_quiescent(&self, _inputs: &[Fix]) -> bool {
+        // A free-running counter only holds still at modulo 1.
+        self.modulo == 1
     }
     fn resources(&self) -> Resources {
         Resources::slices(Resources::adder_slices(self.fmt.word as u32))
@@ -222,6 +237,20 @@ impl Block for Accumulator {
     }
     fn is_combinational(&self) -> bool {
         false
+    }
+    fn is_quiescent(&self, inputs: &[Fix]) -> bool {
+        if bool_of(&inputs[2]) {
+            return self.state.is_zero();
+        }
+        if bool_of(&inputs[1]) {
+            let next = self.state.add_full(&inputs[0]).convert(
+                self.fmt,
+                Overflow::Wrap,
+                Rounding::Truncate,
+            );
+            return next.to_bits() == self.state.to_bits();
+        }
+        true
     }
     fn resources(&self) -> Resources {
         Resources::slices(Resources::adder_slices(self.fmt.word as u32))
@@ -293,6 +322,14 @@ impl Block for SyncFifo {
     fn is_combinational(&self) -> bool {
         false
     }
+    fn is_quiescent(&self, inputs: &[Fix]) -> bool {
+        // An effective pop drains; an effective push (into spare
+        // capacity, after any pop) fills. Either changes the queue.
+        if bool_of(&inputs[2]) && !self.queue.is_empty() {
+            return false;
+        }
+        !(bool_of(&inputs[1]) && self.queue.len() < self.depth)
+    }
     fn resources(&self) -> Resources {
         // Small FIFOs use SRL16 shift registers; deep/wide ones a BRAM.
         let bits = self.depth as u32 * self.fmt.word as u32;
@@ -363,6 +400,19 @@ impl Block for SinglePortRam {
     }
     fn is_combinational(&self) -> bool {
         false
+    }
+    fn is_quiescent(&self, inputs: &[Fix]) -> bool {
+        if self.data.is_empty() {
+            return true;
+        }
+        let addr = (inputs[0].raw().max(0) as usize) % self.data.len();
+        if bool_of(&inputs[2])
+            && self.data[addr].to_bits()
+                != inputs[1].convert(self.fmt, Overflow::Wrap, Rounding::Truncate).to_bits()
+        {
+            return false;
+        }
+        self.read_reg.to_bits() == self.data[addr].to_bits()
     }
     fn resources(&self) -> Resources {
         let bits = self.data.len() as u32 * self.fmt.word as u32;

@@ -232,6 +232,22 @@ impl FslFifo {
         }
     }
 
+    /// Charges `n` empty-pop rejections in one jump — what `n` failing
+    /// [`FslFifo::try_pop`] calls on a channel whose `exists` flag
+    /// cannot assert would record. Statistics only, no trace events:
+    /// the stall fast-forward path that uses this runs untraced (a
+    /// trace sink disengages fast-forwarding so the per-cycle event
+    /// stream stays complete).
+    pub fn add_empty_rejections(&mut self, n: u64) {
+        self.stats.empty_rejections += n;
+    }
+
+    /// Charges `n` full-push rejections in one jump — the write-side
+    /// counterpart of [`FslFifo::add_empty_rejections`].
+    pub fn add_full_rejections(&mut self, n: u64) {
+        self.stats.full_rejections += n;
+    }
+
     /// The word at the head without consuming it.
     pub fn peek(&self) -> Option<FslWord> {
         self.queue.front().copied()

@@ -22,11 +22,21 @@ use softsim_blocks::{Fix, FixFmt, Graph};
 use softsim_bus::{FslBank, FslBankState, FslWord};
 use softsim_isa::{CpuConfig, Image};
 use softsim_iss::{Cpu, CpuSnapshot, CpuStats, Event, Fault, FslBlock};
-use softsim_trace::{SharedSink, TraceEvent};
+use softsim_trace::{FifoDir, SharedSink, TraceEvent};
 
 /// The clock frequency of the paper's experiments (§IV): 50 MHz on the
 /// ML300 Virtex-II Pro board.
 pub const PAPER_CLOCK_HZ: f64 = 50e6;
+
+/// Consecutive no-progress stalled cycles before [`CoSim::run`] attempts
+/// a fast-forward jump. Short stalls (pipeline latency bubbles) resolve
+/// themselves cheaper than the quiescence scan.
+const FF_MIN_STREAK: u64 = 4;
+
+/// Cycles to keep stepping after a failed fast-forward eligibility check
+/// before probing again, so a busy-but-stalled system does not pay the
+/// quiescence scan every cycle.
+const FF_COOLDOWN: u64 = 64;
 
 /// Why a co-simulation run stopped.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -232,6 +242,8 @@ pub struct CoSim {
     sink: Option<SharedSink>,
     /// Liveness watchdog, when armed (see [`CoSim::set_watchdog`]).
     watchdog: Option<Watchdog>,
+    /// Opt-in stall fast-forwarding (see [`CoSim::set_fast_forward`]).
+    fast_forward: bool,
 }
 
 impl CoSim {
@@ -246,6 +258,7 @@ impl CoSim {
             clock_hz: PAPER_CLOCK_HZ,
             sink: None,
             watchdog: None,
+            fast_forward: false,
         }
     }
 
@@ -268,6 +281,7 @@ impl CoSim {
             clock_hz: PAPER_CLOCK_HZ,
             sink: None,
             watchdog: None,
+            fast_forward: false,
         };
         if let Some(p) = peripheral {
             sim.add_peripheral(p);
@@ -303,6 +317,30 @@ impl CoSim {
     /// Overrides the modeled clock frequency (default 50 MHz).
     pub fn set_clock_hz(&mut self, hz: f64) {
         self.clock_hz = hz;
+    }
+
+    /// Enables or disables stall fast-forwarding (off by default).
+    ///
+    /// When enabled, [`CoSim::run`] detects stretches where the
+    /// processor is blocked on an FSL transfer and every attached
+    /// peripheral graph is provably quiescent, and advances the cycle
+    /// counters in one jump instead of stepping the whole system through
+    /// cycles in which nothing can change. The jump replays the exact
+    /// per-cycle side effects of the stepped path — CPU cycle and stall
+    /// counters, FIFO rejection statistics, per-graph cycle and activity
+    /// counts, and watchdog progress — so statistics, halt cycles and
+    /// deadlock reports are bit-identical either way. Fast-forwarding
+    /// silently disengages whenever it could be observed at finer grain:
+    /// with a trace sink attached (per-cycle event streams), with probes
+    /// on any peripheral graph (per-cycle samples), or with an OPB bus
+    /// attached (its timing is outside the quiescence contract).
+    pub fn set_fast_forward(&mut self, enabled: bool) {
+        self.fast_forward = enabled;
+    }
+
+    /// Whether stall fast-forwarding is enabled.
+    pub fn fast_forward(&self) -> bool {
+        self.fast_forward
     }
 
     /// Attaches an observability sink to the whole system: the processor
@@ -511,7 +549,9 @@ impl CoSim {
     /// Captures the whole system's simulation state: processor, FSL bank
     /// and every peripheral graph. Observers (trace sinks, probes,
     /// activity measurement) and the watchdog are not part of the
-    /// snapshot; restoring re-arms nothing.
+    /// snapshot; restoring never arms a watchdog that was not armed, and
+    /// a watchdog armed on the restoring simulator stays armed (see
+    /// [`CoSim::load_state`]).
     ///
     /// # Panics
     /// Panics if the processor has an OPB bus attached (see
@@ -526,8 +566,12 @@ impl CoSim {
     }
 
     /// Restores a snapshot taken by [`CoSim::save_state`] on a
-    /// co-simulator built from the same image and peripherals. Any armed
-    /// watchdog is disarmed (its progress baseline would be stale).
+    /// co-simulator built from the same image and peripherals. An armed
+    /// liveness watchdog stays armed: its threshold is kept and its
+    /// progress baseline is re-anchored to the restored counters, so a
+    /// checkpoint/restore cycle cannot silently disable deadlock
+    /// detection. (Restoring previously disarmed the watchdog, which
+    /// made every post-restore hang burn its full cycle budget.)
     ///
     /// # Panics
     /// Panics on a shape mismatch (different peripheral count or
@@ -548,23 +592,149 @@ impl CoSim {
             p.last_toggles = p.graph.total_toggles();
         }
         self.hw_stats = state.hw_stats;
-        self.watchdog = None;
+        if let Some(wd) = &mut self.watchdog {
+            wd.last_instructions = self.cpu.stats().instructions;
+            wd.last_fsl_ops = self.fsl.total_ops();
+            wd.stalled_cycles = 0;
+        }
+    }
+
+    /// Attempts one stall fast-forward jump of at most `budget` cycles.
+    ///
+    /// Eligibility (all conservative — any doubt falls back to
+    /// stepping): no trace sink, no OPB bus, the processor blocked on an
+    /// FSL transfer whose FIFO flag is frozen (`get` from a channel with
+    /// no word to take, `put` into a full channel), no probes on any
+    /// peripheral graph, no gateway output about to push a word, no
+    /// gateway input about to consume a word, and every peripheral graph
+    /// reporting [`Graph::is_quiescent`]. Under those conditions a step
+    /// changes nothing but counters, so `n` steps are replayed as bulk
+    /// counter updates: CPU stall attribution, rejection statistics on
+    /// the blocked FIFO and on every ready-but-starved gateway input,
+    /// per-graph cycle/activity counts, and watchdog progress. The jump
+    /// is capped so an armed watchdog fires at exactly the cycle the
+    /// stepped path would have fired at.
+    fn try_fast_forward(&mut self, budget: u64) -> Option<u64> {
+        if self.sink.is_some() || self.cpu.opb().is_some() {
+            return None;
+        }
+        let block = self.cpu.fsl_block()?;
+        let ch = block.channel as usize;
+        // The blocked transfer itself must be unable to complete: the
+        // retry in `Cpu::tick` would otherwise make progress.
+        let frozen = match block.dir {
+            FifoDir::FromHw => !self.fsl.from_hw_ref(ch).exists(),
+            FifoDir::ToHw => self.fsl.to_hw_ref(ch).full(),
+        };
+        if !frozen {
+            return None;
+        }
+        // Gateway inputs whose `try_pop` would reject on empty — their
+        // per-cycle rejection counts are replayed in bulk below.
+        let mut starved: Vec<usize> = Vec::new();
+        for p in &self.peripherals {
+            if p.graph.has_probes() {
+                return None;
+            }
+            for b in &p.inputs {
+                let ready = match b.ready {
+                    Some(h) => !p.graph.output_fast(h).is_zero(),
+                    None => true,
+                };
+                if ready {
+                    if self.fsl.to_hw_ref(b.channel).exists() {
+                        return None;
+                    }
+                    starved.push(b.channel);
+                }
+            }
+            for b in &p.outputs {
+                if !p.graph.output_fast(b.valid).is_zero() {
+                    return None;
+                }
+            }
+            if !p.graph.is_quiescent() {
+                return None;
+            }
+        }
+        let n = match &self.watchdog {
+            Some(wd) => budget.min(wd.threshold - wd.stalled_cycles).max(1),
+            None => budget,
+        };
+        self.cpu.fast_forward_stall(n);
+        match block.dir {
+            FifoDir::FromHw => self.fsl.from_hw(ch).add_empty_rejections(n),
+            FifoDir::ToHw => self.fsl.to_hw(ch).add_full_rejections(n),
+        }
+        for ch in starved {
+            self.fsl.to_hw(ch).add_empty_rejections(n);
+        }
+        for p in &mut self.peripherals {
+            p.graph.fast_forward(n);
+        }
+        if let Some(wd) = &mut self.watchdog {
+            wd.stalled_cycles += n;
+        }
+        Some(n)
     }
 
     /// Runs until the software halts, faults, deadlocks (when a watchdog
     /// is armed) or `max_cycles` elapse. On cycle-budget expiry the stop
-    /// reports the FSL transfer the processor was blocked on, if any.
+    /// reports the FSL transfer the processor was blocked on — but only
+    /// when the final executed cycle actually stalled on that transfer
+    /// (a zero-cycle run, or one whose last step completed the transfer,
+    /// reports no blockage).
     pub fn run(&mut self, max_cycles: u64) -> CoSimStop {
-        for _ in 0..max_cycles {
+        let mut executed: u64 = 0;
+        let mut streak: u64 = 0;
+        let mut cooldown: u64 = 0;
+        let mut last_ops = if self.fast_forward { self.fsl.total_ops() } else { 0 };
+        while executed < max_cycles {
+            if self.fast_forward && streak >= FF_MIN_STREAK {
+                if cooldown == 0 {
+                    if let Some(n) = self.try_fast_forward(max_cycles - executed) {
+                        executed += n;
+                        // The jump already advanced the watchdog's stall
+                        // count; if it reached the threshold, report the
+                        // deadlock at the post-jump cycle without a
+                        // second `check_liveness` increment.
+                        if let Some(wd) = &self.watchdog {
+                            if wd.stalled_cycles >= wd.threshold {
+                                let cycle = self.cpu.stats().cycles;
+                                let cause = match self.cpu.fsl_block() {
+                                    Some(block) => DeadlockCause::FslDeadlock { block },
+                                    None => DeadlockCause::Livelock,
+                                };
+                                return CoSimStop::Deadlock { cycle, cause };
+                            }
+                        }
+                        continue;
+                    }
+                    cooldown = FF_COOLDOWN;
+                } else {
+                    cooldown -= 1;
+                }
+            }
             match self.step() {
                 e if e.is_halt() => return CoSimStop::Halted,
                 Event::Fault(f) => return CoSimStop::Fault(f),
                 _ => {}
             }
+            executed += 1;
+            if self.fast_forward {
+                let ops = self.fsl.total_ops();
+                if self.cpu.fsl_block().is_some() && ops == last_ops {
+                    streak += 1;
+                } else {
+                    streak = 0;
+                    cooldown = 0;
+                }
+                last_ops = ops;
+            }
             if let Some(stop) = self.check_liveness() {
                 return stop;
             }
         }
-        CoSimStop::CycleLimit { blocked: self.cpu.fsl_block() }
+        CoSimStop::CycleLimit { blocked: if executed > 0 { self.cpu.fsl_block() } else { None } }
     }
 }

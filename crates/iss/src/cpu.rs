@@ -481,6 +481,38 @@ impl Cpu {
         }
     }
 
+    /// Advances a processor that is blocked on an FSL transfer by `n`
+    /// cycles in one jump, charging exactly what `n` failing retries of
+    /// [`Cpu::tick`] would: the cycle counter, the blocked direction's
+    /// stall counter and the per-instruction stall attribution (which
+    /// saturates — it only feeds the retire trace record, and the
+    /// fast-forward path runs untraced). The pipeline stays in the
+    /// stall state; the caller guarantees the blocking FIFO condition
+    /// cannot clear during the jump.
+    ///
+    /// # Panics
+    /// Panics (debug) if the processor is not FSL-stalled.
+    pub fn fast_forward_stall(&mut self, n: u64) {
+        debug_assert!(
+            matches!(self.pipe, Pipe::FslStall { .. }),
+            "fast_forward_stall requires an FSL-stalled pipeline"
+        );
+        self.stats.cycles += n;
+        let clamped = u32::try_from(n).unwrap_or(u32::MAX);
+        if let Pipe::FslStall { inst, .. } = &self.pipe {
+            match inst {
+                Inst::Get { .. } => {
+                    self.stats.fsl_read_stalls += n;
+                    self.inst_read_stalls = self.inst_read_stalls.saturating_add(clamped);
+                }
+                _ => {
+                    self.stats.fsl_write_stalls += n;
+                    self.inst_write_stalls = self.inst_write_stalls.saturating_add(clamped);
+                }
+            }
+        }
+    }
+
     /// Captures the processor's complete architectural and
     /// micro-architectural state (registers, PC, flags, prefix/branch
     /// latches, local memory, pipeline occupancy, halt flag and

@@ -10,7 +10,7 @@
 //! *fault* (the processor trapped).
 
 use crate::inject::{Injection, Injector};
-use softsim_cosim::{CoSim, CoSimStop};
+use softsim_cosim::{CoSim, CoSimState, CoSimStop};
 use softsim_iss::CpuStats;
 
 /// SEU outcome classification of one fault-injection trial.
@@ -78,11 +78,22 @@ pub struct CampaignConfig {
     pub budget_factor: u64,
     /// Additive part of the trial cycle budget.
     pub budget_floor: u64,
+    /// Arm stall fast-forwarding on the simulator for the golden run and
+    /// every trial (see [`CoSim::set_fast_forward`]). Statistics and
+    /// classifications are bit-identical either way; deadlock-bound
+    /// trials just stop burning one step per watchdog cycle. On by
+    /// default.
+    pub fast_forward: bool,
 }
 
 impl Default for CampaignConfig {
     fn default() -> CampaignConfig {
-        CampaignConfig { watchdog_threshold: 10_000, budget_factor: 4, budget_floor: 50_000 }
+        CampaignConfig {
+            watchdog_threshold: 10_000,
+            budget_factor: 4,
+            budget_floor: 50_000,
+            fast_forward: true,
+        }
     }
 }
 
@@ -157,56 +168,158 @@ pub fn run_campaign(
     observe: impl Fn(&CoSim) -> Vec<u32>,
     config: CampaignConfig,
 ) -> CampaignReport {
+    let prev_fast_forward = sim.fast_forward();
+    sim.set_fast_forward(config.fast_forward);
     let initial = sim.save_state();
+    let (golden_cycles, golden_observed, budget) = golden_run(sim, &observe, config);
 
-    // Golden run: fault-free reference for cycle count and observables.
+    let mut trials = Vec::with_capacity(plan.len());
+    for &injection in plan {
+        trials.push(run_trial(
+            sim,
+            &initial,
+            injection,
+            budget,
+            &golden_observed,
+            &observe,
+            config,
+        ));
+    }
+    sim.load_state(&initial);
+    sim.clear_watchdog();
+    sim.set_fast_forward(prev_fast_forward);
+    CampaignReport { golden_cycles, golden_observed, trials }
+}
+
+/// Runs a fault-injection campaign on worker threads.
+///
+/// Byte-identical to [`run_campaign`] with the same plan, configuration
+/// and workload: every trial is independent given the shared initial
+/// checkpoint and the golden reference, each worker runs the same
+/// per-trial procedure ([`run_trial`] is shared between the serial and
+/// parallel runners), and results are merged in plan order — so the
+/// report, and any text rendered from it, does not depend on `workers`
+/// or on thread scheduling.
+///
+/// `make_sim` builds one fresh co-simulator per worker (a [`CoSim`]
+/// holds non-`Send` observers, so simulators cannot migrate across
+/// threads); each must have the same image and peripheral shape. The
+/// golden run executes once, on the calling thread.
+///
+/// # Panics
+/// Panics if the golden run does not halt within the configured budget
+/// floor times the factor, or if `make_sim` builds a simulator whose
+/// shape does not match the checkpoint.
+pub fn run_campaign_parallel(
+    make_sim: impl Fn() -> CoSim + Sync,
+    plan: &[Injection],
+    observe: impl Fn(&CoSim) -> Vec<u32> + Sync,
+    config: CampaignConfig,
+    workers: usize,
+) -> CampaignReport {
+    let mut sim = make_sim();
+    sim.set_fast_forward(config.fast_forward);
+    let initial = sim.save_state();
+    let (golden_cycles, golden_observed, budget) = golden_run(&mut sim, &observe, config);
+    drop(sim);
+
+    let workers = workers.clamp(1, plan.len().max(1));
+    let mut trials: Vec<Option<Trial>> = vec![None; plan.len()];
+    std::thread::scope(|scope| {
+        // Contiguous chunks: worker w gets plan[w*chunk .. (w+1)*chunk]
+        // and writes into the matching result slots, so the merge below
+        // is a plain unwrap in plan order.
+        let chunk = plan.len().div_ceil(workers);
+        let mut slots = trials.as_mut_slice();
+        let mut rest = plan;
+        let (initial, golden_observed) = (&initial, &golden_observed);
+        let (make_sim, observe) = (&make_sim, &observe);
+        while !rest.is_empty() {
+            let take = chunk.min(rest.len());
+            let (plan_chunk, plan_rest) = rest.split_at(take);
+            let (slot_chunk, slot_rest) = slots.split_at_mut(take);
+            rest = plan_rest;
+            slots = slot_rest;
+            scope.spawn(move || {
+                let mut sim = make_sim();
+                sim.set_fast_forward(config.fast_forward);
+                for (slot, &injection) in slot_chunk.iter_mut().zip(plan_chunk) {
+                    *slot = Some(run_trial(
+                        &mut sim,
+                        initial,
+                        injection,
+                        budget,
+                        golden_observed,
+                        observe,
+                        config,
+                    ));
+                }
+            });
+        }
+    });
+    let trials = trials.into_iter().map(|t| t.expect("worker filled every slot")).collect();
+    CampaignReport { golden_cycles, golden_observed, trials }
+}
+
+/// The golden (fault-free) reference run: returns its cycle count, its
+/// observables and the padded per-trial budget derived from it.
+fn golden_run(
+    sim: &mut CoSim,
+    observe: &impl Fn(&CoSim) -> Vec<u32>,
+    config: CampaignConfig,
+) -> (u64, Vec<u32>, u64) {
     let golden_budget = config.budget_floor * config.budget_factor.max(1);
     let stop = sim.run(golden_budget);
     assert_eq!(stop, CoSimStop::Halted, "golden run must halt, got: {stop}");
     let golden_cycles = sim.cpu().stats().cycles;
     let golden_observed = observe(sim);
     let budget = golden_cycles * config.budget_factor + config.budget_floor;
+    (golden_cycles, golden_observed, budget)
+}
 
-    let mut trials = Vec::with_capacity(plan.len());
-    for &injection in plan {
-        sim.load_state(&initial);
-        // Step to the injection point; a fault this early (impossible
-        // fault-free, but cheap to guard) ends the trial immediately.
-        let mut early_stop = None;
-        while sim.cpu().stats().cycles < injection.cycle {
-            let e = sim.step();
-            if e.is_halt() {
-                early_stop = Some(CoSimStop::Halted);
-                break;
-            }
-            if let softsim_iss::Event::Fault(f) = e {
-                early_stop = Some(CoSimStop::Fault(f));
-                break;
-            }
+/// One injection trial, the procedure both runners share: restore the
+/// initial checkpoint, run to the injection cycle (a fault this early is
+/// impossible fault-free, but cheap to guard), apply the fault, arm the
+/// watchdog, run under the padded budget, classify.
+fn run_trial(
+    sim: &mut CoSim,
+    initial: &CoSimState,
+    injection: Injection,
+    budget: u64,
+    golden_observed: &[u32],
+    observe: &impl Fn(&CoSim) -> Vec<u32>,
+    config: CampaignConfig,
+) -> Trial {
+    sim.load_state(initial);
+    // The pre-injection prefix must replay the golden prefix exactly, so
+    // no watchdog (the previous trial's stays armed across restore) and
+    // a budget that stops precisely at the injection cycle.
+    sim.clear_watchdog();
+    let pre_budget = injection.cycle.saturating_sub(sim.cpu().stats().cycles);
+    let early_stop = match sim.run(pre_budget) {
+        CoSimStop::CycleLimit { .. } => None,
+        stop => Some(stop),
+    };
+    let (applied, stop) = match early_stop {
+        Some(stop) => (false, stop),
+        None => {
+            let applied = Injector::apply(sim, injection.kind);
+            sim.set_watchdog(config.watchdog_threshold);
+            (applied, sim.run(budget - sim.cpu().stats().cycles.min(budget)))
         }
-        let (applied, stop) = match early_stop {
-            Some(stop) => (false, stop),
-            None => {
-                let applied = Injector::apply(sim, injection.kind);
-                sim.set_watchdog(config.watchdog_threshold);
-                (applied, sim.run(budget - sim.cpu().stats().cycles.min(budget)))
-            }
-        };
-        let outcome = match &stop {
-            CoSimStop::Halted if observe(sim) == golden_observed => Outcome::Masked,
-            CoSimStop::Halted => Outcome::Sdc,
-            CoSimStop::Deadlock { .. } | CoSimStop::CycleLimit { .. } => Outcome::Deadlock,
-            CoSimStop::Fault(_) => Outcome::Fault,
-        };
-        trials.push(Trial {
-            injection,
-            applied,
-            stop,
-            outcome,
-            cpu_stats: sim.cpu().stats(),
-            hw_stats: sim.hw_stats(),
-        });
+    };
+    let outcome = match &stop {
+        CoSimStop::Halted if observe(sim) == golden_observed => Outcome::Masked,
+        CoSimStop::Halted => Outcome::Sdc,
+        CoSimStop::Deadlock { .. } | CoSimStop::CycleLimit { .. } => Outcome::Deadlock,
+        CoSimStop::Fault(_) => Outcome::Fault,
+    };
+    Trial {
+        injection,
+        applied,
+        stop,
+        outcome,
+        cpu_stats: sim.cpu().stats(),
+        hw_stats: sim.hw_stats(),
     }
-    sim.load_state(&initial);
-    CampaignReport { golden_cycles, golden_observed, trials }
 }

@@ -196,6 +196,14 @@ impl Injector {
         self.next >= self.plan.len()
     }
 
+    /// Cycle of the next not-yet-applied injection, if any. Stall
+    /// fast-forwarding uses this as an activity horizon: a jump must
+    /// never skip past a scheduled fault, so callers cap their run
+    /// budget at this cycle before letting the engine coalesce stalls.
+    pub fn next_cycle(&self) -> Option<u64> {
+        self.plan.get(self.next).map(|i| i.cycle)
+    }
+
     /// Applies every injection whose cycle the simulation has reached.
     pub fn poll(&mut self, sim: &mut CoSim) {
         let now = sim.cpu().stats().cycles;

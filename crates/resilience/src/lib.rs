@@ -16,7 +16,10 @@
 //!   per fault, each classified masked / SDC / deadlock / fault, with
 //!   the co-simulator's liveness watchdog guaranteeing hung trials end
 //!   in a diagnosed [`softsim_cosim::CoSimStop::Deadlock`] rather than a
-//!   silent cycle-limit timeout.
+//!   silent cycle-limit timeout. Trials are independent, so
+//!   [`campaign::run_campaign_parallel`] spreads them over worker
+//!   threads and merges in plan order — the report is byte-identical to
+//!   the serial runner's.
 //! * **Localization** ([`localize`]) — instrumented golden/trial
 //!   re-runs diffed by `softsim-metrics`, upgrading an SDC verdict with
 //!   the first cycle window and the first architectural event (register
@@ -33,7 +36,9 @@ pub mod inject;
 pub mod localize;
 pub mod snapshot;
 
-pub use campaign::{run_campaign, CampaignConfig, CampaignReport, Outcome, Trial};
+pub use campaign::{
+    run_campaign, run_campaign_parallel, CampaignConfig, CampaignReport, Outcome, Trial,
+};
 pub use inject::{random_plan, FaultKind, Injection, Injector};
 pub use localize::{capture_golden, localize_trial, DivergenceReport, GoldenRun, LocalizeConfig};
 pub use snapshot::{from_bytes, to_bytes, SnapshotError};
