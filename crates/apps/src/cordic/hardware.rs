@@ -16,6 +16,7 @@
 
 use crate::cordic::reference;
 use softsim_blocks::block::{bit, state_word, Block};
+use softsim_blocks::library::Tmr;
 use softsim_blocks::{Fix, FixFmt, Graph, Resources};
 use softsim_cosim::{FslFromHw, FslToHw, Peripheral};
 use std::collections::VecDeque;
@@ -314,7 +315,10 @@ impl Block for Serializer {
     }
     fn load_state(&mut self, src: &mut dyn Iterator<Item = u64>) {
         let mut w = || state_word("CordicSerializer", src);
-        let len = w() as usize;
+        // Clamp the self-describing length: the graph-level span framing
+        // bounds the words available, but a fault-flipped length word
+        // must not demand an absurd queue from the zero-padded tail.
+        let len = (w() as usize).min(4096);
         self.queue.clear();
         for _ in 0..len {
             self.queue.push_back(w() as u32 as i32);
@@ -403,6 +407,44 @@ pub fn cordic_peripheral_dual(p: usize) -> Peripheral {
 /// Resource estimate of the P-PE pipeline alone (for §III-C totals).
 pub fn pipeline_resources(p: usize) -> Resources {
     cordic_graph(p).resources()
+}
+
+/// TMR-hardened variant of [`cordic_graph`]: every sequential block is
+/// wrapped in a [`Tmr`] voter. Same gateway names and cycle behavior as
+/// the unhardened pipeline (the voter is transparent while replicas
+/// agree), ~3× the slice cost, and replica miscompares surface through
+/// `Graph::detected_faults` for the recovery supervisor.
+pub fn cordic_graph_tmr(p: usize) -> Graph {
+    assert!(p >= 1, "pipeline needs at least one PE");
+    let mut g = Graph::new();
+    let data = g.gateway_in("fsl0_data", W32);
+    let valid = g.gateway_in("fsl0_valid", FixFmt::BOOL);
+    let ctrl = g.gateway_in("fsl0_ctrl", FixFmt::BOOL);
+    let deser = g.add("deser", Tmr::new(Deserializer::new()));
+    g.wire(data, deser, 0).unwrap();
+    g.wire(valid, deser, 1).unwrap();
+    g.wire(ctrl, deser, 2).unwrap();
+    let mut prev = deser;
+    for i in 0..p {
+        let pe = g.add(format!("pe{i}"), Tmr::new(CordicPe::new()));
+        for port in 0..6 {
+            g.connect(prev, port, pe, port).unwrap();
+        }
+        prev = pe;
+    }
+    let ser = g.add("ser", Tmr::new(Serializer::new()));
+    g.connect(prev, 1, ser, 0).unwrap(); // Y
+    g.connect(prev, 2, ser, 1).unwrap(); // Z
+    g.connect(prev, 3, ser, 2).unwrap(); // tuple_valid
+    g.gateway_out("fsl0_out_data", ser, 0);
+    g.gateway_out("fsl0_out_valid", ser, 1);
+    g.compile().expect("TMR cordic pipeline compiles");
+    g
+}
+
+/// Wraps [`cordic_graph_tmr`] as an attachable peripheral.
+pub fn cordic_peripheral_tmr(p: usize) -> Peripheral {
+    Peripheral::new(cordic_graph_tmr(p), vec![FslToHw::standard(0)], vec![FslFromHw::standard(0)])
 }
 
 #[cfg(test)]

@@ -15,6 +15,7 @@
 //!   cycle, while the next A block may already stream in.
 
 use softsim_blocks::block::{bit, state_word, Block};
+use softsim_blocks::library::Tmr;
 use softsim_blocks::{Fix, FixFmt, Graph, Resources};
 use softsim_cosim::{FslFromHw, FslToHw, Peripheral};
 use std::collections::VecDeque;
@@ -165,16 +166,20 @@ impl Block for MatmulUnit {
         out.push(self.max_occupancy as u64);
     }
     fn load_state(&mut self, src: &mut dyn Iterator<Item = u64>) {
+        let nb = self.nb;
         let mut w = || state_word("MatmulUnit", src);
         for v in &mut self.b {
             *v = w() as u32 as i32;
         }
-        self.b_idx = w() as usize;
+        // Clamp the self-describing indices and length: fault injection
+        // may hand this block a bit-flipped frame, and a wild index must
+        // corrupt data (detectably), not panic or exhaust memory.
+        self.b_idx = w() as usize % (nb * nb);
         for v in &mut self.acc {
             *v = w() as u32 as i32;
         }
-        self.a_idx = w() as usize;
-        let len = w() as usize;
+        self.a_idx = w() as usize % (nb * nb);
+        let len = (w() as usize).min(4096);
         self.out.clear();
         for _ in 0..len {
             self.out.push_back(w() as u32 as i32);
@@ -219,6 +224,34 @@ pub fn matmul_peripheral_chan(nb: usize, ch: usize) -> Peripheral {
         matmul_graph_chan(nb, ch),
         vec![FslToHw::standard(ch)],
         vec![FslFromHw::standard(ch)],
+    )
+}
+
+/// TMR-hardened [`matmul_graph_chan`]: the block-product unit runs as
+/// three voted replicas. Gateway names and cycle behavior match the
+/// unhardened graph; replica miscompares surface through
+/// `Graph::detected_faults` for the recovery supervisor.
+pub fn matmul_graph_tmr(nb: usize, ch: usize) -> Graph {
+    let mut g = Graph::new();
+    let data = g.gateway_in(format!("fsl{ch}_data"), W32);
+    let valid = g.gateway_in(format!("fsl{ch}_valid"), FixFmt::BOOL);
+    let ctrl = g.gateway_in(format!("fsl{ch}_ctrl"), FixFmt::BOOL);
+    let unit = g.add(format!("matmul{nb}x{nb}"), Tmr::new(MatmulUnit::new(nb)));
+    g.wire(data, unit, 0).unwrap();
+    g.wire(valid, unit, 1).unwrap();
+    g.wire(ctrl, unit, 2).unwrap();
+    g.gateway_out(format!("fsl{ch}_out_data"), unit, 0);
+    g.gateway_out(format!("fsl{ch}_out_valid"), unit, 1);
+    g.compile().expect("TMR matmul graph compiles");
+    g
+}
+
+/// Wraps [`matmul_graph_tmr`] as a peripheral on channel 0.
+pub fn matmul_peripheral_tmr(nb: usize) -> Peripheral {
+    Peripheral::new(
+        matmul_graph_tmr(nb, 0),
+        vec![FslToHw::standard(0)],
+        vec![FslFromHw::standard(0)],
     )
 }
 

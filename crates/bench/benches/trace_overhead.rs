@@ -13,12 +13,20 @@
 //! bus transfers, block activity) sit behind the same single tracing
 //! guard, so metrics-off costs nothing the guard would catch.
 //!
+//! The FSL hardening layer gets the same treatment: with the SEC-DED
+//! codec disabled (the default), every push/pop pays one predictable
+//! branch on the codec flag and nothing else, so a full ECC-off
+//! co-simulation does strictly less work than the identical ECC-on run
+//! and must not be measurably slower than it — hardening you did not
+//! ask for is free.
+//!
 //! Samples are interleaved (A,B,A,B,...) so frequency scaling and cache
 //! warm-up hit both configurations equally, and minima are compared
 //! (minimum wall time is the standard low-noise estimator for
 //! same-machine A/B timing).
 
 use softsim_bus::FslBank;
+use softsim_cosim::CoSimStop;
 use softsim_iss::{Cpu, StopReason};
 use softsim_metrics::MetricsCollector;
 use softsim_trace::{shared, NullSink};
@@ -67,19 +75,37 @@ fn run_metrics_off(img: &softsim_isa::Image) -> Duration {
     wall
 }
 
+fn run_cosim_ecc(ecc: bool) -> Duration {
+    // The FSL-heavy hardware-accelerated workload: every batch word
+    // crosses the codec-guarded push/pop paths in both directions.
+    let mut sim = softsim_bench::workloads::cordic_cosim_long(24, Some(4));
+    sim.set_fsl_ecc(ecc);
+    let start = Instant::now();
+    assert_eq!(sim.run(u64::MAX / 2), CoSimStop::Halted);
+    let wall = start.elapsed();
+    black_box(sim.cpu_stats().cycles);
+    wall
+}
+
 fn main() {
     let img = softsim_bench::workloads::cordic_sw_image(24);
     // Warm-up all paths.
     run_untraced(&img);
     run_null_traced(&img);
     run_metrics_off(&img);
+    run_cosim_ecc(false);
+    run_cosim_ecc(true);
     let mut untraced = Vec::with_capacity(SAMPLES);
     let mut nulled = Vec::with_capacity(SAMPLES);
     let mut metrics_off = Vec::with_capacity(SAMPLES);
+    let mut ecc_off = Vec::with_capacity(SAMPLES);
+    let mut ecc_on = Vec::with_capacity(SAMPLES);
     for _ in 0..SAMPLES {
         untraced.push(run_untraced(&img));
         nulled.push(run_null_traced(&img));
         metrics_off.push(run_metrics_off(&img));
+        ecc_off.push(run_cosim_ecc(false));
+        ecc_on.push(run_cosim_ecc(true));
     }
     let best_untraced = *untraced.iter().min().unwrap();
     let best_nulled = *nulled.iter().min().unwrap();
@@ -106,4 +132,17 @@ fn main() {
          (metrics-off {best_metrics_off:?} vs null {best_nulled:?}, ratio {ratio:.4})"
     );
     println!("ok: metrics-off overhead within 2%");
+    let best_ecc_off = *ecc_off.iter().min().unwrap();
+    let best_ecc_on = *ecc_on.iter().min().unwrap();
+    let ratio = best_ecc_off.as_secs_f64() / best_ecc_on.as_secs_f64();
+    println!(
+        "hardening overhead guard: ecc-off {best_ecc_off:?}, ecc-on {best_ecc_on:?}, \
+         off/on ratio {ratio:.4}"
+    );
+    assert!(
+        ratio <= 1.02,
+        "hardening-off co-simulation must stay within 2% of the ECC-on run \
+         (ecc-off {best_ecc_off:?} vs ecc-on {best_ecc_on:?}, ratio {ratio:.4})"
+    );
+    println!("ok: hardening-off overhead within 2%");
 }

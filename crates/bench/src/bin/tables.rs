@@ -3,7 +3,7 @@
 //! Usage: `tables [--fig5] [--fig7] [--table1] [--table2] [--claims]
 //! [--ablation] [--profile] [--faults] [--metrics] [--all]
 //! [--csv [DIR]] [--bench-json [PATH]] [--speedup-json [PATH]]
-//! [--record [PATH]]`
+//! [--recovery [PATH]] [--record [PATH]]`
 //!
 //! Run in release mode — the Table I / Table II rows, `--bench-json`
 //! and `--speedup-json` measure wall-clock simulation speed.
@@ -15,6 +15,10 @@
 //!   (`BENCH_0004.json` by default) — the serial stepped campaign vs
 //!   stall fast-forwarding vs the parallel sweep engine, with report
 //!   equality asserted before any number is written.
+//! * `--recovery` writes the rollback-recovery record
+//!   (`BENCH_0005.json` by default) — the hardening matrix (unhardened
+//!   / ECC / TMR / both) with per-row recovery rates, cycle-exact and
+//!   byte-reproducible, serial-vs-parallel equality asserted first.
 //! * `--record` writes the deterministic record (`tables_output.txt` by
 //!   default) — every cycle-exact section, no wall-clock numbers — the
 //!   file CI asserts is up to date. Set `SOFTSIM_SWEEP_WORKERS=1` to
@@ -80,6 +84,11 @@ fn main() {
     if let Some(path) = operand("--speedup-json", "BENCH_0004.json") {
         softsim_bench::speedup::write_speedup_json(std::path::Path::new(&path))
             .expect("write speedup JSON");
+        println!("wrote {path}");
+    }
+    if let Some(path) = operand("--recovery", "BENCH_0005.json") {
+        softsim_bench::recover::write_recovery_json(std::path::Path::new(&path))
+            .expect("write recovery JSON");
         println!("wrote {path}");
     }
     if let Some(path) = operand("--record", "tables_output.txt") {

@@ -25,13 +25,13 @@ pub const MATMUL_NB: usize = 2;
 
 /// Reads `n` observable result words starting at `label` in `sim`'s
 /// local memory.
-fn observe_words(sim: &CoSim, base: u32, n: usize) -> Vec<u32> {
+pub(crate) fn observe_words(sim: &CoSim, base: u32, n: usize) -> Vec<u32> {
     (0..n).map(|i| sim.cpu().mem().read_u32(base + 4 * i as u32).unwrap()).collect()
 }
 
 /// Cycles the fault-free workload takes to halt (used to place the
 /// injection window inside the live part of the run).
-fn golden_cycles(mut sim: CoSim) -> u64 {
+pub(crate) fn golden_cycles(mut sim: CoSim) -> u64 {
     let stop = sim.run(10_000_000);
     assert_eq!(stop, softsim_cosim::CoSimStop::Halted, "workload must halt: {stop}");
     sim.cpu().stats().cycles

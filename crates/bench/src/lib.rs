@@ -16,6 +16,7 @@
 pub mod faults;
 pub mod harness;
 pub mod measure;
+pub mod recover;
 pub mod speedup;
 pub mod sweep;
 pub mod tables;

@@ -717,6 +717,7 @@ pub fn record_text() -> String {
         claims_text(),
         profile_text(),
         crate::faults::faults_text(),
+        crate::recover::recovery_text(),
         ablation_fsl_vs_opb_text(),
         ablation_configurations_text(),
         lpc_text(),

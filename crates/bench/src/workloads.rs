@@ -148,6 +148,35 @@ pub fn matmul_cosim(n: usize, nb: Option<usize>) -> CoSim {
     }
 }
 
+/// Co-simulator for a hardened CORDIC configuration: `ecc` turns on the
+/// SEC-DED codec on every FSL channel, `tmr` swaps the peripheral for
+/// the triple-modular-redundant build. Both off reproduces
+/// [`cordic_cosim`] with `Some(p)` exactly — the hardening knobs never
+/// change the program image or the data path.
+pub fn cordic_cosim_hardened(iterations: u32, p: usize, ecc: bool, tmr: bool) -> CoSim {
+    let peripheral = if tmr {
+        softsim_apps::cordic::hardware::cordic_peripheral_tmr(p)
+    } else {
+        softsim_apps::cordic::hardware::cordic_peripheral(p)
+    };
+    let mut sim = CoSim::with_peripheral(&cordic_hw_image(iterations, p), peripheral);
+    sim.set_fsl_ecc(ecc);
+    sim
+}
+
+/// Hardened block-matmul co-simulator, mirroring
+/// [`cordic_cosim_hardened`].
+pub fn matmul_cosim_hardened(n: usize, nb: usize, ecc: bool, tmr: bool) -> CoSim {
+    let peripheral = if tmr {
+        softsim_apps::matmul::hardware::matmul_peripheral_tmr(nb)
+    } else {
+        softsim_apps::matmul::hardware::matmul_peripheral(nb)
+    };
+    let mut sim = CoSim::with_peripheral(&matmul_image(n, Some(nb)), peripheral);
+    sim.set_fsl_ecc(ecc);
+    sim
+}
+
 /// Low-level (RTL) system for a matmul configuration.
 pub fn matmul_rtl_sys(n: usize, nb: Option<usize>) -> SocRtl {
     match nb {

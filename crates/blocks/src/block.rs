@@ -90,6 +90,14 @@ pub trait Block {
     fn load_state(&mut self, src: &mut dyn Iterator<Item = u64>) {
         let _ = src;
     }
+
+    /// Cumulative count of faults the block has *detected* in itself —
+    /// nonzero only for self-checking blocks (a TMR voter counts replica
+    /// miscompares here). Recovery supervisors poll the graph total for
+    /// deltas.
+    fn detected_faults(&self) -> u64 {
+        0
+    }
 }
 
 /// Pulls one state word in a [`Block::load_state`] implementation,

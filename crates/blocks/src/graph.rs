@@ -134,6 +134,11 @@ pub struct GraphState {
     /// Concatenated per-node state: gateway-input values and each
     /// block's [`Block::save_state`] stream, in node order.
     pub block_words: Vec<u64>,
+    /// Words of `block_words` belonging to each node, node order. The
+    /// explicit framing keeps one node's restore from desynchronizing
+    /// every node after it when a fault campaign flips a length or
+    /// counter word inside `block_words` (see [`Graph::load_state`]).
+    pub spans: Vec<u32>,
 }
 
 /// A synchronous block design, stepped one clock cycle at a time.
@@ -537,6 +542,19 @@ impl Graph {
         self.nodes.is_empty()
     }
 
+    /// Total faults detected by self-checking blocks in the design (TMR
+    /// voter miscompares — see [`Block::detected_faults`]). Monotone;
+    /// recovery supervisors poll it for deltas.
+    pub fn detected_faults(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| match &n.kind {
+                Kind::Block(b) => b.detected_faults(),
+                Kind::Input { .. } => 0,
+            })
+            .sum()
+    }
+
     /// Total estimated resources of every block in the design.
     pub fn resources(&self) -> Resources {
         self.nodes
@@ -571,33 +589,54 @@ impl Graph {
     /// measurement are observers, not design state, and are excluded.
     pub fn save_state(&self) -> GraphState {
         let mut block_words = Vec::new();
+        let mut spans = Vec::with_capacity(self.nodes.len());
         for node in &self.nodes {
+            let before = block_words.len();
             match &node.kind {
                 Kind::Block(b) => b.save_state(&mut block_words),
                 Kind::Input { value, .. } => block_words.push(value.to_bits()),
             }
+            spans.push((block_words.len() - before) as u32);
         }
         GraphState {
             cycle: self.cycle,
             values: self.values.iter().map(Fix::to_bits).collect(),
             block_words,
+            spans,
         }
     }
 
     /// Restores a snapshot taken by [`Graph::save_state`] on a graph of
     /// the *same compiled design*.
     ///
+    /// Each node restores only from its own recorded span. A block whose
+    /// state words were perturbed (fault injection flips `block_words`
+    /// bits directly) may consume fewer or more words than the span
+    /// holds; the frame boundary still holds, so the damage cannot cascade
+    /// into neighboring nodes — reads past the span yield zero words and
+    /// leftover words are dropped, both modeling the fixed-size physical
+    /// state the span frames.
+    ///
     /// # Panics
     /// Panics if the snapshot's shape does not match this design (wrong
-    /// value count or block state length).
+    /// value count, node count, or inconsistent span framing).
     pub fn load_state(&mut self, state: &GraphState) {
         assert_eq!(state.values.len(), self.values.len(), "snapshot/design value-count mismatch");
+        assert_eq!(state.spans.len(), self.nodes.len(), "snapshot/design node-count mismatch");
+        assert_eq!(
+            state.spans.iter().map(|&n| n as usize).sum::<usize>(),
+            state.block_words.len(),
+            "snapshot span framing inconsistent"
+        );
         self.cycle = state.cycle;
         for (v, &bits) in self.values.iter_mut().zip(&state.values) {
             *v = Fix::from_bits(bits, v.fmt());
         }
-        let mut src = state.block_words.iter().copied();
-        for node in &mut self.nodes {
+        let mut off = 0usize;
+        for (node, &span) in self.nodes.iter_mut().zip(&state.spans) {
+            let words = &state.block_words[off..off + span as usize];
+            off += span as usize;
+            let mut src = words.iter().copied().chain(std::iter::repeat(0));
             match &mut node.kind {
                 Kind::Block(b) => b.load_state(&mut src),
                 Kind::Input { fmt, value } => {
@@ -606,7 +645,6 @@ impl Graph {
                 }
             }
         }
-        assert!(src.next().is_none(), "snapshot/design block-state length mismatch");
     }
 
     /// Starts measuring switching activity: from the next [`Graph::step`]

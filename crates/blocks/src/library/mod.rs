@@ -5,8 +5,10 @@ pub mod arith;
 pub mod logic;
 pub mod rate;
 pub mod seq;
+pub mod tmr;
 
 pub use arith::{AbsVal, AddSub, AddSubOp, Constant, Convert, Mult, Negate, Shift, ShiftDir};
 pub use logic::{Concat, Logical, LogicalOp, Mux, RelOp, Relational, Slice};
 pub use rate::{CMult, DownSample, DualPortRam, Threshold, UpSample};
 pub use seq::{Accumulator, Counter, Delay, Register, Rom, SinglePortRam, SyncFifo};
+pub use tmr::Tmr;

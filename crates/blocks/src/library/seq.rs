@@ -347,8 +347,10 @@ impl Block for SyncFifo {
         out.extend(self.queue.iter().map(Fix::to_bits));
     }
     fn load_state(&mut self, src: &mut dyn Iterator<Item = u64>) {
-        let len = state_word("SyncFifo", src) as usize;
-        assert!(len <= self.depth, "SyncFifo: snapshot exceeds depth");
+        // Clamp rather than assert: fault injection may flip the length
+        // word of a snapshot frame, and that must read as corrupt data
+        // the detectors catch, not a panic mid-trial.
+        let len = (state_word("SyncFifo", src) as usize).min(self.depth);
         self.queue.clear();
         for _ in 0..len {
             self.queue.push_back(Fix::from_bits(state_word("SyncFifo", src), self.fmt));

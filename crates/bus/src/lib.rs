@@ -17,7 +17,8 @@ pub mod lmb;
 pub mod opb;
 
 pub use fsl::{
-    FslBank, FslBankState, FslFifo, FslFifoState, FslStats, FslWord, CHANNELS, DEFAULT_DEPTH,
+    ecc_decode, ecc_encode, EccVerdict, FslBank, FslBankState, FslFifo, FslFifoState, FslStats,
+    FslWord, CHANNELS, DEFAULT_DEPTH,
 };
 pub use lmb::{LmbMemory, MemError, LMB_LATENCY};
 pub use opb::{OpbBus, OpbFault, OpbPeripheral, RegisterFile, OPB_READ_LATENCY, OPB_WRITE_LATENCY};

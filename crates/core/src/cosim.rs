@@ -244,6 +244,9 @@ pub struct CoSim {
     watchdog: Option<Watchdog>,
     /// Opt-in stall fast-forwarding (see [`CoSim::set_fast_forward`]).
     fast_forward: bool,
+    /// Absolute-cycle ceiling no `run` call may pass (see
+    /// [`CoSim::set_run_horizon`]).
+    run_horizon: Option<u64>,
 }
 
 impl CoSim {
@@ -259,6 +262,7 @@ impl CoSim {
             sink: None,
             watchdog: None,
             fast_forward: false,
+            run_horizon: None,
         }
     }
 
@@ -282,6 +286,7 @@ impl CoSim {
             sink: None,
             watchdog: None,
             fast_forward: false,
+            run_horizon: None,
         };
         if let Some(p) = peripheral {
             sim.add_peripheral(p);
@@ -343,6 +348,43 @@ impl CoSim {
         self.fast_forward
     }
 
+    /// Sets (or clears, with `None`) an absolute-cycle run horizon: no
+    /// [`CoSim::run`] call advances past cycle `horizon`, whether by
+    /// stepping or by a fast-forward jump. Supervisors use it to pin
+    /// runs to checkpoint boundaries and pending injection cycles — a
+    /// fast-forward jump clamped at the horizon instead of overshooting
+    /// it is what keeps "jump then inject" and "step then inject"
+    /// bit-identical. The horizon costs nothing per cycle: it only
+    /// shrinks the budget once at `run` entry.
+    pub fn set_run_horizon(&mut self, horizon: Option<u64>) {
+        self.run_horizon = horizon;
+    }
+
+    /// The armed run horizon, if any.
+    pub fn run_horizon(&self) -> Option<u64> {
+        self.run_horizon
+    }
+
+    /// Enables or disables SEC-DED protection on every FSL channel in
+    /// both directions (see `FslFifo::set_ecc` in `softsim-bus`). Words
+    /// already in flight are re-/de-coded in place, so hardening can be
+    /// toggled at a checkpoint boundary.
+    pub fn set_fsl_ecc(&mut self, on: bool) {
+        self.fsl.set_ecc_all(on);
+    }
+
+    /// Whether FSL SEC-DED protection is enabled.
+    pub fn fsl_ecc(&self) -> bool {
+        self.fsl.ecc()
+    }
+
+    /// Faults detected *by the hardware itself* so far: the sum of every
+    /// peripheral block's self-check counter (TMR replica miscompares).
+    /// Recovery supervisors poll this for deltas between checkpoints.
+    pub fn detected_faults(&self) -> u64 {
+        self.peripherals.iter().map(|p| p.graph.detected_faults()).sum()
+    }
+
     /// Attaches an observability sink to the whole system: the processor
     /// (instruction retires and stall attribution), the FSL bank (FIFO
     /// push/pop/full/empty with occupancies) and the co-simulator itself
@@ -352,6 +394,17 @@ impl CoSim {
         self.cpu.attach_trace(sink.clone());
         self.fsl.attach_trace(sink.clone());
         self.sink = Some(sink);
+    }
+
+    /// Detaches the observability sink from the processor, the FSL bank
+    /// and the co-simulator, restoring the untraced fast path (and
+    /// fast-forward eligibility). Supervisors that only trace the
+    /// diagnosis replay of a failed segment use this to keep the
+    /// healthy-path overhead at zero.
+    pub fn detach_trace(&mut self) {
+        self.cpu.detach_trace();
+        self.fsl.detach_trace();
+        self.sink = None;
     }
 
     /// The processor model.
@@ -685,6 +738,13 @@ impl CoSim {
     /// (a zero-cycle run, or one whose last step completed the transfer,
     /// reports no blockage).
     pub fn run(&mut self, max_cycles: u64) -> CoSimStop {
+        // An armed run horizon shrinks the budget once, here — both the
+        // stepped and the fast-forwarded path then respect it for free,
+        // because neither can exceed `max_cycles`.
+        let max_cycles = match self.run_horizon {
+            Some(h) => max_cycles.min(h.saturating_sub(self.cpu.stats().cycles)),
+            None => max_cycles,
+        };
         let mut executed: u64 = 0;
         let mut streak: u64 = 0;
         let mut cooldown: u64 = 0;

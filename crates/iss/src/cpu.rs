@@ -429,6 +429,12 @@ impl Cpu {
         self.sink.as_ref()
     }
 
+    /// Detaches the trace sink, restoring the untraced fast path (and
+    /// the fast-forward eligibility that a sink suppresses).
+    pub fn detach_trace(&mut self) {
+        self.sink = None;
+    }
+
     #[inline]
     fn emit(&self, e: TraceEvent) {
         if let Some(s) = &self.sink {

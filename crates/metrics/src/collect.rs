@@ -81,6 +81,8 @@ struct Ids {
     block_firings: CounterId,
     block_toggles: CounterId,
     faults: CounterId,
+    faults_detected: CounterId,
+    recoveries: CounterId,
     kernel_steps: CounterId,
     dropped: GaugeId,
     occupancy_hist: HistogramId,
@@ -203,6 +205,16 @@ impl MetricsCollector {
             faults: r.counter(
                 "softsim_faults_injected_total",
                 "Faults injected into the design under test",
+                vec![],
+            ),
+            faults_detected: r.counter(
+                "softsim_faults_detected_total",
+                "Misbehaviors flagged by recovery-supervisor detectors",
+                vec![],
+            ),
+            recoveries: r.counter(
+                "softsim_recoveries_total",
+                "Rollback recoveries taken by a recovery supervisor",
                 vec![],
             ),
             kernel_steps: r.counter(
@@ -420,6 +432,18 @@ impl TraceSink for MetricsCollector {
                 // Deliberately no windowed column: the injection itself
                 // must not count as a divergence between golden and
                 // trial series.
+            }
+            TraceEvent::FaultDetected { cycle, .. } => {
+                self.registry.inc(self.ids.faults_detected, 1);
+                let _ = self.roll(cycle);
+                // No windowed column, for the same reason as injections:
+                // detection bookkeeping must not perturb the windowed
+                // golden-vs-trial comparison it exists to serve.
+            }
+            TraceEvent::Recovered { cycle, .. } => {
+                self.registry.inc(self.ids.recoveries, 1);
+                let _ = self.roll(cycle);
+                // No windowed column (see FaultDetected).
             }
             TraceEvent::RegWrite { cycle, value, .. } => {
                 self.registry.inc(self.ids.reg_writes, 1);

@@ -157,6 +157,12 @@ fn describe(e: &TraceEvent) -> String {
         TraceEvent::BlockActivity { peripheral, firings, toggles, .. } => {
             format!("block p{peripheral} activity ({firings} firings, {toggles} toggles)")
         }
+        TraceEvent::FaultDetected { detector, detail, .. } => {
+            format!("fault detected ({}, detail {detail:#x})", detector.label())
+        }
+        TraceEvent::Recovered { checkpoint_cycle, retries, .. } => {
+            format!("rollback to checkpoint @ {checkpoint_cycle} (retry {retries})")
+        }
         TraceEvent::KernelStep { time_ns, .. } => format!("rtl kernel step @ {time_ns} ns"),
     }
 }

@@ -69,6 +69,19 @@ pub enum FaultKind {
         /// Channel number (0–7).
         channel: u8,
     },
+    /// Flip one bit of a peripheral block's sequential state — an SEU in
+    /// the configured hardware itself (a CORDIC pipeline register, a
+    /// matmul accumulator), the fault class TMR hardening exists for.
+    /// Vacuous when the design has no peripherals or no sequential state.
+    BlockStateFlip {
+        /// Peripheral index (wrapped modulo the attached count).
+        peripheral: u8,
+        /// Index into the graph's flat state words (wrapped modulo the
+        /// word count).
+        word: u32,
+        /// Bit position (0–63, wrapped).
+        bit: u8,
+    },
 }
 
 impl FaultKind {
@@ -82,6 +95,7 @@ impl FaultKind {
             | FaultKind::FifoDuplicate { .. }
             | FaultKind::StuckFull { .. }
             | FaultKind::StuckEmpty { .. } => InjectionSite::Protocol,
+            FaultKind::BlockStateFlip { .. } => InjectionSite::Block,
         }
     }
 
@@ -97,6 +111,9 @@ impl FaultKind {
             | FaultKind::FifoDuplicate { channel, .. }
             | FaultKind::StuckFull { channel }
             | FaultKind::StuckEmpty { channel } => channel as u32,
+            FaultKind::BlockStateFlip { peripheral, word, bit } => {
+                (peripheral as u32) << 24 | (word & 0xFFFF) << 8 | bit as u32
+            }
         }
     }
 }
@@ -125,6 +142,9 @@ impl std::fmt::Display for FaultKind {
             }
             FaultKind::StuckEmpty { channel } => {
                 write!(f, "stick the exists flag of from_hw FSL {channel} low")
+            }
+            FaultKind::BlockStateFlip { peripheral, word, bit } => {
+                write!(f, "flip bit {bit} of state word {word} in peripheral {peripheral}")
             }
         }
     }
@@ -295,6 +315,21 @@ impl Injector {
                 sim.fsl_mut().from_hw(channel as usize % 8).set_stuck_empty(true);
                 true
             }
+            FaultKind::BlockStateFlip { peripheral, word, bit } => {
+                let peripherals = sim.peripherals_mut();
+                if peripherals.is_empty() {
+                    return false;
+                }
+                let g = peripherals[peripheral as usize % peripherals.len()].graph_mut();
+                let mut st = g.save_state();
+                if st.block_words.is_empty() {
+                    return false;
+                }
+                let idx = word as usize % st.block_words.len();
+                st.block_words[idx] ^= 1 << (bit % 64);
+                g.load_state(&st);
+                true
+            }
         }
     }
 }
@@ -341,6 +376,61 @@ pub fn random_plan(
             4 => FaultKind::FifoDuplicate { dir, channel },
             5 => FaultKind::StuckFull { channel },
             _ => FaultKind::StuckEmpty { channel },
+        };
+        plan.push(Injection { cycle, kind });
+    }
+    plan.sort_by_key(|i| i.cycle);
+    plan
+}
+
+/// Like [`random_plan`], but the site mix also covers SEUs inside the
+/// configured hardware ([`FaultKind::BlockStateFlip`]) — the fault class
+/// the TMR-hardened variants are built against. A separate generator
+/// rather than a new case in [`random_plan`] keeps every historical
+/// seed's plan (and therefore every committed campaign report)
+/// byte-identical.
+///
+/// # Panics
+/// Panics if the window is empty or `channels` is empty.
+pub fn random_plan_hardware(
+    seed: u64,
+    n: usize,
+    window: (u64, u64),
+    mem_bytes: u32,
+    channels: &[u8],
+) -> Vec<Injection> {
+    assert!(window.1 > window.0, "empty injection window");
+    assert!(!channels.is_empty(), "need at least one FSL channel");
+    let mut rng = Rng::new(seed);
+    let mut plan = Vec::with_capacity(n);
+    for _ in 0..n {
+        let cycle = window.0 + rng.below(window.1 - window.0);
+        let channel = *rng.pick(channels);
+        let dir = if rng.flip() { FifoDir::ToHw } else { FifoDir::FromHw };
+        let kind = match rng.below(8) {
+            0 => FaultKind::RegBitFlip {
+                reg: rng.range_u32(1, 32) as u8,
+                bit: rng.range_u32(0, 32) as u8,
+            },
+            1 => FaultKind::MemBitFlip {
+                addr: (rng.below(mem_bytes as u64 / 4) as u32) * 4,
+                bit: rng.range_u32(0, 32) as u8,
+            },
+            2 => FaultKind::FifoBitFlip {
+                dir,
+                channel,
+                index: rng.range_u32(0, 4) as u8,
+                bit: rng.range_u32(0, 33) as u8,
+            },
+            3 => FaultKind::FifoDrop { dir, channel },
+            4 => FaultKind::FifoDuplicate { dir, channel },
+            5 => FaultKind::StuckFull { channel },
+            6 => FaultKind::StuckEmpty { channel },
+            _ => FaultKind::BlockStateFlip {
+                peripheral: 0,
+                word: rng.below(256) as u32,
+                bit: rng.range_u32(0, 32) as u8,
+            },
         };
         plan.push(Injection { cycle, kind });
     }

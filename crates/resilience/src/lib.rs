@@ -24,6 +24,12 @@
 //!   re-runs diffed by `softsim-metrics`, upgrading an SDC verdict with
 //!   the first cycle window and the first architectural event (register
 //!   writeback, FIFO word, block output) where the trial diverged.
+//! * **Recovery** ([`recover`]) — a rollback-recovery [`Supervisor`]
+//!   that closes the loop: checkpoint-aligned supervised execution,
+//!   fault *detection* (watchdog, FSL SEC-DED, TMR voters, windowed
+//!   signature diff, observable backstop), and automatic rollback +
+//!   replay with exponential backoff, classifying each trial clean /
+//!   recovered / unrecoverable.
 //!
 //! Everything is seeded through [`softsim_testkit::Rng`]: the same seed
 //! and schedule reproduce the same report, bit for bit — the property CI
@@ -34,11 +40,16 @@
 pub mod campaign;
 pub mod inject;
 pub mod localize;
+pub mod recover;
 pub mod snapshot;
 
 pub use campaign::{
     run_campaign, run_campaign_parallel, CampaignConfig, CampaignReport, Outcome, Trial,
 };
-pub use inject::{random_plan, FaultKind, Injection, Injector};
+pub use inject::{random_plan, random_plan_hardware, FaultKind, Injection, Injector};
 pub use localize::{capture_golden, localize_trial, DivergenceReport, GoldenRun, LocalizeConfig};
-pub use snapshot::{from_bytes, to_bytes, SnapshotError};
+pub use recover::{
+    run_recovery_campaign, run_recovery_campaign_parallel, RecoveryGolden, RecoveryOutcome,
+    RecoveryPolicy, RecoveryReport, RecoveryTrial, Supervisor,
+};
+pub use snapshot::{crc32, from_bytes, to_bytes, SnapshotError};

@@ -4,8 +4,15 @@
 //! stable byte encoding so checkpoints can be stored, hashed, or diffed
 //! between runs. The format is deliberately simple: a 4-byte magic
 //! (`SSCK`), a `u32` version, then every field little-endian in
-//! declaration order. `Option`s are a tag byte followed by the value;
+//! declaration order, and finally a [`crc32`] over everything that
+//! precedes it. `Option`s are a tag byte followed by the value;
 //! variable-length sequences are length-prefixed with a `u32`.
+//!
+//! The CRC trailer is what makes a rollback supervisor trustworthy: a
+//! checkpoint that was itself corrupted (on disk, in transit, or by the
+//! very fault campaign it is meant to recover from) is rejected with
+//! [`SnapshotError::ChecksumMismatch`] instead of being silently
+//! restored into a diverged system.
 
 use softsim_blocks::GraphState;
 use softsim_bus::{FslBankState, FslFifoState, FslStats, FslWord};
@@ -14,8 +21,25 @@ use softsim_iss::{CpuSnapshot, CpuStats, PipeSnapshot};
 
 /// Magic bytes at the head of every checkpoint ("SoftSim ChecKpoint").
 pub const MAGIC: [u8; 4] = *b"SSCK";
-/// Current checkpoint format version.
-pub const VERSION: u32 = 1;
+/// Current checkpoint format version. Version 2 added the CRC-32
+/// trailer, FSL ECC state and counters, and per-node span framing for
+/// graph block state.
+pub const VERSION: u32 = 2;
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB8_8320`) over
+/// `bytes`. Public because corruption tests and external checkpoint
+/// tooling need to recompute the trailer after editing a payload.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = !0;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
 
 /// Why a checkpoint byte stream could not be decoded.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,7 +49,10 @@ pub enum SnapshotError {
     /// The stream does not start with [`MAGIC`].
     BadMagic,
     /// The stream uses a format version this build does not understand.
-    BadVersion(u32),
+    VersionUnsupported(u32),
+    /// The CRC-32 trailer does not match the payload — the checkpoint
+    /// bytes were corrupted after serialization.
+    ChecksumMismatch,
     /// A field held a value that cannot occur in a real snapshot.
     Corrupt(&'static str),
 }
@@ -35,7 +62,12 @@ impl std::fmt::Display for SnapshotError {
         match self {
             SnapshotError::Truncated => write!(f, "checkpoint truncated"),
             SnapshotError::BadMagic => write!(f, "not a softsim checkpoint (bad magic)"),
-            SnapshotError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            SnapshotError::VersionUnsupported(v) => {
+                write!(f, "unsupported checkpoint version {v}")
+            }
+            SnapshotError::ChecksumMismatch => {
+                write!(f, "checkpoint checksum mismatch (payload corrupted)")
+            }
             SnapshotError::Corrupt(what) => write!(f, "corrupt checkpoint: {what}"),
         }
     }
@@ -59,19 +91,42 @@ pub fn to_bytes(state: &CoSimState) -> Vec<u8> {
     put_u64(&mut out, state.hw_stats.output_overflows);
     put_u64(&mut out, state.hw_stats.max_to_hw_occupancy as u64);
     put_u64(&mut out, state.hw_stats.max_from_hw_occupancy as u64);
+    let crc = crc32(&out);
+    put_u32(&mut out, crc);
     out
 }
 
-/// Decodes a checkpoint produced by [`to_bytes`].
+/// Decodes a checkpoint produced by [`to_bytes`]. Rejection order:
+/// magic before version before checksum before structure, so a caller
+/// handed random bytes learns the most specific reason first.
 pub fn from_bytes(bytes: &[u8]) -> Result<CoSimState, SnapshotError> {
-    let mut r = Reader { bytes, pos: 0 };
-    if r.take(4)? != MAGIC {
+    if bytes.len() < 4 {
+        return Err(SnapshotError::Truncated);
+    }
+    if bytes[..4] != MAGIC {
         return Err(SnapshotError::BadMagic);
     }
-    let version = r.u32()?;
-    if version != VERSION {
-        return Err(SnapshotError::BadVersion(version));
+    if bytes.len() < 8 {
+        return Err(SnapshotError::Truncated);
     }
+    let version = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+    if version != VERSION {
+        return Err(SnapshotError::VersionUnsupported(version));
+    }
+    if bytes.len() < 12 {
+        return Err(SnapshotError::Truncated);
+    }
+    let body_end = bytes.len() - 4;
+    let stored = u32::from_le_bytes([
+        bytes[body_end],
+        bytes[body_end + 1],
+        bytes[body_end + 2],
+        bytes[body_end + 3],
+    ]);
+    if crc32(&bytes[..body_end]) != stored {
+        return Err(SnapshotError::ChecksumMismatch);
+    }
+    let mut r = Reader { bytes: &bytes[..body_end], pos: 8 };
     let cpu = get_cpu(&mut r)?;
     let fsl = get_bank(&mut r)?;
     let n = r.u32()? as usize;
@@ -183,10 +238,15 @@ fn put_fifo(out: &mut Vec<u8>, s: &FslFifoState) {
         put_u32(out, w.data);
         put_bool(out, w.control);
     }
+    put_bool(out, s.ecc);
+    put_u32(out, s.check.len() as u32);
+    out.extend_from_slice(&s.check);
     put_u64(out, s.stats.pushes);
     put_u64(out, s.stats.pops);
     put_u64(out, s.stats.full_rejections);
     put_u64(out, s.stats.empty_rejections);
+    put_u64(out, s.stats.ecc_corrected);
+    put_u64(out, s.stats.ecc_uncorrectable);
     put_u64(out, s.stats.max_occupancy as u64);
     put_bool(out, s.stuck_full);
     put_bool(out, s.stuck_empty);
@@ -212,6 +272,10 @@ fn put_graph(out: &mut Vec<u8>, g: &GraphState) {
     put_u32(out, g.block_words.len() as u32);
     for v in &g.block_words {
         put_u64(out, *v);
+    }
+    put_u32(out, g.spans.len() as u32);
+    for s in &g.spans {
+        put_u32(out, *s);
     }
 }
 
@@ -340,16 +404,24 @@ fn get_fifo(r: &mut Reader) -> Result<FslFifoState, SnapshotError> {
     for _ in 0..n {
         words.push(FslWord { data: r.u32()?, control: r.bool()? });
     }
+    let ecc = r.bool()?;
+    let check_len = r.u32()? as usize;
+    let check = r.take(check_len)?.to_vec();
+    if check.len() != if ecc { words.len() } else { 0 } {
+        return Err(SnapshotError::Corrupt("ECC check-byte framing"));
+    }
     let stats = FslStats {
         pushes: r.u64()?,
         pops: r.u64()?,
         full_rejections: r.u64()?,
         empty_rejections: r.u64()?,
+        ecc_corrected: r.u64()?,
+        ecc_uncorrectable: r.u64()?,
         max_occupancy: r.u64()? as usize,
     };
     let stuck_full = r.bool()?;
     let stuck_empty = r.bool()?;
-    Ok(FslFifoState { words, stats, stuck_full, stuck_empty })
+    Ok(FslFifoState { words, ecc, check, stats, stuck_full, stuck_empty })
 }
 
 fn get_bank(r: &mut Reader) -> Result<FslBankState, SnapshotError> {
@@ -378,5 +450,13 @@ fn get_graph(r: &mut Reader) -> Result<GraphState, SnapshotError> {
     for _ in 0..n {
         block_words.push(r.u64()?);
     }
-    Ok(GraphState { cycle, values, block_words })
+    let n = r.u32()? as usize;
+    let mut spans = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        spans.push(r.u32()?);
+    }
+    if spans.iter().map(|&s| s as u64).sum::<u64>() != block_words.len() as u64 {
+        return Err(SnapshotError::Corrupt("graph span framing"));
+    }
+    Ok(GraphState { cycle, values, block_words, spans })
 }

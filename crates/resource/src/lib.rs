@@ -35,6 +35,10 @@ pub struct DataSheet {
     pub lmb_ctrl_slices: u32,
     /// Slices of one FSL channel (FIFO + handshake).
     pub fsl_channel_slices: u32,
+    /// Additional slices to harden one FSL channel with a SEC-DED
+    /// (39,33) codec: a 6-bit syndrome generator and corrector on each
+    /// side of the FIFO plus the check-bit storage column.
+    pub fsl_ecc_slices: u32,
 }
 
 impl Default for DataSheet {
@@ -70,6 +74,7 @@ impl DataSheet {
             cpu_mult18s: if config.multiplier { 3 } else { 0 },
             lmb_ctrl_slices: 11,
             fsl_channel_slices: 37,
+            fsl_ecc_slices: 41,
         }
     }
 }
@@ -95,6 +100,16 @@ pub fn estimate_system(cfg: &SystemConfig, sheet: &DataSheet) -> Resources {
     };
     total.slices += cfg.fsl_channels * sheet.fsl_channel_slices;
     total += cfg.peripheral;
+    total
+}
+
+/// Estimates a system whose FSL channels carry the SEC-DED codec:
+/// [`estimate_system`] plus `fsl_ecc_slices` per channel pair. The CPU,
+/// LMB and peripheral contributions are unchanged — ECC hardening is a
+/// bus-level option, paid per channel.
+pub fn estimate_system_ecc(cfg: &SystemConfig, sheet: &DataSheet) -> Resources {
+    let mut total = estimate_system(cfg, sheet);
+    total.slices += cfg.fsl_channels * sheet.fsl_ecc_slices;
     total
 }
 
@@ -135,6 +150,22 @@ mod tests {
         let r = estimate_system(&cfg, &DataSheet::default());
         assert_eq!(r.slices, 526 + 22 + 2 * 37 + 200);
         assert_eq!(r.mult18s, 7);
+    }
+
+    #[test]
+    fn ecc_hardening_costs_per_channel_only() {
+        let img = assemble("halt\n").unwrap();
+        let per = Resources { slices: 200, brams: 0, mult18s: 4 };
+        let cfg = SystemConfig { program: &img, peripheral: per, fsl_channels: 2 };
+        let sheet = DataSheet::default();
+        let plain = estimate_system(&cfg, &sheet);
+        let ecc = estimate_system_ecc(&cfg, &sheet);
+        assert_eq!(ecc.slices, plain.slices + 2 * 41, "41 slices per hardened channel");
+        assert_eq!(ecc.brams, plain.brams);
+        assert_eq!(ecc.mult18s, plain.mult18s);
+        // No channels → hardening is free.
+        let sw = SystemConfig { program: &img, peripheral: Resources::ZERO, fsl_channels: 0 };
+        assert_eq!(estimate_system_ecc(&sw, &sheet), estimate_system(&sw, &sheet));
     }
 
     #[test]

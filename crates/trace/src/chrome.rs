@@ -122,6 +122,17 @@ pub fn to_json(events: &[TraceEvent]) -> String {
                 PID,
                 detail
             ),
+            TraceEvent::FaultDetected { cycle, detector, detail } => format!(
+                r#"{{"name":"detect {}","cat":"fault","ph":"i","ts":{},"pid":{},"tid":5,"s":"t","args":{{"detail":"{:#010x}"}}}}"#,
+                detector.label(),
+                cycle,
+                PID,
+                detail
+            ),
+            TraceEvent::Recovered { cycle, checkpoint_cycle, retries } => format!(
+                r#"{{"name":"rollback","cat":"fault","ph":"i","ts":{},"pid":{},"tid":5,"s":"t","args":{{"checkpoint_cycle":{},"retries":{}}}}}"#,
+                cycle, PID, checkpoint_cycle, retries
+            ),
             TraceEvent::RegWrite { cycle, reg, value } => format!(
                 r#"{{"name":"r{} write","cat":"cpu","ph":"i","ts":{},"pid":{},"tid":6,"s":"t","args":{{"value":"{:#010x}"}}}}"#,
                 reg, cycle, PID, value

@@ -117,6 +117,8 @@ pub enum InjectionSite {
     FifoWord,
     /// A protocol upset: dropped/duplicated word or stuck flag.
     Protocol,
+    /// A bit flip in the sequential state of a hardware block.
+    Block,
 }
 
 impl InjectionSite {
@@ -127,6 +129,40 @@ impl InjectionSite {
             InjectionSite::Memory => "memory",
             InjectionSite::FifoWord => "fifo_word",
             InjectionSite::Protocol => "protocol",
+            InjectionSite::Block => "block",
+        }
+    }
+}
+
+/// Which mechanism noticed a fault. Detection is decoupled from
+/// injection: a campaign knows where it *put* an upset, a detector only
+/// knows how the misbehavior *surfaced*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DetectorKind {
+    /// The liveness watchdog diagnosed a deadlock/livelock.
+    Watchdog,
+    /// The FSL SEC-DED codec flagged an uncorrectable (double-bit) word.
+    Ecc,
+    /// A TMR voter observed replica divergence.
+    Tmr,
+    /// A windowed metrics signature diverged from the golden run.
+    Signature,
+    /// Architectural observables differed from the golden run at halt.
+    Observable,
+    /// The processor raised an architectural fault.
+    Fault,
+}
+
+impl DetectorKind {
+    /// Short label used in reports and trace names.
+    pub fn label(self) -> &'static str {
+        match self {
+            DetectorKind::Watchdog => "watchdog",
+            DetectorKind::Ecc => "ecc",
+            DetectorKind::Tmr => "tmr",
+            DetectorKind::Signature => "signature",
+            DetectorKind::Observable => "observable",
+            DetectorKind::Fault => "fault",
         }
     }
 }
@@ -301,6 +337,26 @@ pub enum TraceEvent {
         /// Output-port bit toggles this cycle.
         toggles: u32,
     },
+    /// A recovery supervisor's detector flagged misbehavior in the
+    /// design under test.
+    FaultDetected {
+        /// Cycle stamp at which the detector fired.
+        cycle: u64,
+        /// Which detector noticed.
+        detector: DetectorKind,
+        /// Detector-specific detail word (channel, miscompare count…).
+        detail: u32,
+    },
+    /// A recovery supervisor rolled the simulation back to a checkpoint
+    /// after a detection.
+    Recovered {
+        /// Cycle stamp at which the rollback was taken.
+        cycle: u64,
+        /// Cycle of the checkpoint the simulation resumed from.
+        checkpoint_cycle: u64,
+        /// Rollbacks taken so far in this run, this one included.
+        retries: u32,
+    },
     /// The event-driven RTL kernel advanced one simulation time step.
     /// Counters are cumulative kernel totals at that instant.
     KernelStep {
@@ -331,7 +387,9 @@ impl TraceEvent {
             | TraceEvent::FaultInjected { cycle, .. }
             | TraceEvent::RegWrite { cycle, .. }
             | TraceEvent::BusTransfer { cycle, .. }
-            | TraceEvent::BlockActivity { cycle, .. } => cycle,
+            | TraceEvent::BlockActivity { cycle, .. }
+            | TraceEvent::FaultDetected { cycle, .. }
+            | TraceEvent::Recovered { cycle, .. } => cycle,
             TraceEvent::KernelStep { time_ns, .. } => time_ns,
         }
     }

@@ -59,7 +59,7 @@ mod recorder;
 mod sink;
 mod timeline;
 
-pub use event::{BusKind, FifoDir, InjectionSite, InstClass, StallCause, TraceEvent};
+pub use event::{BusKind, DetectorKind, FifoDir, InjectionSite, InstClass, StallCause, TraceEvent};
 pub use profile::{CycleBreakdown, PcStat, Profile};
 pub use recorder::Recorder;
 pub use sink::{shared, Fanout, NullSink, SharedSink, TraceSink};

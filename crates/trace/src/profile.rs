@@ -59,6 +59,8 @@ pub struct Profile {
     kernel_events: u64,
     kernel_delta_cycles: u64,
     faults_injected: u64,
+    faults_detected: u64,
+    recoveries: u64,
     reg_writes: u64,
     opb_transfers: u64,
     opb_wait_cycles: u64,
@@ -106,6 +108,16 @@ impl Profile {
     /// Faults injected into the design under test.
     pub fn faults_injected(&self) -> u64 {
         self.faults_injected
+    }
+
+    /// Misbehaviors flagged by a recovery supervisor's detectors.
+    pub fn faults_detected(&self) -> u64 {
+        self.faults_detected
+    }
+
+    /// Rollback recoveries taken by a recovery supervisor.
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries
     }
 
     /// Architectural register writebacks observed.
@@ -236,6 +248,12 @@ impl Profile {
         if self.faults_injected > 0 {
             let _ = writeln!(out, "faults injected: {}", self.faults_injected);
         }
+        if self.faults_detected > 0 {
+            let _ = writeln!(out, "faults detected: {}", self.faults_detected);
+        }
+        if self.recoveries > 0 {
+            let _ = writeln!(out, "rollback recoveries: {}", self.recoveries);
+        }
         if self.kernel_steps > 0 {
             let _ = writeln!(
                 out,
@@ -303,6 +321,8 @@ impl TraceSink for Profile {
                 self.kernel_delta_cycles = delta_cycles;
             }
             TraceEvent::FaultInjected { .. } => self.faults_injected += 1,
+            TraceEvent::FaultDetected { .. } => self.faults_detected += 1,
+            TraceEvent::Recovered { .. } => self.recoveries += 1,
             TraceEvent::RegWrite { .. } => self.reg_writes += 1,
             TraceEvent::BusTransfer { bus, wait, .. } => match bus {
                 crate::event::BusKind::Opb => {

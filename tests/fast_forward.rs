@@ -181,6 +181,87 @@ fn watchdog_survives_checkpoint_restore() {
     }
 }
 
+/// Regression (injection hazard): an armed run horizon must pin every
+/// `run` — stepped or fast-forwarded — to the horizon cycle exactly.
+/// Before the clamp existed, a fast-forward jump over a stalled stretch
+/// could sail past a scheduled injection cycle, silently shifting the
+/// fault to a different machine state.
+#[test]
+fn run_horizon_clamps_stepped_and_fast_forwarded_runs() {
+    // Fast-forwarded: a fully stuck system coalesces millions of stall
+    // cycles per jump, the exact situation that used to overshoot.
+    let mut sim = cordic_sim(8, 2);
+    sim.set_fast_forward(true);
+    Injector::apply(&mut sim, FaultKind::StuckEmpty { channel: 0 });
+    sim.set_run_horizon(Some(700_000));
+    let stop = sim.run(200_000_000);
+    assert_eq!(stop, CoSimStop::CycleLimit { blocked: sim.cpu().fsl_block() });
+    assert_eq!(sim.cpu().stats().cycles, 700_000, "jump must land exactly on the horizon");
+    // Re-running with the same horizon is a no-op, not an overshoot.
+    sim.run(200_000_000);
+    assert_eq!(sim.cpu().stats().cycles, 700_000);
+    // Clearing the horizon releases the run again.
+    sim.set_run_horizon(None);
+    sim.run(1_000);
+    assert_eq!(sim.cpu().stats().cycles, 701_000);
+
+    // Stepped: same contract without fast-forwarding.
+    let mut sim = cordic_sim(8, 2);
+    sim.set_fast_forward(false);
+    sim.set_run_horizon(Some(300));
+    assert_eq!(sim.run(1_000_000), CoSimStop::CycleLimit { blocked: None });
+    assert_eq!(sim.cpu().stats().cycles, 300);
+
+    // A horizon already behind the clock runs nothing.
+    sim.set_run_horizon(Some(100));
+    sim.run(1_000_000);
+    assert_eq!(sim.cpu().stats().cycles, 300);
+}
+
+/// Composition: watchdog + checkpoint restore + fast-forwarding + run
+/// horizon all interact on the same run without disturbing each other —
+/// the horizon pauses the run mid-stall, the resumed run reaches the
+/// identical deadlock diagnosis, and the whole supervised sequence is
+/// bit-identical to an unsupervised stepped run.
+#[test]
+fn watchdog_restore_horizon_and_fast_forward_compose() {
+    let reference = {
+        let mut sim = cordic_sim(8, 2);
+        sim.set_fast_forward(false);
+        sim.run(400);
+        Injector::apply(&mut sim, FaultKind::StuckEmpty { channel: 0 });
+        sim.set_watchdog(5_000);
+        let stop = sim.run(10_000_000);
+        (stop, sim.cpu().stats(), sim.save_state())
+    };
+    assert!(matches!(reference.0, CoSimStop::Deadlock { .. }), "stuck flag must deadlock");
+
+    // Same scenario, but restored from a checkpoint, fast-forwarded,
+    // and interrupted twice by run horizons mid-stall.
+    let mut sim = cordic_sim(8, 2);
+    sim.set_fast_forward(true);
+    sim.run(400);
+    let checkpoint = sim.save_state();
+    let mut sim2 = cordic_sim(8, 2);
+    sim2.set_fast_forward(true);
+    sim2.load_state(&checkpoint);
+    Injector::apply(&mut sim2, FaultKind::StuckEmpty { channel: 0 });
+    sim2.set_watchdog(5_000);
+    sim2.set_run_horizon(Some(1_000));
+    assert_eq!(sim2.run(10_000_000), CoSimStop::CycleLimit { blocked: sim2.cpu().fsl_block() });
+    assert_eq!(sim2.cpu().stats().cycles, 1_000, "first pause lands on the horizon");
+    sim2.set_run_horizon(Some(3_000));
+    sim2.run(10_000_000);
+    assert_eq!(sim2.cpu().stats().cycles, 3_000, "second pause lands on the horizon");
+    sim2.set_run_horizon(None);
+    let stop = sim2.run(10_000_000);
+    assert_eq!(
+        (stop, sim2.cpu().stats(), sim2.save_state()),
+        reference,
+        "supervised run must reach the identical deadlock and state"
+    );
+}
+
 /// Regression (stale stall context): a zero-cycle run executes nothing,
 /// so it must not report the processor blocked on a transfer it never
 /// attempted in that run.

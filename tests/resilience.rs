@@ -103,16 +103,60 @@ fn snapshot_bytes_round_trip_and_reject_garbage() {
     let bytes = snapshot::to_bytes(&state);
     assert_eq!(from_bytes(&bytes).expect("round-trips"), state);
 
-    assert_eq!(from_bytes(&bytes[..bytes.len() - 3]), Err(SnapshotError::Truncated));
-    assert!(from_bytes(&bytes[..10]).is_err());
+    // Chopping the trailer leaves payload bytes where the CRC should be.
+    assert_eq!(from_bytes(&bytes[..bytes.len() - 3]), Err(SnapshotError::ChecksumMismatch));
+    assert_eq!(from_bytes(&bytes[..10]), Err(SnapshotError::Truncated));
     let mut padded = bytes.clone();
     padded.push(0);
-    assert_eq!(from_bytes(&padded), Err(SnapshotError::Corrupt("trailing bytes")));
+    assert_eq!(from_bytes(&padded), Err(SnapshotError::ChecksumMismatch));
     assert_eq!(from_bytes(b"NOPE"), Err(SnapshotError::BadMagic));
     let mut wrong_version = bytes.clone();
     wrong_version[4] = 0xFF;
-    assert_eq!(from_bytes(&wrong_version), Err(SnapshotError::BadVersion(0xFF)));
+    assert_eq!(from_bytes(&wrong_version), Err(SnapshotError::VersionUnsupported(0xFF)));
     assert_eq!(from_bytes(&bytes[..3]), Err(SnapshotError::Truncated));
+}
+
+/// Every rejection path of the hardened checkpoint decoder, including
+/// the two the CRC alone cannot express: a corrupted payload with a
+/// *recomputed* (valid) trailer must still be rejected structurally,
+/// and a bit flip anywhere under the trailer must be caught by it.
+#[test]
+fn snapshot_crc_catches_corruption_and_structure_checks_back_it_up() {
+    let mut sim = cordic_sim();
+    for _ in 0..150 {
+        sim.step();
+    }
+    let bytes = snapshot::to_bytes(&sim.save_state());
+
+    // Known-answer check for the public CRC so external tooling can
+    // interoperate ("123456789" is the standard IEEE test vector).
+    assert_eq!(snapshot::crc32(b"123456789"), 0xCBF4_3926);
+
+    // A single flipped payload bit anywhere is a checksum mismatch.
+    for pos in [8usize, 200, bytes.len() / 2, bytes.len() - 5] {
+        let mut corrupt = bytes.clone();
+        corrupt[pos] ^= 0x10;
+        assert_eq!(
+            from_bytes(&corrupt),
+            Err(SnapshotError::ChecksumMismatch),
+            "flip at byte {pos} must be caught"
+        );
+    }
+
+    // An attacker-style edit that *recomputes* the trailer gets past the
+    // CRC but must still fail the structural checks: declare one more
+    // trailing byte than exists.
+    let mut resealed = bytes.clone();
+    let body_end = resealed.len() - 4;
+    resealed.insert(body_end, 0);
+    let crc = snapshot::crc32(&resealed[..resealed.len() - 4]);
+    let at = resealed.len() - 4;
+    resealed[at..].copy_from_slice(&crc.to_le_bytes());
+    assert_eq!(from_bytes(&resealed), Err(SnapshotError::Corrupt("trailing bytes")));
+
+    // The empty and sub-header streams truncate, never panic.
+    assert_eq!(from_bytes(&[]), Err(SnapshotError::Truncated));
+    assert_eq!(from_bytes(&bytes[..7]), Err(SnapshotError::Truncated));
 }
 
 /// The satellite regression: a burst writer against a mis-sized
