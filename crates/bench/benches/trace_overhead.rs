@@ -20,6 +20,12 @@
 //! and must not be measurably slower than it — hardening you did not
 //! ask for is free.
 //!
+//! The guest profiler follows the same contract: with profiling off
+//! (the default — `CoSim::set_profiling` never called or called with
+//! `false`), no sink is wired and stall fast-forwarding stays engaged,
+//! so a profiler-off co-simulation does strictly less work than the
+//! identical profiler-on run and must stay within 2% of it.
+//!
 //! Samples are interleaved (A,B,A,B,...) so frequency scaling and cache
 //! warm-up hit both configurations equally, and minima are compared
 //! (minimum wall time is the standard low-noise estimator for
@@ -87,6 +93,22 @@ fn run_cosim_ecc(ecc: bool) -> Duration {
     wall
 }
 
+fn run_cosim_profiling(on: bool) -> Duration {
+    // Profiler off is the default; on attaches the per-PC collector and
+    // (like any sink) disengages stall fast-forwarding, so the off
+    // configuration does strictly less work than the on one.
+    let mut sim = softsim_bench::workloads::cordic_cosim_long(24, Some(4));
+    sim.set_profiling(on);
+    let start = Instant::now();
+    assert_eq!(sim.run(u64::MAX / 2), CoSimStop::Halted);
+    let wall = start.elapsed();
+    black_box(sim.cpu_stats().cycles);
+    if on {
+        black_box(sim.guest_profile().expect("profiling on").total_cycles());
+    }
+    wall
+}
+
 fn main() {
     let img = softsim_bench::workloads::cordic_sw_image(24);
     // Warm-up all paths.
@@ -95,17 +117,23 @@ fn main() {
     run_metrics_off(&img);
     run_cosim_ecc(false);
     run_cosim_ecc(true);
+    run_cosim_profiling(false);
+    run_cosim_profiling(true);
     let mut untraced = Vec::with_capacity(SAMPLES);
     let mut nulled = Vec::with_capacity(SAMPLES);
     let mut metrics_off = Vec::with_capacity(SAMPLES);
     let mut ecc_off = Vec::with_capacity(SAMPLES);
     let mut ecc_on = Vec::with_capacity(SAMPLES);
+    let mut prof_off = Vec::with_capacity(SAMPLES);
+    let mut prof_on = Vec::with_capacity(SAMPLES);
     for _ in 0..SAMPLES {
         untraced.push(run_untraced(&img));
         nulled.push(run_null_traced(&img));
         metrics_off.push(run_metrics_off(&img));
         ecc_off.push(run_cosim_ecc(false));
         ecc_on.push(run_cosim_ecc(true));
+        prof_off.push(run_cosim_profiling(false));
+        prof_on.push(run_cosim_profiling(true));
     }
     let best_untraced = *untraced.iter().min().unwrap();
     let best_nulled = *nulled.iter().min().unwrap();
@@ -145,4 +173,17 @@ fn main() {
          (ecc-off {best_ecc_off:?} vs ecc-on {best_ecc_on:?}, ratio {ratio:.4})"
     );
     println!("ok: hardening-off overhead within 2%");
+    let best_prof_off = *prof_off.iter().min().unwrap();
+    let best_prof_on = *prof_on.iter().min().unwrap();
+    let ratio = best_prof_off.as_secs_f64() / best_prof_on.as_secs_f64();
+    println!(
+        "profiler overhead guard: profiler-off {best_prof_off:?}, profiler-on {best_prof_on:?}, \
+         off/on ratio {ratio:.4}"
+    );
+    assert!(
+        ratio <= 1.02,
+        "profiler-off co-simulation must stay within 2% of the profiler-on run \
+         (off {best_prof_off:?} vs on {best_prof_on:?}, ratio {ratio:.4})"
+    );
+    println!("ok: profiler-off overhead within 2%");
 }

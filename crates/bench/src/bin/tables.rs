@@ -3,7 +3,7 @@
 //! Usage: `tables [--fig5] [--fig7] [--table1] [--table2] [--claims]
 //! [--ablation] [--profile] [--faults] [--metrics] [--all]
 //! [--csv [DIR]] [--bench-json [PATH]] [--speedup-json [PATH]]
-//! [--recovery [PATH]] [--record [PATH]]`
+//! [--recovery [PATH]] [--hotspots [PATH]] [--record [PATH]]`
 //!
 //! Run in release mode — the Table I / Table II rows, `--bench-json`
 //! and `--speedup-json` measure wall-clock simulation speed.
@@ -19,6 +19,10 @@
 //!   (`BENCH_0005.json` by default) — the hardening matrix (unhardened
 //!   / ECC / TMR / both) with per-row recovery rates, cycle-exact and
 //!   byte-reproducible, serial-vs-parallel equality asserted first.
+//! * `--hotspots` writes the guest-program hotspot record
+//!   (`BENCH_0006.json` by default) — per-workload hot basic blocks and
+//!   partition-advisor rankings, cycle-exact and byte-reproducible
+//!   across machines and `SOFTSIM_SWEEP_WORKERS` values.
 //! * `--record` writes the deterministic record (`tables_output.txt` by
 //!   default) — every cycle-exact section, no wall-clock numbers — the
 //!   file CI asserts is up to date. Set `SOFTSIM_SWEEP_WORKERS=1` to
@@ -89,6 +93,11 @@ fn main() {
     if let Some(path) = operand("--recovery", "BENCH_0005.json") {
         softsim_bench::recover::write_recovery_json(std::path::Path::new(&path))
             .expect("write recovery JSON");
+        println!("wrote {path}");
+    }
+    if let Some(path) = operand("--hotspots", "BENCH_0006.json") {
+        softsim_bench::hotspots::write_hotspots_json(std::path::Path::new(&path))
+            .expect("write hotspots JSON");
         println!("wrote {path}");
     }
     if let Some(path) = operand("--record", "tables_output.txt") {

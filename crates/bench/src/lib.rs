@@ -15,6 +15,7 @@
 
 pub mod faults;
 pub mod harness;
+pub mod hotspots;
 pub mod measure;
 pub mod recover;
 pub mod speedup;

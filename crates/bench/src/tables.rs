@@ -716,6 +716,7 @@ pub fn record_text() -> String {
         figure7_text(),
         claims_text(),
         profile_text(),
+        crate::hotspots::hotspots_text(),
         crate::faults::faults_text(),
         crate::recover::recovery_text(),
         ablation_fsl_vs_opb_text(),

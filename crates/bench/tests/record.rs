@@ -31,3 +31,19 @@ fn committed_record_matches_fresh_output() {
         );
     }
 }
+
+/// `BENCH_0006.json` is the one committed benchmark record whose every
+/// number is cycle-exact (no wall clock anywhere), so — unlike
+/// `BENCH_0003`/`BENCH_0004` — it must match a fresh derivation byte
+/// for byte on any machine.
+#[test]
+fn committed_hotspot_record_matches_fresh_output() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_0006.json");
+    let committed = std::fs::read_to_string(path).expect("BENCH_0006.json must be committed");
+    assert_eq!(
+        committed,
+        softsim_bench::hotspots::hotspots_json(),
+        "BENCH_0006.json is stale — regenerate with \
+         `cargo run --release -p softsim-bench --bin tables -- --hotspots`"
+    );
+}

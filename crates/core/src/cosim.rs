@@ -22,7 +22,9 @@ use softsim_blocks::{Fix, FixFmt, Graph};
 use softsim_bus::{FslBank, FslBankState, FslWord};
 use softsim_isa::{CpuConfig, Image};
 use softsim_iss::{Cpu, CpuSnapshot, CpuStats, Event, Fault, FslBlock};
-use softsim_trace::{FifoDir, SharedSink, TraceEvent};
+use softsim_trace::{shared, Fanout, FifoDir, GuestProfile, SharedSink, TraceEvent};
+use std::cell::RefCell;
+use std::rc::Rc;
 
 /// The clock frequency of the paper's experiments (§IV): 50 MHz on the
 /// ML300 Virtex-II Pro board.
@@ -237,9 +239,15 @@ pub struct CoSim {
     peripherals: Vec<Peripheral>,
     hw_stats: HwStats,
     clock_hz: f64,
-    /// Cycle-domain observability sink for gateway word transfers (the
-    /// CPU and FSL bank hold their own clones).
+    /// The *effective* cycle-domain sink for gateway word transfers (the
+    /// CPU and FSL bank hold their own clones): the user sink, the guest
+    /// profiler, or a fanout of both.
     sink: Option<SharedSink>,
+    /// The sink attached via [`CoSim::attach_trace`], kept separate so
+    /// profiling and user tracing compose.
+    user_sink: Option<SharedSink>,
+    /// The guest profiler, when [`CoSim::set_profiling`] is on.
+    profiler: Option<Rc<RefCell<GuestProfile>>>,
     /// Liveness watchdog, when armed (see [`CoSim::set_watchdog`]).
     watchdog: Option<Watchdog>,
     /// Opt-in stall fast-forwarding (see [`CoSim::set_fast_forward`]).
@@ -260,6 +268,8 @@ impl CoSim {
             hw_stats: HwStats::default(),
             clock_hz: PAPER_CLOCK_HZ,
             sink: None,
+            user_sink: None,
+            profiler: None,
             watchdog: None,
             fast_forward: false,
             run_horizon: None,
@@ -284,6 +294,8 @@ impl CoSim {
             hw_stats: HwStats::default(),
             clock_hz: PAPER_CLOCK_HZ,
             sink: None,
+            user_sink: None,
+            profiler: None,
             watchdog: None,
             fast_forward: false,
             run_horizon: None,
@@ -391,20 +403,83 @@ impl CoSim {
     /// (gateway word transfers). All events share the processor's cycle
     /// domain. The untraced path is unaffected — no sink, no events.
     pub fn attach_trace(&mut self, sink: SharedSink) {
-        self.cpu.attach_trace(sink.clone());
-        self.fsl.attach_trace(sink.clone());
-        self.sink = Some(sink);
+        self.user_sink = Some(sink);
+        self.rewire();
     }
 
     /// Detaches the observability sink from the processor, the FSL bank
     /// and the co-simulator, restoring the untraced fast path (and
-    /// fast-forward eligibility). Supervisors that only trace the
-    /// diagnosis replay of a failed segment use this to keep the
-    /// healthy-path overhead at zero.
+    /// fast-forward eligibility) unless profiling keeps its own sink
+    /// attached. Supervisors that only trace the diagnosis replay of a
+    /// failed segment use this to keep the healthy-path overhead at zero.
     pub fn detach_trace(&mut self) {
-        self.cpu.detach_trace();
-        self.fsl.detach_trace();
-        self.sink = None;
+        self.user_sink = None;
+        self.rewire();
+    }
+
+    /// Toggles guest-program profiling.
+    ///
+    /// When on, a [`GuestProfile`] collects exact per-PC cycle/stall
+    /// attribution and windowed FSL utilization from the event stream;
+    /// read it back with [`CoSim::guest_profile`]. Profiling composes
+    /// with [`CoSim::attach_trace`] (both sinks observe every event) and
+    /// costs *zero* when off: with no profiler and no user sink the hot
+    /// path keeps its single untraced branch. While on, it suppresses
+    /// stall fast-forwarding like any attached sink, preserving
+    /// bit-exact cycle streams.
+    pub fn set_profiling(&mut self, on: bool) {
+        if on && self.profiler.is_none() {
+            self.profiler = Some(Rc::new(RefCell::new(GuestProfile::new())));
+        } else if !on {
+            self.profiler = None;
+        }
+        self.rewire();
+    }
+
+    /// True while guest-program profiling is enabled.
+    pub fn profiling(&self) -> bool {
+        self.profiler.is_some()
+    }
+
+    /// A snapshot of the collected guest profile (`None` when profiling
+    /// is off). The attribution of an instruction still in flight — a
+    /// run stopped by a cycle limit mid-stall — is folded in, so totals
+    /// always reconcile exactly with [`CoSim::cpu_stats`] `.cycles`.
+    pub fn guest_profile(&self) -> Option<GuestProfile> {
+        let profiler = self.profiler.as_ref()?;
+        let mut profile = profiler.borrow().clone();
+        if let Some(f) = self.cpu.in_flight() {
+            profile.add_in_flight(f.pc, f.cycles, f.read_stalls, f.write_stalls);
+        }
+        Some(profile)
+    }
+
+    /// Recomputes the effective sink from the user sink and the
+    /// profiler, and attaches it to the processor, the FSL bank and the
+    /// co-simulator (or restores the untraced fast path when neither is
+    /// present).
+    fn rewire(&mut self) {
+        let effective: Option<SharedSink> = match (&self.user_sink, &self.profiler) {
+            (None, None) => None,
+            (Some(u), None) => Some(u.clone()),
+            (None, Some(p)) => Some(shared(p.clone())),
+            (Some(u), Some(p)) => {
+                let fanout = Fanout::new().with(u.clone()).with(shared(p.clone()));
+                Some(shared(Rc::new(RefCell::new(fanout))))
+            }
+        };
+        match effective {
+            Some(sink) => {
+                self.cpu.attach_trace(sink.clone());
+                self.fsl.attach_trace(sink.clone());
+                self.sink = Some(sink);
+            }
+            None => {
+                self.cpu.detach_trace();
+                self.fsl.detach_trace();
+                self.sink = None;
+            }
+        }
     }
 
     /// The processor model.

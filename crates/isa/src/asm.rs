@@ -166,6 +166,9 @@ impl Item {
 struct Assembler {
     items: Vec<(usize, u32, Item)>, // (line, addr, item)
     symbols: BTreeMap<String, i64>,
+    /// Names defined with `label:` syntax (a subset of `symbols` keys);
+    /// the rest are `.equ` constants. The image records the distinction.
+    label_names: std::collections::BTreeSet<String>,
     diagnostics: Vec<Diagnostic>,
     pc: u32,
     org_set: bool,
@@ -177,6 +180,7 @@ pub fn assemble(source: &str) -> Result<Image, AsmError> {
     let mut asm = Assembler {
         items: Vec::new(),
         symbols: BTreeMap::new(),
+        label_names: std::collections::BTreeSet::new(),
         diagnostics: Vec::new(),
         pc: 0,
         org_set: false,
@@ -204,6 +208,7 @@ impl Assembler {
                     self.error(line_no, format!("duplicate label `{label}`"));
                 } else {
                     self.symbols.insert(label.to_string(), self.pc as i64);
+                    self.label_names.insert(label.to_string());
                 }
                 text = text[colon + 1..].trim();
             }
@@ -316,7 +321,11 @@ impl Assembler {
         }
         for (name, value) in &self.symbols {
             if let Ok(addr) = u32::try_from(*value) {
-                image.define_symbol(name.clone(), addr);
+                if self.label_names.contains(name) {
+                    image.define_label(name.clone(), addr);
+                } else {
+                    image.define_symbol(name.clone(), addr);
+                }
             }
         }
         if !self.diagnostics.is_empty() {
@@ -1105,6 +1114,22 @@ mod tests {
         assert_eq!(err.diagnostics[0].line, 1);
         assert!(err.diagnostics[1].message.contains("unknown mnemonic"));
         assert!(err.diagnostics[2].message.contains("does not fit"));
+    }
+
+    #[test]
+    fn labels_recorded_as_labels_but_equ_is_not() {
+        let img = assemble(
+            ".equ NSAMPLES, 4\n\
+             start: addik r3, r0, NSAMPLES\n\
+             loop:  bri loop\n",
+        )
+        .unwrap();
+        assert!(img.is_label("start"));
+        assert!(img.is_label("loop"));
+        assert!(!img.is_label("NSAMPLES"), ".equ constants are not code labels");
+        // Both are still visible as symbols.
+        assert_eq!(img.symbol("NSAMPLES"), Some(4));
+        assert_eq!(img.labels(), vec![("start", 0), ("loop", 4)]);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! of the soft processor, plus a symbol table. Like MicroBlaze, MB32 is
 //! big-endian.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// Bytes of local data memory provided by one Virtex-II Pro block RAM when
@@ -20,8 +20,13 @@ pub struct Image {
     base: u32,
     /// Raw big-endian memory contents.
     bytes: Vec<u8>,
-    /// Label → address map.
+    /// Symbol → address map (labels and `.equ` constants alike).
     symbols: BTreeMap<String, u32>,
+    /// Names in `symbols` that are *code/data labels* — addresses that
+    /// exist in the program text — as opposed to `.equ` constants whose
+    /// values merely happen to fit in a `u32`. Profilers roll cycles up
+    /// by label; `.equ` constants must not masquerade as code regions.
+    labels: BTreeSet<String>,
     /// Entry point (address of the first instruction).
     entry: u32,
 }
@@ -29,7 +34,13 @@ pub struct Image {
 impl Image {
     /// Creates an empty image based at `base`.
     pub fn new(base: u32) -> Image {
-        Image { base, bytes: Vec::new(), symbols: BTreeMap::new(), entry: base }
+        Image {
+            base,
+            bytes: Vec::new(),
+            symbols: BTreeMap::new(),
+            labels: BTreeSet::new(),
+            entry: base,
+        }
     }
 
     /// The load address of the image.
@@ -81,6 +92,35 @@ impl Image {
     /// Defines a symbol.
     pub fn define_symbol(&mut self, name: impl Into<String>, addr: u32) {
         self.symbols.insert(name.into(), addr);
+    }
+
+    /// Defines a *label*: a symbol naming an address in the program text.
+    ///
+    /// The assembler calls this for `label:` definitions and
+    /// [`define_symbol`](Image::define_symbol) for `.equ` constants, so
+    /// observability tooling can roll cycles up by code region without
+    /// `.equ` values polluting the region map.
+    pub fn define_label(&mut self, name: impl Into<String>, addr: u32) {
+        let name = name.into();
+        self.labels.insert(name.clone());
+        self.symbols.insert(name, addr);
+    }
+
+    /// True when `name` was defined as a code/data label.
+    pub fn is_label(&self, name: &str) -> bool {
+        self.labels.contains(name)
+    }
+
+    /// All code/data labels sorted by (address, name) — `.equ` constants
+    /// excluded.
+    pub fn labels(&self) -> Vec<(&str, u32)> {
+        let mut out: Vec<(&str, u32)> = self
+            .labels
+            .iter()
+            .filter_map(|n| self.symbols.get(n).map(|a| (n.as_str(), *a)))
+            .collect();
+        out.sort_by_key(|&(n, a)| (a, n.to_string()));
+        out
     }
 
     /// Writes one byte at an absolute address, growing the image as needed.
@@ -184,6 +224,19 @@ mod tests {
         assert_eq!(img.symbol("main"), Some(0x40));
         assert_eq!(img.symbol("missing"), None);
         assert_eq!(img.symbols().count(), 1);
+    }
+
+    #[test]
+    fn labels_distinguished_from_plain_symbols() {
+        let mut img = Image::new(0);
+        img.define_symbol("SIZE", 4); // .equ-style constant
+        img.define_label("main", 0x40);
+        img.define_label("loop", 0x10);
+        assert!(img.is_label("main"));
+        assert!(!img.is_label("SIZE"));
+        assert_eq!(img.symbol("loop"), Some(0x10));
+        // Address order, constants excluded.
+        assert_eq!(img.labels(), vec![("loop", 0x10), ("main", 0x40)]);
     }
 
     #[test]

@@ -154,6 +154,22 @@ enum Pipe {
     FslStall { pc: u32, inst: Inst },
 }
 
+/// The in-flight instruction's attribution so far: what [`Cpu::in_flight`]
+/// reports for runs stopped between retires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InFlight {
+    /// Address of the in-flight instruction.
+    pub pc: u32,
+    /// Coarse classification.
+    pub class: softsim_trace::InstClass,
+    /// Cycles charged to it so far (issue + stalls + pipeline occupancy).
+    pub cycles: u32,
+    /// FSL read-stall cycles charged so far.
+    pub read_stalls: u32,
+    /// FSL write-stall cycles charged so far.
+    pub write_stalls: u32,
+}
+
 /// One architectural trace record, used for ISS ↔ RTL cross-validation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceEntry {
@@ -468,6 +484,27 @@ impl Cpu {
     /// True when the processor is between instructions (nothing in flight).
     pub fn at_instruction_boundary(&self) -> bool {
         matches!(self.pipe, Pipe::Ready)
+    }
+
+    /// The instruction currently occupying the pipeline, with the cycles
+    /// and stalls it has accumulated so far, or `None` at an instruction
+    /// boundary.
+    ///
+    /// Profilers attribute cycles from [`TraceEvent::Retire`] records; an
+    /// instruction cut off by a cycle limit never retires, so this hook
+    /// lets per-PC attribution reconcile *exactly* against
+    /// [`CpuStats::cycles`] even for runs stopped mid-instruction.
+    pub fn in_flight(&self) -> Option<InFlight> {
+        match &self.pipe {
+            Pipe::Ready => None,
+            Pipe::Busy { pc, inst, .. } | Pipe::FslStall { pc, inst } => Some(InFlight {
+                pc: *pc,
+                class: classify(inst),
+                cycles: (self.stats.cycles - self.inst_start) as u32,
+                read_stalls: self.inst_read_stalls,
+                write_stalls: self.inst_write_stalls,
+            }),
+        }
     }
 
     /// When the processor is stalled on a blocking FSL transfer, the

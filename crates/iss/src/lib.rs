@@ -19,7 +19,7 @@ mod fault;
 mod stats;
 
 pub use cpu::{
-    classify, Cpu, CpuSnapshot, Event, FslBlock, PipeSnapshot, StopReason, TraceEntry,
+    classify, Cpu, CpuSnapshot, Event, FslBlock, InFlight, PipeSnapshot, StopReason, TraceEntry,
     DEFAULT_MEM_BYTES, OPB_BASE,
 };
 pub use fault::Fault;

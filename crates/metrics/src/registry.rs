@@ -324,9 +324,15 @@ fn labels_text(labels: &[Label], le: Option<&str>) -> String {
     if labels.is_empty() && le.is_none() {
         return String::new();
     }
+    // Prometheus text exposition escapes backslash, double quote and
+    // newline inside label values (backslash first, so the escapes
+    // themselves are not re-escaped).
     let mut parts: Vec<String> = labels
         .iter()
-        .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+        .map(|(k, v)| {
+            let v = v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n");
+            format!("{k}=\"{v}\"")
+        })
         .collect();
     if let Some(le) = le {
         parts.push(format!("le=\"{le}\""));
@@ -383,5 +389,74 @@ mod tests {
         let mut r = Registry::new();
         r.counter("softsim_dup_total", "x", vec![]);
         r.counter("softsim_dup_total", "x", vec![]);
+    }
+
+    #[test]
+    fn exposition_bucket_lines_are_ordered_and_cumulative() {
+        let mut r = Registry::new();
+        let h = r.histogram("softsim_order_hist", "bucket order", vec![], &[0.5, 1.0, 8.0, 64.0]);
+        for v in [0.25, 0.75, 4.0, 4.0, 1000.0] {
+            r.observe(h, v);
+        }
+        let text = r.to_prometheus();
+        // Bucket lines appear in strictly increasing bound order, +Inf
+        // last, with non-decreasing cumulative counts.
+        let lines: Vec<&str> =
+            text.lines().filter(|l| l.starts_with("softsim_order_hist_bucket")).collect();
+        let expected = [
+            ("le=\"0.5\"", 1u64),
+            ("le=\"1\"", 2),
+            ("le=\"8\"", 4),
+            ("le=\"64\"", 4),
+            ("le=\"+Inf\"", 5),
+        ];
+        assert_eq!(lines.len(), expected.len(), "{text}");
+        for (line, (le, count)) in lines.iter().zip(expected) {
+            assert!(line.contains(le), "bucket order wrong: {line} (wanted {le})");
+            let sample: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert_eq!(sample, count, "{line}");
+        }
+        // The +Inf count equals _count: the histogram is complete.
+        assert!(text.contains("softsim_order_hist_count 5"));
+    }
+
+    #[test]
+    fn every_histogram_exposes_an_inf_bucket_even_when_empty() {
+        let mut r = Registry::new();
+        r.histogram("softsim_empty_hist", "no observations", vec![], &[1.0]);
+        let text = r.to_prometheus();
+        assert!(text.contains("softsim_empty_hist_bucket{le=\"+Inf\"} 0"), "{text}");
+        assert!(text.contains("softsim_empty_hist_sum 0"));
+        assert!(text.contains("softsim_empty_hist_count 0"));
+    }
+
+    #[test]
+    fn label_values_escape_backslash_quote_and_newline() {
+        let mut r = Registry::new();
+        let c = r.counter(
+            "softsim_escape_total",
+            "label escaping",
+            vec![("path", "C:\\dir\"quoted\"\nnext line".into())],
+        );
+        r.inc(c, 1);
+        let text = r.to_prometheus();
+        // Backslash → \\, quote → \", newline → the two characters \n —
+        // and the sample stays on a single exposition line.
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("softsim_escape_total{"))
+            .expect("sample line present");
+        assert_eq!(line, "softsim_escape_total{path=\"C:\\\\dir\\\"quoted\\\"\\nnext line\"} 1");
+    }
+
+    #[test]
+    fn escaping_order_does_not_double_escape() {
+        // A value that is exactly a backslash before an `n` must come out
+        // as \\n (escaped backslash + literal n), not \n (newline escape).
+        let mut r = Registry::new();
+        let c = r.counter("softsim_bsn_total", "x", vec![("v", "\\n".into())]);
+        r.inc(c, 2);
+        let text = r.to_prometheus();
+        assert!(text.contains("softsim_bsn_total{v=\"\\\\n\"} 2"), "{text}");
     }
 }

@@ -1,0 +1,188 @@
+//! The HW/SW partition advisor.
+//!
+//! The paper's end goal is choosing which software regions to move into
+//! FPGA peripherals; its method is to co-simulate candidate partitions.
+//! The advisor closes the loop from the *profiling* side: given a
+//! guest-level profile, it ranks label regions as offload candidates by
+//! `cycles_spent − estimated_comm_cost`, where the communication cost is
+//! what the region's memory traffic would cost to stream over an FSL
+//! instead. Regions that score high burn many cycles relative to the
+//! words they would have to move — exactly the FSL-friendly kernels
+//! (CORDIC iterations, MAC loops) the paper offloads.
+//!
+//! The estimate is deliberately first-order: every load becomes one
+//! input word, every store one output word, and each word costs the
+//! 2-cycle FSL `put`/`get` the ISS charges. It errs toward
+//! over-counting communication (values the hardware could keep internal
+//! still get charged), so a positive score is a conservative signal.
+
+use crate::report::{GuestReport, RegionStat};
+use softsim_energy::{software_energy_nj, InstructionEnergyModel};
+use softsim_iss::CpuStats;
+use softsim_resource::DataSheet;
+use softsim_trace::InstClass;
+
+/// CPU-side cycles to move one word over an FSL (`put`/`get` base cost
+/// in the ISS timing model, stalls excluded).
+pub const FSL_CYCLES_PER_WORD: u64 = 2;
+
+/// One ranked hardware-offload candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OffloadCandidate {
+    /// Region (code label) name.
+    pub region: String,
+    /// Address of the region's first instruction.
+    pub start: u32,
+    /// Cycles the software spent in the region.
+    pub cycles: u64,
+    /// Times the region was entered.
+    pub visits: u64,
+    /// Words the offloaded region would move over the FSL (loads +
+    /// stores + a per-visit argument/result handshake).
+    pub comm_words: u64,
+    /// Estimated CPU-side cycles to move `comm_words`.
+    pub est_comm_cycles: u64,
+    /// `cycles − est_comm_cycles`: the advisor's ranking signal.
+    pub score: i64,
+    /// Instruction-level software energy of the region (nJ), what an
+    /// offload would remove from the processor's budget.
+    pub software_nj: f64,
+    /// Estimated extra slices to plumb the offload: one FSL channel
+    /// pair (datasheet cost).
+    pub est_extra_slices: u32,
+}
+
+/// Builds the per-region synthetic statistics the energy model needs.
+fn region_stats(r: &RegionStat) -> CpuStats {
+    let class = |c: InstClass| r.class_retires[c.index()];
+    CpuStats {
+        cycles: r.cycles,
+        instructions: r.retires,
+        fsl_read_stalls: r.read_stalls,
+        fsl_write_stalls: r.write_stalls,
+        fsl_words_sent: class(InstClass::FslPut),
+        fsl_words_received: class(InstClass::FslGet),
+        fsl_nonblocking_misses: 0,
+        fsl_control_mismatches: 0,
+        // Upper bound: every retired branch counted as taken.
+        taken_branches: class(InstClass::Branch),
+        mem_reads: class(InstClass::Load),
+        mem_writes: class(InstClass::Store),
+        multiplies: class(InstClass::Mul),
+    }
+}
+
+/// Ranks the report's regions as hardware-offload candidates, best
+/// first (ties broken by address, so the ranking is deterministic).
+pub fn advise(report: &GuestReport) -> Vec<OffloadCandidate> {
+    let sheet = DataSheet::default();
+    let energy_model = InstructionEnergyModel::default();
+    let mut out: Vec<OffloadCandidate> = report
+        .regions()
+        .iter()
+        .filter(|r| r.retires > 0)
+        .map(|r| {
+            let stats = region_stats(r);
+            let comm_words = stats.mem_reads + stats.mem_writes + 2 * r.visits;
+            let est_comm_cycles = FSL_CYCLES_PER_WORD * comm_words;
+            OffloadCandidate {
+                region: r.region.clone(),
+                start: r.start,
+                cycles: r.cycles,
+                visits: r.visits,
+                comm_words,
+                est_comm_cycles,
+                score: r.cycles as i64 - est_comm_cycles as i64,
+                software_nj: software_energy_nj(&stats, &energy_model),
+                est_extra_slices: sheet.fsl_channel_slices,
+            }
+        })
+        .collect();
+    out.sort_by_key(|c| (std::cmp::Reverse(c.score), c.start));
+    out
+}
+
+/// Renders a ranked candidate table (deterministic text).
+pub fn advise_text(candidates: &[OffloadCandidate]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<12} {:>10} {:>8} {:>10} {:>11} {:>11} {:>12} {:>7}",
+        "region",
+        "cycles",
+        "visits",
+        "comm_words",
+        "comm_cycles",
+        "score",
+        "sw_energy_nJ",
+        "slices"
+    );
+    for c in candidates {
+        let _ = writeln!(
+            out,
+            "{:<12} {:>10} {:>8} {:>10} {:>11} {:>11} {:>12.1} {:>7}",
+            c.region,
+            c.cycles,
+            c.visits,
+            c.comm_words,
+            c.est_comm_cycles,
+            c.score,
+            c.software_nj,
+            c.est_extra_slices
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::GuestReport;
+    use softsim_isa::asm::assemble;
+    use softsim_trace::{GuestProfile, TraceEvent, TraceSink};
+
+    #[test]
+    fn hot_compute_region_outranks_memory_bound_one() {
+        let img = assemble(
+            "start: addik r3, r0, 1\n\
+             hot:   mul r4, r3, r3\n\
+                    bri hot\n\
+             cold:  lwi r5, r0, 0x100\n\
+                    swi r5, r0, 0x104\n\
+                    halt\n",
+        )
+        .unwrap();
+        let mut g = GuestProfile::new();
+        let mut emit = |pc: u32, cycles: u32, n: u64| {
+            for _ in 0..n {
+                g.event(&TraceEvent::Retire {
+                    cycle: 0,
+                    pc,
+                    word: 0,
+                    class: InstClass::Alu,
+                    cycles,
+                    read_stalls: 0,
+                    write_stalls: 0,
+                });
+            }
+        };
+        emit(0, 1, 1); // start
+        emit(4, 3, 100); // hot: mul ×100
+        emit(8, 3, 100); // hot: taken bri ×100
+        emit(12, 2, 1); // cold: lwi
+        emit(16, 2, 1); // cold: swi
+        let report = GuestReport::build(&img, &g);
+        let ranked = advise(&report);
+        assert_eq!(ranked[0].region, "hot");
+        assert!(ranked[0].score > 0, "hot loop is worth offloading: {:?}", ranked[0]);
+        let cold = ranked.iter().find(|c| c.region == "cold").unwrap();
+        assert!(
+            ranked[0].score > cold.score,
+            "compute-bound region must outrank the memory-bound one"
+        );
+        assert!(cold.comm_words >= 2, "loads and stores count as FSL words");
+        let text = advise_text(&ranked);
+        assert!(text.contains("hot"), "{text}");
+    }
+}

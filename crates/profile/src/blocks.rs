@@ -1,0 +1,190 @@
+//! Automatic basic-block discovery over a loaded program image.
+//!
+//! Leaders are found statically, before any simulation: the entry point,
+//! every code label, every decodable branch target, and every
+//! fall-through address after a control transfer (past the delay slot
+//! when the branch executes one). Words that fail to decode are data;
+//! blocks never span them.
+
+use softsim_isa::{decode, Image, Inst};
+use std::collections::BTreeSet;
+
+/// One basic block of guest code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// Address of the first instruction.
+    pub start: u32,
+    /// One past the last instruction byte (exclusive).
+    pub end: u32,
+    /// Name of the enclosing region: the nearest code label at or before
+    /// `start`, or the hex start address when the program has no labels.
+    pub region: String,
+}
+
+impl BasicBlock {
+    /// A deterministic display name: the region label when the block
+    /// starts exactly at it, otherwise `region+0xOFF`.
+    pub fn name(&self, region_start: u32) -> String {
+        if self.start == region_start {
+            self.region.clone()
+        } else {
+            format!("{}+{:#x}", self.region, self.start - region_start)
+        }
+    }
+}
+
+/// The statically-known target of a branch instruction at `pc`, when it
+/// can be computed without executing (immediate-form branches only;
+/// register branches and `imm`-prefixed displacements are dynamic).
+fn static_target(pc: u32, inst: &Inst) -> Option<u32> {
+    match *inst {
+        Inst::BrI { imm, absolute: true, .. } => Some(imm as i32 as u32),
+        Inst::BrI { imm, absolute: false, .. } => Some(pc.wrapping_add(imm as i32 as u32)),
+        Inst::BccI { imm, .. } => Some(pc.wrapping_add(imm as i32 as u32)),
+        _ => None,
+    }
+}
+
+/// Discovers the basic blocks of an image, in address order.
+pub fn discover_blocks(image: &Image) -> Vec<BasicBlock> {
+    let base = image.base();
+    let end = base + image.len_bytes();
+    // Decode the whole image once; remember which words are code.
+    let mut code = BTreeSet::new();
+    let mut leaders = BTreeSet::new();
+    leaders.insert(image.entry());
+    let mut addr = base;
+    let mut prev_was_data = true;
+    while addr < end {
+        match decode(image.read_u32(addr)) {
+            Ok(inst) => {
+                code.insert(addr);
+                if prev_was_data {
+                    // First instruction after a data gap starts a block.
+                    leaders.insert(addr);
+                }
+                prev_was_data = false;
+                if inst.is_branch() || matches!(inst, Inst::Halt) {
+                    if let Some(t) = static_target(addr, &inst) {
+                        leaders.insert(t);
+                    }
+                    // The instruction after the transfer (past the delay
+                    // slot, which belongs to the branch's block).
+                    let next = if inst.has_delay_slot() { addr + 8 } else { addr + 4 };
+                    leaders.insert(next);
+                }
+            }
+            Err(_) => prev_was_data = true,
+        }
+        addr += 4;
+    }
+    for (_, label_addr) in image.labels() {
+        if code.contains(&label_addr) {
+            leaders.insert(label_addr);
+        }
+    }
+
+    // Region labels in address order (code labels only).
+    let labels: Vec<(String, u32)> = image
+        .labels()
+        .into_iter()
+        .filter(|&(_, a)| code.contains(&a))
+        .map(|(n, a)| (n.to_string(), a))
+        .collect();
+    let region_of = |start: u32| -> String {
+        labels
+            .iter()
+            .take_while(|&&(_, a)| a <= start)
+            .last()
+            .map(|(n, _)| n.clone())
+            .unwrap_or_else(|| format!("{start:#x}"))
+    };
+
+    // Cut blocks at leaders and code/data boundaries.
+    let mut blocks = Vec::new();
+    let mut current: Option<BasicBlock> = None;
+    for &addr in &code {
+        let continues = current.as_ref().is_some_and(|b| b.end == addr && !leaders.contains(&addr));
+        if continues {
+            current.as_mut().expect("continues implies current").end = addr + 4;
+        } else {
+            if let Some(b) = current.take() {
+                blocks.push(b);
+            }
+            current = Some(BasicBlock { start: addr, end: addr + 4, region: region_of(addr) });
+        }
+    }
+    if let Some(b) = current {
+        blocks.push(b);
+    }
+    blocks
+}
+
+/// The address of the region label a block's region name refers to, for
+/// [`BasicBlock::name`]. Returns `start` itself when the region is the
+/// synthetic hex name.
+pub fn region_start(image: &Image, block: &BasicBlock) -> u32 {
+    image.symbol(&block.region).unwrap_or(block.start)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softsim_isa::asm::assemble;
+
+    #[test]
+    fn straight_line_program_is_one_block() {
+        let img = assemble("addik r3, r0, 1\naddik r4, r0, 2\nhalt\n").unwrap();
+        let blocks = discover_blocks(&img);
+        assert_eq!(blocks.len(), 1, "no branch targets: one straight-line block");
+        assert_eq!((blocks[0].start, blocks[0].end), (0, 12));
+    }
+
+    #[test]
+    fn loop_is_cut_at_target_and_fallthrough() {
+        let img = assemble(
+            "start: addik r3, r0, 5\n\
+             loop:  addik r3, r3, -1\n\
+                    bneid r3, loop\n\
+                    nop\n\
+                    halt\n",
+        )
+        .unwrap();
+        let blocks = discover_blocks(&img);
+        // start(0..4), loop(4..16 incl. delay slot), halt(16..20).
+        let spans: Vec<(u32, u32)> = blocks.iter().map(|b| (b.start, b.end)).collect();
+        assert_eq!(spans, vec![(0, 4), (4, 16), (16, 20)]);
+        assert_eq!(blocks[0].region, "start");
+        assert_eq!(blocks[1].region, "loop");
+        assert_eq!(blocks[2].region, "loop", "fall-through stays in the last label's region");
+    }
+
+    #[test]
+    fn data_words_are_not_code_blocks() {
+        let img = assemble(
+            "entry: bri entry\n\
+             table: .word 0xffffffff, 0xfefefefe\n",
+        )
+        .unwrap();
+        let blocks = discover_blocks(&img);
+        assert_eq!(blocks.len(), 1);
+        assert_eq!((blocks[0].start, blocks[0].end), (0, 4));
+    }
+
+    #[test]
+    fn equ_constants_do_not_become_regions() {
+        let img = assemble(
+            ".equ FOUR, 4\n\
+             a: nop\n\
+             b: nop\n\
+                halt\n",
+        )
+        .unwrap();
+        let blocks = discover_blocks(&img);
+        assert!(blocks.iter().all(|b| b.region != "FOUR"));
+        // FOUR = 4 coincides with label `b`'s address; the region at 4
+        // must be `b`, not the constant.
+        let at4 = blocks.iter().find(|b| b.start == 4).unwrap();
+        assert_eq!(at4.region, "b");
+    }
+}

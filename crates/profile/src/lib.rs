@@ -1,0 +1,50 @@
+//! # softsim-profile — guest-program profiling and partition advice
+//!
+//! The simulators tell us how long a program took; this crate tells us
+//! *where the cycles went inside the guest program* — the observability
+//! layer the paper's HW/SW partitioning decision actually consumes.
+//!
+//! The pipeline (DESIGN.md §12):
+//!
+//! 1. **Event stream** — the ISS emits `Retire` records with exact
+//!    per-instruction cycle and stall attribution;
+//!    [`softsim_trace::GuestProfile`] folds them into per-PC counters.
+//! 2. **Block discovery** — [`discover_blocks`] statically cuts the
+//!    loaded image into basic blocks (entry, labels, branch targets,
+//!    fall-throughs; data words excluded).
+//! 3. **Rollup** — [`GuestReport::build`] maps per-PC counters onto
+//!    blocks and label regions, producing hot-block rankings, a
+//!    collapsed-stack flamegraph ([`GuestReport::to_collapsed`]) and an
+//!    annotated disassembly.
+//! 4. **Advice** — [`advise`] ranks regions as hardware-offload
+//!    candidates by `cycles_spent − estimated_comm_cost`, reusing the
+//!    `resource`/`energy` estimators for the cost side.
+//!
+//! Everything is deterministic: identical runs produce byte-identical
+//! profiles, flamegraphs and advisor rankings.
+//!
+//! ```
+//! use softsim_isa::asm::assemble;
+//! use softsim_profile::{advise, GuestReport};
+//! use softsim_trace::{GuestProfile, TraceSink, TraceEvent, InstClass};
+//!
+//! let image = assemble("start: addik r3, r0, 1\nloop: bri loop\n").unwrap();
+//! let mut profile = GuestProfile::new();
+//! profile.event(&TraceEvent::Retire {
+//!     cycle: 0, pc: 4, word: 0, class: InstClass::Branch,
+//!     cycles: 3, read_stalls: 0, write_stalls: 0,
+//! });
+//! let report = GuestReport::build(&image, &profile);
+//! assert_eq!(report.hot_blocks(1)[0].block.region, "loop");
+//! assert!(!advise(&report).is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+mod advisor;
+mod blocks;
+mod report;
+
+pub use advisor::{advise, advise_text, OffloadCandidate, FSL_CYCLES_PER_WORD};
+pub use blocks::{discover_blocks, region_start, BasicBlock};
+pub use report::{BlockStat, GuestReport, RegionStat};

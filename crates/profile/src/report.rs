@@ -1,0 +1,267 @@
+//! Rollup of raw per-PC attribution onto blocks and regions, plus the
+//! flamegraph and annotated-disassembly exports.
+
+use crate::blocks::{discover_blocks, BasicBlock};
+use softsim_isa::disasm::disassemble;
+use softsim_isa::{decode, Image};
+use softsim_iss::classify;
+use softsim_trace::{GuestProfile, InstClass};
+use std::fmt::Write as _;
+
+/// Cycle/visit counters for one basic block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockStat {
+    /// The block itself.
+    pub block: BasicBlock,
+    /// Deterministic display name (`region` or `region+0xOFF`).
+    pub name: String,
+    /// Cycles spent in the block (stalls included).
+    pub cycles: u64,
+    /// Times the block was entered (retires of its first instruction).
+    pub visits: u64,
+    /// Instructions retired inside the block.
+    pub retires: u64,
+    /// FSL read-stall cycles inside the block.
+    pub read_stalls: u64,
+    /// FSL write-stall cycles inside the block.
+    pub write_stalls: u64,
+}
+
+/// Label-level rollup of everything inside one region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionStat {
+    /// Region name (code label).
+    pub region: String,
+    /// Address of the region's first block.
+    pub start: u32,
+    /// Total cycles in the region.
+    pub cycles: u64,
+    /// Times the region's first block was entered.
+    pub visits: u64,
+    /// Instructions retired in the region.
+    pub retires: u64,
+    /// FSL read-stall cycles.
+    pub read_stalls: u64,
+    /// FSL write-stall cycles.
+    pub write_stalls: u64,
+    /// Retires per instruction class (indexed by [`InstClass::index`]),
+    /// the advisor's raw material.
+    pub class_retires: [u64; InstClass::ALL.len()],
+}
+
+/// A guest-level profile report: per-PC attribution rolled up onto the
+/// image's basic blocks and label regions.
+#[derive(Debug, Clone)]
+pub struct GuestReport {
+    blocks: Vec<BlockStat>,
+    regions: Vec<RegionStat>,
+    total_cycles: u64,
+    unmapped_cycles: u64,
+}
+
+impl GuestReport {
+    /// Rolls a collected [`GuestProfile`] up onto the blocks of `image`.
+    pub fn build(image: &Image, profile: &GuestProfile) -> GuestReport {
+        let blocks = discover_blocks(image);
+        let mut stats: Vec<BlockStat> = blocks
+            .into_iter()
+            .map(|block| {
+                let region_start = image.symbol(&block.region).unwrap_or(block.start);
+                let name = block.name(region_start);
+                BlockStat {
+                    block,
+                    name,
+                    cycles: 0,
+                    visits: 0,
+                    retires: 0,
+                    read_stalls: 0,
+                    write_stalls: 0,
+                }
+            })
+            .collect();
+
+        // Region rollup keyed by (start, name); built alongside blocks.
+        let mut regions: Vec<RegionStat> = Vec::new();
+        for b in &stats {
+            let start = image.symbol(&b.block.region).unwrap_or(b.block.start);
+            if regions.last().is_none_or(|r| r.region != b.block.region) {
+                regions.push(RegionStat {
+                    region: b.block.region.clone(),
+                    start,
+                    cycles: 0,
+                    visits: 0,
+                    retires: 0,
+                    read_stalls: 0,
+                    write_stalls: 0,
+                    class_retires: [0; InstClass::ALL.len()],
+                });
+            }
+        }
+
+        let mut total_cycles = 0;
+        let mut unmapped_cycles = 0;
+        for (pc, s) in profile.pc_stats() {
+            total_cycles += s.cycles;
+            // Last block starting at or before pc.
+            let idx = match stats.binary_search_by_key(&pc, |b| b.block.start) {
+                Ok(i) => Some(i),
+                Err(0) => None,
+                Err(i) => Some(i - 1),
+            };
+            let Some(idx) = idx.filter(|&i| pc < stats[i].block.end) else {
+                unmapped_cycles += s.cycles;
+                continue;
+            };
+            let b = &mut stats[idx];
+            b.cycles += s.cycles;
+            b.retires += s.retires;
+            b.read_stalls += s.read_stalls;
+            b.write_stalls += s.write_stalls;
+            if pc == b.block.start {
+                b.visits += s.retires;
+            }
+            let region = b.block.region.clone();
+            let first_pc = b.block.start;
+            let r = regions
+                .iter_mut()
+                .find(|r| r.region == region)
+                .expect("every block has a region entry");
+            r.cycles += s.cycles;
+            r.retires += s.retires;
+            r.read_stalls += s.read_stalls;
+            r.write_stalls += s.write_stalls;
+            if pc == first_pc && first_pc == r.start {
+                r.visits += s.retires;
+            }
+            if let Ok(inst) = decode(image.read_u32(pc)) {
+                r.class_retires[classify(&inst).index()] += s.retires;
+            }
+        }
+
+        GuestReport { blocks: stats, regions, total_cycles, unmapped_cycles }
+    }
+
+    /// Every block in address order.
+    pub fn blocks(&self) -> &[BlockStat] {
+        &self.blocks
+    }
+
+    /// Label-level rollup in address order.
+    pub fn regions(&self) -> &[RegionStat] {
+        &self.regions
+    }
+
+    /// Total cycles attributed by the underlying profile.
+    pub fn total_cycles(&self) -> u64 {
+        self.total_cycles
+    }
+
+    /// Cycles at PCs outside every discovered block (0 for programs
+    /// assembled from the image being profiled).
+    pub fn unmapped_cycles(&self) -> u64 {
+        self.unmapped_cycles
+    }
+
+    /// The `n` hottest blocks: most cycles first, address as tiebreak.
+    pub fn hot_blocks(&self, n: usize) -> Vec<&BlockStat> {
+        let mut v: Vec<&BlockStat> = self.blocks.iter().filter(|b| b.cycles > 0).collect();
+        v.sort_by_key(|b| (std::cmp::Reverse(b.cycles), b.block.start));
+        v.truncate(n);
+        v
+    }
+
+    /// Collapsed-stack flamegraph export (`region;block cycles` per
+    /// line), the format `flamegraph.pl` and speedscope consume.
+    pub fn to_collapsed(&self) -> String {
+        let mut out = String::new();
+        for b in &self.blocks {
+            if b.cycles > 0 {
+                let _ = writeln!(out, "{};{} {}", b.block.region, b.name, b.cycles);
+            }
+        }
+        out
+    }
+
+    /// An annotated disassembly listing: per-line cycles, retires and
+    /// percent-of-total, objdump-style.
+    pub fn annotated_disassembly(&self, image: &Image, profile: &GuestProfile) -> String {
+        let mut out = String::new();
+        let total = self.total_cycles.max(1);
+        let _ =
+            writeln!(out, "{:>10} {:>9} {:>6}  address   instruction", "cycles", "retires", "%");
+        for line in disassemble(image) {
+            for label in &line.labels {
+                let _ = writeln!(out, "{label}:");
+            }
+            match profile.pc_stat(line.addr) {
+                Some(s) => {
+                    let pct = s.cycles as f64 / total as f64 * 100.0;
+                    let _ = writeln!(
+                        out,
+                        "{:>10} {:>9} {:>5.1}%  {:08x}:  {}",
+                        s.cycles, s.retires, pct, line.addr, line.text
+                    );
+                }
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "{:>10} {:>9} {:>6}  {:08x}:  {}",
+                        "", "", "", line.addr, line.text
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softsim_isa::asm::assemble;
+    use softsim_trace::{TraceEvent, TraceSink};
+
+    fn profile_of(events: &[(u32, u32)]) -> GuestProfile {
+        let mut g = GuestProfile::new();
+        for &(pc, cycles) in events {
+            g.event(&TraceEvent::Retire {
+                cycle: 0,
+                pc,
+                word: 0,
+                class: InstClass::Alu,
+                cycles,
+                read_stalls: 0,
+                write_stalls: 0,
+            });
+        }
+        g
+    }
+
+    #[test]
+    fn rollup_reconciles_and_ranks() {
+        let img = assemble(
+            "start: addik r3, r0, 2\n\
+             loop:  addik r3, r3, -1\n\
+                    bneid r3, loop\n\
+                    nop\n\
+                    halt\n",
+        )
+        .unwrap();
+        // Two loop trips: retires at 0 once, 4/8/12 twice each, 16 once.
+        let g = profile_of(&[(0, 1), (4, 1), (8, 2), (12, 1), (4, 1), (8, 2), (12, 1), (16, 1)]);
+        let report = GuestReport::build(&img, &g);
+        assert_eq!(report.total_cycles(), g.total_cycles());
+        assert_eq!(report.unmapped_cycles(), 0);
+        let block_sum: u64 = report.blocks().iter().map(|b| b.cycles).sum();
+        assert_eq!(block_sum, g.total_cycles(), "every cycle lands in a block");
+        let hot = report.hot_blocks(10);
+        assert_eq!(hot[0].block.region, "loop");
+        assert_eq!(hot[0].visits, 2);
+        let region_sum: u64 = report.regions().iter().map(|r| r.cycles).sum();
+        assert_eq!(region_sum, g.total_cycles());
+        let collapsed = report.to_collapsed();
+        assert!(collapsed.contains("loop;loop "), "{collapsed}");
+        let listing = report.annotated_disassembly(&img, &g);
+        assert!(listing.contains("bneid"), "{listing}");
+    }
+}

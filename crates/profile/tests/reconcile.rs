@@ -1,0 +1,143 @@
+//! The profiler's accounting discipline, end to end through `CoSim`:
+//! per-PC attribution must sum *exactly* to the processor's own cycle
+//! counter (the same reconciliation discipline the stall-attribution
+//! trace established), profiles must be byte-identical across runs, and
+//! the CORDIC hot block must be the known inner loop.
+
+use softsim_apps::cordic::hardware::cordic_peripheral;
+use softsim_apps::cordic::reference::to_fix;
+use softsim_apps::cordic::software::{hw_program, sw_program, CordicBatch, SwStyle};
+use softsim_cosim::{CoSim, CoSimStop};
+use softsim_isa::asm::assemble;
+use softsim_isa::Image;
+use softsim_profile::{advise, advise_text, GuestReport};
+use softsim_trace::{shared, Profile};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn cordic_batch() -> CordicBatch {
+    let pairs: Vec<(i32, i32)> = [(1.0, 0.5), (1.5, 1.2), (2.0, -1.0), (1.25, 0.8)]
+        .iter()
+        .map(|&(a, b)| (to_fix(a), to_fix(b)))
+        .collect();
+    CordicBatch::new(&pairs)
+}
+
+fn cordic_sw_image() -> Image {
+    assemble(&sw_program(&cordic_batch(), 24, SwStyle::Compiled)).expect("assembles")
+}
+
+fn cordic_hw_image(p: usize) -> Image {
+    assemble(&hw_program(&cordic_batch(), 24, p)).expect("assembles")
+}
+
+#[test]
+fn software_profile_reconciles_and_finds_the_inner_loop() {
+    let image = cordic_sw_image();
+    let mut sim = CoSim::software_only(&image);
+    sim.set_profiling(true);
+    assert!(sim.profiling());
+    assert_eq!(sim.run(u64::MAX / 2), CoSimStop::Halted);
+
+    let profile = sim.guest_profile().expect("profiling on");
+    let stats = sim.cpu_stats();
+    assert_eq!(profile.total_cycles(), stats.cycles, "per-PC cycles must sum to CpuStats");
+    assert_eq!(profile.total_retires(), stats.instructions);
+
+    let report = GuestReport::build(&image, &profile);
+    assert_eq!(report.total_cycles(), stats.cycles);
+    assert_eq!(report.unmapped_cycles(), 0);
+    // The compiled CORDIC kernel's inner loop is iter → (ypos) → join →
+    // iter; its tail block `join` (spill/reload memory ops + back
+    // branch, executed every iteration) dominates, with `iter` next.
+    let hot = report.hot_blocks(3);
+    assert_eq!(hot[0].block.region, "join", "CORDIC's hot block is the known inner loop");
+    const INNER_LOOP: [&str; 3] = ["iter", "ypos", "join"];
+    for b in &hot {
+        assert!(
+            INNER_LOOP.contains(&b.block.region.as_str()),
+            "top blocks all sit in the inner loop, got {}",
+            b.block.region
+        );
+    }
+
+    // The inner loop also tops the partition-advisor ranking.
+    let ranked = advise(&report);
+    assert!(INNER_LOOP.contains(&ranked[0].region.as_str()));
+    assert!(ranked[0].score > 0);
+}
+
+#[test]
+fn hardware_profile_reconciles_with_fsl_stalls() {
+    let image = cordic_hw_image(4);
+    let mut sim = CoSim::with_peripheral(&image, cordic_peripheral(4));
+    sim.set_profiling(true);
+    assert_eq!(sim.run(u64::MAX / 2), CoSimStop::Halted);
+
+    let profile = sim.guest_profile().unwrap();
+    let stats = sim.cpu_stats();
+    assert_eq!(profile.total_cycles(), stats.cycles);
+    let (reads, writes) =
+        profile.pc_stats().fold((0, 0), |(r, w), (_, s)| (r + s.read_stalls, w + s.write_stalls));
+    assert_eq!(reads, stats.fsl_read_stalls, "stall attribution splits exactly");
+    assert_eq!(writes, stats.fsl_write_stalls);
+    assert!(!profile.fsl_channels().is_empty(), "FSL heatmap saw traffic");
+    assert!(profile.heatmap_text().contains("ch0"));
+}
+
+#[test]
+fn cycle_limited_run_still_reconciles_via_in_flight_attribution() {
+    // Deliberately cut the run mid-flight (likely inside an FSL stall on
+    // this program, which blocks on `get` with no peripheral attached).
+    let image = cordic_hw_image(4);
+    let mut sim = CoSim::software_only(&image);
+    sim.set_profiling(true);
+    let stop = sim.run(500);
+    assert!(matches!(stop, CoSimStop::CycleLimit { .. }));
+    let profile = sim.guest_profile().unwrap();
+    assert_eq!(
+        profile.total_cycles(),
+        sim.cpu_stats().cycles,
+        "in-flight attribution closes the books on cycle-limited runs"
+    );
+}
+
+#[test]
+fn profiling_composes_with_a_user_trace_sink() {
+    let image = cordic_sw_image();
+    let mut sim = CoSim::software_only(&image);
+    let user = Rc::new(RefCell::new(Profile::new()));
+    sim.attach_trace(shared(user.clone()));
+    sim.set_profiling(true);
+    assert_eq!(sim.run(u64::MAX / 2), CoSimStop::Halted);
+    let stats = sim.cpu_stats();
+    assert_eq!(user.borrow().breakdown().total, stats.cycles, "user sink saw every event");
+    assert_eq!(sim.guest_profile().unwrap().total_cycles(), stats.cycles);
+
+    // Turning profiling off keeps the user sink wired.
+    sim.set_profiling(false);
+    assert!(sim.guest_profile().is_none());
+
+    // And detaching everything restores the untraced fast path.
+    sim.detach_trace();
+}
+
+#[test]
+fn profiles_are_byte_identical_across_runs() {
+    let render = |p: usize| {
+        let image = cordic_hw_image(p);
+        let mut sim = CoSim::with_peripheral(&image, cordic_peripheral(p));
+        sim.set_profiling(true);
+        assert_eq!(sim.run(u64::MAX / 2), CoSimStop::Halted);
+        let profile = sim.guest_profile().unwrap();
+        let report = GuestReport::build(&image, &profile);
+        format!(
+            "{}\n{}\n{}\n{}",
+            report.to_collapsed(),
+            advise_text(&advise(&report)),
+            report.annotated_disassembly(&image, &profile),
+            profile.heatmap_text()
+        )
+    };
+    assert_eq!(render(4), render(4), "identical runs render identical profiles");
+}

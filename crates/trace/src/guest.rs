@@ -1,0 +1,293 @@
+//! Guest-program profiling: exact per-PC cycle attribution and FSL
+//! channel utilization, collected from the cycle-domain event stream.
+//!
+//! [`crate::Profile`] aggregates by instruction *class*; [`GuestProfile`]
+//! keeps the per-address resolution the paper's partitioning question
+//! needs ("which software regions should move into FPGA peripherals?").
+//! The analysis layers — basic-block discovery, label rollup, flamegraph
+//! export, the partition advisor — live in `softsim-profile`, which
+//! consumes this collector; this crate stays dependency-free and knows
+//! nothing about images or ISAs.
+
+use crate::event::{FifoDir, TraceEvent};
+use crate::sink::TraceSink;
+use std::collections::BTreeMap;
+
+/// Exact cycle attribution for one guest PC.
+///
+/// Every cycle the processor spends on an instruction lands in exactly
+/// one bucket: the issue (fetch/decode) cycle, FSL stall cycles, or
+/// execute cycles. `fetch + execute + read/write stalls == cycles`, and
+/// summing `cycles` over all PCs of a halted run reproduces the
+/// processor's own cycle counter exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PcAttribution {
+    /// Times an instruction at this PC retired.
+    pub retires: u64,
+    /// Total cycles charged to this PC (issue + execute + stalls).
+    pub cycles: u64,
+    /// Cycles stalled on blocking FSL reads.
+    pub read_stalls: u64,
+    /// Cycles stalled on blocking FSL writes.
+    pub write_stalls: u64,
+}
+
+impl PcAttribution {
+    /// Issue (fetch/decode) cycles: exactly one per retire on the
+    /// modeled single-issue pipeline.
+    pub fn fetch(&self) -> u64 {
+        self.retires
+    }
+
+    /// Execute cycles: total occupancy minus the issue cycle and FSL
+    /// stalls (multi-cycle ALU/memory/branch-flush occupancy).
+    pub fn execute(&self) -> u64 {
+        self.cycles - self.read_stalls - self.write_stalls - self.retires
+    }
+
+    /// Merges another attribution record into this one.
+    pub fn merge(&mut self, other: &PcAttribution) {
+        self.retires += other.retires;
+        self.cycles += other.cycles;
+        self.read_stalls += other.read_stalls;
+        self.write_stalls += other.write_stalls;
+    }
+}
+
+/// Per-PC cycle attribution plus windowed FSL utilization, collected
+/// live from the trace stream.
+///
+/// All internal maps are ordered, so iteration — and everything derived
+/// from it — is deterministic across runs.
+#[derive(Debug, Clone)]
+pub struct GuestProfile {
+    /// Per-PC attribution, keyed by instruction address.
+    pcs: BTreeMap<u32, PcAttribution>,
+    /// (direction index, channel) → cycle-window index → words pushed.
+    fsl_windows: BTreeMap<(u8, u8), BTreeMap<u64, u64>>,
+    /// Cycle-window size for the FSL utilization heatmap.
+    window: u64,
+    /// Highest window index observed on any channel.
+    last_window: u64,
+    total_cycles: u64,
+    total_retires: u64,
+}
+
+/// Default FSL heatmap window: 1024 cycles ≈ 20 µs at the paper's 50 MHz.
+pub const DEFAULT_FSL_WINDOW: u64 = 1024;
+
+impl Default for GuestProfile {
+    fn default() -> Self {
+        GuestProfile::new()
+    }
+}
+
+impl GuestProfile {
+    /// A collector with the default FSL heatmap window.
+    pub fn new() -> GuestProfile {
+        GuestProfile::with_window(DEFAULT_FSL_WINDOW)
+    }
+
+    /// A collector bucketing FSL traffic into `window`-cycle windows.
+    ///
+    /// # Panics
+    /// Panics if `window` is zero.
+    pub fn with_window(window: u64) -> GuestProfile {
+        assert!(window > 0, "FSL heatmap window must be non-zero");
+        GuestProfile {
+            pcs: BTreeMap::new(),
+            fsl_windows: BTreeMap::new(),
+            window,
+            last_window: 0,
+            total_cycles: 0,
+            total_retires: 0,
+        }
+    }
+
+    /// Per-PC attribution in address order.
+    pub fn pc_stats(&self) -> impl Iterator<Item = (u32, &PcAttribution)> {
+        self.pcs.iter().map(|(pc, s)| (*pc, s))
+    }
+
+    /// Attribution for one PC, if any instruction there retired.
+    pub fn pc_stat(&self, pc: u32) -> Option<&PcAttribution> {
+        self.pcs.get(&pc)
+    }
+
+    /// Total cycles attributed across all PCs.
+    pub fn total_cycles(&self) -> u64 {
+        self.total_cycles
+    }
+
+    /// Total instructions retired.
+    pub fn total_retires(&self) -> u64 {
+        self.total_retires
+    }
+
+    /// The heatmap window size in cycles.
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// Words pushed into the `(dir, channel)` FIFO per cycle window, in
+    /// window order. Windows without traffic are absent.
+    pub fn fsl_window_counts(&self, dir: FifoDir, channel: u8) -> Vec<(u64, u64)> {
+        self.fsl_windows
+            .get(&(dir_index(dir), channel))
+            .map(|m| m.iter().map(|(w, c)| (*w, *c)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Channels that saw traffic, as (direction, channel) pairs in
+    /// deterministic order.
+    pub fn fsl_channels(&self) -> Vec<(FifoDir, u8)> {
+        self.fsl_windows
+            .keys()
+            .map(|&(d, c)| (if d == 0 { FifoDir::ToHw } else { FifoDir::FromHw }, c))
+            .collect()
+    }
+
+    /// An ASCII heatmap of FSL channel utilization over cycle windows:
+    /// one row per (direction, channel), one cell per window, shaded by
+    /// words-per-window relative to the busiest cell.
+    pub fn heatmap_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        if self.fsl_windows.is_empty() {
+            out.push_str("no FSL traffic\n");
+            return out;
+        }
+        let peak =
+            self.fsl_windows.values().flat_map(|m| m.values()).copied().max().unwrap_or(1).max(1);
+        let _ = writeln!(
+            out,
+            "FSL utilization ({}-cycle windows, {} windows, peak {} words/window)",
+            self.window,
+            self.last_window + 1,
+            peak
+        );
+        const SHADES: [char; 5] = ['.', '-', '+', '*', '#'];
+        for (&(d, c), windows) in &self.fsl_windows {
+            let dir = if d == 0 { FifoDir::ToHw } else { FifoDir::FromHw };
+            let mut row = String::new();
+            for w in 0..=self.last_window {
+                let count = windows.get(&w).copied().unwrap_or(0);
+                let shade = if count == 0 {
+                    ' '
+                } else {
+                    // 1..=peak maps onto the five shades.
+                    let idx = ((count - 1) * SHADES.len() as u64 / peak) as usize;
+                    SHADES[idx.min(SHADES.len() - 1)]
+                };
+                row.push(shade);
+            }
+            let _ = writeln!(out, "  {:>7} ch{c} |{row}|", dir.label());
+        }
+        out
+    }
+
+    /// Folds the attribution of an instruction still in flight when the
+    /// run stopped (the ISS exposes it as `Cpu::in_flight`), so totals
+    /// reconcile exactly even for cycle-limited runs.
+    pub fn add_in_flight(&mut self, pc: u32, cycles: u32, read_stalls: u32, write_stalls: u32) {
+        let s = self.pcs.entry(pc).or_default();
+        s.cycles += cycles as u64;
+        s.read_stalls += read_stalls as u64;
+        s.write_stalls += write_stalls as u64;
+        self.total_cycles += cycles as u64;
+    }
+}
+
+fn dir_index(dir: FifoDir) -> u8 {
+    match dir {
+        FifoDir::ToHw => 0,
+        FifoDir::FromHw => 1,
+    }
+}
+
+impl TraceSink for GuestProfile {
+    fn event(&mut self, e: &TraceEvent) {
+        match *e {
+            TraceEvent::Retire { pc, cycles, read_stalls, write_stalls, .. } => {
+                let s = self.pcs.entry(pc).or_default();
+                s.retires += 1;
+                s.cycles += cycles as u64;
+                s.read_stalls += read_stalls as u64;
+                s.write_stalls += write_stalls as u64;
+                self.total_cycles += cycles as u64;
+                self.total_retires += 1;
+            }
+            TraceEvent::FifoPush { cycle, dir, channel, .. } => {
+                let w = cycle / self.window;
+                self.last_window = self.last_window.max(w);
+                *self
+                    .fsl_windows
+                    .entry((dir_index(dir), channel))
+                    .or_default()
+                    .entry(w)
+                    .or_default() += 1;
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn retire(pc: u32, cycles: u32, read: u32, write: u32) -> TraceEvent {
+        TraceEvent::Retire {
+            cycle: 0,
+            pc,
+            word: 0,
+            class: crate::event::InstClass::Alu,
+            cycles,
+            read_stalls: read,
+            write_stalls: write,
+        }
+    }
+
+    #[test]
+    fn attribution_buckets_sum_to_cycles() {
+        let mut g = GuestProfile::new();
+        g.event(&retire(0x10, 7, 2, 1));
+        g.event(&retire(0x10, 1, 0, 0));
+        let s = *g.pc_stat(0x10).unwrap();
+        assert_eq!(s.retires, 2);
+        assert_eq!(s.cycles, 8);
+        assert_eq!(s.fetch() + s.execute() + s.read_stalls + s.write_stalls, s.cycles);
+        assert_eq!(g.total_cycles(), 8);
+        assert_eq!(g.total_retires(), 2);
+    }
+
+    #[test]
+    fn fsl_windows_bucket_by_cycle() {
+        let mut g = GuestProfile::with_window(100);
+        for cycle in [5, 50, 150, 250, 255] {
+            g.event(&TraceEvent::FifoPush {
+                cycle,
+                dir: FifoDir::ToHw,
+                channel: 0,
+                data: 0,
+                control: false,
+                occupancy: 1,
+            });
+        }
+        assert_eq!(g.fsl_window_counts(FifoDir::ToHw, 0), vec![(0, 2), (1, 1), (2, 2)]);
+        assert_eq!(g.fsl_channels(), vec![(FifoDir::ToHw, 0)]);
+        let map = g.heatmap_text();
+        assert!(map.contains("to_hw ch0"), "{map}");
+    }
+
+    #[test]
+    fn in_flight_attribution_folds_in() {
+        let mut g = GuestProfile::new();
+        g.event(&retire(0x0, 3, 0, 0));
+        g.add_in_flight(0x4, 9, 9, 0);
+        assert_eq!(g.total_cycles(), 12);
+        let s = g.pc_stat(0x4).unwrap();
+        assert_eq!(s.retires, 0, "in-flight instruction has not retired");
+        assert_eq!(s.cycles, 9);
+    }
+}

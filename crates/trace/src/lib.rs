@@ -20,6 +20,9 @@
 //!   compute / FSL-read-stall / FSL-write-stall / memory cycle
 //!   breakdown, with totals that reconcile *exactly* against the
 //!   processor's own [`cycles`](Profile::total_cycles) counter;
+//! * [`GuestProfile`] — per-PC cycle and stall attribution plus windowed
+//!   FSL channel utilization, the raw material for basic-block hotspot
+//!   analysis and flamegraphs (the analysis lives in `softsim-profile`);
 //! * [`chrome`] — Chrome trace-event JSON (loadable in Perfetto /
 //!   `chrome://tracing`);
 //! * [`json`] — a minimal JSON reader so exports can be schema-checked
@@ -53,6 +56,7 @@
 
 pub mod chrome;
 mod event;
+mod guest;
 pub mod json;
 mod profile;
 mod recorder;
@@ -60,6 +64,7 @@ mod sink;
 mod timeline;
 
 pub use event::{BusKind, DetectorKind, FifoDir, InjectionSite, InstClass, StallCause, TraceEvent};
+pub use guest::{GuestProfile, PcAttribution, DEFAULT_FSL_WINDOW};
 pub use profile::{CycleBreakdown, PcStat, Profile};
 pub use recorder::Recorder;
 pub use sink::{shared, Fanout, NullSink, SharedSink, TraceSink};

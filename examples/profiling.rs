@@ -1,18 +1,61 @@
 //! Observability end to end: the CORDIC `P = 4` co-simulation traced
 //! with `softsim-trace` — stall attribution, hot PCs, instruction mix,
 //! FIFO occupancy timelines and a Chrome trace-event export you can load
-//! into Perfetto (`ui.perfetto.dev`) or `chrome://tracing`.
+//! into Perfetto (`ui.perfetto.dev`) or `chrome://tracing` — followed by
+//! the guest-program profiler: basic-block hotspots, collapsed-stack
+//! flamegraphs (load into `speedscope.app` or `flamegraph.pl`) and the
+//! HW/SW partition advisor's offload ranking.
 //!
 //! Run with: `cargo run --release --example profiling`
 
 use softsim::apps::cordic::hardware::cordic_peripheral;
 use softsim::apps::cordic::reference::to_fix;
-use softsim::apps::cordic::software::{hw_program, CordicBatch};
+use softsim::apps::cordic::software::{hw_program, sw_program, CordicBatch, SwStyle};
+use softsim::apps::matmul::reference::Matrix;
+use softsim::apps::matmul::software as mm_sw;
 use softsim::cosim::{CoSim, CoSimStop};
 use softsim::isa::asm::assemble;
+use softsim::isa::Image;
+use softsim::profile::{advise, advise_text, GuestReport};
 use softsim::trace::{chrome, shared, Fanout, FifoDir, Profile, Recorder, Timeline};
 use std::cell::RefCell;
 use std::rc::Rc;
+
+/// Runs `image` under the guest profiler and prints the hotspot report:
+/// top-10 hot blocks, the flamegraph path and the advisor's ranking.
+fn profile_guest(title: &str, slug: &str, image: &Image) {
+    let mut sim = CoSim::software_only(image);
+    sim.set_profiling(true);
+    assert_eq!(sim.run(u64::MAX / 2), CoSimStop::Halted);
+    let guest = sim.guest_profile().expect("profiling on");
+    let stats = sim.cpu_stats();
+    assert_eq!(guest.total_cycles(), stats.cycles, "profile must reconcile");
+    let report = GuestReport::build(image, &guest);
+
+    println!("\n=== {title}: {} cycles, {} instructions ===", stats.cycles, stats.instructions);
+    println!("top 10 hot blocks:");
+    for b in report.hot_blocks(10) {
+        println!(
+            "  {:<16} {:>6x}..{:<6x} {:>8} cycles {:>6} visits  {:>5.1}%",
+            b.name,
+            b.block.start,
+            b.block.end,
+            b.cycles,
+            b.visits,
+            b.cycles as f64 / stats.cycles.max(1) as f64 * 100.0
+        );
+    }
+
+    // Collapsed-stack flamegraph: one `region;block cycles` line per
+    // block — feed straight into speedscope or flamegraph.pl.
+    std::fs::create_dir_all("target/trace").expect("mkdir");
+    let path = format!("target/trace/{slug}.collapsed");
+    std::fs::write(&path, report.to_collapsed()).expect("write flamegraph");
+    println!("wrote {path} (collapsed stacks; load into speedscope.app)");
+
+    println!("partition advisor (score = cycles - estimated FSL cost):");
+    print!("{}", advise_text(&advise(&report)));
+}
 
 fn main() {
     let p = 4;
@@ -71,4 +114,15 @@ fn main() {
          wrote target/trace/cordic_p4_fifo.csv (FIFO occupancy timeline)",
         events.len()
     );
+
+    // Part two: the guest-program profiler on the two paper workloads —
+    // where do the cycles go *inside* the software, and what does the
+    // advisor say about moving it into hardware?
+    let cordic_sw =
+        assemble(&sw_program(&batch, iterations, SwStyle::Compiled)).expect("assembles");
+    profile_guest("CORDIC division, pure software", "cordic_sw", &cordic_sw);
+
+    let (a, b) = (Matrix::test_pattern(8, 7), Matrix::test_pattern(8, 8));
+    let matmul = assemble(&mm_sw::sw_program(&a, &b)).expect("assembles");
+    profile_guest("matmul 8x8, pure software", "matmul_sw", &matmul);
 }

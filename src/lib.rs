@@ -50,6 +50,7 @@ pub use softsim_energy as energy;
 pub use softsim_isa as isa;
 pub use softsim_iss as iss;
 pub use softsim_metrics as metrics;
+pub use softsim_profile as profile;
 pub use softsim_resilience as resilience;
 pub use softsim_resource as resource;
 pub use softsim_rtl as rtl;
