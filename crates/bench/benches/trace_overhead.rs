@@ -26,6 +26,14 @@
 //! so a profiler-off co-simulation does strictly less work than the
 //! identical profiler-on run and must stay within 2% of it.
 //!
+//! Campaign journaling is the last guard: a plain in-memory campaign
+//! (journaling off — the default `run_campaign` path) sweeps the same
+//! seeded plan as the durable journaled runner, which additionally
+//! encodes and appends every trial to an `SSJL` journal. The plain run
+//! does strictly less work and must stay within 2% of the journaled
+//! one — durability costs nothing when you do not ask for it — and the
+//! two reports are asserted byte-identical first.
+//!
 //! Samples are interleaved (A,B,A,B,...) so frequency scaling and cache
 //! warm-up hit both configurations equally, and minima are compared
 //! (minimum wall time is the standard low-noise estimator for
@@ -109,8 +117,30 @@ fn run_cosim_profiling(on: bool) -> Duration {
     wall
 }
 
+fn run_campaign_plain() -> Duration {
+    // Journaling off: the default in-memory campaign over the durable
+    // bench's seeded plan. Plan construction is included on both sides,
+    // so the ratio isolates the journaling delta.
+    use softsim_bench::faults::{cordic_campaign, REPORT_SEED};
+    let start = Instant::now();
+    let report = cordic_campaign(REPORT_SEED, softsim_bench::durable::DURABLE_TRIALS);
+    let wall = start.elapsed();
+    black_box(report.trials.len());
+    wall
+}
+
+fn run_campaign_journaled(journal: &std::path::Path) -> Duration {
+    let start = Instant::now();
+    let report = softsim_bench::durable::durable_cordic_campaign(journal, false, 1);
+    let wall = start.elapsed();
+    black_box(report.trials.len());
+    wall
+}
+
 fn main() {
     let img = softsim_bench::workloads::cordic_sw_image(24);
+    let journal =
+        std::env::temp_dir().join(format!("softsim_overhead_{}.ssjl", std::process::id()));
     // Warm-up all paths.
     run_untraced(&img);
     run_null_traced(&img);
@@ -119,6 +149,18 @@ fn main() {
     run_cosim_ecc(true);
     run_cosim_profiling(false);
     run_cosim_profiling(true);
+    run_campaign_plain();
+    run_campaign_journaled(&journal);
+    // The journaled report must be the plain report, byte for byte —
+    // the overhead comparison is only meaningful between equal runs.
+    assert_eq!(
+        softsim_bench::faults::cordic_campaign(
+            softsim_bench::faults::REPORT_SEED,
+            softsim_bench::durable::DURABLE_TRIALS,
+        ),
+        softsim_bench::durable::durable_cordic_campaign(&journal, false, 1),
+        "plain and journaled campaigns must agree bit for bit"
+    );
     let mut untraced = Vec::with_capacity(SAMPLES);
     let mut nulled = Vec::with_capacity(SAMPLES);
     let mut metrics_off = Vec::with_capacity(SAMPLES);
@@ -126,6 +168,8 @@ fn main() {
     let mut ecc_on = Vec::with_capacity(SAMPLES);
     let mut prof_off = Vec::with_capacity(SAMPLES);
     let mut prof_on = Vec::with_capacity(SAMPLES);
+    let mut journal_off = Vec::with_capacity(SAMPLES);
+    let mut journal_on = Vec::with_capacity(SAMPLES);
     for _ in 0..SAMPLES {
         untraced.push(run_untraced(&img));
         nulled.push(run_null_traced(&img));
@@ -134,7 +178,10 @@ fn main() {
         ecc_on.push(run_cosim_ecc(true));
         prof_off.push(run_cosim_profiling(false));
         prof_on.push(run_cosim_profiling(true));
+        journal_off.push(run_campaign_plain());
+        journal_on.push(run_campaign_journaled(&journal));
     }
+    let _ = std::fs::remove_file(&journal);
     let best_untraced = *untraced.iter().min().unwrap();
     let best_nulled = *nulled.iter().min().unwrap();
     let best_metrics_off = *metrics_off.iter().min().unwrap();
@@ -186,4 +233,17 @@ fn main() {
          (off {best_prof_off:?} vs on {best_prof_on:?}, ratio {ratio:.4})"
     );
     println!("ok: profiler-off overhead within 2%");
+    let best_journal_off = *journal_off.iter().min().unwrap();
+    let best_journal_on = *journal_on.iter().min().unwrap();
+    let ratio = best_journal_off.as_secs_f64() / best_journal_on.as_secs_f64();
+    println!(
+        "journaling overhead guard: journaling-off {best_journal_off:?}, \
+         journaled {best_journal_on:?}, off/on ratio {ratio:.4}"
+    );
+    assert!(
+        ratio <= 1.02,
+        "journaling-off campaign must stay within 2% of the journaled run \
+         (off {best_journal_off:?} vs journaled {best_journal_on:?}, ratio {ratio:.4})"
+    );
+    println!("ok: journaling-off overhead within 2%");
 }

@@ -3,7 +3,8 @@
 //! Usage: `tables [--fig5] [--fig7] [--table1] [--table2] [--claims]
 //! [--ablation] [--profile] [--faults] [--metrics] [--all]
 //! [--csv [DIR]] [--bench-json [PATH]] [--speedup-json [PATH]]
-//! [--recovery [PATH]] [--hotspots [PATH]] [--record [PATH]]`
+//! [--recovery [PATH]] [--hotspots [PATH]] [--durable-json [PATH]]
+//! [--journal [PATH]] [--resume] [--record [PATH]]`
 //!
 //! Run in release mode — the Table I / Table II rows, `--bench-json`
 //! and `--speedup-json` measure wall-clock simulation speed.
@@ -23,6 +24,16 @@
 //!   (`BENCH_0006.json` by default) — per-workload hot basic blocks and
 //!   partition-advisor rankings, cycle-exact and byte-reproducible
 //!   across machines and `SOFTSIM_SWEEP_WORKERS` values.
+//! * `--durable-json` writes the durable-campaign record
+//!   (`BENCH_0007.json` by default) — journaled execution with
+//!   interrupt-and-resume byte-identity, worker invariance and the
+//!   trial-isolation demo, cycle-exact and byte-reproducible.
+//! * `--journal [PATH]` (default `target/campaign.ssjl`) switches
+//!   `--faults` and `--recovery` to the crash-resumable journaled
+//!   runners: every completed trial is appended to the `SSJL` journal
+//!   at PATH (`PATH.recovery` for the recovery campaign). Kill the run
+//!   at any point, then pass `--resume` to pick up where it died — the
+//!   finished report is byte-identical to an uninterrupted run.
 //! * `--record` writes the deterministic record (`tables_output.txt` by
 //!   default) — every cycle-exact section, no wall-clock numbers — the
 //!   file CI asserts is up to date. Set `SOFTSIM_SWEEP_WORKERS=1` to
@@ -65,8 +76,17 @@ fn main() {
     if want("--profile") {
         println!("{}", tables::profile_text());
     }
+    let journal = operand("--journal", "target/campaign.ssjl");
+    let resume = args.iter().any(|a| a == "--resume");
+
     if want("--faults") {
-        println!("{}", softsim_bench::faults::faults_text());
+        match &journal {
+            Some(path) => println!(
+                "{}",
+                softsim_bench::durable::durable_faults_text(std::path::Path::new(path), resume)
+            ),
+            None => println!("{}", softsim_bench::faults::faults_text()),
+        }
     }
     if want("--metrics") {
         println!("{}", tables::metrics_text());
@@ -91,13 +111,32 @@ fn main() {
         println!("wrote {path}");
     }
     if let Some(path) = operand("--recovery", "BENCH_0005.json") {
-        softsim_bench::recover::write_recovery_json(std::path::Path::new(&path))
-            .expect("write recovery JSON");
-        println!("wrote {path}");
+        match &journal {
+            Some(j) => {
+                let jpath = format!("{j}.recovery");
+                println!(
+                    "{}",
+                    softsim_bench::durable::durable_recovery_text(
+                        std::path::Path::new(&jpath),
+                        resume,
+                    )
+                );
+            }
+            None => {
+                softsim_bench::recover::write_recovery_json(std::path::Path::new(&path))
+                    .expect("write recovery JSON");
+                println!("wrote {path}");
+            }
+        }
     }
     if let Some(path) = operand("--hotspots", "BENCH_0006.json") {
         softsim_bench::hotspots::write_hotspots_json(std::path::Path::new(&path))
             .expect("write hotspots JSON");
+        println!("wrote {path}");
+    }
+    if let Some(path) = operand("--durable-json", "BENCH_0007.json") {
+        softsim_bench::durable::write_durable_json(std::path::Path::new(&path))
+            .expect("write durable JSON");
         println!("wrote {path}");
     }
     if let Some(path) = operand("--record", "tables_output.txt") {

@@ -40,7 +40,7 @@ pub(crate) fn golden_cycles(mut sim: CoSim) -> u64 {
 /// The CORDIC campaign's injection plan plus the observable window
 /// (result base address, word count) — shared by the serial and
 /// parallel runners so both sweep the identical schedule.
-fn cordic_plan(seed: u64, trials: usize) -> (Vec<Injection>, u32, usize) {
+pub(crate) fn cordic_plan(seed: u64, trials: usize) -> (Vec<Injection>, u32, usize) {
     let img = cordic_hw_image(CORDIC_ITERS, CORDIC_P);
     let base = img.symbol("z_data").expect("cordic result label");
     let n = crate::workloads::cordic_batch().len();

@@ -13,6 +13,7 @@
 
 #![warn(missing_docs)]
 
+pub mod durable;
 pub mod faults;
 pub mod harness;
 pub mod hotspots;

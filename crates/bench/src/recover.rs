@@ -120,7 +120,7 @@ impl RecoveryRow {
 }
 
 /// The hardened CORDIC co-simulator of one matrix row.
-fn cordic_sim(h: Hardening) -> CoSim {
+pub(crate) fn cordic_sim(h: Hardening) -> CoSim {
     crate::workloads::cordic_cosim_hardened(CORDIC_ITERS, CORDIC_P, h.ecc, h.tmr)
 }
 
@@ -133,7 +133,7 @@ fn matmul_sim(h: Hardening) -> CoSim {
 /// derived from the *unhardened* golden run so all four hardenings
 /// sweep the identical fault schedule and the conversion rates compare
 /// like for like.
-fn cordic_plan(seed: u64, trials: usize) -> (Vec<Injection>, u32, usize) {
+pub(crate) fn cordic_plan(seed: u64, trials: usize) -> (Vec<Injection>, u32, usize) {
     let img = crate::workloads::cordic_hw_image(CORDIC_ITERS, CORDIC_P);
     let base = img.symbol("z_data").expect("cordic result label");
     let n = crate::workloads::cordic_batch().len();

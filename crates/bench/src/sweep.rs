@@ -10,6 +10,25 @@
 //! are shared between threads; determinism follows from each point
 //! being a pure function of its input plus the merge order being the
 //! input order, independent of thread scheduling.
+//!
+//! Panics are isolated per item: a point whose evaluation panics does
+//! not tear down its worker or discard the rest of the plan.
+//! [`parallel_try_map`] surfaces each panic as a typed `Err` alongside
+//! every other item's result; [`parallel_map`] finishes the whole sweep
+//! first and only then re-raises the first panic.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Best-effort string rendering of a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Evaluates `f` over `items` on up to `workers` scoped threads and
 /// returns the results in input order.
@@ -19,21 +38,60 @@
 /// position-preserving by construction. `workers` is clamped to
 /// `1..=items.len()`; with one worker (or one item) this degenerates to
 /// a plain serial map on the calling thread.
+///
+/// # Panics
+/// If `f` panics on any item, every *other* item still completes (each
+/// evaluation is isolated with `catch_unwind`), and the first panic is
+/// re-raised on the calling thread once the sweep has drained — not
+/// mid-plan, and never as a worker-thread abort that silently drops the
+/// remaining slice. Callers that want the surviving results instead use
+/// [`parallel_try_map`].
 pub fn parallel_map<T, R>(items: Vec<T>, workers: usize, f: impl Fn(T) -> R + Sync) -> Vec<R>
 where
     T: Send,
     R: Send,
 {
+    let results = parallel_try_map(items, workers, f);
+    let mut out = Vec::with_capacity(results.len());
+    let mut first_panic = None;
+    for r in results {
+        match r {
+            Ok(v) => out.push(v),
+            Err(msg) => {
+                first_panic.get_or_insert(msg);
+            }
+        }
+    }
+    if let Some(msg) = first_panic {
+        panic!("sweep item panicked: {msg}");
+    }
+    out
+}
+
+/// [`parallel_map`] with per-item panic isolation surfaced to the
+/// caller: each result is `Ok(f(item))`, or `Err(panic_message)` when
+/// evaluating that item panicked. All items are always evaluated, in
+/// input order, whatever any of them does.
+pub fn parallel_try_map<T, R>(
+    items: Vec<T>,
+    workers: usize,
+    f: impl Fn(T) -> R + Sync,
+) -> Vec<Result<R, String>>
+where
+    T: Send,
+    R: Send,
+{
+    let guarded = |item: T| catch_unwind(AssertUnwindSafe(|| f(item))).map_err(panic_message);
     let n = items.len();
     let workers = workers.clamp(1, n.max(1));
     if workers == 1 {
-        return items.into_iter().map(f).collect();
+        return items.into_iter().map(guarded).collect();
     }
     let chunk = n.div_ceil(workers);
-    let mut out: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
+    let mut out: Vec<Option<Result<R, String>>> = std::iter::repeat_with(|| None).take(n).collect();
     let mut items = items;
     std::thread::scope(|scope| {
-        let f = &f;
+        let guarded = &guarded;
         let mut slots = out.as_mut_slice();
         while !slots.is_empty() {
             let take = chunk.min(slots.len());
@@ -42,7 +100,7 @@ where
             let chunk_items: Vec<T> = items.drain(..take).collect();
             scope.spawn(move || {
                 for (slot, item) in slot_chunk.iter_mut().zip(chunk_items) {
-                    *slot = Some(f(item));
+                    *slot = Some(guarded(item));
                 }
             });
         }
@@ -81,5 +139,43 @@ mod tests {
     fn empty_and_single_item_sweeps_work() {
         assert_eq!(parallel_map(Vec::<u32>::new(), 8, |x| x), Vec::<u32>::new());
         assert_eq!(parallel_map(vec![9], 8, |x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn mid_plan_panic_still_yields_every_other_item() {
+        let items: Vec<u64> = (0..23).collect();
+        for workers in [1, 3, 8] {
+            let results = parallel_try_map(items.clone(), workers, |x| {
+                assert!(x != 11, "poison item");
+                x * 2
+            });
+            assert_eq!(results.len(), items.len(), "no item was dropped");
+            for (i, r) in results.iter().enumerate() {
+                if i == 11 {
+                    let msg = r.as_ref().expect_err("poison item surfaces its panic");
+                    assert!(msg.contains("poison item"), "panic message preserved: {msg}");
+                } else {
+                    assert_eq!(r.as_ref().unwrap(), &(i as u64 * 2));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_map_reraises_after_draining() {
+        let evaluated = std::sync::atomic::AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            parallel_map((0..16u32).collect(), 4, |x| {
+                evaluated.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                assert!(x != 3, "boom");
+                x
+            })
+        }));
+        assert!(result.is_err(), "the panic still propagates");
+        assert_eq!(
+            evaluated.load(std::sync::atomic::Ordering::SeqCst),
+            16,
+            "every item was evaluated before the re-raise"
+        );
     }
 }

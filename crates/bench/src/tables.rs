@@ -719,6 +719,7 @@ pub fn record_text() -> String {
         crate::hotspots::hotspots_text(),
         crate::faults::faults_text(),
         crate::recover::recovery_text(),
+        crate::durable::durable_text(),
         ablation_fsl_vs_opb_text(),
         ablation_configurations_text(),
         lpc_text(),

@@ -47,3 +47,20 @@ fn committed_hotspot_record_matches_fresh_output() {
          `cargo run --release -p softsim-bench --bin tables -- --hotspots`"
     );
 }
+
+/// `BENCH_0007.json` records the durable-campaign invariants
+/// (interrupt-and-resume identity, worker invariance, trial isolation)
+/// with cycle-exact numbers only, so it too must match a fresh
+/// derivation byte for byte on any machine and at any
+/// `SOFTSIM_SWEEP_WORKERS` value.
+#[test]
+fn committed_durable_record_matches_fresh_output() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_0007.json");
+    let committed = std::fs::read_to_string(path).expect("BENCH_0007.json must be committed");
+    assert_eq!(
+        committed,
+        softsim_bench::durable::durable_json(),
+        "BENCH_0007.json is stale — regenerate with \
+         `cargo run --release -p softsim-bench --bin tables -- --durable-json`"
+    );
+}

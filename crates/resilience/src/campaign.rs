@@ -8,13 +8,23 @@
 //! corruption — halts with different observables), *deadlock* (the
 //! liveness watchdog fired, or the padded cycle budget expired), and
 //! *fault* (the processor trapped).
+//!
+//! Two further outcomes make long campaigns robust rather than brittle:
+//! *budget* (an explicit per-trial cycle or wall-clock budget cancelled
+//! a runaway trial — graceful degradation instead of an unbounded run)
+//! and *harness-error* (the harness itself panicked inside the trial;
+//! the panic is caught, optionally retried with exponential backoff,
+//! and recorded — one bad trial can no longer poison a campaign or
+//! tear down a worker thread).
 
 use crate::inject::{Injection, Injector};
 use softsim_cosim::{CoSim, CoSimState, CoSimStop};
 use softsim_iss::CpuStats;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
 
 /// SEU outcome classification of one fault-injection trial.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Outcome {
     /// The program halted and the observed results match the golden run.
     Masked,
@@ -26,17 +36,39 @@ pub enum Outcome {
     Deadlock,
     /// The processor raised an architectural fault.
     Fault,
+    /// An explicit per-trial budget — [`CampaignConfig::trial_cycle_budget`]
+    /// or [`CampaignConfig::trial_wall_budget`] — cancelled the trial
+    /// before the padded campaign budget would have. The design was
+    /// still running; the harness chose to stop it.
+    Budget,
+    /// The harness itself panicked while running the trial (not the
+    /// design under test — the simulated program trapping is
+    /// [`Outcome::Fault`]). The panic was caught, the configured
+    /// retries were exhausted, and the trial was abandoned; sibling
+    /// trials are unaffected.
+    HarnessError {
+        /// The panic payload, when it was a string (the common case).
+        panic_msg: String,
+    },
 }
 
 impl Outcome {
     /// Short lower-case label for reports.
-    pub fn label(self) -> &'static str {
+    pub fn label(&self) -> &'static str {
         match self {
             Outcome::Masked => "masked",
             Outcome::Sdc => "sdc",
             Outcome::Deadlock => "deadlock",
             Outcome::Fault => "fault",
+            Outcome::Budget => "budget",
+            Outcome::HarnessError { .. } => "harness-error",
         }
+    }
+
+    /// True for the four SEU design classifications (everything except
+    /// the harness-side [`Outcome::Budget`] / [`Outcome::HarnessError`]).
+    pub fn is_design_outcome(&self) -> bool {
+        !matches!(self, Outcome::Budget | Outcome::HarnessError { .. })
     }
 }
 
@@ -59,6 +91,10 @@ pub struct Trial {
     pub stop: CoSimStop,
     /// Outcome classification.
     pub outcome: Outcome,
+    /// Harness retries this trial consumed (0 for the normal
+    /// first-attempt success; panicking trials count every retry
+    /// whether or not one eventually succeeded).
+    pub retries: u32,
     /// Processor statistics at the end of the trial.
     pub cpu_stats: CpuStats,
     /// Hardware statistics at the end of the trial.
@@ -84,6 +120,30 @@ pub struct CampaignConfig {
     /// trials just stop burning one step per watchdog cycle. On by
     /// default.
     pub fast_forward: bool,
+    /// Explicit per-trial cycle budget, counted from the injection
+    /// point. A trial still running this many cycles after its fault
+    /// was applied is cancelled and classified [`Outcome::Budget`]
+    /// (deterministically — the cap composes with the watchdog and the
+    /// padded budget, whichever fires first wins). `None` (the default)
+    /// keeps the legacy behavior: only the padded budget bounds a
+    /// trial, and its expiry still classifies as [`Outcome::Deadlock`].
+    pub trial_cycle_budget: Option<u64>,
+    /// Wall-clock budget per trial, measured from the injection point.
+    /// Runaway trials are cancelled into [`Outcome::Budget`] at the
+    /// next execution-slice boundary. Inherently machine-dependent —
+    /// leave `None` (the default) for byte-reproducible reports; the
+    /// deterministic alternative is [`CampaignConfig::trial_cycle_budget`].
+    pub trial_wall_budget: Option<Duration>,
+    /// Harness-panic retries per trial before the trial is abandoned as
+    /// [`Outcome::HarnessError`]. Retries target *transient* harness
+    /// failures; a deterministic panic (e.g.
+    /// [`crate::FaultKind::HarnessPanic`]) fails every attempt and is
+    /// abandoned after this many extra tries.
+    pub max_trial_retries: u32,
+    /// Base delay of the bounded exponential backoff between harness
+    /// retries (doubled per attempt). `Duration::ZERO` (the default)
+    /// retries immediately.
+    pub retry_backoff: Duration,
 }
 
 impl Default for CampaignConfig {
@@ -93,8 +153,29 @@ impl Default for CampaignConfig {
             budget_factor: 4,
             budget_floor: 50_000,
             fast_forward: true,
+            trial_cycle_budget: None,
+            trial_wall_budget: None,
+            max_trial_retries: 1,
+            retry_backoff: Duration::ZERO,
         }
     }
+}
+
+/// Coverage accounting of a campaign — the honest-partial-results view
+/// a durable (resumable) run reports. Derived entirely from the trial
+/// records, so a resumed report and an uninterrupted one always agree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Coverage {
+    /// Trials with a design classification (masked / SDC / deadlock /
+    /// fault).
+    pub completed: usize,
+    /// Trials an explicit cycle or wall-clock budget cancelled.
+    pub budget: usize,
+    /// Trials abandoned after harness panics exhausted their retries.
+    pub abandoned: usize,
+    /// Trials that consumed at least one harness retry (whatever their
+    /// final outcome).
+    pub retried: usize,
 }
 
 /// The result of a whole campaign.
@@ -109,7 +190,10 @@ pub struct CampaignReport {
 }
 
 impl CampaignReport {
-    /// Trial counts as `(masked, sdc, deadlock, fault)`.
+    /// Trial counts as `(masked, sdc, deadlock, fault)` — the four SEU
+    /// design classes. Harness-side outcomes ([`Outcome::Budget`],
+    /// [`Outcome::HarnessError`]) are not design classes and are
+    /// reported by [`CampaignReport::coverage`] instead.
     pub fn counts(&self) -> (usize, usize, usize, usize) {
         let mut c = (0, 0, 0, 0);
         for t in &self.trials {
@@ -118,6 +202,23 @@ impl CampaignReport {
                 Outcome::Sdc => c.1 += 1,
                 Outcome::Deadlock => c.2 += 1,
                 Outcome::Fault => c.3 += 1,
+                Outcome::Budget | Outcome::HarnessError { .. } => {}
+            }
+        }
+        c
+    }
+
+    /// Completed / budget-cancelled / abandoned / retried accounting.
+    pub fn coverage(&self) -> Coverage {
+        let mut c = Coverage::default();
+        for t in &self.trials {
+            match t.outcome {
+                Outcome::Budget => c.budget += 1,
+                Outcome::HarnessError { .. } => c.abandoned += 1,
+                _ => c.completed += 1,
+            }
+            if t.retries > 0 {
+                c.retried += 1;
             }
         }
         c
@@ -127,6 +228,7 @@ impl CampaignReport {
     pub fn text(&self, title: &str) -> String {
         use std::fmt::Write;
         let (masked, sdc, deadlock, fault) = self.counts();
+        let cov = self.coverage();
         let total = self.trials.len().max(1);
         let pct = |n: usize| 100.0 * n as f64 / total as f64;
         let mut s = String::new();
@@ -142,6 +244,17 @@ impl CampaignReport {
         let _ = writeln!(s, "    sdc:      {sdc:5}  ({:5.1}%)", pct(sdc));
         let _ = writeln!(s, "    deadlock: {deadlock:5}  ({:5.1}%)", pct(deadlock));
         let _ = writeln!(s, "    fault:    {fault:5}  ({:5.1}%)", pct(fault));
+        if cov.budget > 0 {
+            let _ = writeln!(s, "    budget:   {:5}  ({:5.1}%)", cov.budget, pct(cov.budget));
+        }
+        if cov.abandoned > 0 {
+            let _ = writeln!(s, "    harness:  {:5}  ({:5.1}%)", cov.abandoned, pct(cov.abandoned));
+        }
+        let _ = writeln!(
+            s,
+            "  coverage: {} completed, {} budget-cancelled, {} abandoned, {} retried",
+            cov.completed, cov.budget, cov.abandoned, cov.retried
+        );
         s
     }
 }
@@ -156,8 +269,11 @@ impl CampaignReport {
 ///
 /// Every trial: restore the initial checkpoint, step to the injection
 /// cycle, apply the fault, arm the watchdog, run under the padded
-/// budget, classify. The whole procedure is deterministic: an identical
-/// `sim`, `plan` and `observe` produce a byte-identical report.
+/// budget, classify. A trial that panics the harness is caught and
+/// classified [`Outcome::HarnessError`] — subsequent trials still run.
+/// The whole procedure is deterministic (wall-clock budgets aside): an
+/// identical `sim`, `plan` and `observe` produce a byte-identical
+/// report.
 ///
 /// # Panics
 /// Panics if the golden run does not halt within the configured budget
@@ -175,8 +291,9 @@ pub fn run_campaign(
 
     let mut trials = Vec::with_capacity(plan.len());
     for &injection in plan {
-        trials.push(run_trial(
+        trials.push(run_trial_guarded(
             sim,
+            None,
             &initial,
             injection,
             budget,
@@ -204,7 +321,10 @@ pub fn run_campaign(
 /// `make_sim` builds one fresh co-simulator per worker (a [`CoSim`]
 /// holds non-`Send` observers, so simulators cannot migrate across
 /// threads); each must have the same image and peripheral shape. The
-/// golden run executes once, on the calling thread.
+/// golden run executes once, on the calling thread. A trial that
+/// panics the harness is caught inside the worker and classified
+/// [`Outcome::HarnessError`] — the worker rebuilds its simulator via
+/// `make_sim` and keeps draining its share of the plan.
 ///
 /// # Panics
 /// Panics if the golden run does not halt within the configured budget
@@ -243,9 +363,11 @@ pub fn run_campaign_parallel(
             scope.spawn(move || {
                 let mut sim = make_sim();
                 sim.set_fast_forward(config.fast_forward);
+                let rebuild: &dyn Fn() -> CoSim = make_sim;
                 for (slot, &injection) in slot_chunk.iter_mut().zip(plan_chunk) {
-                    *slot = Some(run_trial(
+                    *slot = Some(run_trial_guarded(
                         &mut sim,
+                        Some(rebuild),
                         initial,
                         injection,
                         budget,
@@ -263,7 +385,7 @@ pub fn run_campaign_parallel(
 
 /// The golden (fault-free) reference run: returns its cycle count, its
 /// observables and the padded per-trial budget derived from it.
-fn golden_run(
+pub(crate) fn golden_run(
     sim: &mut CoSim,
     observe: &impl Fn(&CoSim) -> Vec<u32>,
     config: CampaignConfig,
@@ -277,17 +399,93 @@ fn golden_run(
     (golden_cycles, golden_observed, budget)
 }
 
+/// Best-effort string rendering of a caught panic payload.
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Execution-slice width (cycles) used when a wall-clock deadline is
+/// armed: the deadline is checked between slices, so a runaway trial is
+/// cancelled within one slice of the deadline. Slicing is invisible to
+/// the simulation (`run(a)` then `run(b)` is bit-identical to
+/// `run(a + b)`), so arming a wall budget never changes what a trial
+/// that finishes in time computes.
+const WALL_SLICE: u64 = 16_384;
+
+/// [`run_trial`] wrapped in [`catch_unwind`]: a panicking trial is
+/// retried up to `config.max_trial_retries` times with bounded
+/// exponential backoff, then abandoned as [`Outcome::HarnessError`].
+/// `rebuild` (the parallel runners' `make_sim`) replaces a simulator
+/// the panic may have left inconsistent; the serial runner passes
+/// `None` and relies on the next trial's checkpoint restore.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_trial_guarded(
+    sim: &mut CoSim,
+    rebuild: Option<&dyn Fn() -> CoSim>,
+    initial: &CoSimState,
+    injection: Injection,
+    budget: u64,
+    golden_observed: &[u32],
+    observe: &(impl Fn(&CoSim) -> Vec<u32> + ?Sized),
+    config: CampaignConfig,
+) -> Trial {
+    let mut attempt = 0u32;
+    loop {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_trial(sim, initial, injection, budget, golden_observed, observe, config)
+        }));
+        match result {
+            Ok(mut trial) => {
+                trial.retries = attempt;
+                return trial;
+            }
+            Err(payload) => {
+                let panic_msg = panic_message(payload);
+                if let Some(make) = rebuild {
+                    // The panic may have unwound mid-step; a fresh
+                    // simulator is the only state guaranteed clean.
+                    *sim = make();
+                    sim.set_fast_forward(config.fast_forward);
+                }
+                if attempt >= config.max_trial_retries {
+                    return Trial {
+                        injection,
+                        applied: false,
+                        stop: CoSimStop::CycleLimit { blocked: None },
+                        outcome: Outcome::HarnessError { panic_msg },
+                        retries: attempt,
+                        cpu_stats: CpuStats::default(),
+                        hw_stats: softsim_cosim::HwStats::default(),
+                    };
+                }
+                let backoff = config.retry_backoff.saturating_mul(1u32 << attempt.min(16));
+                if !backoff.is_zero() {
+                    std::thread::sleep(backoff);
+                }
+                attempt += 1;
+            }
+        }
+    }
+}
+
 /// One injection trial, the procedure both runners share: restore the
 /// initial checkpoint, run to the injection cycle (a fault this early is
 /// impossible fault-free, but cheap to guard), apply the fault, arm the
-/// watchdog, run under the padded budget, classify.
+/// watchdog, run under the padded budget — tightened by the explicit
+/// per-trial budgets when configured — and classify.
 fn run_trial(
     sim: &mut CoSim,
     initial: &CoSimState,
     injection: Injection,
     budget: u64,
     golden_observed: &[u32],
-    observe: &impl Fn(&CoSim) -> Vec<u32>,
+    observe: &(impl Fn(&CoSim) -> Vec<u32> + ?Sized),
     config: CampaignConfig,
 ) -> Trial {
     sim.load_state(initial);
@@ -300,17 +498,26 @@ fn run_trial(
         CoSimStop::CycleLimit { .. } => None,
         stop => Some(stop),
     };
-    let (applied, stop) = match early_stop {
-        Some(stop) => (false, stop),
+    let (applied, stop, budget_cancelled) = match early_stop {
+        Some(stop) => (false, stop, false),
         None => {
             let applied = Injector::apply(sim, injection.kind);
             sim.set_watchdog(config.watchdog_threshold);
-            (applied, sim.run(budget - sim.cpu().stats().cycles.min(budget)))
+            let deadline = config.trial_wall_budget.map(|d| Instant::now() + d);
+            // Absolute-cycle cap: the padded campaign budget, tightened
+            // by the explicit per-trial budget counted from injection.
+            let cap = match config.trial_cycle_budget {
+                Some(tcb) => budget.min(sim.cpu().stats().cycles.saturating_add(tcb)),
+                None => budget,
+            };
+            let (stop, cancelled) = run_capped(sim, cap, cap < budget, deadline);
+            (applied, stop, cancelled)
         }
     };
     let outcome = match &stop {
         CoSimStop::Halted if observe(sim) == golden_observed => Outcome::Masked,
         CoSimStop::Halted => Outcome::Sdc,
+        CoSimStop::CycleLimit { .. } if budget_cancelled => Outcome::Budget,
         CoSimStop::Deadlock { .. } | CoSimStop::CycleLimit { .. } => Outcome::Deadlock,
         CoSimStop::Fault(_) => Outcome::Fault,
     };
@@ -319,7 +526,52 @@ fn run_trial(
         applied,
         stop,
         outcome,
+        retries: 0,
         cpu_stats: sim.cpu().stats(),
         hw_stats: sim.hw_stats(),
+    }
+}
+
+/// Runs `sim` to the absolute cycle `cap`, checking an optional
+/// wall-clock `deadline` between [`WALL_SLICE`]-cycle slices. Returns
+/// the stop plus whether an explicit budget (cycle cap tighter than the
+/// padded campaign budget, flagged by `cap_is_trial_budget`, or the
+/// wall deadline) cancelled the run.
+fn run_capped(
+    sim: &mut CoSim,
+    cap: u64,
+    cap_is_trial_budget: bool,
+    deadline: Option<Instant>,
+) -> (CoSimStop, bool) {
+    loop {
+        // The deadline is checked before each slice as well as after it,
+        // so a trial whose wall budget has already expired — including
+        // one about to fast-forward a stall the watchdog would later
+        // diagnose — is cancelled as a budget hit at the slice boundary.
+        // A stop the simulator reaches *inside* a slice (halt, diagnosed
+        // deadlock, fault) still wins over a deadline that expires
+        // during that same slice.
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            return (CoSimStop::CycleLimit { blocked: None }, true);
+        }
+        let now = sim.cpu().stats().cycles;
+        if now >= cap {
+            return (CoSimStop::CycleLimit { blocked: None }, cap_is_trial_budget);
+        }
+        let slice = match deadline {
+            Some(_) => (cap - now).min(WALL_SLICE),
+            None => cap - now,
+        };
+        match sim.run(slice) {
+            CoSimStop::CycleLimit { blocked } => {
+                if deadline.is_some_and(|d| Instant::now() >= d) {
+                    return (CoSimStop::CycleLimit { blocked }, true);
+                }
+                if sim.cpu().stats().cycles >= cap {
+                    return (CoSimStop::CycleLimit { blocked }, cap_is_trial_budget);
+                }
+            }
+            stop => return (stop, false),
+        }
     }
 }

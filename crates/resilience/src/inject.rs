@@ -82,6 +82,13 @@ pub enum FaultKind {
         /// Bit position (0–63, wrapped).
         bit: u8,
     },
+    /// Deliberately panic the *harness* (not the simulated design) —
+    /// the crash-test fault trial isolation is exercised against.
+    /// [`Injector::apply`] panics with a fixed message; the campaign
+    /// runners catch it and classify the trial
+    /// [`crate::Outcome::HarnessError`] while sibling trials complete.
+    /// Never emitted by the seeded plan generators.
+    HarnessPanic,
 }
 
 impl FaultKind {
@@ -96,6 +103,7 @@ impl FaultKind {
             | FaultKind::StuckFull { .. }
             | FaultKind::StuckEmpty { .. } => InjectionSite::Protocol,
             FaultKind::BlockStateFlip { .. } => InjectionSite::Block,
+            FaultKind::HarnessPanic => InjectionSite::Harness,
         }
     }
 
@@ -114,6 +122,7 @@ impl FaultKind {
             FaultKind::BlockStateFlip { peripheral, word, bit } => {
                 (peripheral as u32) << 24 | (word & 0xFFFF) << 8 | bit as u32
             }
+            FaultKind::HarnessPanic => 0,
         }
     }
 }
@@ -145,6 +154,9 @@ impl std::fmt::Display for FaultKind {
             }
             FaultKind::BlockStateFlip { peripheral, word, bit } => {
                 write!(f, "flip bit {bit} of state word {word} in peripheral {peripheral}")
+            }
+            FaultKind::HarnessPanic => {
+                write!(f, "panic the harness (deliberate crash-test fault)")
             }
         }
     }
@@ -329,6 +341,9 @@ impl Injector {
                 st.block_words[idx] ^= 1 << (bit % 64);
                 g.load_state(&st);
                 true
+            }
+            FaultKind::HarnessPanic => {
+                panic!("deliberate harness panic (FaultKind::HarnessPanic)")
             }
         }
     }

@@ -30,6 +30,14 @@
 //!   signature diff, observable backstop), and automatic rollback +
 //!   replay with exponential backoff, classifying each trial clean /
 //!   recovered / unrecoverable.
+//! * **Durability** ([`durable`]) — crash-resumable campaign execution:
+//!   every completed trial is appended to a CRC32-framed `SSJL` journal
+//!   keyed by `(plan_hash, trial_index)`, so an interrupted campaign
+//!   resumes where it died and the merged report is byte-identical to
+//!   an uninterrupted run at any worker count. Together with trial
+//!   isolation (`catch_unwind` per trial) and per-trial cycle /
+//!   wall-clock budgets in [`campaign`], this is the fault-tolerant
+//!   execution layer long campaigns run on.
 //!
 //! Everything is seeded through [`softsim_testkit::Rng`]: the same seed
 //! and schedule reproduce the same report, bit for bit — the property CI
@@ -38,13 +46,19 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod durable;
 pub mod inject;
 pub mod localize;
 pub mod recover;
 pub mod snapshot;
 
 pub use campaign::{
-    run_campaign, run_campaign_parallel, CampaignConfig, CampaignReport, Outcome, Trial,
+    run_campaign, run_campaign_parallel, CampaignConfig, CampaignReport, Coverage, Outcome, Trial,
+};
+pub use durable::{
+    resume_from_journal, resume_recovery_from_journal, run_campaign_durable,
+    run_campaign_durable_parallel, run_recovery_campaign_durable,
+    run_recovery_campaign_durable_parallel, JournalError, JournalScan,
 };
 pub use inject::{random_plan, random_plan_hardware, FaultKind, Injection, Injector};
 pub use localize::{capture_golden, localize_trial, DivergenceReport, GoldenRun, LocalizeConfig};

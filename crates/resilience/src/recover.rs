@@ -76,7 +76,7 @@ impl Default for RecoveryPolicy {
 }
 
 /// How a supervised trial ended.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RecoveryOutcome {
     /// Halted with golden observables and no rollback was needed (the
     /// fault was vacuous, masked, or corrected in place by ECC).
@@ -93,22 +93,31 @@ pub enum RecoveryOutcome {
     },
     /// The retry or work budget ran out without a clean halt.
     Unrecoverable,
+    /// The harness itself panicked inside the supervised trial (not the
+    /// design — a design fault is a detection, handled by rollback).
+    /// The panic was caught and the trial abandoned; sibling trials are
+    /// unaffected.
+    HarnessError {
+        /// The panic payload, when it was a string (the common case).
+        panic_msg: String,
+    },
 }
 
 impl RecoveryOutcome {
     /// Short lower-case label for reports.
-    pub fn label(self) -> &'static str {
+    pub fn label(&self) -> &'static str {
         match self {
             RecoveryOutcome::Clean => "clean",
             RecoveryOutcome::Recovered { .. } => "recovered",
             RecoveryOutcome::Unrecoverable => "unrecoverable",
+            RecoveryOutcome::HarnessError { .. } => "harness-error",
         }
     }
 }
 
 impl std::fmt::Display for RecoveryOutcome {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match *self {
+        match self {
             RecoveryOutcome::Recovered { detection_latency, recovery_cycles, retries } => write!(
                 f,
                 "recovered (detected after {detection_latency} cycles, \
@@ -165,17 +174,29 @@ pub struct RecoveryReport {
 }
 
 impl RecoveryReport {
-    /// Trial counts as `(clean, recovered, unrecoverable)`.
+    /// Trial counts as `(clean, recovered, unrecoverable)`. A trial the
+    /// harness abandoned ([`RecoveryOutcome::HarnessError`]) certainly
+    /// did not recover, so it is folded into the unrecoverable column
+    /// here; [`RecoveryReport::abandoned`] counts it separately.
     pub fn counts(&self) -> (usize, usize, usize) {
         let mut c = (0, 0, 0);
         for t in &self.trials {
             match t.outcome {
                 RecoveryOutcome::Clean => c.0 += 1,
                 RecoveryOutcome::Recovered { .. } => c.1 += 1,
-                RecoveryOutcome::Unrecoverable => c.2 += 1,
+                RecoveryOutcome::Unrecoverable | RecoveryOutcome::HarnessError { .. } => c.2 += 1,
             }
         }
         c
+    }
+
+    /// Trials abandoned because the harness panicked (a subset of the
+    /// unrecoverable column of [`RecoveryReport::counts`]).
+    pub fn abandoned(&self) -> usize {
+        self.trials
+            .iter()
+            .filter(|t| matches!(t.outcome, RecoveryOutcome::HarnessError { .. }))
+            .count()
     }
 
     /// Mean detection latency and mean replayed cycles over the
@@ -211,6 +232,10 @@ impl RecoveryReport {
         let _ = writeln!(s, "    clean:         {clean:5}  ({:5.1}%)", pct(clean));
         let _ = writeln!(s, "    recovered:     {recovered:5}  ({:5.1}%)", pct(recovered));
         let _ = writeln!(s, "    unrecoverable: {unrecoverable:5}  ({:5.1}%)", pct(unrecoverable));
+        let abandoned = self.abandoned();
+        if abandoned > 0 {
+            let _ = writeln!(s, "    (harness-abandoned: {abandoned} of the unrecoverable)");
+        }
         if recovered > 0 {
             let _ = writeln!(s, "  mean detection latency: {lat:.1} cycles");
             let _ = writeln!(s, "  mean replayed work:     {rep:.1} cycles");
@@ -544,10 +569,58 @@ impl Supervisor {
     }
 }
 
+/// One retry after a harness panic before a supervised trial is
+/// abandoned as [`RecoveryOutcome::HarnessError`] (the supervisor's own
+/// `max_retries` governs *rollbacks*, a different budget).
+const HARNESS_RETRIES: u32 = 1;
+
+/// [`Supervisor::run_trial`] wrapped in `catch_unwind`: a panicking
+/// trial is retried [`HARNESS_RETRIES`] times, then abandoned as
+/// [`RecoveryOutcome::HarnessError`] — the campaign (and any worker
+/// thread) survives and keeps draining the plan. `rebuild` replaces a
+/// simulator the panic may have left inconsistent; the serial runner
+/// passes `None` and relies on the next trial's checkpoint restore.
+pub(crate) fn run_recovery_trial_guarded(
+    supervisor: &Supervisor,
+    sim: &mut CoSim,
+    rebuild: Option<&dyn Fn() -> CoSim>,
+    golden: &RecoveryGolden,
+    injection: Injection,
+    observe: &(impl Fn(&CoSim) -> Vec<u32> + ?Sized),
+) -> RecoveryTrial {
+    let mut attempt = 0u32;
+    loop {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            supervisor.run_trial(sim, golden, injection, observe)
+        }));
+        match result {
+            Ok(trial) => return trial,
+            Err(payload) => {
+                let panic_msg = crate::campaign::panic_message(payload);
+                if let Some(make) = rebuild {
+                    *sim = make();
+                }
+                if attempt >= HARNESS_RETRIES {
+                    return RecoveryTrial {
+                        injection,
+                        applied: false,
+                        outcome: RecoveryOutcome::HarnessError { panic_msg },
+                        stop: CoSimStop::CycleLimit { blocked: None },
+                        detector: None,
+                        work_cycles: 0,
+                    };
+                }
+                attempt += 1;
+            }
+        }
+    }
+}
+
 /// Runs a recovery campaign serially: one golden capture, then one
 /// supervised trial per scheduled injection. Deterministic — identical
 /// `sim`, `plan`, `observe` and `policy` produce a byte-identical
-/// report.
+/// report. A trial that panics the harness is caught and classified
+/// [`RecoveryOutcome::HarnessError`] — subsequent trials still run.
 pub fn run_recovery_campaign(
     sim: &mut CoSim,
     plan: &[Injection],
@@ -556,8 +629,10 @@ pub fn run_recovery_campaign(
 ) -> RecoveryReport {
     let supervisor = Supervisor::new(policy);
     let golden = supervisor.capture_golden(sim, &observe);
-    let trials =
-        plan.iter().map(|&inj| supervisor.run_trial(sim, &golden, inj, &observe)).collect();
+    let trials = plan
+        .iter()
+        .map(|&inj| run_recovery_trial_guarded(&supervisor, sim, None, &golden, inj, &observe))
+        .collect();
     sim.load_state(&golden.initial);
     sim.clear_watchdog();
     RecoveryReport { golden_cycles: golden.cycles, golden_observed: golden.observed, trials }
@@ -602,8 +677,16 @@ pub fn run_recovery_campaign_parallel(
             scope.spawn(move || {
                 let supervisor = Supervisor::new(policy);
                 let mut sim = make_sim();
+                let rebuild: &dyn Fn() -> CoSim = make_sim;
                 for (slot, &injection) in slot_chunk.iter_mut().zip(plan_chunk) {
-                    *slot = Some(supervisor.run_trial(&mut sim, golden, injection, observe));
+                    *slot = Some(run_recovery_trial_guarded(
+                        &supervisor,
+                        &mut sim,
+                        Some(rebuild),
+                        golden,
+                        injection,
+                        observe,
+                    ));
                 }
             });
         }

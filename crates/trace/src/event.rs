@@ -119,6 +119,9 @@ pub enum InjectionSite {
     Protocol,
     /// A bit flip in the sequential state of a hardware block.
     Block,
+    /// A deliberate harness-side crash-test fault (no design state is
+    /// touched; the injector panics instead).
+    Harness,
 }
 
 impl InjectionSite {
@@ -130,6 +133,7 @@ impl InjectionSite {
             InjectionSite::FifoWord => "fifo_word",
             InjectionSite::Protocol => "protocol",
             InjectionSite::Block => "block",
+            InjectionSite::Harness => "harness",
         }
     }
 }
