@@ -26,6 +26,14 @@
 //! so a profiler-off co-simulation does strictly less work than the
 //! identical profiler-on run and must stay within 2% of it.
 //!
+//! Harness telemetry gets the same contract: a plain campaign
+//! (telemetry off — every `Option<&Telemetry>` is `None`, one
+//! predictable branch per trial) sweeps the same seeded plan as an
+//! instrumented run that additionally records a span per trial into an
+//! in-memory telemetry aggregator. The off run does strictly less work
+//! and must stay within 2% of the on run, and the two reports are
+//! asserted byte-identical first.
+//!
 //! Campaign journaling is the last guard: a plain in-memory campaign
 //! (journaling off — the default `run_campaign` path) sweeps the same
 //! seeded plan as the durable journaled runner, which additionally
@@ -129,6 +137,21 @@ fn run_campaign_plain() -> Duration {
     wall
 }
 
+fn run_campaign_telemetry() -> Duration {
+    // Telemetry on, in-memory only: spans aggregate under a mutex, no
+    // heartbeat or snapshot I/O. The report must equal the plain run's.
+    use softsim_bench::faults::{cordic_campaign_telemetry, REPORT_SEED};
+    use softsim_metrics::telemetry::{Telemetry, TelemetryConfig};
+    let t = Telemetry::new(TelemetryConfig::default());
+    let start = Instant::now();
+    let report =
+        cordic_campaign_telemetry(REPORT_SEED, softsim_bench::durable::DURABLE_TRIALS, Some(&t));
+    let wall = start.elapsed();
+    black_box(report.trials.len());
+    black_box(t.trial_cycles());
+    wall
+}
+
 fn run_campaign_journaled(journal: &std::path::Path) -> Duration {
     let start = Instant::now();
     let report = softsim_bench::durable::durable_cordic_campaign(journal, false, 1);
@@ -150,6 +173,7 @@ fn main() {
     run_cosim_profiling(false);
     run_cosim_profiling(true);
     run_campaign_plain();
+    run_campaign_telemetry();
     run_campaign_journaled(&journal);
     // The journaled report must be the plain report, byte for byte —
     // the overhead comparison is only meaningful between equal runs.
@@ -161,6 +185,24 @@ fn main() {
         softsim_bench::durable::durable_cordic_campaign(&journal, false, 1),
         "plain and journaled campaigns must agree bit for bit"
     );
+    // Same for the instrumented run — telemetry must never leak into
+    // the deterministic report.
+    {
+        use softsim_metrics::telemetry::{Telemetry, TelemetryConfig};
+        let t = Telemetry::new(TelemetryConfig::default());
+        assert_eq!(
+            softsim_bench::faults::cordic_campaign(
+                softsim_bench::faults::REPORT_SEED,
+                softsim_bench::durable::DURABLE_TRIALS,
+            ),
+            softsim_bench::faults::cordic_campaign_telemetry(
+                softsim_bench::faults::REPORT_SEED,
+                softsim_bench::durable::DURABLE_TRIALS,
+                Some(&t),
+            ),
+            "plain and instrumented campaigns must agree bit for bit"
+        );
+    }
     let mut untraced = Vec::with_capacity(SAMPLES);
     let mut nulled = Vec::with_capacity(SAMPLES);
     let mut metrics_off = Vec::with_capacity(SAMPLES);
@@ -170,6 +212,7 @@ fn main() {
     let mut prof_on = Vec::with_capacity(SAMPLES);
     let mut journal_off = Vec::with_capacity(SAMPLES);
     let mut journal_on = Vec::with_capacity(SAMPLES);
+    let mut telemetry_on = Vec::with_capacity(SAMPLES);
     for _ in 0..SAMPLES {
         untraced.push(run_untraced(&img));
         nulled.push(run_null_traced(&img));
@@ -179,6 +222,7 @@ fn main() {
         prof_off.push(run_cosim_profiling(false));
         prof_on.push(run_cosim_profiling(true));
         journal_off.push(run_campaign_plain());
+        telemetry_on.push(run_campaign_telemetry());
         journal_on.push(run_campaign_journaled(&journal));
     }
     let _ = std::fs::remove_file(&journal);
@@ -234,6 +278,18 @@ fn main() {
     );
     println!("ok: profiler-off overhead within 2%");
     let best_journal_off = *journal_off.iter().min().unwrap();
+    let best_telemetry_on = *telemetry_on.iter().min().unwrap();
+    let ratio = best_journal_off.as_secs_f64() / best_telemetry_on.as_secs_f64();
+    println!(
+        "telemetry overhead guard: telemetry-off {best_journal_off:?}, \
+         telemetry-on {best_telemetry_on:?}, off/on ratio {ratio:.4}"
+    );
+    assert!(
+        ratio <= 1.02,
+        "telemetry-off campaign must stay within 2% of the instrumented run \
+         (off {best_journal_off:?} vs on {best_telemetry_on:?}, ratio {ratio:.4})"
+    );
+    println!("ok: telemetry-off overhead within 2%");
     let best_journal_on = *journal_on.iter().min().unwrap();
     let ratio = best_journal_off.as_secs_f64() / best_journal_on.as_secs_f64();
     println!(

@@ -39,8 +39,22 @@
 //!   file CI asserts is up to date. Set `SOFTSIM_SWEEP_WORKERS=1` to
 //!   force the serial sweep path; CI diffs that against the default
 //!   parallel one.
+//! * `--telemetry [SNAPSHOT]` (default `target/telemetry.prom`) turns
+//!   on harness telemetry for the `--faults` campaign: a stderr
+//!   progress/ETA heartbeat, a periodically refreshed Prometheus
+//!   snapshot file, and a final per-worker utilization summary on
+//!   stderr. stdout is untouched — CI byte-diffs it against a
+//!   telemetry-off run.
+//! * `--trajectory [PATH]` aggregates the BENCH_0003–0007 records in
+//!   the current directory into the committed trajectory record
+//!   (`BENCH_TRAJECTORY.json` by default).
+//! * `--trajectory-gate [COMMITTED]` re-extracts the same series and
+//!   fails (exit 1) if any floor/ceiling-gated series regresses past
+//!   its factor vs the committed record.
 
 use softsim_bench::tables;
+use softsim_metrics::telemetry::{Telemetry, TelemetryConfig};
+use std::time::Duration;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -78,6 +92,20 @@ fn main() {
     }
     let journal = operand("--journal", "target/campaign.ssjl");
     let resume = args.iter().any(|a| a == "--resume");
+    // `--telemetry [SNAPSHOT]`: harness telemetry for the `--faults`
+    // campaign. Everything it emits goes to stderr or the snapshot
+    // file, never stdout — the deterministic sections stay byte-
+    // identical with or without it.
+    let telemetry = operand("--telemetry", "target/telemetry.prom").map(|snap| {
+        let path = std::path::PathBuf::from(&snap);
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        Telemetry::new(TelemetryConfig {
+            heartbeat: Some(Duration::from_millis(1_000)),
+            snapshot: Some((path, Duration::from_millis(1_000))),
+        })
+    });
 
     if want("--faults") {
         match &journal {
@@ -85,7 +113,10 @@ fn main() {
                 "{}",
                 softsim_bench::durable::durable_faults_text(std::path::Path::new(path), resume)
             ),
-            None => println!("{}", softsim_bench::faults::faults_text()),
+            None => println!(
+                "{}",
+                softsim_bench::faults::faults_text_with_telemetry(telemetry.as_ref())
+            ),
         }
     }
     if want("--metrics") {
@@ -142,5 +173,31 @@ fn main() {
     if let Some(path) = operand("--record", "tables_output.txt") {
         std::fs::write(&path, tables::record_text()).expect("write record");
         println!("wrote {path}");
+    }
+    if let Some(path) = operand("--trajectory", softsim_bench::trajectory::TRAJECTORY_FILE) {
+        softsim_bench::trajectory::write_trajectory(
+            std::path::Path::new("."),
+            std::path::Path::new(&path),
+        )
+        .expect("write trajectory record");
+        println!("wrote {path}");
+    }
+    if let Some(committed) =
+        operand("--trajectory-gate", softsim_bench::trajectory::TRAJECTORY_FILE)
+    {
+        match softsim_bench::trajectory::gate(
+            std::path::Path::new("."),
+            std::path::Path::new(&committed),
+        ) {
+            Ok(report) => print!("{report}"),
+            Err(report) => {
+                eprint!("{report}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(t) = &telemetry {
+        t.finish();
+        eprintln!("{}", t.summary());
     }
 }

@@ -8,9 +8,10 @@
 
 use crate::workloads::{cordic_cosim, cordic_hw_image, matmul_cosim, matmul_image};
 use softsim_cosim::CoSim;
+use softsim_metrics::telemetry::Telemetry;
 use softsim_resilience::{
-    random_plan, run_campaign, run_campaign_parallel, CampaignConfig, CampaignReport, FaultKind,
-    Injection,
+    random_plan, run_campaign, run_campaign_parallel, run_campaign_parallel_with_telemetry,
+    run_campaign_with_telemetry, CampaignConfig, CampaignReport, FaultKind, Injection,
 };
 
 /// CORDIC iterations used by the fault campaigns (Figure 5's short
@@ -63,16 +64,46 @@ pub fn cordic_campaign_with(seed: u64, trials: usize, config: CampaignConfig) ->
     run_campaign(&mut sim, &plan, |s| observe_words(s, base, n), config)
 }
 
+/// [`cordic_campaign`] with optional harness telemetry — byte-identical
+/// report either way (the overhead guard in `trace_overhead` times this
+/// against the plain runner).
+pub fn cordic_campaign_telemetry(
+    seed: u64,
+    trials: usize,
+    telemetry: Option<&Telemetry>,
+) -> CampaignReport {
+    let (plan, base, n) = cordic_plan(seed, trials);
+    let mut sim = cordic_cosim(CORDIC_ITERS, Some(CORDIC_P));
+    run_campaign_with_telemetry(
+        &mut sim,
+        &plan,
+        |s| observe_words(s, base, n),
+        CampaignConfig::default(),
+        telemetry,
+    )
+}
+
 /// The CORDIC campaign on `workers` threads. Byte-identical report to
 /// [`cordic_campaign`] with the same seed and trial count.
 pub fn cordic_campaign_parallel(seed: u64, trials: usize, workers: usize) -> CampaignReport {
+    cordic_campaign_parallel_telemetry(seed, trials, workers, None)
+}
+
+/// [`cordic_campaign_parallel`] with optional harness telemetry.
+pub fn cordic_campaign_parallel_telemetry(
+    seed: u64,
+    trials: usize,
+    workers: usize,
+    telemetry: Option<&Telemetry>,
+) -> CampaignReport {
     let (plan, base, n) = cordic_plan(seed, trials);
-    run_campaign_parallel(
+    run_campaign_parallel_with_telemetry(
         || cordic_cosim(CORDIC_ITERS, Some(CORDIC_P)),
         &plan,
         move |s| observe_words(s, base, n),
         CampaignConfig::default(),
         workers,
+        telemetry,
     )
 }
 
@@ -159,8 +190,21 @@ pub const REPORT_TRIALS: usize = 120;
 /// Panics if the serial and parallel CORDIC runs disagree anywhere —
 /// the determinism regression CI gates on.
 pub fn faults_text() -> String {
+    faults_text_with_telemetry(None)
+}
+
+/// [`faults_text`] with optional harness telemetry on the parallel
+/// CORDIC sweep. The returned text — and the assertion that serial and
+/// instrumented-parallel reports agree bit for bit — is the live proof
+/// that telemetry never touches the deterministic record.
+pub fn faults_text_with_telemetry(telemetry: Option<&Telemetry>) -> String {
     let cordic_a = cordic_campaign(REPORT_SEED, REPORT_TRIALS);
-    let cordic_b = cordic_campaign_parallel(REPORT_SEED, REPORT_TRIALS, default_workers());
+    let cordic_b = cordic_campaign_parallel_telemetry(
+        REPORT_SEED,
+        REPORT_TRIALS,
+        default_workers(),
+        telemetry,
+    );
     assert_eq!(cordic_a, cordic_b, "serial and parallel campaigns must agree bit for bit");
     let matmul = matmul_campaign(REPORT_SEED, REPORT_TRIALS);
     let mut s = String::new();

@@ -22,4 +22,5 @@ pub mod recover;
 pub mod speedup;
 pub mod sweep;
 pub mod tables;
+pub mod trajectory;
 pub mod workloads;

@@ -1,0 +1,364 @@
+//! The committed performance-trajectory record
+//! (`BENCH_TRAJECTORY.json`) and its regression gate.
+//!
+//! The per-PR BENCH records each answer one question about one
+//! subsystem; the trajectory record aggregates their headline numbers
+//! into a single committed series — interpreter cycles/sec, co-sim
+//! throughput, fast-forward speedup, recovery rate, durable journal
+//! overhead — so a future change (say, a translated-block ISS) has one
+//! file to beat and CI has one gate to hold. `tables --trajectory`
+//! regenerates the record from the BENCH_0003–0007 files in the
+//! current directory; `tables --trajectory-gate` re-extracts the same
+//! series from (possibly freshly regenerated) BENCH files and fails if
+//! a gated series regresses past its factor against the committed
+//! record: floors (`fresh >= factor x committed`) for throughput and
+//! rates, a ceiling (`fresh <= factor x committed`) for journal bytes
+//! per trial.
+//!
+//! Extraction is pure parsing via `softsim_trace::json` — given the
+//! same BENCH files the record is byte-identical, which is what the
+//! staleness test in this module asserts against the committed file.
+
+use crate::tables::json_f64;
+use softsim_trace::json::{parse, Value};
+use std::path::Path;
+
+/// The committed trajectory record's file name.
+pub const TRAJECTORY_FILE: &str = "BENCH_TRAJECTORY.json";
+
+/// The BENCH records the trajectory aggregates, in extraction order.
+pub const TRAJECTORY_SOURCES: [&str; 5] =
+    ["BENCH_0003.json", "BENCH_0004.json", "BENCH_0005.json", "BENCH_0006.json", "BENCH_0007.json"];
+
+/// How a series is gated against the committed record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Gate {
+    /// Regression floor: `fresh >= factor * committed`.
+    Floor(f64),
+    /// Regression ceiling: `fresh <= factor * committed`.
+    Ceiling(f64),
+    /// Recorded but not gated (machine-dependent ratios whose absolute
+    /// floors live in their own CI jobs).
+    Info,
+}
+
+impl Gate {
+    fn kind(&self) -> &'static str {
+        match self {
+            Gate::Floor(_) => "floor",
+            Gate::Ceiling(_) => "ceiling",
+            Gate::Info => "info",
+        }
+    }
+
+    fn factor(&self) -> f64 {
+        match self {
+            Gate::Floor(f) | Gate::Ceiling(f) => *f,
+            Gate::Info => 0.0,
+        }
+    }
+}
+
+/// One headline series entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesPoint {
+    /// Stable series name (the gate keys on it).
+    pub name: &'static str,
+    /// Which BENCH record it was extracted from.
+    pub source: &'static str,
+    /// The extracted value.
+    pub value: f64,
+    /// How the series is gated.
+    pub gate: Gate,
+}
+
+fn read_json(dir: &Path, file: &str) -> Result<Value, String> {
+    let path = dir.join(file);
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    parse(&text).map_err(|e| format!("{file}: {e}"))
+}
+
+fn f64_at(doc: &Value, file: &str, path: &[&str]) -> Result<f64, String> {
+    let mut v = doc;
+    for key in path {
+        v = v.get(key).ok_or_else(|| format!("{file}: missing key `{}`", path.join(".")))?;
+    }
+    v.as_f64().ok_or_else(|| format!("{file}: `{}` is not a number", path.join(".")))
+}
+
+/// Extracts the headline series from the BENCH records in `dir`.
+///
+/// The selection is deliberately small and stable: interpreter and
+/// co-sim throughput plus RTL speedup (BENCH_0003), fast-forward and
+/// parallel speedups (BENCH_0004), the fully-hardened recovery rate
+/// (BENCH_0005), total profiled hotspot cycles (BENCH_0006), and
+/// journal bytes per trial (BENCH_0007).
+pub fn extract(dir: &Path) -> Result<Vec<SeriesPoint>, String> {
+    let mut out = Vec::new();
+
+    let b3 = read_json(dir, "BENCH_0003.json")?;
+    let components = b3
+        .get("components")
+        .and_then(|v| v.as_array())
+        .ok_or("BENCH_0003.json: missing `components`")?;
+    let iss = components
+        .iter()
+        .find(|c| c.get("name").and_then(|n| n.as_str()) == Some("iss_alone"))
+        .ok_or("BENCH_0003.json: no `iss_alone` component")?;
+    out.push(SeriesPoint {
+        name: "iss_cycles_per_sec",
+        source: "BENCH_0003.json",
+        value: f64_at(iss, "BENCH_0003.json", &["cycles_per_sec"])?,
+        gate: Gate::Floor(0.8),
+    });
+    let workloads = b3
+        .get("workloads")
+        .and_then(|v| v.as_array())
+        .ok_or("BENCH_0003.json: missing `workloads`")?;
+    if workloads.is_empty() {
+        return Err("BENCH_0003.json: empty `workloads`".into());
+    }
+    let mut cosim_sum = 0.0;
+    let mut speedup_sum = 0.0;
+    for w in workloads {
+        cosim_sum += f64_at(w, "BENCH_0003.json", &["cosim", "cycles_per_sec"])?;
+        speedup_sum += f64_at(w, "BENCH_0003.json", &["speedup_vs_rtl"])?;
+    }
+    out.push(SeriesPoint {
+        name: "cosim_cycles_per_sec_mean",
+        source: "BENCH_0003.json",
+        value: cosim_sum / workloads.len() as f64,
+        gate: Gate::Floor(0.8),
+    });
+    out.push(SeriesPoint {
+        name: "speedup_vs_rtl_mean",
+        source: "BENCH_0003.json",
+        value: speedup_sum / workloads.len() as f64,
+        gate: Gate::Info,
+    });
+
+    let b4 = read_json(dir, "BENCH_0004.json")?;
+    out.push(SeriesPoint {
+        name: "fast_forward_speedup_stall",
+        source: "BENCH_0004.json",
+        value: f64_at(&b4, "BENCH_0004.json", &["stall_campaign", "speedup_fast_forward"])?,
+        gate: Gate::Floor(0.8),
+    });
+    out.push(SeriesPoint {
+        name: "fast_forward_speedup_campaign",
+        source: "BENCH_0004.json",
+        value: f64_at(&b4, "BENCH_0004.json", &["campaign", "speedup_fast_forward"])?,
+        gate: Gate::Info,
+    });
+    out.push(SeriesPoint {
+        name: "parallel_speedup_stall",
+        source: "BENCH_0004.json",
+        value: f64_at(&b4, "BENCH_0004.json", &["stall_campaign", "speedup_parallel"])?,
+        gate: Gate::Info,
+    });
+
+    let b5 = read_json(dir, "BENCH_0005.json")?;
+    let rows =
+        b5.get("rows").and_then(|v| v.as_array()).ok_or("BENCH_0005.json: missing `rows`")?;
+    let mut full_rate: Option<f64> = None;
+    for row in rows {
+        if row.get("hardening").and_then(|h| h.as_str()) == Some("ecc+tmr") {
+            let rate = f64_at(row, "BENCH_0005.json", &["recovery_rate"])?;
+            full_rate = Some(match full_rate {
+                Some(r) => r.min(rate),
+                None => rate,
+            });
+        }
+    }
+    out.push(SeriesPoint {
+        name: "recovery_rate_full_hardening",
+        source: "BENCH_0005.json",
+        value: full_rate.ok_or("BENCH_0005.json: no `ecc+tmr` rows")?,
+        gate: Gate::Floor(0.8),
+    });
+
+    let b6 = read_json(dir, "BENCH_0006.json")?;
+    let workloads = b6
+        .get("workloads")
+        .and_then(|v| v.as_array())
+        .ok_or("BENCH_0006.json: missing `workloads`")?;
+    let mut cycles = 0.0;
+    for w in workloads {
+        cycles += f64_at(w, "BENCH_0006.json", &["cycles"])?;
+    }
+    out.push(SeriesPoint {
+        name: "hotspot_total_cycles",
+        source: "BENCH_0006.json",
+        value: cycles,
+        gate: Gate::Info,
+    });
+
+    let b7 = read_json(dir, "BENCH_0007.json")?;
+    let journal_bytes = f64_at(&b7, "BENCH_0007.json", &["campaign", "journal_bytes"])?;
+    let trials = f64_at(&b7, "BENCH_0007.json", &["trials"])?;
+    if trials <= 0.0 {
+        return Err("BENCH_0007.json: non-positive `trials`".into());
+    }
+    out.push(SeriesPoint {
+        name: "durable_journal_bytes_per_trial",
+        source: "BENCH_0007.json",
+        value: journal_bytes / trials,
+        gate: Gate::Ceiling(1.25),
+    });
+
+    Ok(out)
+}
+
+/// Renders a series list as the `BENCH_TRAJECTORY.json` document.
+pub fn trajectory_json(series: &[SeriesPoint]) -> String {
+    let entries: Vec<String> = series
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"name\":\"{}\",\"source\":\"{}\",\"value\":{},\"gate\":\"{}\",\"factor\":{}}}",
+                p.name,
+                p.source,
+                json_f64(p.value),
+                p.gate.kind(),
+                json_f64(p.gate.factor()),
+            )
+        })
+        .collect();
+    let sources: Vec<String> = TRAJECTORY_SOURCES.iter().map(|s| format!("\"{s}\"")).collect();
+    format!(
+        "{{\"schema\":\"softsim-bench/1\",\"bench_id\":\"BENCH_TRAJECTORY\",\
+         \"description\":\"headline performance-trajectory series aggregated from the \
+         committed BENCH records; floors/ceilings gate regressions in CI\",\
+         \"sources\":[{}],\"series\":[{}]}}\n",
+        sources.join(","),
+        entries.join(","),
+    )
+}
+
+/// Extracts from `dir` and writes `BENCH_TRAJECTORY.json` (or `out`).
+pub fn write_trajectory(dir: &Path, out: &Path) -> Result<(), String> {
+    let series = extract(dir)?;
+    std::fs::write(out, trajectory_json(&series)).map_err(|e| format!("{}: {e}", out.display()))
+}
+
+/// Gates freshly extracted series (from the BENCH files in `dir`)
+/// against the committed trajectory record. Returns the per-series
+/// report text on success; on any gate violation (or missing series)
+/// returns it as the error. Ungated (`info`) series are reported but
+/// never fail.
+pub fn gate(dir: &Path, committed: &Path) -> Result<String, String> {
+    let fresh = extract(dir)?;
+    let text =
+        std::fs::read_to_string(committed).map_err(|e| format!("{}: {e}", committed.display()))?;
+    let doc = parse(&text).map_err(|e| format!("{}: {e}", committed.display()))?;
+    let series = doc
+        .get("series")
+        .and_then(|v| v.as_array())
+        .ok_or("committed trajectory: missing `series`")?;
+    let mut report = String::from("trajectory gate (fresh vs committed):\n");
+    let mut failures = 0usize;
+    for entry in series {
+        let name = entry
+            .get("name")
+            .and_then(|n| n.as_str())
+            .ok_or("committed trajectory: series entry without `name`")?;
+        let committed_value = entry
+            .get("value")
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("committed trajectory: `{name}` has no value"))?;
+        let kind = entry.get("gate").and_then(|g| g.as_str()).unwrap_or("info");
+        let factor = entry.get("factor").and_then(|f| f.as_f64()).unwrap_or(0.0);
+        let Some(point) = fresh.iter().find(|p| p.name == name) else {
+            report.push_str(&format!("  FAIL {name}: missing from fresh extraction\n"));
+            failures += 1;
+            continue;
+        };
+        let (ok, bound) = match kind {
+            "floor" => (point.value >= factor * committed_value, factor * committed_value),
+            "ceiling" => (point.value <= factor * committed_value, factor * committed_value),
+            _ => (true, committed_value),
+        };
+        let verdict = if ok { "ok  " } else { "FAIL" };
+        if !ok {
+            failures += 1;
+        }
+        report.push_str(&format!(
+            "  {verdict} {name}: fresh {:.6e} vs committed {:.6e} ({kind} {:.6e})\n",
+            point.value, committed_value, bound,
+        ));
+    }
+    if failures > 0 {
+        report.push_str(&format!("  {failures} series regressed\n"));
+        Err(report)
+    } else {
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn repo_root() -> PathBuf {
+        PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+    }
+
+    #[test]
+    fn committed_trajectory_is_fresh() {
+        let series = extract(&repo_root()).expect("extraction from committed BENCH files");
+        let fresh = trajectory_json(&series);
+        let committed = std::fs::read_to_string(repo_root().join(TRAJECTORY_FILE))
+            .expect("BENCH_TRAJECTORY.json must be committed");
+        assert_eq!(
+            fresh, committed,
+            "BENCH_TRAJECTORY.json is stale — regenerate with \
+             `cargo run --release -p softsim-bench --bin tables -- --trajectory`"
+        );
+    }
+
+    #[test]
+    fn committed_record_passes_its_own_gate() {
+        let report = gate(&repo_root(), &repo_root().join(TRAJECTORY_FILE))
+            .expect("committed record must pass against itself");
+        assert!(report.contains("iss_cycles_per_sec"));
+        assert!(!report.contains("FAIL"));
+    }
+
+    #[test]
+    fn gate_fails_on_regression() {
+        // Committed trajectory with an inflated floor value: the real
+        // BENCH files can't reach 10x the committed iss throughput.
+        let series = extract(&repo_root()).unwrap();
+        let mut inflated = series.clone();
+        for p in &mut inflated {
+            if p.name == "iss_cycles_per_sec" {
+                p.value *= 10.0;
+            }
+        }
+        let dir =
+            std::env::temp_dir().join(format!("softsim_trajectory_gate_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let committed = dir.join(TRAJECTORY_FILE);
+        std::fs::write(&committed, trajectory_json(&inflated)).unwrap();
+        let err = gate(&repo_root(), &committed).expect_err("10x floor must fail");
+        assert!(err.contains("FAIL iss_cycles_per_sec"), "unexpected report: {err}");
+        assert!(err.contains("series regressed"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn extraction_is_deterministic_and_gated_series_present() {
+        let a = extract(&repo_root()).unwrap();
+        let b = extract(&repo_root()).unwrap();
+        assert_eq!(a, b);
+        for name in
+            ["iss_cycles_per_sec", "fast_forward_speedup_stall", "recovery_rate_full_hardening"]
+        {
+            let p = a.iter().find(|p| p.name == name).expect(name);
+            assert!(matches!(p.gate, Gate::Floor(f) if f > 0.0), "{name} must be floor-gated");
+        }
+        let j = a.iter().find(|p| p.name == "durable_journal_bytes_per_trial").unwrap();
+        assert!(matches!(j.gate, Gate::Ceiling(f) if f > 1.0));
+    }
+}

@@ -255,6 +255,13 @@ pub struct CoSim {
     /// Absolute-cycle ceiling no `run` call may pass (see
     /// [`CoSim::set_run_horizon`]).
     run_horizon: Option<u64>,
+    /// Observer counter: successful fast-forward jumps taken by `run`.
+    /// Harness telemetry only — not part of the architectural state, so
+    /// `save_state`/`load_state` neither persist nor reset it.
+    ff_engagements: u64,
+    /// Observer counter: cycles covered by fast-forward jumps (same
+    /// telemetry-only contract as `ff_engagements`).
+    ff_skipped_cycles: u64,
 }
 
 impl CoSim {
@@ -273,6 +280,8 @@ impl CoSim {
             watchdog: None,
             fast_forward: false,
             run_horizon: None,
+            ff_engagements: 0,
+            ff_skipped_cycles: 0,
         }
     }
 
@@ -299,6 +308,8 @@ impl CoSim {
             watchdog: None,
             fast_forward: false,
             run_horizon: None,
+            ff_engagements: 0,
+            ff_skipped_cycles: 0,
         };
         if let Some(p) = peripheral {
             sim.add_peripheral(p);
@@ -358,6 +369,19 @@ impl CoSim {
     /// Whether stall fast-forwarding is enabled.
     pub fn fast_forward(&self) -> bool {
         self.fast_forward
+    }
+
+    /// Observer counter: how many fast-forward jumps [`CoSim::run`] has
+    /// taken since construction. Monotonic across `save_state` /
+    /// `load_state` (it measures harness work, not architectural state).
+    pub fn ff_engagements(&self) -> u64 {
+        self.ff_engagements
+    }
+
+    /// Observer counter: how many cycles fast-forward jumps have covered
+    /// since construction (same contract as [`CoSim::ff_engagements`]).
+    pub fn ff_skipped_cycles(&self) -> u64 {
+        self.ff_skipped_cycles
     }
 
     /// Sets (or clears, with `None`) an absolute-cycle run horizon: no
@@ -829,6 +853,8 @@ impl CoSim {
                 if cooldown == 0 {
                     if let Some(n) = self.try_fast_forward(max_cycles - executed) {
                         executed += n;
+                        self.ff_engagements += 1;
+                        self.ff_skipped_cycles += n;
                         // The jump already advanced the watchdog's stall
                         // count; if it reached the threshold, report the
                         // deadlock at the post-jump cycle without a

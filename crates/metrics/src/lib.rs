@@ -52,9 +52,11 @@
 mod collect;
 mod diff;
 mod registry;
+pub mod telemetry;
 pub mod window;
 
 pub use collect::{MetricsCollector, COLUMNS};
 pub use diff::{Divergence, EventDivergence, MetricsDiff, RunRecord, WindowDivergence};
 pub use registry::{CounterId, GaugeId, Histogram, HistogramId, Label, Registry};
+pub use telemetry::{SpanKind, SpanRecord, Telemetry, TelemetryConfig};
 pub use window::{WindowRow, WindowSeries};

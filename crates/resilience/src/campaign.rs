@@ -20,6 +20,7 @@
 use crate::inject::{Injection, Injector};
 use softsim_cosim::{CoSim, CoSimState, CoSimStop};
 use softsim_iss::CpuStats;
+use softsim_metrics::telemetry::{SpanKind, SpanRecord, Telemetry};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
@@ -176,6 +177,11 @@ pub struct Coverage {
     /// Trials that consumed at least one harness retry (whatever their
     /// final outcome).
     pub retried: usize,
+    /// Total harness retry attempts consumed across all trials (a
+    /// trial retried twice contributes 2 here but 1 to `retried`).
+    /// Deterministic — the wall-clock cost of those retries is
+    /// telemetry, not report data (see `softsim_metrics::telemetry`).
+    pub retry_attempts: usize,
 }
 
 /// The result of a whole campaign.
@@ -220,6 +226,7 @@ impl CampaignReport {
             if t.retries > 0 {
                 c.retried += 1;
             }
+            c.retry_attempts += t.retries as usize;
         }
         c
     }
@@ -252,8 +259,8 @@ impl CampaignReport {
         }
         let _ = writeln!(
             s,
-            "  coverage: {} completed, {} budget-cancelled, {} abandoned, {} retried",
-            cov.completed, cov.budget, cov.abandoned, cov.retried
+            "  coverage: {} completed, {} budget-cancelled, {} abandoned, {} retried ({} retry attempts)",
+            cov.completed, cov.budget, cov.abandoned, cov.retried, cov.retry_attempts
         );
         s
     }
@@ -284,10 +291,36 @@ pub fn run_campaign(
     observe: impl Fn(&CoSim) -> Vec<u32>,
     config: CampaignConfig,
 ) -> CampaignReport {
+    run_campaign_with_telemetry(sim, plan, observe, config, None)
+}
+
+/// [`run_campaign`] with optional harness telemetry. The report is
+/// byte-identical whether `telemetry` is `None` or `Some` — spans carry
+/// wall-clock data out-of-band (golden span, one trial span per
+/// injection, one campaign span), never into the report.
+pub fn run_campaign_with_telemetry(
+    sim: &mut CoSim,
+    plan: &[Injection],
+    observe: impl Fn(&CoSim) -> Vec<u32>,
+    config: CampaignConfig,
+    telemetry: Option<&Telemetry>,
+) -> CampaignReport {
+    let campaign_start = telemetry.map(|t| {
+        t.expect_trials(plan.len() as u64);
+        Instant::now()
+    });
     let prev_fast_forward = sim.fast_forward();
     sim.set_fast_forward(config.fast_forward);
     let initial = sim.save_state();
+    let initial_cycles = sim.cpu().stats().cycles;
+    let golden_start = telemetry.map(|_| Instant::now());
     let (golden_cycles, golden_observed, budget) = golden_run(sim, &observe, config);
+    if let Some(t) = telemetry {
+        let mut rec = SpanRecord::new(SpanKind::Golden, 0, golden_start.unwrap().elapsed());
+        rec.sim_cycles = golden_cycles.saturating_sub(initial_cycles);
+        t.record(rec);
+    }
+    let scope = telemetry.map(|t| TrialScope { telemetry: t, worker: 0, initial_cycles });
 
     let mut trials = Vec::with_capacity(plan.len());
     for &injection in plan {
@@ -300,11 +333,15 @@ pub fn run_campaign(
             &golden_observed,
             &observe,
             config,
+            scope.as_ref(),
         ));
     }
     sim.load_state(&initial);
     sim.clear_watchdog();
     sim.set_fast_forward(prev_fast_forward);
+    if let (Some(t), Some(start)) = (telemetry, campaign_start) {
+        t.record(SpanRecord::new(SpanKind::Campaign, 0, start.elapsed()));
+    }
     CampaignReport { golden_cycles, golden_observed, trials }
 }
 
@@ -337,10 +374,36 @@ pub fn run_campaign_parallel(
     config: CampaignConfig,
     workers: usize,
 ) -> CampaignReport {
+    run_campaign_parallel_with_telemetry(make_sim, plan, observe, config, workers, None)
+}
+
+/// [`run_campaign_parallel`] with optional harness telemetry: each
+/// worker records one trial span per plan entry it drains (worker ids
+/// follow chunk order, so worker `w` covers `plan[w*chunk..]`). The
+/// report stays byte-identical for any `telemetry`/`workers` choice.
+pub fn run_campaign_parallel_with_telemetry(
+    make_sim: impl Fn() -> CoSim + Sync,
+    plan: &[Injection],
+    observe: impl Fn(&CoSim) -> Vec<u32> + Sync,
+    config: CampaignConfig,
+    workers: usize,
+    telemetry: Option<&Telemetry>,
+) -> CampaignReport {
+    let campaign_start = telemetry.map(|t| {
+        t.expect_trials(plan.len() as u64);
+        Instant::now()
+    });
     let mut sim = make_sim();
     sim.set_fast_forward(config.fast_forward);
     let initial = sim.save_state();
+    let initial_cycles = sim.cpu().stats().cycles;
+    let golden_start = telemetry.map(|_| Instant::now());
     let (golden_cycles, golden_observed, budget) = golden_run(&mut sim, &observe, config);
+    if let Some(t) = telemetry {
+        let mut rec = SpanRecord::new(SpanKind::Golden, 0, golden_start.unwrap().elapsed());
+        rec.sim_cycles = golden_cycles.saturating_sub(initial_cycles);
+        t.record(rec);
+    }
     drop(sim);
 
     let workers = workers.clamp(1, plan.len().max(1));
@@ -354,16 +417,21 @@ pub fn run_campaign_parallel(
         let mut rest = plan;
         let (initial, golden_observed) = (&initial, &golden_observed);
         let (make_sim, observe) = (&make_sim, &observe);
+        let mut worker_id: u32 = 0;
         while !rest.is_empty() {
             let take = chunk.min(rest.len());
             let (plan_chunk, plan_rest) = rest.split_at(take);
             let (slot_chunk, slot_rest) = slots.split_at_mut(take);
             rest = plan_rest;
             slots = slot_rest;
+            let worker = worker_id;
+            worker_id += 1;
             scope.spawn(move || {
                 let mut sim = make_sim();
                 sim.set_fast_forward(config.fast_forward);
                 let rebuild: &dyn Fn() -> CoSim = make_sim;
+                let scope_rec =
+                    telemetry.map(|t| TrialScope { telemetry: t, worker, initial_cycles });
                 for (slot, &injection) in slot_chunk.iter_mut().zip(plan_chunk) {
                     *slot = Some(run_trial_guarded(
                         &mut sim,
@@ -374,12 +442,16 @@ pub fn run_campaign_parallel(
                         golden_observed,
                         observe,
                         config,
+                        scope_rec.as_ref(),
                     ));
                 }
             });
         }
     });
     let trials = trials.into_iter().map(|t| t.expect("worker filled every slot")).collect();
+    if let (Some(t), Some(start)) = (telemetry, campaign_start) {
+        t.record(SpanRecord::new(SpanKind::Campaign, 0, start.elapsed()));
+    }
     CampaignReport { golden_cycles, golden_observed, trials }
 }
 
@@ -418,6 +490,44 @@ pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// that finishes in time computes.
 const WALL_SLICE: u64 = 16_384;
 
+/// Telemetry context one worker threads through its trials: the hub,
+/// the worker's id, and the cycle counter value of the initial
+/// checkpoint (subtracted from a trial's final cycle counter so the
+/// span carries cycles *executed*, matching the report exactly).
+pub(crate) struct TrialScope<'a> {
+    pub telemetry: &'a Telemetry,
+    pub worker: u32,
+    pub initial_cycles: u64,
+}
+
+impl TrialScope<'_> {
+    /// Closes one trial span. `first_attempt_end` marks the end of the
+    /// first attempt, so everything after it — backoff sleeps included —
+    /// is retry wall-time. Fast-forward counters are deltas against the
+    /// worker's simulator (saturating: a rebuild after a panic resets
+    /// them).
+    fn record_trial(
+        &self,
+        sim: &CoSim,
+        trial: &Trial,
+        start: Instant,
+        first_attempt_end: Instant,
+        ff0: u64,
+        ffc0: u64,
+    ) {
+        let mut rec = SpanRecord::new(SpanKind::Trial, self.worker, start.elapsed());
+        rec.sim_cycles = trial.cpu_stats.cycles.saturating_sub(self.initial_cycles);
+        rec.retries = trial.retries as u64;
+        rec.retry_wall =
+            if trial.retries > 0 { first_attempt_end.elapsed() } else { Duration::ZERO };
+        rec.budget_cancelled = matches!(trial.outcome, Outcome::Budget) as u64;
+        rec.abandoned = matches!(trial.outcome, Outcome::HarnessError { .. }) as u64;
+        rec.ff_engagements = sim.ff_engagements().saturating_sub(ff0);
+        rec.ff_skipped_cycles = sim.ff_skipped_cycles().saturating_sub(ffc0);
+        self.telemetry.record(rec);
+    }
+}
+
 /// [`run_trial`] wrapped in [`catch_unwind`]: a panicking trial is
 /// retried up to `config.max_trial_retries` times with bounded
 /// exponential backoff, then abandoned as [`Outcome::HarnessError`].
@@ -434,15 +544,33 @@ pub(crate) fn run_trial_guarded(
     golden_observed: &[u32],
     observe: &(impl Fn(&CoSim) -> Vec<u32> + ?Sized),
     config: CampaignConfig,
+    scope: Option<&TrialScope<'_>>,
 ) -> Trial {
+    let start = scope.map(|_| Instant::now());
+    let ff0 = sim.ff_engagements();
+    let ffc0 = sim.ff_skipped_cycles();
+    let mut first_attempt_end: Option<Instant> = None;
     let mut attempt = 0u32;
     loop {
         let result = catch_unwind(AssertUnwindSafe(|| {
             run_trial(sim, initial, injection, budget, golden_observed, observe, config)
         }));
+        if scope.is_some() && first_attempt_end.is_none() {
+            first_attempt_end = Some(Instant::now());
+        }
         match result {
             Ok(mut trial) => {
                 trial.retries = attempt;
+                if let Some(sc) = scope {
+                    sc.record_trial(
+                        sim,
+                        &trial,
+                        start.unwrap(),
+                        first_attempt_end.unwrap(),
+                        ff0,
+                        ffc0,
+                    );
+                }
                 return trial;
             }
             Err(payload) => {
@@ -454,7 +582,7 @@ pub(crate) fn run_trial_guarded(
                     sim.set_fast_forward(config.fast_forward);
                 }
                 if attempt >= config.max_trial_retries {
-                    return Trial {
+                    let trial = Trial {
                         injection,
                         applied: false,
                         stop: CoSimStop::CycleLimit { blocked: None },
@@ -463,6 +591,17 @@ pub(crate) fn run_trial_guarded(
                         cpu_stats: CpuStats::default(),
                         hw_stats: softsim_cosim::HwStats::default(),
                     };
+                    if let Some(sc) = scope {
+                        sc.record_trial(
+                            sim,
+                            &trial,
+                            start.unwrap(),
+                            first_attempt_end.unwrap(),
+                            ff0,
+                            ffc0,
+                        );
+                    }
+                    return trial;
                 }
                 let backoff = config.retry_backoff.saturating_mul(1u32 << attempt.min(16));
                 if !backoff.is_zero() {

@@ -41,7 +41,7 @@
 //! dropped, and the trials it covered simply re-run on resume).
 
 use crate::campaign::{
-    golden_run, run_trial_guarded, CampaignConfig, CampaignReport, Outcome, Trial,
+    golden_run, run_trial_guarded, CampaignConfig, CampaignReport, Outcome, Trial, TrialScope,
 };
 use crate::inject::{FaultKind, Injection};
 use crate::recover::{
@@ -53,12 +53,14 @@ use softsim_bus::MemError;
 use softsim_cosim::{CoSim, CoSimStop, DeadlockCause, HwStats};
 use softsim_isa::DecodeError;
 use softsim_iss::{CpuStats, Fault, FslBlock};
+use softsim_metrics::telemetry::{SpanKind, SpanRecord, Telemetry};
 use softsim_trace::{DetectorKind, FifoDir};
 use std::fs::{File, OpenOptions};
 use std::io::{Seek, SeekFrom, Write};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Magic bytes at the head of every journal ("SoftSim Journal").
 pub const MAGIC: [u8; 4] = *b"SSJL";
@@ -1035,10 +1037,40 @@ pub fn run_campaign_durable_parallel(
     resume: bool,
     workers: usize,
 ) -> Result<CampaignReport, JournalError> {
+    run_campaign_durable_parallel_with_telemetry(
+        make_sim, plan, observe, config, journal, resume, workers, None,
+    )
+}
+
+/// [`run_campaign_durable_parallel`] with optional harness telemetry:
+/// besides the campaign/golden/trial spans of the plain runners, every
+/// journal record append is its own span carrying the frame bytes
+/// written. On resume, only the missing trials are announced as
+/// expected work. The report and the journal bytes are byte-identical
+/// whether `telemetry` is `None` or `Some`, at any worker count.
+#[allow(clippy::too_many_arguments)]
+pub fn run_campaign_durable_parallel_with_telemetry(
+    make_sim: impl Fn() -> CoSim + Sync,
+    plan: &[Injection],
+    observe: impl Fn(&CoSim) -> Vec<u32> + Sync,
+    config: CampaignConfig,
+    journal: &Path,
+    resume: bool,
+    workers: usize,
+    telemetry: Option<&Telemetry>,
+) -> Result<CampaignReport, JournalError> {
+    let campaign_start = telemetry.map(|_| Instant::now());
     let mut sim = make_sim();
     sim.set_fast_forward(config.fast_forward);
     let initial = sim.save_state();
+    let initial_cycles = sim.cpu().stats().cycles;
+    let golden_start = telemetry.map(|_| Instant::now());
     let (golden_cycles, golden_observed, budget) = golden_run(&mut sim, &observe, config);
+    if let Some(t) = telemetry {
+        let mut rec = SpanRecord::new(SpanKind::Golden, 0, golden_start.unwrap().elapsed());
+        rec.sim_cycles = golden_cycles.saturating_sub(initial_cycles);
+        t.record(rec);
+    }
     drop(sim);
 
     let header = Header {
@@ -1049,6 +1081,9 @@ pub fn run_campaign_durable_parallel(
     let (file, mut slots) = open_journal(journal, &header, resume, &get_trial)?;
     let pending: Vec<u32> =
         (0..plan.len() as u32).filter(|&i| slots[i as usize].is_none()).collect();
+    if let Some(t) = telemetry {
+        t.expect_trials(pending.len() as u64);
+    }
 
     let file = Mutex::new(file);
     let io_err: Mutex<Option<std::io::Error>> = Mutex::new(None);
@@ -1062,16 +1097,21 @@ pub fn run_campaign_durable_parallel(
         let (initial, golden_observed) = (&initial, &golden_observed);
         let (make_sim, observe) = (&make_sim, &observe);
         let (file, io_err, hook) = (&file, &io_err, &hook);
+        let mut worker_id: u32 = 0;
         while !idx_rest.is_empty() {
             let take = chunk.min(idx_rest.len());
             let (idx_chunk, idx_next) = idx_rest.split_at(take);
             let (slot_chunk, slot_next) = slot_rest.split_at_mut(take);
             idx_rest = idx_next;
             slot_rest = slot_next;
+            let worker = worker_id;
+            worker_id += 1;
             scope.spawn(move || {
                 let mut sim = make_sim();
                 sim.set_fast_forward(config.fast_forward);
                 let rebuild: &dyn Fn() -> CoSim = make_sim;
+                let scope_rec =
+                    telemetry.map(|t| TrialScope { telemetry: t, worker, initial_cycles });
                 for (slot, &index) in slot_chunk.iter_mut().zip(idx_chunk) {
                     let trial = run_trial_guarded(
                         &mut sim,
@@ -1082,12 +1122,23 @@ pub fn run_campaign_durable_parallel(
                         golden_observed,
                         observe,
                         config,
+                        scope_rec.as_ref(),
                     );
                     let mut payload = Vec::with_capacity(256);
                     put_u32(&mut payload, index);
                     put_trial(&mut payload, &trial);
+                    let append_start = telemetry.map(|_| Instant::now());
                     if let Err(e) = append_frame(&mut lock(file), &payload) {
                         lock(io_err).get_or_insert(e);
+                    }
+                    if let Some(t) = telemetry {
+                        let mut rec = SpanRecord::new(
+                            SpanKind::JournalAppend,
+                            worker,
+                            append_start.unwrap().elapsed(),
+                        );
+                        rec.journal_bytes = 8 + payload.len() as u64;
+                        t.record(rec);
                     }
                     hook.on_append();
                     *slot = Some(trial);
@@ -1102,6 +1153,9 @@ pub fn run_campaign_durable_parallel(
         slots[index as usize] = trial;
     }
     let trials = slots.into_iter().map(|t| t.expect("worker filled every slot")).collect();
+    if let (Some(t), Some(start)) = (telemetry, campaign_start) {
+        t.record(SpanRecord::new(SpanKind::Campaign, 0, start.elapsed()));
+    }
     Ok(CampaignReport { golden_cycles, golden_observed, trials })
 }
 
@@ -1129,9 +1183,35 @@ pub fn run_recovery_campaign_durable_parallel(
     resume: bool,
     workers: usize,
 ) -> Result<RecoveryReport, JournalError> {
+    run_recovery_campaign_durable_parallel_with_telemetry(
+        make_sim, plan, observe, policy, journal, resume, workers, None,
+    )
+}
+
+/// [`run_recovery_campaign_durable_parallel`] with optional harness
+/// telemetry; see [`run_campaign_durable_parallel_with_telemetry`] for
+/// the span set and the determinism contract.
+#[allow(clippy::too_many_arguments)]
+pub fn run_recovery_campaign_durable_parallel_with_telemetry(
+    make_sim: impl Fn() -> CoSim + Sync,
+    plan: &[Injection],
+    observe: impl Fn(&CoSim) -> Vec<u32> + Sync,
+    policy: RecoveryPolicy,
+    journal: &Path,
+    resume: bool,
+    workers: usize,
+    telemetry: Option<&Telemetry>,
+) -> Result<RecoveryReport, JournalError> {
+    let campaign_start = telemetry.map(|_| Instant::now());
     let supervisor = Supervisor::new(policy);
     let mut sim = make_sim();
+    let golden_start = telemetry.map(|_| Instant::now());
     let golden = supervisor.capture_golden(&mut sim, &observe);
+    if let Some(t) = telemetry {
+        let mut rec = SpanRecord::new(SpanKind::Golden, 0, golden_start.unwrap().elapsed());
+        rec.sim_cycles = golden.cycles;
+        t.record(rec);
+    }
     drop(sim);
 
     let header = Header {
@@ -1142,6 +1222,9 @@ pub fn run_recovery_campaign_durable_parallel(
     let (file, mut slots) = open_journal(journal, &header, resume, &get_recovery_trial)?;
     let pending: Vec<u32> =
         (0..plan.len() as u32).filter(|&i| slots[i as usize].is_none()).collect();
+    if let Some(t) = telemetry {
+        t.expect_trials(pending.len() as u64);
+    }
 
     let file = Mutex::new(file);
     let io_err: Mutex<Option<std::io::Error>> = Mutex::new(None);
@@ -1155,12 +1238,15 @@ pub fn run_recovery_campaign_durable_parallel(
         let golden = &golden;
         let (make_sim, observe) = (&make_sim, &observe);
         let (file, io_err, hook) = (&file, &io_err, &hook);
+        let mut worker_id: u32 = 0;
         while !idx_rest.is_empty() {
             let take = chunk.min(idx_rest.len());
             let (idx_chunk, idx_next) = idx_rest.split_at(take);
             let (slot_chunk, slot_next) = slot_rest.split_at_mut(take);
             idx_rest = idx_next;
             slot_rest = slot_next;
+            let worker = worker_id;
+            worker_id += 1;
             scope.spawn(move || {
                 let supervisor = Supervisor::new(policy);
                 let mut sim = make_sim();
@@ -1173,12 +1259,24 @@ pub fn run_recovery_campaign_durable_parallel(
                         golden,
                         plan[index as usize],
                         observe,
+                        telemetry,
+                        worker,
                     );
                     let mut payload = Vec::with_capacity(256);
                     put_u32(&mut payload, index);
                     put_recovery_trial(&mut payload, &trial);
+                    let append_start = telemetry.map(|_| Instant::now());
                     if let Err(e) = append_frame(&mut lock(file), &payload) {
                         lock(io_err).get_or_insert(e);
+                    }
+                    if let Some(t) = telemetry {
+                        let mut rec = SpanRecord::new(
+                            SpanKind::JournalAppend,
+                            worker,
+                            append_start.unwrap().elapsed(),
+                        );
+                        rec.journal_bytes = 8 + payload.len() as u64;
+                        t.record(rec);
                     }
                     hook.on_append();
                     *slot = Some(trial);
@@ -1193,6 +1291,9 @@ pub fn run_recovery_campaign_durable_parallel(
         slots[index as usize] = trial;
     }
     let trials = slots.into_iter().map(|t| t.expect("worker filled every slot")).collect();
+    if let (Some(t), Some(start)) = (telemetry, campaign_start) {
+        t.record(SpanRecord::new(SpanKind::Campaign, 0, start.elapsed()));
+    }
     Ok(RecoveryReport { golden_cycles: golden.cycles, golden_observed: golden.observed, trials })
 }
 

@@ -53,17 +53,20 @@ pub mod recover;
 pub mod snapshot;
 
 pub use campaign::{
-    run_campaign, run_campaign_parallel, CampaignConfig, CampaignReport, Coverage, Outcome, Trial,
+    run_campaign, run_campaign_parallel, run_campaign_parallel_with_telemetry,
+    run_campaign_with_telemetry, CampaignConfig, CampaignReport, Coverage, Outcome, Trial,
 };
 pub use durable::{
     resume_from_journal, resume_recovery_from_journal, run_campaign_durable,
-    run_campaign_durable_parallel, run_recovery_campaign_durable,
-    run_recovery_campaign_durable_parallel, JournalError, JournalScan,
+    run_campaign_durable_parallel, run_campaign_durable_parallel_with_telemetry,
+    run_recovery_campaign_durable, run_recovery_campaign_durable_parallel,
+    run_recovery_campaign_durable_parallel_with_telemetry, JournalError, JournalScan,
 };
 pub use inject::{random_plan, random_plan_hardware, FaultKind, Injection, Injector};
 pub use localize::{capture_golden, localize_trial, DivergenceReport, GoldenRun, LocalizeConfig};
 pub use recover::{
-    run_recovery_campaign, run_recovery_campaign_parallel, RecoveryGolden, RecoveryOutcome,
-    RecoveryPolicy, RecoveryReport, RecoveryTrial, Supervisor,
+    run_recovery_campaign, run_recovery_campaign_parallel,
+    run_recovery_campaign_parallel_with_telemetry, run_recovery_campaign_with_telemetry,
+    RecoveryGolden, RecoveryOutcome, RecoveryPolicy, RecoveryReport, RecoveryTrial, Supervisor,
 };
 pub use snapshot::{crc32, from_bytes, to_bytes, SnapshotError};

@@ -29,10 +29,12 @@
 
 use crate::inject::{Injection, Injector};
 use softsim_cosim::{CoSim, CoSimState, CoSimStop};
+use softsim_metrics::telemetry::{SpanKind, SpanRecord, Telemetry};
 use softsim_metrics::MetricsCollector;
 use softsim_trace::{shared, DetectorKind, SharedSink, TraceEvent};
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::time::Instant;
 
 /// Tuning knobs of the rollback-recovery supervisor.
 #[derive(Debug, Clone, Copy)]
@@ -580,6 +582,7 @@ const HARNESS_RETRIES: u32 = 1;
 /// thread) survives and keeps draining the plan. `rebuild` replaces a
 /// simulator the panic may have left inconsistent; the serial runner
 /// passes `None` and relies on the next trial's checkpoint restore.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_recovery_trial_guarded(
     supervisor: &Supervisor,
     sim: &mut CoSim,
@@ -587,21 +590,26 @@ pub(crate) fn run_recovery_trial_guarded(
     golden: &RecoveryGolden,
     injection: Injection,
     observe: &(impl Fn(&CoSim) -> Vec<u32> + ?Sized),
+    telemetry: Option<&Telemetry>,
+    worker: u32,
 ) -> RecoveryTrial {
+    let start = telemetry.map(|_| Instant::now());
+    let ff0 = sim.ff_engagements();
+    let ffc0 = sim.ff_skipped_cycles();
     let mut attempt = 0u32;
-    loop {
+    let trial = loop {
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             supervisor.run_trial(sim, golden, injection, observe)
         }));
         match result {
-            Ok(trial) => return trial,
+            Ok(trial) => break trial,
             Err(payload) => {
                 let panic_msg = crate::campaign::panic_message(payload);
                 if let Some(make) = rebuild {
                     *sim = make();
                 }
                 if attempt >= HARNESS_RETRIES {
-                    return RecoveryTrial {
+                    break RecoveryTrial {
                         injection,
                         applied: false,
                         outcome: RecoveryOutcome::HarnessError { panic_msg },
@@ -613,7 +621,22 @@ pub(crate) fn run_recovery_trial_guarded(
                 attempt += 1;
             }
         }
+    };
+    if let Some(t) = telemetry {
+        // `work_cycles` already counts every executed cycle including
+        // rollback replays, so it is the span's sim-cycle cost exactly.
+        let mut rec = SpanRecord::new(SpanKind::Trial, worker, start.unwrap().elapsed());
+        rec.sim_cycles = trial.work_cycles;
+        rec.retries = match trial.outcome {
+            RecoveryOutcome::Recovered { retries, .. } => retries as u64,
+            _ => 0,
+        };
+        rec.abandoned = matches!(trial.outcome, RecoveryOutcome::HarnessError { .. }) as u64;
+        rec.ff_engagements = sim.ff_engagements().saturating_sub(ff0);
+        rec.ff_skipped_cycles = sim.ff_skipped_cycles().saturating_sub(ffc0);
+        t.record(rec);
     }
+    trial
 }
 
 /// Runs a recovery campaign serially: one golden capture, then one
@@ -627,14 +650,42 @@ pub fn run_recovery_campaign(
     observe: impl Fn(&CoSim) -> Vec<u32>,
     policy: RecoveryPolicy,
 ) -> RecoveryReport {
+    run_recovery_campaign_with_telemetry(sim, plan, observe, policy, None)
+}
+
+/// [`run_recovery_campaign`] with optional harness telemetry (golden
+/// span, one trial span per injection, one campaign span). The report
+/// is byte-identical whether `telemetry` is `None` or `Some`.
+pub fn run_recovery_campaign_with_telemetry(
+    sim: &mut CoSim,
+    plan: &[Injection],
+    observe: impl Fn(&CoSim) -> Vec<u32>,
+    policy: RecoveryPolicy,
+    telemetry: Option<&Telemetry>,
+) -> RecoveryReport {
+    let campaign_start = telemetry.map(|t| {
+        t.expect_trials(plan.len() as u64);
+        Instant::now()
+    });
     let supervisor = Supervisor::new(policy);
+    let golden_start = telemetry.map(|_| Instant::now());
     let golden = supervisor.capture_golden(sim, &observe);
+    if let Some(t) = telemetry {
+        let mut rec = SpanRecord::new(SpanKind::Golden, 0, golden_start.unwrap().elapsed());
+        rec.sim_cycles = golden.cycles;
+        t.record(rec);
+    }
     let trials = plan
         .iter()
-        .map(|&inj| run_recovery_trial_guarded(&supervisor, sim, None, &golden, inj, &observe))
+        .map(|&inj| {
+            run_recovery_trial_guarded(&supervisor, sim, None, &golden, inj, &observe, telemetry, 0)
+        })
         .collect();
     sim.load_state(&golden.initial);
     sim.clear_watchdog();
+    if let (Some(t), Some(start)) = (telemetry, campaign_start) {
+        t.record(SpanRecord::new(SpanKind::Campaign, 0, start.elapsed()));
+    }
     RecoveryReport { golden_cycles: golden.cycles, golden_observed: golden.observed, trials }
 }
 
@@ -655,9 +706,33 @@ pub fn run_recovery_campaign_parallel(
     policy: RecoveryPolicy,
     workers: usize,
 ) -> RecoveryReport {
+    run_recovery_campaign_parallel_with_telemetry(make_sim, plan, observe, policy, workers, None)
+}
+
+/// [`run_recovery_campaign_parallel`] with optional harness telemetry;
+/// worker ids follow chunk order. The report stays byte-identical for
+/// any `telemetry`/`workers` choice.
+pub fn run_recovery_campaign_parallel_with_telemetry(
+    make_sim: impl Fn() -> CoSim + Sync,
+    plan: &[Injection],
+    observe: impl Fn(&CoSim) -> Vec<u32> + Sync,
+    policy: RecoveryPolicy,
+    workers: usize,
+    telemetry: Option<&Telemetry>,
+) -> RecoveryReport {
+    let campaign_start = telemetry.map(|t| {
+        t.expect_trials(plan.len() as u64);
+        Instant::now()
+    });
     let supervisor = Supervisor::new(policy);
     let mut sim = make_sim();
+    let golden_start = telemetry.map(|_| Instant::now());
     let golden = supervisor.capture_golden(&mut sim, &observe);
+    if let Some(t) = telemetry {
+        let mut rec = SpanRecord::new(SpanKind::Golden, 0, golden_start.unwrap().elapsed());
+        rec.sim_cycles = golden.cycles;
+        t.record(rec);
+    }
     drop(sim);
 
     let workers = workers.clamp(1, plan.len().max(1));
@@ -668,12 +743,15 @@ pub fn run_recovery_campaign_parallel(
         let mut rest = plan;
         let golden = &golden;
         let (make_sim, observe) = (&make_sim, &observe);
+        let mut worker_id: u32 = 0;
         while !rest.is_empty() {
             let take = chunk.min(rest.len());
             let (plan_chunk, plan_rest) = rest.split_at(take);
             let (slot_chunk, slot_rest) = slots.split_at_mut(take);
             rest = plan_rest;
             slots = slot_rest;
+            let worker = worker_id;
+            worker_id += 1;
             scope.spawn(move || {
                 let supervisor = Supervisor::new(policy);
                 let mut sim = make_sim();
@@ -686,11 +764,16 @@ pub fn run_recovery_campaign_parallel(
                         golden,
                         injection,
                         observe,
+                        telemetry,
+                        worker,
                     ));
                 }
             });
         }
     });
     let trials = trials.into_iter().map(|t| t.expect("worker filled every slot")).collect();
+    if let (Some(t), Some(start)) = (telemetry, campaign_start) {
+        t.record(SpanRecord::new(SpanKind::Campaign, 0, start.elapsed()));
+    }
     RecoveryReport { golden_cycles: golden.cycles, golden_observed: golden.observed, trials }
 }
