@@ -45,7 +45,11 @@
 //!   snapshot file, and a final per-worker utilization summary on
 //!   stderr. stdout is untouched — CI byte-diffs it against a
 //!   telemetry-off run.
-//! * `--trajectory [PATH]` aggregates the BENCH_0003–0007 records in
+//! * `--translate-json` writes the translated-execution record
+//!   (`BENCH_0009.json` by default) — the basic-block ISS fast path vs
+//!   the stepped interpreter on compute-heavy software workloads, with
+//!   result equality asserted before any number is written.
+//! * `--trajectory [PATH]` aggregates the BENCH_0003–0009 records in
 //!   the current directory into the committed trajectory record
 //!   (`BENCH_TRAJECTORY.json` by default).
 //! * `--trajectory-gate [COMMITTED]` re-extracts the same series and
@@ -168,6 +172,11 @@ fn main() {
     if let Some(path) = operand("--durable-json", "BENCH_0007.json") {
         softsim_bench::durable::write_durable_json(std::path::Path::new(&path))
             .expect("write durable JSON");
+        println!("wrote {path}");
+    }
+    if let Some(path) = operand("--translate-json", "BENCH_0009.json") {
+        softsim_bench::translate::write_translate_json(std::path::Path::new(&path))
+            .expect("write translate JSON");
         println!("wrote {path}");
     }
     if let Some(path) = operand("--record", "tables_output.txt") {

@@ -23,4 +23,5 @@ pub mod speedup;
 pub mod sweep;
 pub mod tables;
 pub mod trajectory;
+pub mod translate;
 pub mod workloads;

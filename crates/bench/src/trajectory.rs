@@ -5,15 +5,17 @@
 //! subsystem; the trajectory record aggregates their headline numbers
 //! into a single committed series — interpreter cycles/sec, co-sim
 //! throughput, fast-forward speedup, recovery rate, durable journal
-//! overhead — so a future change (say, a translated-block ISS) has one
+//! overhead, translated-execution throughput — so any change has one
 //! file to beat and CI has one gate to hold. `tables --trajectory`
-//! regenerates the record from the BENCH_0003–0007 files in the
+//! regenerates the record from the BENCH_0003–0009 files in the
 //! current directory; `tables --trajectory-gate` re-extracts the same
 //! series from (possibly freshly regenerated) BENCH files and fails if
 //! a gated series regresses past its factor against the committed
 //! record: floors (`fresh >= factor x committed`) for throughput and
 //! rates, a ceiling (`fresh <= factor x committed`) for journal bytes
-//! per trial.
+//! per trial. A gated series missing from either side — committed but
+//! no longer extracted, or freshly extracted but absent from the
+//! committed record — fails the gate loudly instead of being skipped.
 //!
 //! Extraction is pure parsing via `softsim_trace::json` — given the
 //! same BENCH files the record is byte-identical, which is what the
@@ -27,8 +29,14 @@ use std::path::Path;
 pub const TRAJECTORY_FILE: &str = "BENCH_TRAJECTORY.json";
 
 /// The BENCH records the trajectory aggregates, in extraction order.
-pub const TRAJECTORY_SOURCES: [&str; 5] =
-    ["BENCH_0003.json", "BENCH_0004.json", "BENCH_0005.json", "BENCH_0006.json", "BENCH_0007.json"];
+pub const TRAJECTORY_SOURCES: [&str; 6] = [
+    "BENCH_0003.json",
+    "BENCH_0004.json",
+    "BENCH_0005.json",
+    "BENCH_0006.json",
+    "BENCH_0007.json",
+    "BENCH_0009.json",
+];
 
 /// How a series is gated against the committed record.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -91,8 +99,9 @@ fn f64_at(doc: &Value, file: &str, path: &[&str]) -> Result<f64, String> {
 /// The selection is deliberately small and stable: interpreter and
 /// co-sim throughput plus RTL speedup (BENCH_0003), fast-forward and
 /// parallel speedups (BENCH_0004), the fully-hardened recovery rate
-/// (BENCH_0005), total profiled hotspot cycles (BENCH_0006), and
-/// journal bytes per trial (BENCH_0007).
+/// (BENCH_0005), total profiled hotspot cycles (BENCH_0006), journal
+/// bytes per trial (BENCH_0007), and translated-execution throughput
+/// and speedup (BENCH_0009).
 pub fn extract(dir: &Path) -> Result<Vec<SeriesPoint>, String> {
     let mut out = Vec::new();
 
@@ -206,6 +215,20 @@ pub fn extract(dir: &Path) -> Result<Vec<SeriesPoint>, String> {
         gate: Gate::Ceiling(1.25),
     });
 
+    let b9 = read_json(dir, "BENCH_0009.json")?;
+    out.push(SeriesPoint {
+        name: "translated_cycles_per_sec",
+        source: "BENCH_0009.json",
+        value: f64_at(&b9, "BENCH_0009.json", &["iss", "translated", "cycles_per_sec"])?,
+        gate: Gate::Floor(0.8),
+    });
+    out.push(SeriesPoint {
+        name: "translate_speedup",
+        source: "BENCH_0009.json",
+        value: f64_at(&b9, "BENCH_0009.json", &["best_speedup"])?,
+        gate: Gate::Info,
+    });
+
     Ok(out)
 }
 
@@ -287,6 +310,22 @@ pub fn gate(dir: &Path, committed: &Path) -> Result<String, String> {
             point.value, committed_value, bound,
         ));
     }
+    // The reverse direction: a freshly extracted gated series that the
+    // committed record does not know about means the record is stale —
+    // a new floor/ceiling would silently go ungated until regenerated.
+    let committed_names: Vec<&str> =
+        series.iter().filter_map(|e| e.get("name").and_then(|n| n.as_str())).collect();
+    for point in &fresh {
+        if matches!(point.gate, Gate::Info) || committed_names.contains(&point.name) {
+            continue;
+        }
+        report.push_str(&format!(
+            "  FAIL {}: gated series missing from the committed record — regenerate \
+             {TRAJECTORY_FILE}\n",
+            point.name,
+        ));
+        failures += 1;
+    }
     if failures > 0 {
         report.push_str(&format!("  {failures} series regressed\n"));
         Err(report)
@@ -352,13 +391,70 @@ mod tests {
         let a = extract(&repo_root()).unwrap();
         let b = extract(&repo_root()).unwrap();
         assert_eq!(a, b);
-        for name in
-            ["iss_cycles_per_sec", "fast_forward_speedup_stall", "recovery_rate_full_hardening"]
-        {
+        for name in [
+            "iss_cycles_per_sec",
+            "fast_forward_speedup_stall",
+            "recovery_rate_full_hardening",
+            "translated_cycles_per_sec",
+        ] {
             let p = a.iter().find(|p| p.name == name).expect(name);
             assert!(matches!(p.gate, Gate::Floor(f) if f > 0.0), "{name} must be floor-gated");
         }
         let j = a.iter().find(|p| p.name == "durable_journal_bytes_per_trial").unwrap();
         assert!(matches!(j.gate, Gate::Ceiling(f) if f > 1.0));
+    }
+
+    /// Writes `series` as a committed trajectory file in a fresh temp
+    /// dir and runs the gate against it, cleaning up afterwards.
+    fn gate_against(series: &[SeriesPoint], tag: &str) -> Result<String, String> {
+        let dir =
+            std::env::temp_dir().join(format!("softsim_trajectory_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let committed = dir.join(TRAJECTORY_FILE);
+        std::fs::write(&committed, trajectory_json(series)).unwrap();
+        let result = gate(&repo_root(), &committed);
+        let _ = std::fs::remove_dir_all(&dir);
+        result
+    }
+
+    #[test]
+    fn gate_fails_when_committed_series_vanishes_from_fresh_extraction() {
+        // A committed record naming a gated series the extractor no
+        // longer produces must fail, not silently shrink coverage.
+        let mut series = extract(&repo_root()).unwrap();
+        for p in &mut series {
+            if p.name == "iss_cycles_per_sec" {
+                p.name = "renamed_out_from_under_the_gate";
+            }
+        }
+        let err = gate_against(&series, "vanished").expect_err("unknown committed series");
+        assert!(
+            err.contains("FAIL renamed_out_from_under_the_gate: missing from fresh extraction"),
+            "unexpected report: {err}"
+        );
+    }
+
+    #[test]
+    fn gate_fails_when_fresh_gated_series_missing_from_committed_record() {
+        // The reverse direction: the committed record predates a newly
+        // added floor-gated series (exactly how BENCH_0009 lands) — the
+        // gate must demand regeneration instead of skipping the floor.
+        let series: Vec<SeriesPoint> = extract(&repo_root())
+            .unwrap()
+            .into_iter()
+            .filter(|p| p.name != "translated_cycles_per_sec")
+            .collect();
+        let err = gate_against(&series, "stale").expect_err("stale committed record");
+        assert!(
+            err.contains("FAIL translated_cycles_per_sec: gated series missing"),
+            "unexpected report: {err}"
+        );
+        // Info series are exempt: dropping one must not fail the gate.
+        let without_info: Vec<SeriesPoint> = extract(&repo_root())
+            .unwrap()
+            .into_iter()
+            .filter(|p| p.name != "translate_speedup")
+            .collect();
+        gate_against(&without_info, "info").expect("info series are never demanded");
     }
 }

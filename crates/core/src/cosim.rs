@@ -21,7 +21,7 @@ use softsim_blocks::graph::{GraphState, InputHandle, OutputHandle};
 use softsim_blocks::{Fix, FixFmt, Graph};
 use softsim_bus::{FslBank, FslBankState, FslWord};
 use softsim_isa::{CpuConfig, Image};
-use softsim_iss::{Cpu, CpuSnapshot, CpuStats, Event, Fault, FslBlock};
+use softsim_iss::{Cpu, CpuSnapshot, CpuStats, Event, Fault, FslBlock, TranslatedRun};
 use softsim_trace::{shared, Fanout, FifoDir, GuestProfile, SharedSink, TraceEvent};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -371,6 +371,27 @@ impl CoSim {
         self.fast_forward
     }
 
+    /// Enables or disables translated basic-block execution on the
+    /// processor (off by default; see `softsim-iss`'s `translate`
+    /// module). When on, [`CoSim::run`] executes straight-line guest
+    /// code through the ISS's pre-decoded block cache and replays the
+    /// hardware side's cycles in bulk afterwards — bit-identical to
+    /// stepping, because a translated block never touches an FSL
+    /// channel. The fast path silently disengages whenever finer
+    /// observation is attached (trace sink, profiler, breakpoints, an
+    /// OPB bus) and composes with [`CoSim::set_fast_forward`] (blocks
+    /// accelerate the *computing* stretches, fast-forward the *stalled*
+    /// ones) and [`CoSim::set_run_horizon`] (a block is only dispatched
+    /// when its worst-case cycles fit the remaining budget).
+    pub fn set_translation(&mut self, enabled: bool) {
+        self.cpu.set_translation(enabled);
+    }
+
+    /// Whether translated basic-block execution is enabled.
+    pub fn translation(&self) -> bool {
+        self.cpu.translation()
+    }
+
     /// Observer counter: how many fast-forward jumps [`CoSim::run`] has
     /// taken since construction. Monotonic across `save_state` /
     /// `load_state` (it measures harness work, not architectural state).
@@ -561,6 +582,19 @@ impl CoSim {
         // the FIFO and retire events of the same clock.
         let cycle = self.cpu.stats().cycles;
         let event = self.cpu.tick(&mut self.fsl);
+        self.tick_peripherals(cycle);
+        event
+    }
+
+    /// Advances the hardware side — gateways, peripheral graphs, return
+    /// FIFOs — by one clock cycle, `cycle` being the clock it models.
+    /// Split out of [`CoSim::step`] so the translated-block fast path
+    /// can replay the hardware's cycles after a CPU block executes in
+    /// bulk: while the processor runs a translated block it touches no
+    /// FSL channel (FSL instructions terminate blocks), so stepping the
+    /// CPU `n` cycles and then the peripherals `n` cycles is
+    /// bit-identical to interleaving them.
+    fn tick_peripherals(&mut self, cycle: u64) {
         for (pid, p) in self.peripherals.iter_mut().enumerate() {
             // Feed gateway inputs from the processor-side FIFOs. The
             // peripheral's `ready` output (settled last cycle) gates
@@ -643,7 +677,6 @@ impl CoSim {
                 }
             }
         }
-        event
     }
 
     /// Arms the liveness watchdog: if `threshold` consecutive cycles
@@ -813,7 +846,9 @@ impl CoSim {
             Some(wd) => budget.min(wd.threshold - wd.stalled_cycles).max(1),
             None => budget,
         };
-        self.cpu.fast_forward_stall(n);
+        self.cpu
+            .fast_forward_stall(n)
+            .expect("fsl_block() above verified the pipeline is FSL-stalled");
         match block.dir {
             FifoDir::FromHw => self.fsl.from_hw(ch).add_empty_rejections(n),
             FifoDir::ToHw => self.fsl.to_hw(ch).add_full_rejections(n),
@@ -849,6 +884,59 @@ impl CoSim {
         let mut cooldown: u64 = 0;
         let mut last_ops = if self.fast_forward { self.fsl.total_ops() } else { 0 };
         while executed < max_cycles {
+            // Translated-block fast path: run straight-line guest code
+            // through the ISS block cache, then replay the hardware
+            // side's cycles in bulk (see `tick_peripherals`). The block
+            // is capped below the watchdog's remaining headroom so a
+            // deadlock the stepped path would detect mid-block keeps the
+            // fast path out entirely — and since every block ends with a
+            // retired instruction, re-baselining the watchdog afterwards
+            // reproduces exactly what per-cycle `check_liveness` calls
+            // would have left behind.
+            if self.cpu.translation() && self.sink.is_none() && self.cpu.opb().is_none() {
+                let mut cap = max_cycles - executed;
+                if let Some(wd) = &self.watchdog {
+                    cap = cap.min((wd.threshold - wd.stalled_cycles).saturating_sub(1));
+                }
+                let start_cycle = self.cpu.stats().cycles;
+                match self.cpu.run_translated_block(&mut self.fsl, cap) {
+                    TranslatedRun::Ran { cycles } => {
+                        // With no peripherals attached each replayed
+                        // cycle is a no-op — skip the loop entirely.
+                        if !self.peripherals.is_empty() {
+                            for i in 0..cycles {
+                                self.tick_peripherals(start_cycle + i);
+                            }
+                        }
+                        executed += cycles;
+                        if self.fast_forward {
+                            // What the per-step bookkeeping below leaves
+                            // after any cycle that retires/progresses.
+                            streak = 0;
+                            cooldown = 0;
+                            last_ops = self.fsl.total_ops();
+                        }
+                        if let Some(wd) = &mut self.watchdog {
+                            wd.last_instructions = self.cpu.stats().instructions;
+                            wd.last_fsl_ops = self.fsl.total_ops();
+                            wd.stalled_cycles = 0;
+                        }
+                        if self.cpu.halted() {
+                            return CoSimStop::Halted;
+                        }
+                        continue;
+                    }
+                    TranslatedRun::Faulted { cycles, fault } => {
+                        if !self.peripherals.is_empty() {
+                            for i in 0..cycles {
+                                self.tick_peripherals(start_cycle + i);
+                            }
+                        }
+                        return CoSimStop::Fault(fault);
+                    }
+                    TranslatedRun::NotRun => {}
+                }
+            }
             if self.fast_forward && streak >= FF_MIN_STREAK {
                 if cooldown == 0 {
                     if let Some(n) = self.try_fast_forward(max_cycles - executed) {

@@ -142,9 +142,23 @@ impl std::fmt::Display for FslBlock {
     }
 }
 
+/// Error returned by [`Cpu::fast_forward_stall`] when the pipeline is
+/// not blocked on an FSL transfer — the precondition the jump's cycle
+/// accounting depends on. The call is a no-op in that case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NotFslStalled;
+
+impl std::fmt::Display for NotFslStalled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "fast_forward_stall requires an FSL-stalled pipeline")
+    }
+}
+
+impl std::error::Error for NotFslStalled {}
+
 /// Micro-architectural state of the in-flight instruction.
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum Pipe {
+pub(crate) enum Pipe {
     /// Ready to fetch a new instruction on the next cycle.
     Ready,
     /// Instruction already executed; occupies the pipeline `remaining`
@@ -260,21 +274,23 @@ pub struct Cpu {
     pub(crate) extra_cycles: u32,
     /// Optional-unit configuration.
     pub(crate) config: CpuConfig,
-    pipe: Pipe,
-    halted: bool,
+    pub(crate) pipe: Pipe,
+    pub(crate) halted: bool,
     pub(crate) stats: CpuStats,
-    breakpoints: HashSet<u32>,
+    pub(crate) breakpoints: HashSet<u32>,
     /// Breakpoint address being resumed from (suppresses re-reporting).
-    bp_skip: Option<u32>,
-    trace: Option<Vec<TraceEntry>>,
+    pub(crate) bp_skip: Option<u32>,
+    pub(crate) trace: Option<Vec<TraceEntry>>,
     /// Cycle-domain observability sink (None on the untraced fast path).
-    sink: Option<SharedSink>,
+    pub(crate) sink: Option<SharedSink>,
     /// Issue cycle of the in-flight instruction (trace bookkeeping).
-    inst_start: u64,
+    pub(crate) inst_start: u64,
     /// FSL read-stall cycles charged to the in-flight instruction.
-    inst_read_stalls: u32,
+    pub(crate) inst_read_stalls: u32,
     /// FSL write-stall cycles charged to the in-flight instruction.
-    inst_write_stalls: u32,
+    pub(crate) inst_write_stalls: u32,
+    /// Basic-block translation cache (see [`crate::translate`]).
+    pub(crate) translator: crate::translate::Translator,
 }
 
 impl Cpu {
@@ -315,6 +331,7 @@ impl Cpu {
             inst_start: 0,
             inst_read_stalls: 0,
             inst_write_stalls: 0,
+            translator: crate::translate::Translator::default(),
         }
     }
 
@@ -330,10 +347,12 @@ impl Cpu {
         let breakpoints = std::mem::take(&mut self.breakpoints);
         let trace = self.trace.as_ref().map(|_| Vec::new());
         let sink = self.sink.take();
+        let translation = self.translator.enabled;
         *self = Cpu::new(image, size);
         self.breakpoints = breakpoints;
         self.trace = trace;
         self.sink = sink;
+        self.translator.enabled = translation;
     }
 
     /// Reads a register (r0 always reads zero).
@@ -393,8 +412,10 @@ impl Cpu {
         &self.mem
     }
 
-    /// Mutable local memory (debugger writes).
+    /// Mutable local memory (debugger writes). Flushes the translation
+    /// cache: out-of-band writes may overwrite cached instructions.
     pub fn mem_mut(&mut self) -> &mut LmbMemory {
+        self.translator.flush();
         &mut self.mem
     }
 
@@ -500,11 +521,20 @@ impl Cpu {
             Pipe::Busy { pc, inst, .. } | Pipe::FslStall { pc, inst } => Some(InFlight {
                 pc: *pc,
                 class: classify(inst),
-                cycles: (self.stats.cycles - self.inst_start) as u32,
+                cycles: self.inst_cycles(),
                 read_stalls: self.inst_read_stalls,
                 write_stalls: self.inst_write_stalls,
             }),
         }
+    }
+
+    /// Cycles charged to the in-flight instruction so far, saturating at
+    /// `u32::MAX`. The subtraction is checked: `inst_start` is reset by
+    /// `load_state` to the snapshot cycle, so a stale wrap can never
+    /// produce an underflow panic, and a >4G-cycle stall (possible via
+    /// fast-forwarded FSL stalls) clamps instead of truncating.
+    fn inst_cycles(&self) -> u32 {
+        u32::try_from(self.stats.cycles.saturating_sub(self.inst_start)).unwrap_or(u32::MAX)
     }
 
     /// When the processor is stalled on a blocking FSL transfer, the
@@ -533,27 +563,27 @@ impl Cpu {
     /// stall state; the caller guarantees the blocking FIFO condition
     /// cannot clear during the jump.
     ///
-    /// # Panics
-    /// Panics (debug) if the processor is not FSL-stalled.
-    pub fn fast_forward_stall(&mut self, n: u64) {
-        debug_assert!(
-            matches!(self.pipe, Pipe::FslStall { .. }),
-            "fast_forward_stall requires an FSL-stalled pipeline"
-        );
+    /// # Errors
+    /// Returns [`NotFslStalled`] — touching no counters — when the
+    /// pipeline is not in an FSL stall: silently accepting such a call
+    /// would corrupt the cycle/stall accounting in release builds.
+    pub fn fast_forward_stall(&mut self, n: u64) -> Result<(), NotFslStalled> {
+        let Pipe::FslStall { inst, .. } = &self.pipe else {
+            return Err(NotFslStalled);
+        };
         self.stats.cycles += n;
         let clamped = u32::try_from(n).unwrap_or(u32::MAX);
-        if let Pipe::FslStall { inst, .. } = &self.pipe {
-            match inst {
-                Inst::Get { .. } => {
-                    self.stats.fsl_read_stalls += n;
-                    self.inst_read_stalls = self.inst_read_stalls.saturating_add(clamped);
-                }
-                _ => {
-                    self.stats.fsl_write_stalls += n;
-                    self.inst_write_stalls = self.inst_write_stalls.saturating_add(clamped);
-                }
+        match inst {
+            Inst::Get { .. } => {
+                self.stats.fsl_read_stalls += n;
+                self.inst_read_stalls = self.inst_read_stalls.saturating_add(clamped);
+            }
+            _ => {
+                self.stats.fsl_write_stalls += n;
+                self.inst_write_stalls = self.inst_write_stalls.saturating_add(clamped);
             }
         }
+        Ok(())
     }
 
     /// Captures the processor's complete architectural and
@@ -627,6 +657,9 @@ impl Cpu {
         self.inst_start = s.stats.cycles;
         self.inst_read_stalls = 0;
         self.inst_write_stalls = 0;
+        // The snapshot replaced the whole memory image: every cached
+        // block may now describe stale instructions.
+        self.translator.flush();
     }
 
     /// Advances the processor by exactly one clock cycle.
@@ -774,7 +807,7 @@ impl Cpu {
                 pc,
                 word: softsim_isa::encode(&inst),
                 class: classify(&inst),
-                cycles: (self.stats.cycles - self.inst_start) as u32,
+                cycles: self.inst_cycles(),
                 read_stalls: self.inst_read_stalls,
                 write_stalls: self.inst_write_stalls,
             });
@@ -804,9 +837,29 @@ impl Cpu {
     }
 
     /// Runs until halt, fault, breakpoint or `max_cycles` further cycles.
+    ///
+    /// With translation enabled (see [`Cpu::set_translation`]) hot
+    /// straight-line stretches execute through the basic-block cache;
+    /// every boundary, stall and observability condition falls back to
+    /// the single-step interpreter, so the stop reason, statistics and
+    /// architectural state are bit-identical either way.
     pub fn run(&mut self, fsl: &mut FslBank, max_cycles: u64) -> StopReason {
         let limit = self.stats.cycles + max_cycles;
         while self.stats.cycles < limit {
+            if self.translator.enabled {
+                match self.run_translated_block(fsl, limit - self.stats.cycles) {
+                    crate::translate::TranslatedRun::Ran { .. } => {
+                        if self.halted {
+                            return StopReason::Halted;
+                        }
+                        continue;
+                    }
+                    crate::translate::TranslatedRun::Faulted { fault, .. } => {
+                        return StopReason::Fault(fault);
+                    }
+                    crate::translate::TranslatedRun::NotRun => {}
+                }
+            }
             match self.tick(fsl) {
                 e if e.is_halt() => return StopReason::Halted,
                 Event::Fault(f) => return StopReason::Fault(f),

@@ -238,6 +238,9 @@ impl Cpu {
         };
         if r.is_ok() {
             self.emit_bus_transfer(BusKind::Lmb, true, ea, 0);
+            // Self-modifying code: drop any translated block covering the
+            // stored-to range so the next dispatch re-decodes it.
+            self.translator.note_store(ea);
         }
         r.map_err(|err| Fault::Memory { pc, err })
     }

@@ -17,14 +17,16 @@ pub mod debug;
 mod exec;
 mod fault;
 mod stats;
+mod translate;
 
 pub use cpu::{
-    classify, Cpu, CpuSnapshot, Event, FslBlock, InFlight, PipeSnapshot, StopReason, TraceEntry,
-    DEFAULT_MEM_BYTES, OPB_BASE,
+    classify, Cpu, CpuSnapshot, Event, FslBlock, InFlight, NotFslStalled, PipeSnapshot, StopReason,
+    TraceEntry, DEFAULT_MEM_BYTES, OPB_BASE,
 };
 pub use fault::Fault;
 pub use softsim_isa::CpuConfig;
 pub use stats::CpuStats;
+pub use translate::{TranslatedRun, TranslationStats};
 
 #[cfg(test)]
 mod tests {
@@ -552,6 +554,181 @@ mod tests {
         cpu.attach_opb(bus);
         let mut fsl = FslBank::default();
         assert!(matches!(cpu.run(&mut fsl, 1000), StopReason::Fault(Fault::Memory { .. })));
+    }
+
+    /// Runs `src` through the interpreter and the translated fast path
+    /// and asserts every architectural observable agrees — the shared
+    /// oracle for the directed carry tests below.
+    fn run_both_paths(src: &str) -> Cpu {
+        let img = image(src);
+        let mut interp = Cpu::with_default_memory(&img);
+        let mut fsl = FslBank::default();
+        assert_eq!(interp.run(&mut fsl, 1_000_000), StopReason::Halted, "program must halt");
+        let mut xlated = Cpu::with_default_memory(&img);
+        xlated.set_translation(true);
+        let mut fsl = FslBank::default();
+        assert_eq!(xlated.run(&mut fsl, 1_000_000), StopReason::Halted);
+        assert_eq!(interp.stats(), xlated.stats(), "stats diverged: {src}");
+        assert_eq!(interp.carry(), xlated.carry(), "carry diverged: {src}");
+        for i in 0..32u8 {
+            assert_eq!(interp.reg(r(i)), xlated.reg(r(i)), "r{i} diverged: {src}");
+        }
+        xlated
+    }
+
+    #[test]
+    fn carry_out_of_add_matches_microblaze() {
+        // MicroBlaze: C = adder carry-out of a + b (+ cin).
+        let cpu = run_both_paths(
+            "li r3, 0xFFFFFFFF\n\
+             addik r4, r0, 1\n\
+             add r5, r3, r4      # 0xFFFFFFFF + 1 -> 0, C = 1\n\
+             addc r6, r0, r0     # consume C: r6 = 1, C = 0\n\
+             addc r7, r3, r0     # 0xFFFFFFFF + 0 + 0, no overflow: C = 0\n\
+             addc r8, r0, r0     # r8 = 0\n\
+             halt\n",
+        );
+        assert_eq!(cpu.reg(r(5)), 0);
+        assert_eq!(cpu.reg(r(6)), 1);
+        assert_eq!(cpu.reg(r(7)), 0xFFFF_FFFF);
+        assert_eq!(cpu.reg(r(8)), 0);
+    }
+
+    #[test]
+    fn carry_chain_performs_64_bit_addition() {
+        // 0x00000001_FFFFFFFF + 0x00000002_00000001 via add / addc.
+        let cpu = run_both_paths(
+            "li r3, 0xFFFFFFFF\n\
+             addik r4, r0, 1\n\
+             add r5, r3, r4      # low word: 0, C = 1\n\
+             addik r6, r0, 1\n\
+             addik r7, r0, 2\n\
+             addc r8, r6, r7     # high word: 1 + 2 + C = 4\n\
+             halt\n",
+        );
+        assert_eq!(cpu.reg(r(5)), 0);
+        assert_eq!(cpu.reg(r(8)), 4);
+    }
+
+    #[test]
+    fn carry_out_of_rsub_is_not_borrow() {
+        // MicroBlaze rsub: rd = rb + ~ra + 1; C is the adder carry-out,
+        // i.e. C = 1 exactly when rb >= ra (no borrow).
+        let cpu = run_both_paths(
+            "addik r3, r0, 5\n\
+             addik r4, r0, 3\n\
+             rsub r5, r3, r4     # 3 - 5 = -2, borrow: C = 0\n\
+             addc r6, r0, r0     # r6 = 0\n\
+             rsub r7, r4, r3     # 5 - 3 = 2, no borrow: C = 1\n\
+             addc r8, r0, r0     # r8 = 1\n\
+             rsub r9, r4, r4     # 3 - 3 = 0, no borrow: C = 1\n\
+             addc r10, r0, r0    # r10 = 1\n\
+             halt\n",
+        );
+        assert_eq!(cpu.reg(r(5)) as i32, -2);
+        assert_eq!(cpu.reg(r(6)), 0);
+        assert_eq!(cpu.reg(r(7)), 2);
+        assert_eq!(cpu.reg(r(8)), 1);
+        assert_eq!(cpu.reg(r(9)), 0);
+        assert_eq!(cpu.reg(r(10)), 1);
+    }
+
+    #[test]
+    fn rsubc_chains_borrow_through_carry() {
+        // rsubc: rd = rb + ~ra + C — the multi-word subtract primitive.
+        // With C = 1 (no pending borrow) it is exact subtraction; with
+        // C = 0 it subtracts one more.
+        let cpu = run_both_paths(
+            "addik r3, r0, 3\n\
+             addik r4, r0, 10\n\
+             li r9, 0xFFFFFFFF\n\
+             add r10, r9, r9     # force C = 1\n\
+             rsubc r5, r3, r4    # C = 1: exact 10 - 3 = 7, carry-out C = 1\n\
+             addc r6, r0, r0     # r6 = 1, C = 0\n\
+             rsubc r7, r3, r4    # C = 0: 10 + ~3 + 0 = 6 (one extra borrowed)\n\
+             halt\n",
+        );
+        assert_eq!(cpu.reg(r(5)), 7);
+        assert_eq!(cpu.reg(r(6)), 1);
+        assert_eq!(cpu.reg(r(7)), 6);
+    }
+
+    #[test]
+    fn carry_out_of_srl_src_sra_is_shifted_out_bit() {
+        let cpu = run_both_paths(
+            "addik r3, r0, 5\n\
+             srl r4, r3          # 0b101 >> 1 = 2, C = old bit0 = 1\n\
+             addc r5, r0, r0     # r5 = 1\n\
+             addik r6, r0, 4\n\
+             srl r7, r6          # 0b100 >> 1 = 2, C = 0\n\
+             addc r8, r0, r0     # r8 = 0\n\
+             halt\n",
+        );
+        assert_eq!(cpu.reg(r(4)), 2);
+        assert_eq!(cpu.reg(r(5)), 1);
+        assert_eq!(cpu.reg(r(7)), 2);
+        assert_eq!(cpu.reg(r(8)), 0);
+
+        // src inserts the OLD carry into bit 31 while capturing bit 0 —
+        // the order the MicroBlaze reference specifies.
+        let cpu = run_both_paths(
+            "addik r3, r0, 5\n\
+             srl r4, r3          # C = 1\n\
+             addik r5, r0, 4\n\
+             src r6, r5          # (4 >> 1) | (1 << 31), new C = 4 & 1 = 0\n\
+             addik r7, r0, 3\n\
+             src r8, r7          # C = 0 now: 3 >> 1 = 1, new C = 1\n\
+             addc r9, r0, r0     # r9 = 1\n\
+             halt\n",
+        );
+        assert_eq!(cpu.reg(r(6)), 0x8000_0002);
+        assert_eq!(cpu.reg(r(8)), 1);
+        assert_eq!(cpu.reg(r(9)), 1);
+
+        let cpu = run_both_paths(
+            "addik r3, r0, -7\n\
+             sra r4, r3          # 0xFFFFFFF9 >> 1 arith = -4, C = 1\n\
+             addc r5, r0, r0     # r5 = 1\n\
+             addik r6, r0, -8\n\
+             sra r7, r6          # -8 >> 1 = -4, C = 0\n\
+             addc r8, r0, r0     # r8 = 0\n\
+             halt\n",
+        );
+        assert_eq!(cpu.reg(r(4)) as i32, -4);
+        assert_eq!(cpu.reg(r(5)), 1);
+        assert_eq!(cpu.reg(r(7)) as i32, -4);
+        assert_eq!(cpu.reg(r(8)), 0);
+    }
+
+    #[test]
+    fn in_flight_cycle_attribution_saturates_past_u32() {
+        // A >4-billion-cycle stall (reachable via fast-forward jumps)
+        // must clamp the per-instruction attribution, not truncate it.
+        let img = image("get r3, rfsl0\nhalt\n");
+        let mut cpu = Cpu::with_default_memory(&img);
+        let mut fsl = FslBank::default();
+        assert_eq!(cpu.tick(&mut fsl), Event::Busy); // issues, blocks
+        cpu.fast_forward_stall(u32::MAX as u64 + 10).expect("pipeline is FSL-stalled");
+        let f = cpu.in_flight().expect("get is in flight");
+        assert_eq!(f.cycles, u32::MAX, "attribution saturates instead of wrapping");
+        assert_eq!(f.read_stalls, u32::MAX);
+        assert_eq!(cpu.stats().cycles, 1 + u32::MAX as u64 + 10, "cycle counter stays exact");
+    }
+
+    #[test]
+    fn fast_forward_stall_rejects_non_stalled_pipeline() {
+        // Meaningful in release builds too: a typed error, not a
+        // debug-only assert, and no counter is touched.
+        let img = image("addik r3, r0, 1\nhalt\n");
+        let mut cpu = Cpu::with_default_memory(&img);
+        let before = cpu.stats();
+        assert_eq!(cpu.fast_forward_stall(100), Err(NotFslStalled));
+        assert_eq!(cpu.stats(), before, "rejected call must not corrupt accounting");
+        let mut fsl = FslBank::default();
+        assert_eq!(cpu.run(&mut fsl, 100), StopReason::Halted);
+        let before = cpu.stats();
+        assert_eq!(cpu.fast_forward_stall(7), Err(NotFslStalled), "halted CPU is not stalled");
+        assert_eq!(cpu.stats(), before);
     }
 
     #[test]
