@@ -34,13 +34,21 @@
 //! and must stay within 2% of the on run, and the two reports are
 //! asserted byte-identical first.
 //!
-//! Campaign journaling is the last guard: a plain in-memory campaign
+//! Campaign journaling gets the same guard: a plain in-memory campaign
 //! (journaling off — the default `run_campaign` path) sweeps the same
 //! seeded plan as the durable journaled runner, which additionally
 //! encodes and appends every trial to an `SSJL` journal. The plain run
 //! does strictly less work and must stay within 2% of the journaled
 //! one — durability costs nothing when you do not ask for it — and the
 //! two reports are asserted byte-identical first.
+//!
+//! The simulation service is the last guard: running a campaign
+//! directly (serve off — the default for everything else in the repo)
+//! must stay within 2% of submitting the identical campaign through an
+//! in-process `softsim_serve::Server` (cache bypassed, non-durable),
+//! whose admission queue, worker hand-off and result plumbing wrap the
+//! same simulation. The served report is asserted equal to the direct
+//! run's first, line for line.
 //!
 //! Samples are interleaved (A,B,A,B,...) so frequency scaling and cache
 //! warm-up hit both configurations equally, and minima are compared
@@ -160,6 +168,59 @@ fn run_campaign_journaled(journal: &std::path::Path) -> Duration {
     wall
 }
 
+const SERVE_SEED: u64 = 0x00FF_10AD;
+const SERVE_TRIALS: u32 = 12;
+
+fn serve_spec() -> softsim_serve::JobSpec {
+    softsim_serve::JobSpec {
+        kind: softsim_serve::JobKind::Campaign,
+        workload: softsim_serve::Workload::Cordic { iterations: 8, p: 2 },
+        seed: SERVE_SEED,
+        trials: SERVE_TRIALS,
+        durable: false,
+        use_cache: false,
+        ..softsim_serve::JobSpec::default()
+    }
+}
+
+fn serve_off_campaign() -> softsim_resilience::CampaignReport {
+    // Serve off: the same plan, simulator and runner the service's
+    // catalog wires up, invoked directly with no queue, no worker
+    // hand-off and no result plumbing.
+    use softsim_serve::catalog;
+    let spec = serve_spec();
+    let plan = catalog::campaign_plan(spec.workload, spec.seed, spec.trials);
+    let (base, n) = catalog::observe_window(spec.workload);
+    softsim_resilience::run_campaign_parallel_with_telemetry(
+        || catalog::build_sim(spec.workload, false),
+        &plan,
+        move |s| catalog::observe_words(s, base, n),
+        softsim_resilience::CampaignConfig {
+            fast_forward: true,
+            ..softsim_resilience::CampaignConfig::default()
+        },
+        1,
+        None,
+    )
+}
+
+fn run_serve_off() -> Duration {
+    let start = Instant::now();
+    let report = serve_off_campaign();
+    let wall = start.elapsed();
+    black_box(report.trials.len());
+    wall
+}
+
+fn run_serve_on(server: &softsim_serve::Server) -> Duration {
+    let start = Instant::now();
+    let result = server.run(serve_spec()).expect("campaign admitted");
+    let wall = start.elapsed();
+    assert_eq!(result.state, softsim_serve::JobState::Done);
+    black_box(result.report.len());
+    wall
+}
+
 fn main() {
     let img = softsim_bench::workloads::cordic_sw_image(24);
     let journal =
@@ -185,6 +246,39 @@ fn main() {
         softsim_bench::durable::durable_cordic_campaign(&journal, false, 1),
         "plain and journaled campaigns must agree bit for bit"
     );
+    // The served campaign must be the direct campaign, line for line —
+    // the service wraps the simulation, it must never change it.
+    let serve_server = softsim_serve::Server::start(softsim_serve::ServeConfig {
+        workers: 1,
+        spool: std::env::temp_dir().join(format!("softsim_overhead_serve_{}", std::process::id())),
+        ..softsim_serve::ServeConfig::default()
+    })
+    .expect("serve starts");
+    {
+        let served = serve_server.run(serve_spec()).expect("served campaign");
+        let direct = serve_off_campaign();
+        let mut expected = format!(
+            "campaign cordic iters=8 p=2 seed={SERVE_SEED:#x} trials={SERVE_TRIALS} \
+             golden_cycles={}\n",
+            direct.golden_cycles
+        );
+        let cov = direct.coverage();
+        expected.push_str(&format!(
+            "coverage completed={} budget={} abandoned={} retried={}\n",
+            cov.completed, cov.budget, cov.abandoned, cov.retried
+        ));
+        for (i, t) in direct.trials.iter().enumerate() {
+            expected.push_str(&format!(
+                "trial {i}: cycle={} outcome={}\n",
+                t.injection.cycle,
+                t.outcome.label()
+            ));
+        }
+        assert_eq!(
+            served.report, expected,
+            "served campaign must match the direct run line for line"
+        );
+    }
     // Same for the instrumented run — telemetry must never leak into
     // the deterministic report.
     {
@@ -213,6 +307,8 @@ fn main() {
     let mut journal_off = Vec::with_capacity(SAMPLES);
     let mut journal_on = Vec::with_capacity(SAMPLES);
     let mut telemetry_on = Vec::with_capacity(SAMPLES);
+    let mut serve_off = Vec::with_capacity(SAMPLES);
+    let mut serve_on = Vec::with_capacity(SAMPLES);
     for _ in 0..SAMPLES {
         untraced.push(run_untraced(&img));
         nulled.push(run_null_traced(&img));
@@ -224,6 +320,8 @@ fn main() {
         journal_off.push(run_campaign_plain());
         telemetry_on.push(run_campaign_telemetry());
         journal_on.push(run_campaign_journaled(&journal));
+        serve_off.push(run_serve_off());
+        serve_on.push(run_serve_on(&serve_server));
     }
     let _ = std::fs::remove_file(&journal);
     let best_untraced = *untraced.iter().min().unwrap();
@@ -302,4 +400,17 @@ fn main() {
          (off {best_journal_off:?} vs journaled {best_journal_on:?}, ratio {ratio:.4})"
     );
     println!("ok: journaling-off overhead within 2%");
+    let best_serve_off = *serve_off.iter().min().unwrap();
+    let best_serve_on = *serve_on.iter().min().unwrap();
+    let ratio = best_serve_off.as_secs_f64() / best_serve_on.as_secs_f64();
+    println!(
+        "serve overhead guard: serve-off {best_serve_off:?}, served {best_serve_on:?}, \
+         off/on ratio {ratio:.4}"
+    );
+    assert!(
+        ratio <= 1.02,
+        "direct campaign must stay within 2% of the served run \
+         (off {best_serve_off:?} vs served {best_serve_on:?}, ratio {ratio:.4})"
+    );
+    println!("ok: serve-off overhead within 2%");
 }

@@ -49,7 +49,11 @@
 //!   (`BENCH_0009.json` by default) — the basic-block ISS fast path vs
 //!   the stepped interpreter on compute-heavy software workloads, with
 //!   result equality asserted before any number is written.
-//! * `--trajectory [PATH]` aggregates the BENCH_0003–0009 records in
+//! * `--serve-json` writes the simulation-service record
+//!   (`BENCH_0010.json` by default) — jobs/sec, cache hit rate and shed
+//!   rate under a synthetic overload burst, with cached-report
+//!   byte-identity asserted before any number is written.
+//! * `--trajectory [PATH]` aggregates the BENCH_0003–0010 records in
 //!   the current directory into the committed trajectory record
 //!   (`BENCH_TRAJECTORY.json` by default).
 //! * `--trajectory-gate [COMMITTED]` re-extracts the same series and
@@ -61,6 +65,18 @@ use softsim_metrics::telemetry::{Telemetry, TelemetryConfig};
 use std::time::Duration;
 
 fn main() {
+    // Environment is validated eagerly: a malformed override is a
+    // configuration error (exit 2) before any table is computed, not a
+    // silent fallback mid-run.
+    if let Err(e) = softsim_bench::sweep::sweep_workers_from_env() {
+        eprintln!("configuration error: {e}");
+        std::process::exit(2);
+    }
+    if let Err(e) = softsim_resilience::abort_after_trials_from_env() {
+        eprintln!("configuration error: {e}");
+        std::process::exit(2);
+    }
+
     let args: Vec<String> = std::env::args().skip(1).collect();
     let all = args.is_empty() || args.iter().any(|a| a == "--all");
     let want = |flag: &str| all || args.iter().any(|a| a == flag);
@@ -177,6 +193,11 @@ fn main() {
     if let Some(path) = operand("--translate-json", "BENCH_0009.json") {
         softsim_bench::translate::write_translate_json(std::path::Path::new(&path))
             .expect("write translate JSON");
+        println!("wrote {path}");
+    }
+    if let Some(path) = operand("--serve-json", "BENCH_0010.json") {
+        softsim_bench::serve::write_serve_json(std::path::Path::new(&path))
+            .expect("write serve JSON");
         println!("wrote {path}");
     }
     if let Some(path) = operand("--record", "tables_output.txt") {

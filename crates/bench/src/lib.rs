@@ -19,6 +19,7 @@ pub mod harness;
 pub mod hotspots;
 pub mod measure;
 pub mod recover;
+pub mod serve;
 pub mod speedup;
 pub mod sweep;
 pub mod tables;

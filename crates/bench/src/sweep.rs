@@ -168,23 +168,84 @@ where
     out
 }
 
+/// The environment variable overriding the sweep worker count.
+pub const SWEEP_WORKERS_ENV: &str = "SOFTSIM_SWEEP_WORKERS";
+
+/// A malformed [`SWEEP_WORKERS_ENV`] value. An unparseable worker
+/// count used to fall back silently to the machine default — which
+/// turned a CI typo into a wrong-but-green byte-diff. Now it is a
+/// typed configuration error surfaced before any work runs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorkersEnvError {
+    /// The rejected value, verbatim.
+    pub value: String,
+}
+
+impl std::fmt::Display for WorkersEnvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid {SWEEP_WORKERS_ENV}={:?}: expected a positive integer \
+             (unset the variable for the machine default)",
+            self.value
+        )
+    }
+}
+
+impl std::error::Error for WorkersEnvError {}
+
+/// Reads [`SWEEP_WORKERS_ENV`]: `Ok(None)` when unset, `Ok(Some(n))`
+/// for a positive integer, and a typed error for anything else
+/// (including `0`).
+pub fn sweep_workers_from_env() -> Result<Option<usize>, WorkersEnvError> {
+    match std::env::var(SWEEP_WORKERS_ENV) {
+        Err(_) => Ok(None),
+        Ok(value) => parse_workers(&value).map(Some),
+    }
+}
+
+/// Parses one [`SWEEP_WORKERS_ENV`] value: a positive integer, with
+/// surrounding whitespace tolerated.
+pub fn parse_workers(value: &str) -> Result<usize, WorkersEnvError> {
+    match value.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Ok(n),
+        _ => Err(WorkersEnvError { value: value.to_string() }),
+    }
+}
+
 /// Worker-thread count for the parallel runners: the machine's
 /// available parallelism, capped so small CI runners are not
 /// oversubscribed. The `SOFTSIM_SWEEP_WORKERS` environment variable
 /// overrides it (CI sets it to 1 to produce the serial record it diffs
 /// the parallel one against).
+///
+/// # Panics
+/// Panics on a malformed override; entry points that want an orderly
+/// exit validate [`sweep_workers_from_env`] eagerly instead.
 pub fn default_workers() -> usize {
-    if let Some(n) =
-        std::env::var("SOFTSIM_SWEEP_WORKERS").ok().and_then(|v| v.trim().parse::<usize>().ok())
-    {
-        return n.max(1);
+    match sweep_workers_from_env() {
+        Ok(Some(n)) => n,
+        Ok(None) => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8),
+        Err(e) => panic!("configuration error: {e}"),
     }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn workers_env_parsing_is_strict() {
+        assert_eq!(parse_workers(" 3 "), Ok(3));
+        assert_eq!(parse_workers("1"), Ok(1));
+        for bad in ["0", "banana", "-2", "2.5", ""] {
+            let err = parse_workers(bad).expect_err(bad);
+            assert_eq!(err.value, bad);
+            let msg = err.to_string();
+            assert!(msg.contains(SWEEP_WORKERS_ENV), "{msg}");
+            assert!(msg.contains("positive integer"), "{msg}");
+        }
+    }
 
     #[test]
     fn results_keep_input_order() {

@@ -5,9 +5,10 @@
 //! subsystem; the trajectory record aggregates their headline numbers
 //! into a single committed series — interpreter cycles/sec, co-sim
 //! throughput, fast-forward speedup, recovery rate, durable journal
-//! overhead, translated-execution throughput — so any change has one
+//! overhead, translated-execution throughput, service throughput under
+//! overload — so any change has one
 //! file to beat and CI has one gate to hold. `tables --trajectory`
-//! regenerates the record from the BENCH_0003–0009 files in the
+//! regenerates the record from the BENCH_0003–0010 files in the
 //! current directory; `tables --trajectory-gate` re-extracts the same
 //! series from (possibly freshly regenerated) BENCH files and fails if
 //! a gated series regresses past its factor against the committed
@@ -29,13 +30,14 @@ use std::path::Path;
 pub const TRAJECTORY_FILE: &str = "BENCH_TRAJECTORY.json";
 
 /// The BENCH records the trajectory aggregates, in extraction order.
-pub const TRAJECTORY_SOURCES: [&str; 6] = [
+pub const TRAJECTORY_SOURCES: [&str; 7] = [
     "BENCH_0003.json",
     "BENCH_0004.json",
     "BENCH_0005.json",
     "BENCH_0006.json",
     "BENCH_0007.json",
     "BENCH_0009.json",
+    "BENCH_0010.json",
 ];
 
 /// How a series is gated against the committed record.
@@ -100,8 +102,9 @@ fn f64_at(doc: &Value, file: &str, path: &[&str]) -> Result<f64, String> {
 /// co-sim throughput plus RTL speedup (BENCH_0003), fast-forward and
 /// parallel speedups (BENCH_0004), the fully-hardened recovery rate
 /// (BENCH_0005), total profiled hotspot cycles (BENCH_0006), journal
-/// bytes per trial (BENCH_0007), and translated-execution throughput
-/// and speedup (BENCH_0009).
+/// bytes per trial (BENCH_0007), translated-execution throughput and
+/// speedup (BENCH_0009), and service jobs/sec, cache hit rate and shed
+/// rate under overload (BENCH_0010).
 pub fn extract(dir: &Path) -> Result<Vec<SeriesPoint>, String> {
     let mut out = Vec::new();
 
@@ -226,6 +229,26 @@ pub fn extract(dir: &Path) -> Result<Vec<SeriesPoint>, String> {
         name: "translate_speedup",
         source: "BENCH_0009.json",
         value: f64_at(&b9, "BENCH_0009.json", &["best_speedup"])?,
+        gate: Gate::Info,
+    });
+
+    let b10 = read_json(dir, "BENCH_0010.json")?;
+    out.push(SeriesPoint {
+        name: "serve_jobs_per_sec",
+        source: "BENCH_0010.json",
+        value: f64_at(&b10, "BENCH_0010.json", &["jobs_per_sec"])?,
+        gate: Gate::Floor(0.8),
+    });
+    out.push(SeriesPoint {
+        name: "serve_cache_hit_rate",
+        source: "BENCH_0010.json",
+        value: f64_at(&b10, "BENCH_0010.json", &["cache_hit_rate"])?,
+        gate: Gate::Floor(0.8),
+    });
+    out.push(SeriesPoint {
+        name: "serve_shed_rate",
+        source: "BENCH_0010.json",
+        value: f64_at(&b10, "BENCH_0010.json", &["shed_rate"])?,
         gate: Gate::Info,
     });
 
@@ -396,6 +419,8 @@ mod tests {
             "fast_forward_speedup_stall",
             "recovery_rate_full_hardening",
             "translated_cycles_per_sec",
+            "serve_jobs_per_sec",
+            "serve_cache_hit_rate",
         ] {
             let p = a.iter().find(|p| p.name == name).expect(name);
             assert!(matches!(p.gate, Gate::Floor(f) if f > 0.0), "{name} must be floor-gated");

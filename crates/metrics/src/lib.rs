@@ -58,5 +58,5 @@ pub mod window;
 pub use collect::{MetricsCollector, COLUMNS};
 pub use diff::{Divergence, EventDivergence, MetricsDiff, RunRecord, WindowDivergence};
 pub use registry::{CounterId, GaugeId, Histogram, HistogramId, Label, Registry};
-pub use telemetry::{SpanKind, SpanRecord, Telemetry, TelemetryConfig};
+pub use telemetry::{ServeCounters, ServeEvent, SpanKind, SpanRecord, Telemetry, TelemetryConfig};
 pub use window::{WindowRow, WindowSeries};

@@ -47,6 +47,10 @@ pub enum SpanKind {
     SweepItem,
     /// One durable-journal record append (frame build + write).
     JournalAppend,
+    /// One `softsim-serve` job, end to end (queue wait excluded; covers
+    /// all retry attempts). Like campaigns and sweeps it nests leaf
+    /// spans, so it is excluded from worker occupancy.
+    Job,
 }
 
 impl SpanKind {
@@ -59,19 +63,78 @@ impl SpanKind {
             SpanKind::Sweep => "sweep",
             SpanKind::SweepItem => "sweep_item",
             SpanKind::JournalAppend => "journal_append",
+            SpanKind::Job => "job",
         }
     }
 }
 
 /// All span kinds, in exposition order.
-pub const SPAN_KINDS: [SpanKind; 6] = [
+pub const SPAN_KINDS: [SpanKind; 7] = [
     SpanKind::Campaign,
     SpanKind::Golden,
     SpanKind::Trial,
     SpanKind::Sweep,
     SpanKind::SweepItem,
     SpanKind::JournalAppend,
+    SpanKind::Job,
 ];
+
+/// A `softsim-serve` lifecycle event, counted by the hub and exposed as
+/// the `softsim_serve_*` Prometheus families once any is recorded.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ServeEvent {
+    /// A job passed admission control into the queue.
+    Admitted,
+    /// A job was rejected or evicted by admission control / load-shedding.
+    Shed,
+    /// A job was admitted in reduced-fidelity (degraded) mode.
+    Degraded,
+    /// A job attempt failed and was retried.
+    Retried,
+    /// A job exhausted its retries and was quarantined.
+    Quarantined,
+    /// A job finished successfully.
+    Completed,
+    /// A job was served from the memoization cache.
+    CacheHit,
+    /// A cacheable job missed the memoization cache.
+    CacheMiss,
+    /// A cache entry was evicted (capacity or CRC corruption).
+    CacheEvict,
+}
+
+/// Rollup of [`ServeEvent`] counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeCounters {
+    /// Jobs admitted.
+    pub admitted: u64,
+    /// Jobs shed (rejected or evicted).
+    pub shed: u64,
+    /// Jobs admitted degraded.
+    pub degraded: u64,
+    /// Retry attempts.
+    pub retried: u64,
+    /// Jobs quarantined.
+    pub quarantined: u64,
+    /// Jobs completed.
+    pub completed: u64,
+    /// Cache hits.
+    pub cache_hits: u64,
+    /// Cache misses.
+    pub cache_misses: u64,
+    /// Cache evictions.
+    pub cache_evictions: u64,
+}
+
+/// Point-in-time service gauges, set by the server on every queue
+/// transition.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct ServeGauges {
+    queue_depth: u64,
+    queue_capacity: u64,
+    jobs_running: u64,
+    ready: bool,
+}
 
 /// One closed harness span. Workers fill one of these locally (no lock
 /// held while the span runs) and hand it to [`Telemetry::record`].
@@ -173,6 +236,9 @@ struct Inner {
     journal_bytes: u64,
     trial_wall_hist: Vec<u64>,
     trial_wall_sum: f64,
+    serve: ServeCounters,
+    serve_gauges: ServeGauges,
+    serve_active: bool,
     series: Vec<ThroughputSample>,
     last_sample: Instant,
     last_heartbeat: Instant,
@@ -202,6 +268,9 @@ impl Inner {
             journal_bytes: 0,
             trial_wall_hist: vec![0; TRIAL_WALL_BOUNDS.len()],
             trial_wall_sum: 0.0,
+            serve: ServeCounters::default(),
+            serve_gauges: ServeGauges::default(),
+            serve_active: false,
             series: Vec::new(),
             last_sample: now,
             last_heartbeat: now,
@@ -257,10 +326,10 @@ impl Telemetry {
         if inner.workers.len() <= w {
             inner.workers.resize(w + 1, WorkerStats::default());
         }
-        // Aggregate spans (campaign, sweep) cover the whole run and
-        // would double-count the leaf spans nested inside them; only
-        // leaf spans are worker occupancy.
-        if !matches!(rec.kind, SpanKind::Campaign | SpanKind::Sweep) {
+        // Aggregate spans (campaign, sweep, serve job) cover the whole
+        // run and would double-count the leaf spans nested inside them;
+        // only leaf spans are worker occupancy.
+        if !matches!(rec.kind, SpanKind::Campaign | SpanKind::Sweep | SpanKind::Job) {
             inner.workers[w].spans += 1;
             inner.workers[w].busy += rec.wall;
         }
@@ -363,6 +432,45 @@ impl Telemetry {
     /// Per-worker rollups, indexed by worker id.
     pub fn worker_stats(&self) -> Vec<WorkerStats> {
         self.lock().workers.clone()
+    }
+
+    /// Counts one `softsim-serve` lifecycle event. The first call (or
+    /// the first [`Telemetry::set_serve_queue`]) switches the
+    /// `softsim_serve_*` families into the exposition — campaign-only
+    /// users keep the exact exposition they had before serve existed.
+    pub fn serve_event(&self, event: ServeEvent) {
+        let mut inner = self.lock();
+        inner.serve_active = true;
+        let s = &mut inner.serve;
+        match event {
+            ServeEvent::Admitted => s.admitted += 1,
+            ServeEvent::Shed => s.shed += 1,
+            ServeEvent::Degraded => s.degraded += 1,
+            ServeEvent::Retried => s.retried += 1,
+            ServeEvent::Quarantined => s.quarantined += 1,
+            ServeEvent::Completed => s.completed += 1,
+            ServeEvent::CacheHit => s.cache_hits += 1,
+            ServeEvent::CacheMiss => s.cache_misses += 1,
+            ServeEvent::CacheEvict => s.cache_evictions += 1,
+        }
+    }
+
+    /// Sets the serve queue/readiness gauges (call on every admission,
+    /// pop and completion).
+    pub fn set_serve_queue(&self, depth: u64, capacity: u64, running: u64, ready: bool) {
+        let mut inner = self.lock();
+        inner.serve_active = true;
+        inner.serve_gauges = ServeGauges {
+            queue_depth: depth,
+            queue_capacity: capacity,
+            jobs_running: running,
+            ready,
+        };
+    }
+
+    /// The serve lifecycle counters recorded so far.
+    pub fn serve_counters(&self) -> ServeCounters {
+        self.lock().serve
     }
 
     /// The sampled whole-run throughput series.
@@ -589,6 +697,51 @@ fn build_prometheus(inner: &Inner) -> String {
         Vec::new(),
     );
     reg.set(g, inner.expected_trials as f64);
+    if inner.serve_active {
+        let s = &inner.serve;
+        for (state, n) in [
+            ("admitted", s.admitted),
+            ("shed", s.shed),
+            ("degraded", s.degraded),
+            ("retried", s.retried),
+            ("quarantined", s.quarantined),
+            ("completed", s.completed),
+        ] {
+            let c = reg.counter(
+                "softsim_serve_jobs_total",
+                "Serve jobs by lifecycle state.",
+                vec![("state", state.to_string())],
+            );
+            reg.inc(c, n);
+        }
+        for (event, n) in
+            [("hit", s.cache_hits), ("miss", s.cache_misses), ("evict", s.cache_evictions)]
+        {
+            let c = reg.counter(
+                "softsim_serve_cache_total",
+                "Memoization cache events.",
+                vec![("event", event.to_string())],
+            );
+            reg.inc(c, n);
+        }
+        let q = inner.serve_gauges;
+        let g = reg.gauge("softsim_serve_queue_depth", "Jobs waiting in the queue.", Vec::new());
+        reg.set(g, q.queue_depth as f64);
+        let g = reg.gauge(
+            "softsim_serve_queue_capacity",
+            "Admission-control queue capacity.",
+            Vec::new(),
+        );
+        reg.set(g, q.queue_capacity as f64);
+        let g = reg.gauge("softsim_serve_jobs_running", "Jobs currently executing.", Vec::new());
+        reg.set(g, q.jobs_running as f64);
+        let g = reg.gauge(
+            "softsim_serve_ready",
+            "1 while the server accepts work, 0 once shutdown begins.",
+            Vec::new(),
+        );
+        reg.set(g, if q.ready { 1.0 } else { 0.0 });
+    }
     reg.to_prometheus()
 }
 
@@ -741,6 +894,44 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.contains("softsim_harness_spans_total{kind=\"trial\"} 1"));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn serve_families_appear_only_once_serve_is_active() {
+        let t = Telemetry::default();
+        t.record(trial(0, 5, 1_000));
+        // A campaign-only hub exposes no serve families at all.
+        assert!(!t.to_prometheus().contains("softsim_serve_"));
+
+        t.serve_event(ServeEvent::Admitted);
+        t.serve_event(ServeEvent::Admitted);
+        t.serve_event(ServeEvent::Shed);
+        t.serve_event(ServeEvent::CacheHit);
+        t.serve_event(ServeEvent::Completed);
+        t.set_serve_queue(3, 8, 2, true);
+        let counters = t.serve_counters();
+        assert_eq!(counters.admitted, 2);
+        assert_eq!(counters.shed, 1);
+        assert_eq!(counters.cache_hits, 1);
+        let text = t.to_prometheus();
+        assert!(text.contains("softsim_serve_jobs_total{state=\"admitted\"} 2"), "{text}");
+        assert!(text.contains("softsim_serve_jobs_total{state=\"shed\"} 1"));
+        assert!(text.contains("softsim_serve_cache_total{event=\"hit\"} 1"));
+        assert!(text.contains("softsim_serve_queue_depth 3"));
+        assert!(text.contains("softsim_serve_queue_capacity 8"));
+        assert!(text.contains("softsim_serve_jobs_running 2"));
+        assert!(text.contains("softsim_serve_ready 1"));
+    }
+
+    #[test]
+    fn job_spans_do_not_count_as_worker_occupancy() {
+        let t = Telemetry::default();
+        t.record(SpanRecord::new(SpanKind::Job, 0, Duration::from_millis(50)));
+        t.record(trial(0, 5, 1_000));
+        let workers = t.worker_stats();
+        assert_eq!(workers[0].spans, 1, "the job wrapper is not a leaf span");
+        assert_eq!(workers[0].busy, Duration::from_millis(5));
+        assert!(t.to_prometheus().contains("softsim_harness_spans_total{kind=\"job\"} 1"));
     }
 
     #[test]

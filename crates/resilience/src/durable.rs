@@ -39,6 +39,19 @@
 //! header-level damage) or a shorter valid prefix (for record-level
 //! damage — scanning stops at the first bad frame, the damaged tail is
 //! dropped, and the trials it covered simply re-run on resume).
+//!
+//! ## Write-side degradation
+//!
+//! Appends can fail too (disk full, flush error, a short write). A
+//! failed append must not kill a campaign that is otherwise healthy,
+//! and must not leave a corrupt frame for the next resume to trip on.
+//! So the append path *degrades*: on the first failed append the file
+//! is truncated back to the last good frame, journaling stops, the
+//! campaign finishes in memory, and the `_with_status` runners report a
+//! [`DurabilityStatus`] with `durable = false` and a warning naming the
+//! failure. [`AppendFaultPlan`] injects exactly these failures in tests
+//! (the same philosophy as [`FaultKind::HarnessPanic`] for trial
+//! isolation: the degradation path stays provable end to end).
 
 use crate::campaign::{
     golden_run, run_trial_guarded, CampaignConfig, CampaignReport, Outcome, Trial, TrialScope,
@@ -97,6 +110,95 @@ const MAX_TRIALS: usize = 1 << 22;
 /// never set it in a process whose other work you care about.
 pub const ABORT_ENV: &str = "SOFTSIM_ABORT_AFTER_TRIALS";
 
+/// An environment variable held a value that cannot be used: not a
+/// positive integer. Returned instead of silently falling back to the
+/// default, so a typo'd `SOFTSIM_ABORT_AFTER_TRIALS=banana` (or `=0`)
+/// fails loudly rather than quietly changing what a CI kill test means.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvConfigError {
+    /// The variable that was set.
+    pub var: &'static str,
+    /// The rejected value.
+    pub value: String,
+}
+
+impl std::fmt::Display for EnvConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid {}={:?}: expected a positive integer (unset the variable for the default)",
+            self.var, self.value
+        )
+    }
+}
+
+impl std::error::Error for EnvConfigError {}
+
+/// Strictly parses [`ABORT_ENV`]: unset → `None`, a positive integer →
+/// `Some(n)`, anything else (including `0`) → a typed
+/// [`EnvConfigError`]. The durable runners call this on entry, so an
+/// invalid value surfaces as [`JournalError::Config`] before any trial
+/// runs; CLIs should call it eagerly for a clearer message.
+pub fn abort_after_trials_from_env() -> Result<Option<u64>, EnvConfigError> {
+    match std::env::var(ABORT_ENV) {
+        Err(_) => Ok(None),
+        Ok(v) => match v.trim().parse::<u64>() {
+            Ok(n) if n > 0 => Ok(Some(n)),
+            _ => Err(EnvConfigError { var: ABORT_ENV, value: v }),
+        },
+    }
+}
+
+/// Which failure an injected journal-append fault simulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppendFault {
+    /// The frame is cut mid-write (half its bytes reach the file before
+    /// the error) — the torn-tail case a power loss produces.
+    ShortWrite,
+    /// The write fails outright with a storage-full error; nothing of
+    /// the frame reaches the file.
+    DiskFull,
+    /// The frame is written but the flush fails, so its durability
+    /// cannot be trusted.
+    FlushError,
+}
+
+impl std::fmt::Display for AppendFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            AppendFault::ShortWrite => "short write",
+            AppendFault::DiskFull => "disk full",
+            AppendFault::FlushError => "flush error",
+        })
+    }
+}
+
+/// Injectable I/O fault for the journal append path: the append after
+/// `after_appends` successful ones fails as `kind`. Tests use this to
+/// prove a failed append degrades the run to non-durable (see the
+/// module docs) instead of panicking or corrupting the journal tail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppendFaultPlan {
+    /// The failure to simulate.
+    pub kind: AppendFault,
+    /// How many appends succeed before the fault fires.
+    pub after_appends: u32,
+}
+
+/// How durable a journaled run actually was, reported by the
+/// `_with_status` runners. The campaign report itself is byte-identical
+/// either way — only the journal's fate differs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DurabilityStatus {
+    /// `true` when every completed trial reached the journal; `false`
+    /// when an append failed and journaling stopped.
+    pub durable: bool,
+    /// Records appended by this run (not counting resumed ones).
+    pub appended: u32,
+    /// Human-readable description of the append failure, when degraded.
+    pub warning: Option<String>,
+}
+
 /// Why a journal could not be opened, read, or resumed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum JournalError {
@@ -138,6 +240,9 @@ pub enum JournalError {
     },
     /// A field held a value that cannot occur in a real journal.
     Corrupt(&'static str),
+    /// An environment knob the durable runners read was set to an
+    /// unusable value (see [`abort_after_trials_from_env`]).
+    Config(EnvConfigError),
 }
 
 impl std::fmt::Display for JournalError {
@@ -166,6 +271,7 @@ impl std::fmt::Display for JournalError {
                 write!(f, "journal declares {found} trials, this campaign has {expected}")
             }
             JournalError::Corrupt(what) => write!(f, "corrupt journal: {what}"),
+            JournalError::Config(e) => write!(f, "invalid configuration: {e}"),
         }
     }
 }
@@ -175,6 +281,12 @@ impl std::error::Error for JournalError {}
 impl From<std::io::Error> for JournalError {
     fn from(e: std::io::Error) -> JournalError {
         JournalError::Io(e.kind())
+    }
+}
+
+impl From<EnvConfigError> for JournalError {
+    fn from(e: EnvConfigError) -> JournalError {
+        JournalError::Config(e)
     }
 }
 
@@ -929,7 +1041,7 @@ fn open_journal<T: Clone>(
     header: &Header,
     resume: bool,
     decode: &dyn Fn(&mut Rd) -> Result<T, JournalError>,
-) -> Result<(File, Vec<Option<T>>), JournalError> {
+) -> Result<(File, Vec<Option<T>>, u64), JournalError> {
     if resume {
         match std::fs::read(path) {
             Ok(bytes) if bytes.is_empty() => {} // crash before the header: fresh start
@@ -950,7 +1062,7 @@ fn open_journal<T: Clone>(
                 let mut file = OpenOptions::new().write(true).open(path)?;
                 file.set_len(scan.good_bytes)?;
                 file.seek(SeekFrom::End(0))?;
-                return Ok((file, scan.completed));
+                return Ok((file, scan.completed, scan.good_bytes));
             }
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {} // fresh start
             Err(e) => return Err(e.into()),
@@ -959,18 +1071,89 @@ fn open_journal<T: Clone>(
     let mut file = File::create(path)?;
     file.write_all(&header.encode())?;
     file.flush()?;
-    Ok((file, vec![None; header.trials as usize]))
+    Ok((file, vec![None; header.trials as usize], HEADER_LEN as u64))
 }
 
-/// Appends one framed record (`len | payload | crc`) and flushes, so a
-/// crash can tear at most the final frame.
-fn append_frame(file: &mut File, payload: &[u8]) -> std::io::Result<()> {
-    let mut frame = Vec::with_capacity(8 + payload.len());
-    put_u32(&mut frame, payload.len() as u32);
-    frame.extend_from_slice(payload);
-    put_u32(&mut frame, crc32(payload));
-    file.write_all(&frame)?;
-    file.flush()
+/// The journal's write side: frames appends, tracks the last good byte
+/// offset, optionally injects an [`AppendFaultPlan`], and degrades on
+/// the first failure — truncating the file back to the last good frame
+/// so nothing torn is left behind, then dropping every later append.
+struct Appender {
+    file: File,
+    good_bytes: u64,
+    appended: u32,
+    fault: Option<AppendFaultPlan>,
+    degraded: Option<String>,
+}
+
+impl Appender {
+    fn new(file: File, good_bytes: u64, fault: Option<AppendFaultPlan>) -> Appender {
+        Appender { file, good_bytes, appended: 0, fault, degraded: None }
+    }
+
+    /// One framed append (`len | payload | crc`, then flush, so a crash
+    /// can tear at most the final frame). Returns `false` once the
+    /// appender has degraded; the campaign carries on in memory.
+    fn append(&mut self, payload: &[u8]) -> bool {
+        if self.degraded.is_some() {
+            return false;
+        }
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        put_u32(&mut frame, payload.len() as u32);
+        frame.extend_from_slice(payload);
+        put_u32(&mut frame, crc32(payload));
+        let injected = self.fault.filter(|f| self.appended == f.after_appends).map(|f| f.kind);
+        match self.write_frame(&frame, injected) {
+            Ok(()) => {
+                self.appended += 1;
+                self.good_bytes += frame.len() as u64;
+                true
+            }
+            Err(e) => {
+                // Degrade, not die: drop any partial frame so the
+                // journal ends on the last good record, then stop
+                // journaling for the rest of the run.
+                let _ = self.file.set_len(self.good_bytes);
+                let _ = self.file.seek(SeekFrom::End(0));
+                self.degraded = Some(format!(
+                    "journal append {} failed ({e}); continuing non-durable from record {}",
+                    self.appended, self.appended,
+                ));
+                false
+            }
+        }
+    }
+
+    fn write_frame(&mut self, frame: &[u8], injected: Option<AppendFault>) -> std::io::Result<()> {
+        match injected {
+            Some(AppendFault::ShortWrite) => {
+                // Half the frame reaches the disk before the failure —
+                // exactly the torn tail a power loss leaves.
+                self.file.write_all(&frame[..frame.len() / 2])?;
+                self.file.flush()?;
+                Err(std::io::Error::new(std::io::ErrorKind::WriteZero, "injected short write"))
+            }
+            Some(AppendFault::DiskFull) => {
+                Err(std::io::Error::new(std::io::ErrorKind::StorageFull, "injected disk full"))
+            }
+            Some(AppendFault::FlushError) => {
+                self.file.write_all(frame)?;
+                Err(std::io::Error::other("injected flush error"))
+            }
+            None => {
+                self.file.write_all(frame)?;
+                self.file.flush()
+            }
+        }
+    }
+
+    fn status(&self) -> DurabilityStatus {
+        DurabilityStatus {
+            durable: self.degraded.is_none(),
+            appended: self.appended,
+            warning: self.degraded.clone(),
+        }
+    }
 }
 
 /// The [`ABORT_ENV`] crash-test hook: exits the process with status 3
@@ -981,9 +1164,9 @@ struct AbortHook {
 }
 
 impl AbortHook {
-    fn from_env() -> AbortHook {
-        let after = std::env::var(ABORT_ENV).ok().and_then(|v| v.parse().ok());
-        AbortHook { after, appended: AtomicU64::new(0) }
+    fn from_env() -> Result<AbortHook, EnvConfigError> {
+        let after = abort_after_trials_from_env()?;
+        Ok(AbortHook { after, appended: AtomicU64::new(0) })
     }
 
     fn on_append(&self) {
@@ -1059,6 +1242,35 @@ pub fn run_campaign_durable_parallel_with_telemetry(
     workers: usize,
     telemetry: Option<&Telemetry>,
 ) -> Result<CampaignReport, JournalError> {
+    let (report, status) = run_campaign_durable_with_status(
+        make_sim, plan, observe, config, journal, resume, workers, telemetry, None,
+    )?;
+    if let Some(w) = &status.warning {
+        eprintln!("warning: {w}");
+    }
+    Ok(report)
+}
+
+/// [`run_campaign_durable_parallel_with_telemetry`] plus the write-side
+/// degradation contract: the returned [`DurabilityStatus`] reports
+/// whether every completed trial reached the journal, and `fault`
+/// injects an [`AppendFaultPlan`] into the write path (tests and
+/// fault-shim callers only — pass `None` in production). A failed
+/// append never fails the campaign: the journal is truncated to its
+/// last good frame and the run continues non-durable, so the report is
+/// byte-identical to the healthy run's.
+#[allow(clippy::too_many_arguments)]
+pub fn run_campaign_durable_with_status(
+    make_sim: impl Fn() -> CoSim + Sync,
+    plan: &[Injection],
+    observe: impl Fn(&CoSim) -> Vec<u32> + Sync,
+    config: CampaignConfig,
+    journal: &Path,
+    resume: bool,
+    workers: usize,
+    telemetry: Option<&Telemetry>,
+    fault: Option<AppendFaultPlan>,
+) -> Result<(CampaignReport, DurabilityStatus), JournalError> {
     let campaign_start = telemetry.map(|_| Instant::now());
     let mut sim = make_sim();
     sim.set_fast_forward(config.fast_forward);
@@ -1078,16 +1290,15 @@ pub fn run_campaign_durable_parallel_with_telemetry(
         plan_hash: campaign_plan_hash(plan, config, golden_cycles, &golden_observed),
         trials: plan.len() as u32,
     };
-    let (file, mut slots) = open_journal(journal, &header, resume, &get_trial)?;
+    let (file, mut slots, good_bytes) = open_journal(journal, &header, resume, &get_trial)?;
     let pending: Vec<u32> =
         (0..plan.len() as u32).filter(|&i| slots[i as usize].is_none()).collect();
     if let Some(t) = telemetry {
         t.expect_trials(pending.len() as u64);
     }
 
-    let file = Mutex::new(file);
-    let io_err: Mutex<Option<std::io::Error>> = Mutex::new(None);
-    let hook = AbortHook::from_env();
+    let appender = Mutex::new(Appender::new(file, good_bytes, fault));
+    let hook = AbortHook::from_env()?;
     let workers = workers.clamp(1, pending.len().max(1));
     let mut fresh: Vec<Option<Trial>> = vec![None; pending.len()];
     std::thread::scope(|scope| {
@@ -1096,7 +1307,7 @@ pub fn run_campaign_durable_parallel_with_telemetry(
         let mut idx_rest = pending.as_slice();
         let (initial, golden_observed) = (&initial, &golden_observed);
         let (make_sim, observe) = (&make_sim, &observe);
-        let (file, io_err, hook) = (&file, &io_err, &hook);
+        let (appender, hook) = (&appender, &hook);
         let mut worker_id: u32 = 0;
         while !idx_rest.is_empty() {
             let take = chunk.min(idx_rest.len());
@@ -1128,27 +1339,25 @@ pub fn run_campaign_durable_parallel_with_telemetry(
                     put_u32(&mut payload, index);
                     put_trial(&mut payload, &trial);
                     let append_start = telemetry.map(|_| Instant::now());
-                    if let Err(e) = append_frame(&mut lock(file), &payload) {
-                        lock(io_err).get_or_insert(e);
-                    }
+                    let appended = lock(appender).append(&payload);
                     if let Some(t) = telemetry {
                         let mut rec = SpanRecord::new(
                             SpanKind::JournalAppend,
                             worker,
                             append_start.unwrap().elapsed(),
                         );
-                        rec.journal_bytes = 8 + payload.len() as u64;
+                        rec.journal_bytes = if appended { 8 + payload.len() as u64 } else { 0 };
                         t.record(rec);
                     }
-                    hook.on_append();
+                    if appended {
+                        hook.on_append();
+                    }
                     *slot = Some(trial);
                 }
             });
         }
     });
-    if let Some(e) = lock(&io_err).take() {
-        return Err(e.into());
-    }
+    let status = lock(&appender).status();
     for (&index, trial) in pending.iter().zip(fresh) {
         slots[index as usize] = trial;
     }
@@ -1156,7 +1365,7 @@ pub fn run_campaign_durable_parallel_with_telemetry(
     if let (Some(t), Some(start)) = (telemetry, campaign_start) {
         t.record(SpanRecord::new(SpanKind::Campaign, 0, start.elapsed()));
     }
-    Ok(CampaignReport { golden_cycles, golden_observed, trials })
+    Ok((CampaignReport { golden_cycles, golden_observed, trials }, status))
 }
 
 /// [`crate::recover::run_recovery_campaign`] with a durable journal;
@@ -1202,6 +1411,29 @@ pub fn run_recovery_campaign_durable_parallel_with_telemetry(
     workers: usize,
     telemetry: Option<&Telemetry>,
 ) -> Result<RecoveryReport, JournalError> {
+    let (report, status) = run_recovery_campaign_durable_with_status(
+        make_sim, plan, observe, policy, journal, resume, workers, telemetry, None,
+    )?;
+    if let Some(w) = &status.warning {
+        eprintln!("warning: {w}");
+    }
+    Ok(report)
+}
+
+/// [`run_campaign_durable_with_status`] for recovery campaigns: same
+/// degrade-on-append-failure contract and injectable write faults.
+#[allow(clippy::too_many_arguments)]
+pub fn run_recovery_campaign_durable_with_status(
+    make_sim: impl Fn() -> CoSim + Sync,
+    plan: &[Injection],
+    observe: impl Fn(&CoSim) -> Vec<u32> + Sync,
+    policy: RecoveryPolicy,
+    journal: &Path,
+    resume: bool,
+    workers: usize,
+    telemetry: Option<&Telemetry>,
+    fault: Option<AppendFaultPlan>,
+) -> Result<(RecoveryReport, DurabilityStatus), JournalError> {
     let campaign_start = telemetry.map(|_| Instant::now());
     let supervisor = Supervisor::new(policy);
     let mut sim = make_sim();
@@ -1219,16 +1451,16 @@ pub fn run_recovery_campaign_durable_parallel_with_telemetry(
         plan_hash: recovery_plan_hash(plan, policy, golden.cycles, &golden.observed),
         trials: plan.len() as u32,
     };
-    let (file, mut slots) = open_journal(journal, &header, resume, &get_recovery_trial)?;
+    let (file, mut slots, good_bytes) =
+        open_journal(journal, &header, resume, &get_recovery_trial)?;
     let pending: Vec<u32> =
         (0..plan.len() as u32).filter(|&i| slots[i as usize].is_none()).collect();
     if let Some(t) = telemetry {
         t.expect_trials(pending.len() as u64);
     }
 
-    let file = Mutex::new(file);
-    let io_err: Mutex<Option<std::io::Error>> = Mutex::new(None);
-    let hook = AbortHook::from_env();
+    let appender = Mutex::new(Appender::new(file, good_bytes, fault));
+    let hook = AbortHook::from_env()?;
     let workers = workers.clamp(1, pending.len().max(1));
     let mut fresh: Vec<Option<RecoveryTrial>> = vec![None; pending.len()];
     std::thread::scope(|scope| {
@@ -1237,7 +1469,7 @@ pub fn run_recovery_campaign_durable_parallel_with_telemetry(
         let mut idx_rest = pending.as_slice();
         let golden = &golden;
         let (make_sim, observe) = (&make_sim, &observe);
-        let (file, io_err, hook) = (&file, &io_err, &hook);
+        let (appender, hook) = (&appender, &hook);
         let mut worker_id: u32 = 0;
         while !idx_rest.is_empty() {
             let take = chunk.min(idx_rest.len());
@@ -1266,27 +1498,25 @@ pub fn run_recovery_campaign_durable_parallel_with_telemetry(
                     put_u32(&mut payload, index);
                     put_recovery_trial(&mut payload, &trial);
                     let append_start = telemetry.map(|_| Instant::now());
-                    if let Err(e) = append_frame(&mut lock(file), &payload) {
-                        lock(io_err).get_or_insert(e);
-                    }
+                    let appended = lock(appender).append(&payload);
                     if let Some(t) = telemetry {
                         let mut rec = SpanRecord::new(
                             SpanKind::JournalAppend,
                             worker,
                             append_start.unwrap().elapsed(),
                         );
-                        rec.journal_bytes = 8 + payload.len() as u64;
+                        rec.journal_bytes = if appended { 8 + payload.len() as u64 } else { 0 };
                         t.record(rec);
                     }
-                    hook.on_append();
+                    if appended {
+                        hook.on_append();
+                    }
                     *slot = Some(trial);
                 }
             });
         }
     });
-    if let Some(e) = lock(&io_err).take() {
-        return Err(e.into());
-    }
+    let status = lock(&appender).status();
     for (&index, trial) in pending.iter().zip(fresh) {
         slots[index as usize] = trial;
     }
@@ -1294,12 +1524,35 @@ pub fn run_recovery_campaign_durable_parallel_with_telemetry(
     if let (Some(t), Some(start)) = (telemetry, campaign_start) {
         t.record(SpanRecord::new(SpanKind::Campaign, 0, start.elapsed()));
     }
-    Ok(RecoveryReport { golden_cycles: golden.cycles, golden_observed: golden.observed, trials })
+    Ok((
+        RecoveryReport { golden_cycles: golden.cycles, golden_observed: golden.observed, trials },
+        status,
+    ))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// One test owns every `ABORT_ENV` mutation (parallel tests in this
+    /// binary never set it), covering unset, valid, zero, and garbage.
+    #[test]
+    fn abort_env_parsing_is_strict() {
+        std::env::remove_var(ABORT_ENV);
+        assert_eq!(abort_after_trials_from_env(), Ok(None));
+        std::env::set_var(ABORT_ENV, " 37 ");
+        assert_eq!(abort_after_trials_from_env(), Ok(Some(37)));
+        for bad in ["0", "banana", "-3", "3.5", ""] {
+            std::env::set_var(ABORT_ENV, bad);
+            let err = abort_after_trials_from_env().expect_err(bad);
+            assert_eq!(err.var, ABORT_ENV);
+            assert_eq!(err.value, bad);
+            let msg = err.to_string();
+            assert!(msg.contains(ABORT_ENV) && msg.contains("positive integer"), "{msg}");
+            assert!(JournalError::from(err).to_string().contains("invalid configuration"));
+        }
+        std::env::remove_var(ABORT_ENV);
+    }
 
     fn sample_trials() -> Vec<Trial> {
         vec![

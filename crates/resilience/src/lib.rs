@@ -57,10 +57,13 @@ pub use campaign::{
     run_campaign_with_telemetry, CampaignConfig, CampaignReport, Coverage, Outcome, Trial,
 };
 pub use durable::{
-    resume_from_journal, resume_recovery_from_journal, run_campaign_durable,
-    run_campaign_durable_parallel, run_campaign_durable_parallel_with_telemetry,
+    abort_after_trials_from_env, resume_from_journal, resume_recovery_from_journal,
+    run_campaign_durable, run_campaign_durable_parallel,
+    run_campaign_durable_parallel_with_telemetry, run_campaign_durable_with_status,
     run_recovery_campaign_durable, run_recovery_campaign_durable_parallel,
-    run_recovery_campaign_durable_parallel_with_telemetry, JournalError, JournalScan,
+    run_recovery_campaign_durable_parallel_with_telemetry,
+    run_recovery_campaign_durable_with_status, AppendFault, AppendFaultPlan, DurabilityStatus,
+    EnvConfigError, JournalError, JournalScan,
 };
 pub use inject::{random_plan, random_plan_hardware, FaultKind, Injection, Injector};
 pub use localize::{capture_golden, localize_trial, DivergenceReport, GoldenRun, LocalizeConfig};

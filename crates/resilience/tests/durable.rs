@@ -11,8 +11,8 @@ use softsim_isa::asm::assemble;
 use softsim_isa::reg::r;
 use softsim_resilience::{
     from_bytes, resume_from_journal, run_campaign, run_campaign_durable,
-    run_campaign_durable_parallel, to_bytes, CampaignConfig, FaultKind, Injection, JournalError,
-    Outcome,
+    run_campaign_durable_parallel, run_campaign_durable_with_status, to_bytes, AppendFault,
+    AppendFaultPlan, CampaignConfig, FaultKind, Injection, JournalError, Outcome,
 };
 use softsim_testkit::Rng;
 use std::path::PathBuf;
@@ -230,6 +230,62 @@ fn interrupt_and_resume_is_byte_identical_at_any_worker_count() {
     assert_eq!(resumed, reference);
     assert_eq!(std::fs::read(&journal).expect("journal readable"), full, "journal untouched");
     let _ = std::fs::remove_file(&journal);
+}
+
+#[test]
+fn append_fault_degrades_to_non_durable_with_a_clean_tail() {
+    let plan = mixed_plan();
+    let mut sim = fsl_sim();
+    let reference = run_campaign(&mut sim, &plan, observe, quick_config());
+    for fault in [AppendFault::ShortWrite, AppendFault::DiskFull, AppendFault::FlushError] {
+        let journal = scratch(&format!("fault_{fault:?}"));
+        let _ = std::fs::remove_file(&journal);
+        // The 4th append fails: the run must finish with the same
+        // report, flagged non-durable with a warning — never a panic.
+        let (report, status) = run_campaign_durable_with_status(
+            fsl_sim,
+            &plan,
+            observe,
+            quick_config(),
+            &journal,
+            false,
+            1,
+            None,
+            Some(AppendFaultPlan { kind: fault, after_appends: 3 }),
+        )
+        .expect("an append failure must not fail the campaign");
+        assert_eq!(report, reference, "report unaffected by {fault}");
+        assert!(!status.durable, "{fault} must degrade the run");
+        assert_eq!(status.appended, 3, "{fault}");
+        let warning = status.warning.expect("degraded run carries a warning");
+        assert!(warning.contains("non-durable"), "{warning}");
+
+        // The journal tail is clean: exactly the three good records,
+        // nothing torn (the partial frame of a short write is dropped).
+        let scan = resume_from_journal(&journal).expect("degraded journal still scans");
+        assert_eq!(scan.records, 3, "{fault}");
+        assert_eq!(scan.torn_bytes, 0, "no torn tail left behind by {fault}");
+        assert_eq!(std::fs::metadata(&journal).expect("journal stat").len(), scan.good_bytes);
+
+        // And it resumes: only the five missing trials re-run, to the
+        // byte-identical report.
+        let (resumed, status) = run_campaign_durable_with_status(
+            fsl_sim,
+            &plan,
+            observe,
+            quick_config(),
+            &journal,
+            true,
+            2,
+            None,
+            None,
+        )
+        .expect("journal I/O");
+        assert_eq!(resumed, reference, "resume after {fault} degrade");
+        assert!(status.durable);
+        assert_eq!(status.appended as usize, plan.len() - 3);
+        let _ = std::fs::remove_file(&journal);
+    }
 }
 
 #[test]

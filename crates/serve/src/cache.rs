@@ -1,0 +1,140 @@
+//! Content-addressed memoization cache for job results.
+//!
+//! Keyed by [`crate::JobSpec::content_hash`]; every entry carries a
+//! CRC-32 of its payload, verified on read. A corrupt entry is evicted
+//! and reported as [`CacheLookup::Corrupt`] — the job then re-runs, so
+//! a flipped bit in the cache can cost time but never correctness.
+
+use softsim_resilience::crc32;
+use std::collections::{HashMap, VecDeque};
+
+/// The outcome of a cache probe.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CacheLookup {
+    /// CRC-verified payload.
+    Hit(Vec<u8>),
+    /// No entry for the key.
+    Miss,
+    /// An entry existed but failed its CRC; it has been evicted.
+    Corrupt,
+}
+
+struct Entry {
+    crc: u32,
+    payload: Vec<u8>,
+}
+
+/// A bounded FIFO memoization cache with CRC-verified entries.
+pub struct MemoCache {
+    capacity: usize,
+    map: HashMap<u64, Entry>,
+    order: VecDeque<u64>,
+    evictions: u64,
+}
+
+impl MemoCache {
+    /// A cache holding at most `capacity` entries (0 disables caching).
+    pub fn new(capacity: usize) -> MemoCache {
+        MemoCache { capacity, map: HashMap::new(), order: VecDeque::new(), evictions: 0 }
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when no entries are held.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Entries evicted so far (capacity + corruption).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Probes `key`, verifying the stored CRC before trusting the
+    /// payload.
+    pub fn get(&mut self, key: u64) -> CacheLookup {
+        match self.map.get(&key) {
+            None => CacheLookup::Miss,
+            Some(e) if crc32(&e.payload) == e.crc => CacheLookup::Hit(e.payload.clone()),
+            Some(_) => {
+                self.map.remove(&key);
+                self.order.retain(|&k| k != key);
+                self.evictions += 1;
+                CacheLookup::Corrupt
+            }
+        }
+    }
+
+    /// Stores `payload` under `key`, evicting the oldest entry when at
+    /// capacity.
+    pub fn insert(&mut self, key: u64, payload: Vec<u8>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.map.insert(key, Entry { crc: crc32(&payload), payload }).is_none() {
+            self.order.push_back(key);
+            if self.order.len() > self.capacity {
+                if let Some(old) = self.order.pop_front() {
+                    self.map.remove(&old);
+                    self.evictions += 1;
+                }
+            }
+        }
+    }
+
+    /// Test hook: flips a byte of `key`'s stored payload (without
+    /// updating its CRC), returning `false` if the key is absent or
+    /// empty. The next [`MemoCache::get`] must detect and evict it.
+    pub fn corrupt(&mut self, key: u64) -> bool {
+        match self.map.get_mut(&key) {
+            Some(e) if !e.payload.is_empty() => {
+                e.payload[0] ^= 0xFF;
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_and_fifo_capacity() {
+        let mut c = MemoCache::new(2);
+        assert_eq!(c.get(1), CacheLookup::Miss);
+        c.insert(1, vec![1, 2, 3]);
+        c.insert(2, vec![4]);
+        assert_eq!(c.get(1), CacheLookup::Hit(vec![1, 2, 3]));
+        c.insert(3, vec![5]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(1), CacheLookup::Miss, "oldest entry evicted at capacity");
+        assert_eq!(c.evictions(), 1);
+        // Re-inserting an existing key does not grow the cache.
+        c.insert(2, vec![9, 9]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(2), CacheLookup::Hit(vec![9, 9]));
+    }
+
+    #[test]
+    fn corrupt_entry_is_detected_and_evicted() {
+        let mut c = MemoCache::new(4);
+        c.insert(7, vec![10, 20, 30]);
+        assert!(c.corrupt(7));
+        assert_eq!(c.get(7), CacheLookup::Corrupt, "CRC catches the flipped byte");
+        assert_eq!(c.get(7), CacheLookup::Miss, "the corrupt entry is gone");
+        assert_eq!(c.evictions(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = MemoCache::new(0);
+        c.insert(1, vec![1]);
+        assert_eq!(c.get(1), CacheLookup::Miss);
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,126 @@
+//! TCP front-end: line-oriented JSON over a plain socket.
+//!
+//! [`serve`] runs an accept loop against an already-bound listener and
+//! handles each connection on its own scoped thread, so a stalled
+//! client never blocks admission for the others. The listener polls in
+//! non-blocking mode (~25 ms) and exits once the server stops being
+//! ready — either a local [`crate::Server::shutdown`] or a remote
+//! `{"op":"shutdown"}` — and connection threads notice the same flag
+//! through their read timeout, so shutdown converges without killing
+//! in-flight responses.
+//!
+//! [`request`] is the matching one-shot client used by the CLI's
+//! `--request` mode and by CI smoke checks.
+
+use crate::protocol::{handle_line, Disposition};
+use crate::server::Server;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+/// How often the accept loop and idle connections re-check readiness.
+const POLL: Duration = Duration::from_millis(25);
+
+/// Serves `server` on `listener` until shutdown. Blocks the caller;
+/// returns once the accept loop has exited and every connection thread
+/// has joined.
+pub fn serve(server: &Server, listener: TcpListener) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    std::thread::scope(|scope| {
+        while server.health().ready {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    scope.spawn(move || {
+                        if let Err(e) = handle_connection(server, stream) {
+                            eprintln!("warning: connection error: {e}");
+                        }
+                    });
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    })
+}
+
+fn handle_connection(server: &Server, stream: TcpStream) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(POLL * 20))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()),
+            Ok(_) => {
+                let request = std::mem::take(&mut line);
+                if request.trim().is_empty() {
+                    continue;
+                }
+                let (response, disposition) = handle_line(server, request.trim());
+                writer.write_all(response.as_bytes())?;
+                writer.write_all(b"\n")?;
+                writer.flush()?;
+                if let Disposition::Shutdown = disposition {
+                    return Ok(());
+                }
+            }
+            // Read timeout: `line` may hold a partial request that the
+            // next read_line call keeps appending to. Keep waiting
+            // while the server is up; bail out once it is draining.
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if !server.health().ready {
+                    return Ok(());
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// One-shot client: sends `line` to `addr` and returns the single
+/// response line (trailing newline stripped).
+pub fn request(addr: &str, line: &str) -> std::io::Result<String> {
+    let stream = TcpStream::connect(addr)?;
+    let mut writer = stream.try_clone()?;
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()?;
+    let mut reader = BufReader::new(stream);
+    let mut response = String::new();
+    reader.read_line(&mut response)?;
+    while response.ends_with('\n') || response.ends_with('\r') {
+        response.pop();
+    }
+    Ok(response)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServeConfig;
+    use std::net::TcpListener;
+
+    #[test]
+    fn tcp_round_trip_health_then_remote_shutdown() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let server = Server::start(ServeConfig {
+            workers: 1,
+            spool: std::env::temp_dir().join("softsim-serve-net-test"),
+            ..ServeConfig::default()
+        })
+        .expect("start");
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| serve(&server, listener));
+            let health = request(&addr, "{\"op\":\"health\"}").expect("health");
+            assert!(health.contains("\"ready\":true"), "{health}");
+            let bad = request(&addr, "{\"op\":\"frobnicate\"}").expect("bad op");
+            assert!(bad.contains("unknown op"), "{bad}");
+            let bye = request(&addr, "{\"op\":\"shutdown\"}").expect("shutdown");
+            assert!(bye.contains("shutting down"), "{bye}");
+            handle.join().expect("accept loop").expect("serve");
+        });
+    }
+}
